@@ -1,0 +1,184 @@
+// Command bisramgen is the compiler CLI: it takes the circuit
+// parameters of the paper's Fig. 1 (words, bits per word, bits per
+// column, spare rows, critical gate size, strap spacing, process) and
+// generates the BISR-RAM module: an SVG layout plot, a datasheet, the
+// TRPLA control plane files, and an extracted SPICE deck for the
+// sense amplifier leaf cell.
+//
+// Example:
+//
+//	bisramgen -words 4096 -bpw 128 -bpc 8 -spares 4 -strap 32 \
+//	          -process cda07u3m1p -out fig6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bist"
+	"repro/internal/compiler"
+	"repro/internal/gds"
+	"repro/internal/march"
+	"repro/internal/render"
+	"repro/internal/spice"
+	"repro/internal/tech"
+)
+
+func main() {
+	var (
+		words    = flag.Int("words", 4096, "number of words (power of 2)")
+		bpw      = flag.Int("bpw", 32, "bits per word")
+		bpc      = flag.Int("bpc", 8, "bits per column (column mux ratio, power of 2)")
+		spares   = flag.Int("spares", 4, "spare rows: 0, 4, 8 or 16")
+		bufsize  = flag.Int("bufsize", 2, "critical gate size multiplier (1..4)")
+		strap    = flag.Int("strap", 32, "cells between straps (0 = none)")
+		process  = flag.String("process", "cda07u3m1p", "process deck: "+fmt.Sprint(tech.Names()))
+		procFile = flag.String("process-file", "", "load a user process deck (key/value text; see internal/tech.Parse)")
+		corner   = flag.String("corner", "typ", "process corner: typ, slow, fast")
+		test     = flag.String("test", "ifa9", "march algorithm: ifa9, ifa13, mats+, marchx, marchy, marchb, marchc-")
+		custom   = flag.String("march", "", `custom march notation, e.g. "b(w0); u(r0,w1); d(r1,w0)"`)
+		andFile  = flag.String("and-plane", "", "load TRPLA control code: AND plane file")
+		orFile   = flag.String("or-plane", "", "load TRPLA control code: OR plane file")
+		stBits   = flag.Int("state-bits", 5, "state register width for loaded plane files")
+		outDir   = flag.String("out", "bisram_out", "output directory")
+		ascii    = flag.Bool("ascii", false, "print an ASCII floorplan to stdout")
+	)
+	flag.Parse()
+
+	var proc *tech.Process
+	var err error
+	if *procFile != "" {
+		f, ferr := os.Open(*procFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		proc, err = tech.Parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		tech.Register(proc)
+	} else {
+		proc, err = tech.ByName(*process)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	alg, err := testByName(*test)
+	if err != nil {
+		fatal(err)
+	}
+	if *custom != "" {
+		alg, err = march.Parse("custom", *custom)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	proc, err = proc.Corner(*corner)
+	if err != nil {
+		fatal(err)
+	}
+	p := compiler.Params{
+		Words: *words, BPW: *bpw, BPC: *bpc, Spares: *spares,
+		BufSize: *bufsize, StrapCells: *strap, Process: proc, Test: alg,
+	}
+	// The paper's runtime control-code path: user-edited plane files
+	// replace the built-in microprogram.
+	if *andFile != "" || *orFile != "" {
+		if *andFile == "" || *orFile == "" {
+			fatal(fmt.Errorf("both -and-plane and -or-plane are required"))
+		}
+		af, err := os.Open(*andFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer af.Close()
+		of, err := os.Open(*orFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer of.Close()
+		prog, err := bist.ReadPlanes("custom", *stBits, af, of)
+		if err != nil {
+			fatal(err)
+		}
+		p.Program = prog
+	}
+	d, err := compiler.Compile(p)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	write := func(name, content string) {
+		path := filepath.Join(*outDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
+	}
+
+	write("layout.svg", render.SVG(d.Top, render.Options{Depth: 0}))
+	var gdsBuf strings.Builder
+	if err := gds.Write(&gdsBuf, d.Top, d.Top.Name); err != nil {
+		fatal(err)
+	}
+	write("layout.gds", gdsBuf.String())
+	write("datasheet.txt", d.Datasheet())
+	js, err := d.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	write("datasheet.json", js)
+
+	// TRPLA control code plane files (loaded back at runtime by the
+	// tool, and editable to change the test algorithm).
+	var andB, orB strings.Builder
+	if err := d.Prog.WritePlanes(&andB, &orB); err != nil {
+		fatal(err)
+	}
+	write("trpla_and.plane", andB.String())
+	write("trpla_or.plane", orB.String())
+
+	// Extracted SPICE deck for the sense amplifier leaf cell.
+	ckt := spice.New()
+	ckt.V("vdd", "xvdd", spice.DC(proc.VDD))
+	d.Lib.SenseAmp.Extract(ckt, "x")
+	write("senseamp.sp", ckt.Deck("extracted current-mode sense amplifier"))
+
+	fmt.Println()
+	fmt.Print(d.Datasheet())
+	if *ascii {
+		fmt.Println()
+		fmt.Print(render.ASCII(d.Top, 78))
+	}
+}
+
+func testByName(name string) (march.Test, error) {
+	switch name {
+	case "ifa9":
+		return march.IFA9(), nil
+	case "ifa13":
+		return march.IFA13(), nil
+	case "mats+":
+		return march.MATSPlus(), nil
+	case "marchx":
+		return march.MarchX(), nil
+	case "marchy":
+		return march.MarchY(), nil
+	case "marchb":
+		return march.MarchB(), nil
+	case "marchc-":
+		return march.MarchCMinus(), nil
+	}
+	return march.Test{}, fmt.Errorf("unknown test %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bisramgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Command bisrsim runs fault-injection campaigns against the
+// behavioural BISR RAM: it injects random defects, executes the
+// microprogrammed two-pass (or iterated 2k-pass) self-test-and-repair
+// flow, and reports repair outcomes, spare usage and march-test
+// verification.
+//
+// Example:
+//
+//	bisrsim -words 1024 -bpw 8 -bpc 4 -spares 4 -faults 3 -trials 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/bisr"
+	"repro/internal/bist"
+	"repro/internal/logicsim"
+	"repro/internal/march"
+	"repro/internal/sram"
+)
+
+func main() {
+	var (
+		words  = flag.Int("words", 1024, "number of words")
+		bpw    = flag.Int("bpw", 8, "bits per word (<= 64)")
+		bpc    = flag.Int("bpc", 4, "bits per column")
+		spares = flag.Int("spares", 4, "spare rows")
+		faults = flag.Int("faults", 3, "random faults injected per trial")
+		trials = flag.Int("trials", 50, "number of trials")
+		iters  = flag.Int("iterations", 1, "max test-and-repair iterations (2k-pass when > 1)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		v      = flag.Bool("v", false, "per-trial detail")
+		gate   = flag.Bool("gatelevel", false, "run one trial on the gate-level BIST+BISR netlist instead")
+		vcd    = flag.String("vcd", "", "with -gatelevel: dump control waveforms to this VCD file")
+	)
+	flag.Parse()
+
+	cfg := sram.Config{Words: *words, BPW: *bpw, BPC: *bpc, SpareRows: *spares}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "bisrsim:", err)
+		os.Exit(1)
+	}
+	if *gate {
+		runGateLevel(cfg, *faults, *seed, *vcd)
+		return
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var repaired, verified, overflow int
+	var totalSpares, totalCaptures, totalIters int
+	for trial := 0; trial < *trials; trial++ {
+		arr := sram.MustNew(cfg)
+		victims := arr.InjectRandom(*faults, rng)
+		ram := bisr.NewRAM(arr)
+		ctl := bisr.NewController(ram)
+		ctl.MaxIterations = *iters
+		out, err := ctl.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bisrsim:", err)
+			os.Exit(1)
+		}
+		pass := false
+		if out.Repaired {
+			repaired++
+			pass = march.Run(ram, march.IFA9(), march.JohnsonBackgrounds(*bpw), *bpw).Pass()
+			if pass {
+				verified++
+			}
+		}
+		if out.Overflow {
+			overflow++
+		}
+		totalSpares += out.SparesUsed
+		totalCaptures += out.Captures
+		totalIters += out.Iterations
+		if *v {
+			fmt.Printf("trial %3d: %d faults on %d cells, repaired=%v verified=%v spares=%d iters=%d\n",
+				trial, arr.FaultCount(), len(victims), out.Repaired, pass, out.SparesUsed, out.Iterations)
+		}
+	}
+	n := float64(*trials)
+	fmt.Printf("configuration: %d words x %d bits (bpc %d), %d spare rows, %d faults/trial, %d max iterations\n",
+		*words, *bpw, *bpc, *spares, *faults, *iters)
+	fmt.Printf("repaired:    %d/%d (%.1f%%)\n", repaired, *trials, 100*float64(repaired)/n)
+	fmt.Printf("verified:    %d/%d post-repair march passes\n", verified, repaired)
+	fmt.Printf("overflowed:  %d trials exhausted the TLB\n", overflow)
+	fmt.Printf("avg spares used: %.2f, avg captures: %.2f, avg iterations: %.2f\n",
+		float64(totalSpares)/n, float64(totalCaptures)/n, float64(totalIters)/n)
+}
+
+// runGateLevel executes one fault-injection trial on the full
+// gate-level BIST+BISR netlist, optionally dumping control waveforms.
+func runGateLevel(cfg sram.Config, faults int, seed int64, vcdPath string) {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "bisrsim:", err)
+		os.Exit(1)
+	}
+	arr := sram.MustNew(cfg)
+	arr.InjectRandom(faults, rand.New(rand.NewSource(seed)))
+	prog, err := bist.Assemble(march.IFA9())
+	if err != nil {
+		fail(err)
+	}
+	g, err := bisr.NewGateLevel(arr, prog)
+	if err != nil {
+		fail(err)
+	}
+	var rec *logicsim.VCDRecorder
+	if vcdPath != "" {
+		rec = logicsim.NewVCDRecorder(g.Sim, g.WatchNets())
+	}
+	if err := g.Run(20_000_000); err != nil {
+		fail(err)
+	}
+	gates, dffs := g.GateCount()
+	fmt.Printf("gate-level run: %d gates, %d flip-flops, %d cycles\n", gates, dffs, g.Cycles)
+	fmt.Printf("faults injected: %d; captures: %d; repaired: %v; spares used: %d\n",
+		arr.FaultCount(), g.Captures, g.Repaired(), g.SparesUsed())
+	if rec != nil {
+		f, err := os.Create(vcdPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := rec.Write(f, "1ns"); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d timesteps)\n", vcdPath, rec.Events())
+	}
+}

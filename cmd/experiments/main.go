@@ -1,0 +1,116 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index) and
+// writes text, CSV and SVG artefacts.
+//
+// Example:
+//
+//	experiments -out results          # everything
+//	experiments -only FIG4,TAB1      # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+type runner struct {
+	id  string
+	run func(outDir string) (*experiments.Table, error)
+}
+
+func main() {
+	var (
+		outDir = flag.String("out", "results", "output directory")
+		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		trials = flag.Int("trials", 40, "Monte-Carlo trials for MC/BASE experiments")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	runners := []runner{
+		{"FIG4", func(string) (*experiments.Table, error) { return experiments.Fig4(50, 2) }},
+		{"FIG5", func(string) (*experiments.Table, error) { return experiments.Fig5(30, 1) }},
+		{"TAB1", func(string) (*experiments.Table, error) { return experiments.Table1() }},
+		{"TAB2", func(string) (*experiments.Table, error) { return experiments.Table2() }},
+		{"TAB3", func(string) (*experiments.Table, error) { return experiments.Table3() }},
+		{"FIG6", func(dir string) (*experiments.Table, error) { return layout(dir, "fig6", experiments.Fig6) }},
+		{"FIG7", func(dir string) (*experiments.Table, error) { return layout(dir, "fig7", experiments.Fig7) }},
+		{"TLBD", func(string) (*experiments.Table, error) { return experiments.TLBDelay() }},
+		{"CORNERS", func(string) (*experiments.Table, error) { return experiments.Corners() }},
+		{"CTRL", func(string) (*experiments.Table, error) { return experiments.Controller() }},
+		{"COV", func(string) (*experiments.Table, error) { return experiments.Coverage() }},
+		{"BASE", func(string) (*experiments.Table, error) { return experiments.RepairComparison(*trials, 42) }},
+		{"ABL-YIELD", func(string) (*experiments.Table, error) { return experiments.YieldAblation() }},
+		{"ABL-COST", func(string) (*experiments.Table, error) { return experiments.CostSensitivity() }},
+		{"CAA", func(string) (*experiments.Table, error) { return experiments.CriticalAreaStudy() }},
+		{"ABL-TEST", func(string) (*experiments.Table, error) { return experiments.TestLengthTradeoff() }},
+		{"MC", func(string) (*experiments.Table, error) { return experiments.MonteCarloYield(*trials, 7) }},
+		{"GATE", func(string) (*experiments.Table, error) { return experiments.GateLevel(6, 3) }},
+		{"CLUSTER", func(string) (*experiments.Table, error) { return experiments.Clustering(*trials, 5) }},
+		{"WAFER", func(dir string) (*experiments.Table, error) {
+			tb, art, err := experiments.WaferStudy()
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(filepath.Join(dir, "wafer_map.txt"), []byte(art), 0o644); err != nil {
+				return nil, err
+			}
+			return tb, nil
+		}},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		fmt.Printf("running %s...\n", r.id)
+		tb, err := r.run(*outDir)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", r.id, err))
+		}
+		fmt.Println(tb.String())
+		base := filepath.Join(*outDir, strings.ToLower(r.id))
+		if err := os.WriteFile(base+".txt", []byte(tb.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(base+".csv", []byte(tb.CSV()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("artefacts written to %s/\n", *outDir)
+}
+
+func layout(dir, name string, f func() (*experiments.LayoutResult, error)) (*experiments.Table, error) {
+	res, err := f()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".svg"), []byte(res.SVG), 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+"_ascii.txt"), []byte(res.ASCII), 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".gds"), res.GDS, 0o644); err != nil {
+		return nil, err
+	}
+	return res.Table, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

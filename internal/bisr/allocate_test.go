@@ -1,0 +1,177 @@
+package bisr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func bitmap(t *testing.T, rows, cols int, cells ...[2]int) *FaultBitmap {
+	t.Helper()
+	f := NewFaultBitmap(rows, cols)
+	for _, c := range cells {
+		if err := f.Mark(c[0], c[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestAllocateSimpleRowCover(t *testing.T) {
+	f := bitmap(t, 8, 8, [2]int{2, 1}, [2]int{2, 5}, [2]int{6, 3})
+	a := AllocateSpares(f, 2, 0)
+	if !a.Covered {
+		t.Fatalf("should cover with 2 row spares: %+v", a)
+	}
+	if len(a.RepairRows) != 2 || a.RepairRows[0] != 2 || a.RepairRows[1] != 6 {
+		t.Fatalf("rows = %v", a.RepairRows)
+	}
+}
+
+func TestAllocateColumnDefect(t *testing.T) {
+	// A whole faulty column swamps row redundancy (the paper's §VI
+	// scenario) but a single spare column fixes it.
+	f := NewFaultBitmap(16, 8)
+	for r := 0; r < 16; r++ {
+		if err := f.Mark(r, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if RowOnlyRepairable(f, 4) {
+		t.Fatal("16 faulty rows must defeat 4 row spares")
+	}
+	a := AllocateSpares(f, 4, 1)
+	if !a.Covered {
+		t.Fatalf("one spare column should repair a column defect: %+v", a)
+	}
+	if len(a.RepairCols) != 1 || a.RepairCols[0] != 3 {
+		t.Fatalf("cols = %v", a.RepairCols)
+	}
+	if len(a.RepairRows) != 0 {
+		t.Fatalf("no rows should be spent: %v", a.RepairRows)
+	}
+	// Must-repair phase should have made this decision (column count
+	// 16 exceeds the row budget 4).
+	if a.MustCols != 1 {
+		t.Fatalf("expected a must-repair column, got %+v", a)
+	}
+}
+
+func TestAllocateMixedPattern(t *testing.T) {
+	// A cross: one bad row, one bad column, plus scattered faults.
+	f := NewFaultBitmap(16, 16)
+	for c := 0; c < 16; c++ {
+		_ = f.Mark(5, c)
+	}
+	for r := 0; r < 16; r++ {
+		_ = f.Mark(r, 9)
+	}
+	_ = f.Mark(1, 1)
+	_ = f.Mark(12, 14)
+	a := AllocateSpares(f, 3, 1)
+	if !a.Covered {
+		t.Fatalf("cross + 2 singles should fit 3 rows + 1 col: %+v", a)
+	}
+	// The bad column must take the column spare; the bad row a row
+	// spare; singles take rows.
+	if len(a.RepairCols) != 1 || a.RepairCols[0] != 9 {
+		t.Fatalf("cols = %v", a.RepairCols)
+	}
+	found5 := false
+	for _, r := range a.RepairRows {
+		if r == 5 {
+			found5 = true
+		}
+	}
+	if !found5 {
+		t.Fatalf("row 5 not repaired: %v", a.RepairRows)
+	}
+}
+
+func TestAllocateInsufficient(t *testing.T) {
+	// Diagonal of 5 faults needs 5 lines; 2+2 cannot cover.
+	f := NewFaultBitmap(8, 8)
+	for i := 0; i < 5; i++ {
+		_ = f.Mark(i, i)
+	}
+	a := AllocateSpares(f, 2, 2)
+	if a.Covered {
+		t.Fatal("5-fault diagonal cannot be covered by 4 spares")
+	}
+	if len(a.RepairRows) != 2 || len(a.RepairCols) != 2 {
+		t.Fatalf("budgets not exhausted: %+v", a)
+	}
+}
+
+func TestBitmapValidation(t *testing.T) {
+	f := NewFaultBitmap(4, 4)
+	if err := f.Mark(4, 0); err == nil {
+		t.Fatal("row out of range accepted")
+	}
+	if err := f.Mark(0, -1); err == nil {
+		t.Fatal("col out of range accepted")
+	}
+	_ = f.Mark(1, 1)
+	_ = f.Mark(1, 1) // duplicate
+	if f.Count() != 1 {
+		t.Fatalf("count %d", f.Count())
+	}
+}
+
+// Property: whenever the allocator claims Covered, replaying the
+// repairs over the bitmap really leaves no fault uncovered, and the
+// budgets are respected.
+func TestQuickAllocationSound(t *testing.T) {
+	fcheck := func(seed int64, nRaw, srRaw, scRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := NewFaultBitmap(12, 12)
+		n := int(nRaw)%20 + 1
+		for i := 0; i < n; i++ {
+			_ = f.Mark(rng.Intn(12), rng.Intn(12))
+		}
+		sr, sc := int(srRaw)%5, int(scRaw)%5
+		a := AllocateSpares(f, sr, sc)
+		if len(a.RepairRows) > sr || len(a.RepairCols) > sc {
+			return false
+		}
+		rows := map[int]bool{}
+		cols := map[int]bool{}
+		for _, r := range a.RepairRows {
+			rows[r] = true
+		}
+		for _, c := range a.RepairCols {
+			cols[c] = true
+		}
+		uncovered := 0
+		for k := range f.faults {
+			if !rows[k[0]] && !cols[k[1]] {
+				uncovered++
+			}
+		}
+		if a.Covered != (uncovered == 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(fcheck, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: 2D allocation is at least as capable as row-only repair.
+func TestQuickTwoDDominatesRowOnly(t *testing.T) {
+	fcheck := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := NewFaultBitmap(10, 10)
+		for i := 0; i < int(nRaw)%12+1; i++ {
+			_ = f.Mark(rng.Intn(10), rng.Intn(10))
+		}
+		if RowOnlyRepairable(f, 4) {
+			return AllocateSpares(f, 4, 2).Covered
+		}
+		return true
+	}
+	if err := quick.Check(fcheck, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package bisr
+
+import "sort"
+
+// This file implements the two prior-art self-repair schemes the
+// paper critiques in Section III, used as experimental baselines.
+
+// Sawada is the 1989 address-comparison scheme of Sawada et al.: a
+// single fail-address register compared against every incoming
+// address, diverting a match to one spare location. It can repair
+// exactly one faulty word address.
+type Sawada struct {
+	failAddr int
+	valid    bool
+	// overflowed records that a second distinct faulty address was
+	// presented and could not be registered.
+	overflowed bool
+}
+
+// NewSawada returns an empty fail-address register.
+func NewSawada() *Sawada { return &Sawada{} }
+
+// Register records a faulty word address. The scheme holds only one;
+// a second distinct address overflows.
+func (s *Sawada) Register(addr int) bool {
+	if s.valid && s.failAddr != addr {
+		s.overflowed = true
+		return false
+	}
+	s.failAddr, s.valid = addr, true
+	return true
+}
+
+// Divert reports whether an incoming address is redirected to the
+// spare module.
+func (s *Sawada) Divert(addr int) bool { return s.valid && addr == s.failAddr }
+
+// Repaired reports whether all registered faults are covered.
+func (s *Sawada) Repaired() bool { return !s.overflowed }
+
+// CompareOps returns the number of address comparisons per access
+// (one register: one compare).
+func (s *Sawada) CompareOps() int { return 1 }
+
+// ChenSunadaConfig describes the hierarchical organisation of the
+// Chen–Sunada 1993 scheme: the memory is decomposed into subblocks,
+// each with two fault-capture blocks (so at most two faulty word
+// addresses repairable per subblock); unrepairable subblocks are
+// excluded by the top-level fault assembler, which can divert accesses
+// to spare subblocks.
+type ChenSunadaConfig struct {
+	Words         int // total words
+	SubblockWords int // words per lowest-level subblock
+	SpareBlocks   int // spare subblocks available to the fault assembler
+}
+
+// ChenSunada models the baseline's repair capability.
+type ChenSunada struct {
+	cfg ChenSunadaConfig
+	// capture[b] holds the faulty addresses captured in subblock b
+	// (max 2 used for repair).
+	capture    map[int][]int
+	deadBlocks []int
+}
+
+// NewChenSunada returns an empty instance.
+func NewChenSunada(cfg ChenSunadaConfig) *ChenSunada {
+	if cfg.SubblockWords <= 0 || cfg.Words <= 0 || cfg.Words%cfg.SubblockWords != 0 {
+		panic("bisr: bad Chen-Sunada geometry")
+	}
+	return &ChenSunada{cfg: cfg, capture: map[int][]int{}}
+}
+
+// Register records a faulty word address in its subblock's fault
+// signature block.
+func (c *ChenSunada) Register(addr int) {
+	b := addr / c.cfg.SubblockWords
+	for _, a := range c.capture[b] {
+		if a == addr {
+			return
+		}
+	}
+	c.capture[b] = append(c.capture[b], addr)
+}
+
+// Resolve runs the fault assembler: subblocks with more than two
+// faulty addresses are excluded and diverted to spare blocks. It
+// returns whether the whole memory is repaired.
+func (c *ChenSunada) Resolve() bool {
+	c.deadBlocks = c.deadBlocks[:0]
+	for b, addrs := range c.capture {
+		if len(addrs) > 2 {
+			c.deadBlocks = append(c.deadBlocks, b)
+		}
+	}
+	sort.Ints(c.deadBlocks)
+	return len(c.deadBlocks) <= c.cfg.SpareBlocks
+}
+
+// DeadBlocks returns the subblocks excluded by the last Resolve.
+func (c *ChenSunada) DeadBlocks() []int {
+	return append([]int(nil), c.deadBlocks...)
+}
+
+// RepairableAddrsPerSubblock is the scheme's per-subblock limit.
+func (c *ChenSunada) RepairableAddrsPerSubblock() int { return 2 }
+
+// CompareOps returns the number of sequential address comparisons an
+// access suffers in a subblock with n captured faults: the paper
+// stresses that Chen–Sunada compare *sequentially* against the two
+// fault-capture blocks, versus the TLB's single parallel compare.
+func (c *ChenSunada) CompareOps(addr int) int {
+	b := addr / c.cfg.SubblockWords
+	n := len(c.capture[b])
+	if n > 2 {
+		n = 2
+	}
+	if n == 0 {
+		return 1 // still one compare against an empty capture block
+	}
+	return n
+}
+
+// TLBCompareOps is BISRAMGEN's parallel equivalent: always a single
+// comparison delay regardless of how many entries are stored.
+func TLBCompareOps() int { return 1 }

@@ -1,0 +1,156 @@
+package bisr
+
+import (
+	"fmt"
+
+	"repro/internal/march"
+	"repro/internal/sram"
+)
+
+// ChenSunadaRAM is a functional model of the Chen–Sunada hierarchical
+// self-repairing memory (the paper's §III comparison target): the
+// word-oriented array is divided into subblocks, each with two
+// redundant word locations and an address-correction block; a
+// top-level fault assembler diverts accesses from dead subblocks to
+// spare subblocks. It implements march.DUT in both test (raw) and
+// normal (corrected) modes, so the same march engines drive it.
+type ChenSunadaRAM struct {
+	cfg ChenSunadaConfig
+	arr *sram.Array
+	// Corrected mode: address correction + fault assembler active.
+	Corrected bool
+
+	// redundant[addr] is the fault-free redundant location a faulty
+	// address was diverted to (each subblock holds at most 2).
+	redundant map[int]uint64
+	diverted  map[int]bool
+	perBlock  map[int]int
+	// deadBlock[b] -> spare block index; spare blocks are fault-free.
+	deadBlock  map[int]int
+	spareStore map[int]uint64 // (spareIdx*SubblockWords + offset) -> data
+	sparesUsed int
+
+	compareOps int64
+}
+
+// NewChenSunadaRAM wraps a fault-injectable array. The array must
+// have no BISRAMGEN spare rows (this scheme brings its own
+// redundancy).
+func NewChenSunadaRAM(arr *sram.Array, cfg ChenSunadaConfig) (*ChenSunadaRAM, error) {
+	if arr.Config().SpareRows != 0 {
+		return nil, fmt.Errorf("bisr: Chen-Sunada model wants an array without spare rows")
+	}
+	if arr.Words() != cfg.Words {
+		return nil, fmt.Errorf("bisr: array/config word mismatch")
+	}
+	if cfg.SubblockWords <= 0 || cfg.Words%cfg.SubblockWords != 0 {
+		return nil, fmt.Errorf("bisr: bad subblock geometry")
+	}
+	return &ChenSunadaRAM{
+		cfg: cfg, arr: arr,
+		redundant:  map[int]uint64{},
+		diverted:   map[int]bool{},
+		perBlock:   map[int]int{},
+		deadBlock:  map[int]int{},
+		spareStore: map[int]uint64{},
+	}, nil
+}
+
+// Words implements march.DUT.
+func (c *ChenSunadaRAM) Words() int { return c.cfg.Words }
+
+// Wait implements march.DUT.
+func (c *ChenSunadaRAM) Wait() { c.arr.Wait() }
+
+func (c *ChenSunadaRAM) block(addr int) int { return addr / c.cfg.SubblockWords }
+
+// Read implements march.DUT.
+func (c *ChenSunadaRAM) Read(addr int) uint64 {
+	if c.Corrected {
+		// Sequential compares against the capture blocks (the delay
+		// penalty the paper criticises).
+		c.compareOps += int64(c.CompareOpsAt(addr))
+		if sp, dead := c.deadBlock[c.block(addr)]; dead {
+			return c.spareStore[sp*c.cfg.SubblockWords+addr%c.cfg.SubblockWords]
+		}
+		if c.diverted[addr] {
+			return c.redundant[addr]
+		}
+	}
+	return c.arr.Read(addr)
+}
+
+// Write implements march.DUT.
+func (c *ChenSunadaRAM) Write(addr int, data uint64) {
+	if c.Corrected {
+		c.compareOps += int64(c.CompareOpsAt(addr))
+		if sp, dead := c.deadBlock[c.block(addr)]; dead {
+			c.spareStore[sp*c.cfg.SubblockWords+addr%c.cfg.SubblockWords] = data
+			return
+		}
+		if c.diverted[addr] {
+			c.redundant[addr] = data
+			return
+		}
+	}
+	c.arr.Write(addr, data)
+}
+
+// CompareOpsAt returns the sequential comparison count an access to
+// addr suffers (1 or 2 depending on captured faults in the subblock).
+func (c *ChenSunadaRAM) CompareOpsAt(addr int) int {
+	n := c.perBlock[c.block(addr)]
+	if n > 2 {
+		n = 2
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// CompareOps returns the cumulative sequential compares in corrected
+// mode.
+func (c *ChenSunadaRAM) CompareOps() int64 { return c.compareOps }
+
+// SelfTestAndRepair runs the scheme's flow: test raw with IFA-13 and
+// the scheme's single data background, register failing addresses in
+// the per-subblock capture blocks (up to two each), run the fault
+// assembler for over-budget subblocks, then verify in corrected mode.
+func (c *ChenSunadaRAM) SelfTestAndRepair() (repaired bool, deadBlocks int, err error) {
+	bpw := c.arr.Config().BPW
+	c.Corrected = false
+	res := march.Run(c, march.IFA13(), march.SingleBackground(), bpw)
+	// Register failures.
+	over := map[int][]int{}
+	for _, addr := range res.FailedAddrs() {
+		b := c.block(addr)
+		if c.diverted[addr] {
+			continue
+		}
+		if c.perBlock[b] < c.RepairableAddrsPerSubblock() {
+			c.perBlock[b]++
+			c.diverted[addr] = true
+			c.redundant[addr] = 0
+		} else {
+			c.perBlock[b]++
+			over[b] = append(over[b], addr)
+		}
+	}
+	// Fault assembler: divert dead subblocks to spare blocks.
+	for b := range over {
+		if c.sparesUsed < c.cfg.SpareBlocks {
+			c.deadBlock[b] = c.sparesUsed
+			c.sparesUsed++
+		} else {
+			return false, len(over), nil
+		}
+	}
+	// Verification pass, corrected.
+	c.Corrected = true
+	ver := march.Run(c, march.IFA13(), march.SingleBackground(), bpw)
+	return ver.Pass(), len(c.deadBlock), nil
+}
+
+// RepairableAddrsPerSubblock mirrors the capacity constant.
+func (c *ChenSunadaRAM) RepairableAddrsPerSubblock() int { return 2 }

@@ -1,0 +1,147 @@
+package bisr
+
+import (
+	"testing"
+
+	"repro/internal/march"
+	"repro/internal/sram"
+)
+
+func mustInject(t *testing.T, a *sram.Array, c sram.CellAddr, f sram.Fault) {
+	t.Helper()
+	if err := a.Inject(c, f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func csRAM(t *testing.T) (*ChenSunadaRAM, *sram.Array) {
+	t.Helper()
+	arr := sram.MustNew(sram.Config{Words: 64, BPW: 4, BPC: 4})
+	c, err := NewChenSunadaRAM(arr, ChenSunadaConfig{Words: 64, SubblockWords: 16, SpareBlocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, arr
+}
+
+func TestCSFunctionalFaultFree(t *testing.T) {
+	c, _ := csRAM(t)
+	ok, dead, err := c.SelfTestAndRepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || dead != 0 {
+		t.Fatalf("fault-free: repaired=%v dead=%d", ok, dead)
+	}
+	// Normal operation as a memory.
+	c.Write(10, 0xB)
+	if c.Read(10) != 0xB {
+		t.Fatal("normal-mode access broken")
+	}
+}
+
+func TestCSRepairsTwoPerSubblock(t *testing.T) {
+	c, arr := csRAM(t)
+	// Two faulty words inside subblock 0 (addresses 1 and 5).
+	mustInject(t, arr, sram.CellAddr{Row: 0, Col: 5}, sram.Fault{Kind: sram.SA1}) // addr 1 bit 1
+	mustInject(t, arr, sram.CellAddr{Row: 1, Col: 1}, sram.Fault{Kind: sram.SA0}) // addr 5 bit 0
+	ok, dead, err := c.SelfTestAndRepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || dead != 0 {
+		t.Fatalf("two faults in a subblock should repair in place: ok=%v dead=%d", ok, dead)
+	}
+	// The diverted addresses function correctly now.
+	if !march.Run(c, march.IFA13(), march.SingleBackground(), 4).Pass() {
+		t.Fatal("post-repair march failed")
+	}
+	// Access latency penalty: the affected subblock pays 2 sequential
+	// compares, others 1.
+	if c.CompareOpsAt(1) != 2 || c.CompareOpsAt(20) != 1 {
+		t.Fatalf("compare ops: %d / %d", c.CompareOpsAt(1), c.CompareOpsAt(20))
+	}
+}
+
+func TestCSFaultAssemblerDivertsDeadBlock(t *testing.T) {
+	c, arr := csRAM(t)
+	// Three faulty words in subblock 1 (addrs 16..31): exceeds the
+	// two capture blocks; the spare block absorbs it.
+	mustInject(t, arr, sram.CellAddr{Row: 4, Col: 1}, sram.Fault{Kind: sram.SA0}) // addr 16
+	mustInject(t, arr, sram.CellAddr{Row: 5, Col: 2}, sram.Fault{Kind: sram.SA1}) // addr 21? (row5,cs1)
+	mustInject(t, arr, sram.CellAddr{Row: 6, Col: 7}, sram.Fault{Kind: sram.SA0}) // addr 26ish
+	ok, dead, err := c.SelfTestAndRepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || dead != 1 {
+		t.Fatalf("dead block should divert to the spare: ok=%v dead=%d", ok, dead)
+	}
+	if !march.Run(c, march.IFA13(), march.SingleBackground(), 4).Pass() {
+		t.Fatal("post-assembler march failed")
+	}
+}
+
+func TestCSFailsWhenSparesExhausted(t *testing.T) {
+	c, arr := csRAM(t)
+	// Kill two subblocks (three faults each) with one spare block.
+	for _, row := range []int{0, 1, 2, 4, 5, 6} {
+		mustInject(t, arr, sram.CellAddr{Row: row, Col: 1}, sram.Fault{Kind: sram.SA0})
+	}
+	ok, _, err := c.SelfTestAndRepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("two dead subblocks with one spare must fail")
+	}
+}
+
+func TestCSRejectsBadGeometry(t *testing.T) {
+	arr := sram.MustNew(sram.Config{Words: 64, BPW: 4, BPC: 4, SpareRows: 4})
+	if _, err := NewChenSunadaRAM(arr, ChenSunadaConfig{Words: 64, SubblockWords: 16}); err == nil {
+		t.Fatal("array with BISRAMGEN spares accepted")
+	}
+	arr2 := sram.MustNew(sram.Config{Words: 64, BPW: 4, BPC: 4})
+	if _, err := NewChenSunadaRAM(arr2, ChenSunadaConfig{Words: 32, SubblockWords: 16}); err == nil {
+		t.Fatal("word mismatch accepted")
+	}
+	if _, err := NewChenSunadaRAM(arr2, ChenSunadaConfig{Words: 64, SubblockWords: 13}); err == nil {
+		t.Fatal("bad subblock size accepted")
+	}
+}
+
+// TestCSVsBISRAMGENOnRowCluster demonstrates the architectural
+// difference: a cluster of faulty words in ONE physical row is one
+// row-spare for BISRAMGEN but up to bpc capture entries for
+// Chen-Sunada.
+func TestCSVsBISRAMGENOnRowCluster(t *testing.T) {
+	// Row 2 fully faulty -> its 4 word addresses (8..11) all fail.
+	build := func(spares int) *sram.Array {
+		a := sram.MustNew(sram.Config{Words: 64, BPW: 4, BPC: 4, SpareRows: spares})
+		a.InjectRow(2)
+		return a
+	}
+	// BISRAMGEN: one spare row suffices (4 available).
+	ram := NewRAM(build(4))
+	out, err := NewController(ram).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repaired || out.SparesUsed != 1 {
+		t.Fatalf("BISRAMGEN should spend exactly one row: %+v", out)
+	}
+	// Chen-Sunada: 4 faulty addresses in one 16-word subblock exceed
+	// its 2 capture blocks; it must burn its spare block.
+	cs, err := NewChenSunadaRAM(build(0), ChenSunadaConfig{Words: 64, SubblockWords: 16, SpareBlocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, dead, err := cs.SelfTestAndRepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || dead != 1 {
+		t.Fatalf("Chen-Sunada should need the whole spare block: ok=%v dead=%d", ok, dead)
+	}
+}

@@ -1,0 +1,162 @@
+package bisr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logicsim"
+)
+
+func newStructural(t *testing.T, spares, addrBits int) *StructuralTLB {
+	t.Helper()
+	s := logicsim.New()
+	st := BuildStructuralTLB(s, spares, addrBits, "tlb")
+	if err := st.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStructuralTLBBasics(t *testing.T) {
+	st := newStructural(t, 4, 5)
+	// Empty: no hit anywhere.
+	for _, r := range []int{0, 7, 31} {
+		if _, hit, err := st.Lookup(r); err != nil || hit {
+			t.Fatalf("empty TLB hit row %d (err %v)", r, err)
+		}
+	}
+	// Store rows 10 and 3; strictly increasing spares.
+	ok, err := st.StoreRow(10)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	ok, err = st.StoreRow(3)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if sp, hit, _ := st.Lookup(10); !hit || sp != 0 {
+		t.Fatalf("lookup 10 -> %d hit=%v", sp, hit)
+	}
+	if sp, hit, _ := st.Lookup(3); !hit || sp != 1 {
+		t.Fatalf("lookup 3 -> %d hit=%v", sp, hit)
+	}
+	if _, hit, _ := st.Lookup(11); hit {
+		t.Fatal("phantom hit")
+	}
+}
+
+func TestStructuralTLBSupersede(t *testing.T) {
+	st := newStructural(t, 4, 5)
+	if _, err := st.StoreRow(7); err != nil {
+		t.Fatal(err)
+	}
+	// Re-store the same row (faulty spare): the newer entry (spare 1)
+	// must win the priority encode.
+	if _, err := st.StoreRow(7); err != nil {
+		t.Fatal(err)
+	}
+	sp, hit, err := st.Lookup(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || sp != 1 {
+		t.Fatalf("superseded lookup -> %d hit=%v, want spare 1", sp, hit)
+	}
+}
+
+func TestStructuralTLBFull(t *testing.T) {
+	st := newStructural(t, 2, 4)
+	if ok, _ := st.StoreRow(1); !ok {
+		t.Fatal("store 1 refused")
+	}
+	if ok, _ := st.StoreRow(2); !ok {
+		t.Fatal("store 2 refused")
+	}
+	if !st.IsFull() {
+		t.Fatal("full flag not raised")
+	}
+	if ok, _ := st.StoreRow(3); ok {
+		t.Fatal("overflow store accepted")
+	}
+	// The rejected row must not hit.
+	if _, hit, _ := st.Lookup(3); hit {
+		t.Fatal("rejected store became visible")
+	}
+	// Existing entries untouched.
+	if sp, hit, _ := st.Lookup(2); !hit || sp != 1 {
+		t.Fatal("existing entry corrupted by overflow store")
+	}
+}
+
+// TestStructuralMatchesBehavioural drives random interleaved
+// store/lookup traffic through the gate-level TLB and the behavioural
+// TLB and requires identical observable behaviour.
+func TestStructuralMatchesBehavioural(t *testing.T) {
+	const spares, addrBits = 4, 5
+	st := newStructural(t, spares, addrBits)
+	ref := NewTLB(spares)
+	rng := rand.New(rand.NewSource(99))
+	for op := 0; op < 120; op++ {
+		row := rng.Intn(1 << addrBits)
+		if rng.Intn(3) == 0 && ref.Used() < spares {
+			if _, err := ref.Store(row); err != nil {
+				t.Fatal(err)
+			}
+			ok, err := st.StoreRow(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("structural store refused while behavioural accepted (op %d)", op)
+			}
+			continue
+		}
+		wantSp, wantHit := ref.Lookup(row)
+		gotSp, gotHit, err := st.Lookup(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantHit != gotHit || (wantHit && wantSp != gotSp) {
+			t.Fatalf("op %d row %d: structural (%d,%v) vs behavioural (%d,%v)",
+				op, row, gotSp, gotHit, wantSp, wantHit)
+		}
+	}
+}
+
+// Property: after storing any distinct row sequence within capacity,
+// every stored row hits its assignment-order spare.
+func TestQuickStructuralAssignment(t *testing.T) {
+	f := func(seed int64) bool {
+		s := logicsim.New()
+		st := BuildStructuralTLB(s, 4, 4, "qt")
+		if err := st.Reset(); err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rows := rng.Perm(16)[:4]
+		for i, r := range rows {
+			ok, err := st.StoreRow(r)
+			if err != nil || !ok {
+				return false
+			}
+			sp, hit, err := st.Lookup(r)
+			if err != nil || !hit || sp != i {
+				return false
+			}
+		}
+		return st.IsFull()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructuralTLBPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero spares")
+		}
+	}()
+	BuildStructuralTLB(logicsim.New(), 0, 4, "x")
+}

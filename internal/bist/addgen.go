@@ -1,0 +1,67 @@
+// Package bist implements BISRAMGEN's built-in self-test circuitry:
+// the binary up/down test address generator (ADDGEN), the Johnson-
+// counter test data background generator with its XOR/OR comparator
+// (DATAGEN), the state register (STREG), and the microprogrammed test
+// and repair controller PLA (TRPLA) whose control code is assembled
+// from a march test and loaded from AND/OR plane files at runtime.
+//
+// Each block exists twice: a behavioural model (this file and
+// datagen.go) and a structural gate-level netlist (structural.go)
+// simulated with internal/logicsim; the test suite proves them
+// equivalent cycle by cycle.
+package bist
+
+// AddGen is the behavioural test address generator: a binary up/down
+// counter over the word address space.
+type AddGen struct {
+	words int
+	v     int
+	up    bool
+}
+
+// NewAddGen returns a generator over addresses [0, words).
+func NewAddGen(words int) *AddGen {
+	if words <= 0 {
+		panic("bist: AddGen needs at least one word")
+	}
+	return &AddGen{words: words, up: true}
+}
+
+// Load resets the counter to the starting address for the given
+// direction: 0 when counting up, words-1 when counting down.
+func (g *AddGen) Load(up bool) {
+	g.up = up
+	if up {
+		g.v = 0
+	} else {
+		g.v = g.words - 1
+	}
+}
+
+// Value returns the current address.
+func (g *AddGen) Value() int { return g.v }
+
+// Terminal reports whether the counter is at the last address of its
+// current direction (the PLA's tc condition input).
+func (g *AddGen) Terminal() bool {
+	if g.up {
+		return g.v == g.words-1
+	}
+	return g.v == 0
+}
+
+// Step advances one address in the current direction, wrapping modulo
+// the address space as the hardware counter does.
+func (g *AddGen) Step() {
+	if g.up {
+		g.v++
+		if g.v == g.words {
+			g.v = 0
+		}
+	} else {
+		g.v--
+		if g.v < 0 {
+			g.v = g.words - 1
+		}
+	}
+}

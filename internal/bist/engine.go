@@ -1,0 +1,172 @@
+package bist
+
+import (
+	"fmt"
+
+	"repro/internal/march"
+)
+
+// StReg is the state register block: it holds the TRPLA state bits,
+// the pass-2 flag and the sticky status outputs (done, repair
+// unsuccessful).
+type StReg struct {
+	State  int
+	Pass2  bool
+	Done   bool
+	Unsucc bool
+}
+
+// Reset clears the register to the initial test state.
+func (s *StReg) Reset() { *s = StReg{} }
+
+// Capture is a pass-1 failure notification: the word address whose
+// read miscompared, to be stored (as a row) in the TLB. Got and Want
+// carry the miscompared data, from which the repair controller's
+// column-failure diagnosis derives the failing bit positions.
+type Capture struct {
+	Addr int
+	BG   uint64
+	Got  uint64
+	Want uint64
+}
+
+// RunStats summarises an Engine run.
+type RunStats struct {
+	Cycles      int64
+	Reads       int64
+	Writes      int64
+	Delays      int64
+	Captures    int  // pass-1 failures reported
+	Pass2Errors int  // pass-2 miscompares
+	Unsucc      bool // repair-unsuccessful status line
+}
+
+// Engine executes a TRPLA control program against a device under
+// test, emulating the clocked interaction of TRPLA, ADDGEN, DATAGEN
+// and STREG. Pass-1 failures are delivered to OnCapture (the BISR TLB
+// store port); the pass-2 flag transition is delivered to OnPass2 so
+// the repair wrapper can switch from store mode to map mode.
+type Engine struct {
+	Prog *Program
+	DUT  march.DUT
+	BPW  int
+
+	OnCapture func(Capture)
+	OnPass2   func()
+	// OnCycle, when set, receives the per-cycle PLA trace
+	// (pre-edge state, condition bits including the final err, the
+	// asserted control signals, and the next state). The structural
+	// equivalence tests replay this trace against the gate-level PLA.
+	OnCycle func(state int, conds, sigs uint64, next int)
+
+	addgen  *AddGen
+	datagen *DataGen
+	streg   StReg
+}
+
+// NewEngine wires a program to a DUT.
+func NewEngine(p *Program, dut march.DUT, bpw int) *Engine {
+	return &Engine{
+		Prog: p, DUT: dut, BPW: bpw,
+		addgen:  NewAddGen(dut.Words()),
+		datagen: NewDataGen(bpw),
+	}
+}
+
+// conds packs the PLA condition inputs.
+func (e *Engine) conds(err bool) uint64 {
+	var c uint64
+	if e.addgen.Terminal() {
+		c |= 1 << CondTC
+	}
+	if e.datagen.Done() {
+		c |= 1 << CondBGDone
+	}
+	if err {
+		c |= 1 << CondErr
+	}
+	if e.streg.Pass2 {
+		c |= 1 << CondPass2
+	}
+	return c
+}
+
+// Run executes the program until the done state or until maxCycles
+// elapses (guarding against a malformed microprogram). It returns the
+// run statistics.
+func (e *Engine) Run(maxCycles int64) (*RunStats, error) {
+	e.streg.Reset()
+	stats := &RunStats{}
+	sigs := func(s uint64, bit int) bool { return s&(1<<uint(bit)) != 0 }
+	for stats.Cycles = 0; stats.Cycles < maxCycles; stats.Cycles++ {
+		// Phase 1: Mealy evaluation with err=0 to obtain the datapath
+		// controls (none of which depend on err).
+		out, next := e.Prog.Eval(e.streg.State, e.conds(false))
+		errFlag := false
+		var failAddr int
+		var failBG, failGot, failWant uint64
+		if sigs(out, SigDelay) {
+			e.DUT.Wait()
+			stats.Delays++
+		}
+		switch {
+		case sigs(out, SigRead):
+			addr := e.addgen.Value()
+			got := e.DUT.Read(addr)
+			stats.Reads++
+			if sigs(out, SigCompare) && e.datagen.Compare(got, sigs(out, SigInvert)) {
+				errFlag = true
+				failAddr = addr
+				failBG = e.datagen.Background()
+				failGot = got
+				failWant = e.datagen.Pattern(sigs(out, SigInvert))
+			}
+		case sigs(out, SigWrite):
+			e.DUT.Write(e.addgen.Value(), e.datagen.Pattern(sigs(out, SigInvert)))
+			stats.Writes++
+		}
+		// Phase 2: re-evaluate with the comparator result to pick up
+		// the err-qualified capture/unsuccessful terms.
+		out2, next2 := e.Prog.Eval(e.streg.State, e.conds(errFlag))
+		if next2 != next {
+			return nil, fmt.Errorf("bist: next state depends on err (state %d)", e.streg.State)
+		}
+		if sigs(out2, SigCapture) {
+			stats.Captures++
+			if e.OnCapture != nil {
+				e.OnCapture(Capture{Addr: failAddr, BG: failBG, Got: failGot, Want: failWant})
+			}
+		}
+		if sigs(out2, SigUnsucc) {
+			stats.Pass2Errors++
+			e.streg.Unsucc = true
+		}
+		if e.OnCycle != nil {
+			e.OnCycle(e.streg.State, e.conds(errFlag), out2, next)
+		}
+		// Datapath sequencing after the op.
+		if sigs(out, SigAddrLoad) {
+			e.addgen.Load(sigs(out, SigAddrUp))
+		} else if sigs(out, SigAddrStep) {
+			e.addgen.Step()
+		}
+		if sigs(out, SigDataLoad) {
+			e.datagen.Load()
+		} else if sigs(out, SigDataStep) {
+			e.datagen.Step()
+		}
+		if sigs(out, SigSetPass) && !e.streg.Pass2 {
+			e.streg.Pass2 = true
+			if e.OnPass2 != nil {
+				e.OnPass2()
+			}
+		}
+		if sigs(out, SigDone) {
+			e.streg.Done = true
+			stats.Unsucc = e.streg.Unsucc
+			return stats, nil
+		}
+		e.streg.State = next
+	}
+	return nil, fmt.Errorf("bist: program did not finish within %d cycles", maxCycles)
+}

@@ -1,0 +1,127 @@
+package bist
+
+// Minimize performs two-level logic minimisation on the control
+// program — the PLA-area optimisation every silicon compiler of the
+// era ran before committing plane geometry:
+//
+//   - adjacency merging: two terms with identical outputs and masks
+//     that differ in exactly one cared input bit collapse into one
+//     term with that bit turned into a don't-care;
+//   - coverage elimination: a term whose input cube is contained in
+//     another term with identical outputs is dropped.
+//
+// The OR-plane semantics make the transformation exact: Eval is
+// bit-identical for every (state, condition) input. Minimize returns
+// a new Program; the receiver is unchanged.
+func (p *Program) Minimize() *Program {
+	terms := append([]Term(nil), p.Terms...)
+	changed := true
+	for changed {
+		changed = false
+		// Adjacency merging.
+	merge:
+		for i := 0; i < len(terms); i++ {
+			for j := i + 1; j < len(terms); j++ {
+				a, b := terms[i], terms[j]
+				if a.Out != b.Out || a.Mask != b.Mask {
+					continue
+				}
+				diff := a.Val ^ b.Val
+				if diff == 0 || diff&(diff-1) != 0 {
+					continue // identical handled by coverage; >1 bit: no merge
+				}
+				merged := Term{Mask: a.Mask &^ diff, Val: a.Val &^ diff, Out: a.Out}
+				terms[i] = merged
+				terms = append(terms[:j], terms[j+1:]...)
+				changed = true
+				break merge
+			}
+		}
+		// Coverage elimination: drop a if some b (b != a) has b.Mask
+		// subset of a.Mask, matches a on b's cared bits, and b's
+		// outputs include a's.
+	cover:
+		for i := 0; i < len(terms); i++ {
+			for j := 0; j < len(terms); j++ {
+				if i == j {
+					continue
+				}
+				a, b := terms[i], terms[j]
+				if b.Mask&^a.Mask != 0 {
+					continue // b cares about a bit a doesn't: not more general
+				}
+				if (a.Val^b.Val)&b.Mask != 0 {
+					continue // disagree on b's cared bits
+				}
+				if a.Out&^b.Out != 0 {
+					continue // b doesn't assert everything a does
+				}
+				if a.Mask == b.Mask && a.Val == b.Val && a.Out == b.Out && i < j {
+					continue // exact duplicates: keep the first, drop the second
+				}
+				terms = append(terms[:i], terms[i+1:]...)
+				changed = true
+				break cover
+			}
+		}
+	}
+	return &Program{Name: p.Name, StateBits: p.StateBits, NumStates: p.NumStates, Terms: terms}
+}
+
+// Reencode returns the program with every state value s replaced by
+// mapping[s] (a bijection on [0, 2^StateBits)). State assignment
+// changes which product terms are single-bit adjacent, so a good
+// re-encoding unlocks Minimize savings that the natural linear
+// assignment hides.
+func (p *Program) Reencode(mapping []int) *Program {
+	stateMask := uint64(1)<<uint(p.StateBits) - 1
+	out := &Program{Name: p.Name, StateBits: p.StateBits, NumStates: 1 << uint(p.StateBits)}
+	for _, t := range p.Terms {
+		nt := t
+		// Remap the state field of the input cube only when the term
+		// fully specifies it (the assembler always does).
+		if t.Mask&stateMask == stateMask {
+			old := t.Val & stateMask
+			nt.Val = (t.Val &^ stateMask) | uint64(mapping[old])
+		}
+		next := t.Out >> NumSigs
+		nt.Out = t.Out&(1<<NumSigs-1) | uint64(mapping[next])<<NumSigs
+		out.Terms = append(out.Terms, nt)
+	}
+	return out
+}
+
+// GrayMapping returns the Gray-code bijection for n state bits —
+// consecutive microprogram states end up one bit apart, the classic
+// PLA-friendly state assignment. mapping[0] == 0, so the reset state
+// is preserved.
+func GrayMapping(stateBits int) []int {
+	n := 1 << uint(stateBits)
+	m := make([]int, n)
+	for i := 0; i < n; i++ {
+		m[i] = i ^ (i >> 1)
+	}
+	return m
+}
+
+// Equivalent exhaustively compares two programs over every state and
+// condition combination.
+func Equivalent(a, b *Program) bool {
+	if a.StateBits != b.StateBits {
+		return false
+	}
+	states := a.NumStates
+	if b.NumStates > states {
+		states = b.NumStates
+	}
+	for st := 0; st < states; st++ {
+		for c := uint64(0); c < 1<<NumConds; c++ {
+			s1, n1 := a.Eval(st, c)
+			s2, n2 := b.Eval(st, c)
+			if s1 != s2 || n1 != n2 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package bist
+
+import (
+	"testing"
+
+	"repro/internal/march"
+	"repro/internal/sram"
+)
+
+func TestMinimizePreservesSemantics(t *testing.T) {
+	for _, test := range march.AllTests() {
+		p, err := Assemble(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := p.Minimize()
+		if !Equivalent(p, m) {
+			t.Fatalf("%s: minimised program is not equivalent", test.Name)
+		}
+		if len(m.Terms) > len(p.Terms) {
+			t.Fatalf("%s: minimisation grew the plane: %d -> %d", test.Name, len(p.Terms), len(m.Terms))
+		}
+	}
+}
+
+func TestMinimizeMergesAdjacentTerms(t *testing.T) {
+	// Hand-built program: two terms identical except one cared bit,
+	// same outputs -> one term with a don't-care.
+	p := &Program{StateBits: 2, NumStates: 4, Terms: []Term{
+		{Mask: 0b111, Val: 0b001, Out: 0b1},
+		{Mask: 0b111, Val: 0b101, Out: 0b1},
+	}}
+	m := p.Minimize()
+	if len(m.Terms) != 1 {
+		t.Fatalf("terms %d, want 1", len(m.Terms))
+	}
+	if m.Terms[0].Mask != 0b011 || m.Terms[0].Val != 0b001 {
+		t.Fatalf("merged term %+v", m.Terms[0])
+	}
+	if !Equivalent(p, m) {
+		t.Fatal("merge broke semantics")
+	}
+}
+
+func TestMinimizeDropsCoveredAndDuplicateTerms(t *testing.T) {
+	p := &Program{StateBits: 2, NumStates: 4, Terms: []Term{
+		{Mask: 0b011, Val: 0b001, Out: 0b1}, // general
+		{Mask: 0b111, Val: 0b101, Out: 0b1}, // covered by the general term
+		{Mask: 0b011, Val: 0b001, Out: 0b1}, // exact duplicate
+	}}
+	m := p.Minimize()
+	if len(m.Terms) != 1 {
+		t.Fatalf("terms %d, want 1: %+v", len(m.Terms), m.Terms)
+	}
+	if !Equivalent(p, m) {
+		t.Fatal("coverage elimination broke semantics")
+	}
+}
+
+func TestMinimizeKeepsDistinctOutputsApart(t *testing.T) {
+	p := &Program{StateBits: 2, NumStates: 4, Terms: []Term{
+		{Mask: 0b111, Val: 0b001, Out: 0b01},
+		{Mask: 0b111, Val: 0b101, Out: 0b10}, // different outputs: no merge
+	}}
+	m := p.Minimize()
+	if len(m.Terms) != 2 {
+		t.Fatalf("terms %d, want 2", len(m.Terms))
+	}
+	if !Equivalent(p, m) {
+		t.Fatal("semantics changed")
+	}
+}
+
+func TestGrayReencodingUnlocksMinimization(t *testing.T) {
+	p, err := Assemble(march.IFA9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gray := p.Reencode(GrayMapping(p.StateBits))
+	min := gray.Minimize()
+	if !(len(min.Terms) < len(p.Terms)) {
+		t.Fatalf("Gray re-encoding should unlock merges: %d -> %d", len(p.Terms), len(min.Terms))
+	}
+	t.Logf("IFA-9 plane: %d terms linear, %d after Gray+minimise", len(p.Terms), len(min.Terms))
+	// Gray + minimised program must still run the full test-and-repair
+	// correctly: same captures and verdict as the linear program on
+	// the same faulty RAM.
+	build := func() *sram.Array {
+		a := sram.MustNew(sram.Config{Words: 32, BPW: 4, BPC: 4, SpareRows: 2})
+		if err := a.Inject(sram.CellAddr{Row: 3, Col: 5}, sram.Fault{Kind: sram.SA1}); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	run := func(prog *Program) *RunStats {
+		e := NewEngine(prog, build(), 4)
+		st, err := e.Run(5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	lin := run(p)
+	gm := run(min)
+	if lin.Captures != gm.Captures || lin.Unsucc != gm.Unsucc ||
+		lin.Reads != gm.Reads || lin.Writes != gm.Writes {
+		t.Fatalf("gray+minimised engine diverges: %+v vs %+v", lin, gm)
+	}
+	// Mapping sanity: bijection fixing 0.
+	m := GrayMapping(5)
+	if m[0] != 0 {
+		t.Fatal("reset state moved")
+	}
+	seen := map[int]bool{}
+	for _, v := range m {
+		if seen[v] {
+			t.Fatal("mapping not a bijection")
+		}
+		seen[v] = true
+	}
+}
+
+func TestMinimizeIFA9PlaneAlreadyIrredundant(t *testing.T) {
+	// The assembler's linear state assignment produces a plane with no
+	// single-bit-adjacent term pairs, so the minimiser finds nothing
+	// to merge — evidence the generated microprogram is already
+	// irredundant under two-level minimisation. (Savings would require
+	// re-encoding the state assignment, a different optimisation.)
+	p, err := Assemble(march.IFA9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Minimize()
+	if len(m.Terms) > len(p.Terms) {
+		t.Fatalf("minimisation grew the plane: %d -> %d", len(p.Terms), len(m.Terms))
+	}
+	if !Equivalent(p, m) {
+		t.Fatal("equivalence broken")
+	}
+	t.Logf("IFA-9 plane: %d -> %d product terms", len(p.Terms), len(m.Terms))
+}

@@ -1,0 +1,289 @@
+// Package compiler is BISRAMGEN itself: from user circuit parameters
+// and a CMOS process it builds the leaf-cell library, assembles the
+// macrocells (the RAM array with spare rows, row and column decoders,
+// sense amplifiers and write drivers, DATAGEN, ADDGEN, the TLB, the
+// TRPLA and the state register), floorplans them with the
+// port-alignment place-and-route, and emits the layout together with
+// area/timing reports, the PLA control program, a datasheet, and a
+// behavioural simulation model.
+package compiler
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro/internal/bisr"
+	"repro/internal/bist"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/leafcell"
+	"repro/internal/march"
+	"repro/internal/sram"
+	"repro/internal/tech"
+)
+
+// Params are the user inputs of Fig. 1: word count, word width,
+// column-multiplex ratio, spare rows, critical-gate sizing, strap
+// spacing and the process.
+type Params struct {
+	Words      int
+	BPW        int
+	BPC        int
+	Spares     int // 4, 8 or 16 per the paper (0 disables BISR)
+	BufSize    int // critical gate size multiplier (>= 1)
+	StrapCells int // cells between straps; 0 disables strapping
+	Process    *tech.Process
+	// Test is the march algorithm microprogrammed into the TRPLA;
+	// zero value selects IFA-9.
+	Test march.Test
+	// Program, when non-nil, supplies the TRPLA control code directly
+	// — e.g. loaded from AND/OR plane files with bist.ReadPlanes — and
+	// takes precedence over Test. This is the paper's runtime
+	// control-code loading path: editing the plane files swaps the
+	// test algorithm without regenerating the tool.
+	Program *bist.Program
+	// RefineIterations, when positive, runs the simulated-annealing
+	// floorplan refiner for that many moves after the constructive
+	// place-and-route (seeded deterministically).
+	RefineIterations int
+}
+
+// Validate checks the parameter envelope.
+func (p Params) Validate() error {
+	if p.Process == nil {
+		return fmt.Errorf("compiler: no process selected")
+	}
+	if err := p.Process.Validate(); err != nil {
+		return err
+	}
+	if p.Words <= 0 || p.BPW <= 0 || p.BPC <= 0 {
+		return fmt.Errorf("compiler: non-positive geometry %+v", p)
+	}
+	if p.BPC&(p.BPC-1) != 0 {
+		return fmt.Errorf("compiler: bpc %d must be a power of 2", p.BPC)
+	}
+	if p.Words%p.BPC != 0 {
+		return fmt.Errorf("compiler: words %d not divisible by bpc %d", p.Words, p.BPC)
+	}
+	if p.Words&(p.Words-1) != 0 {
+		return fmt.Errorf("compiler: words %d must be a power of 2", p.Words)
+	}
+	switch p.Spares {
+	case 0, 4, 8, 16:
+	default:
+		return fmt.Errorf("compiler: spare rows must be 0, 4, 8 or 16 (got %d)", p.Spares)
+	}
+	if p.BufSize < 1 || p.BufSize > 4 {
+		return fmt.Errorf("compiler: buffer size %d out of range 1..4", p.BufSize)
+	}
+	if p.StrapCells < 0 {
+		return fmt.Errorf("compiler: negative strap spacing")
+	}
+	if p.Rows() < 2 {
+		return fmt.Errorf("compiler: fewer than 2 rows")
+	}
+	return nil
+}
+
+// Rows returns the regular row count words/bpc.
+func (p Params) Rows() int { return p.Words / p.BPC }
+
+// RowAddrBits returns the row address width.
+func (p Params) RowAddrBits() int { return bits.Len(uint(p.Rows() - 1)) }
+
+// ColAddrBits returns the column-select address width log2(bpc).
+func (p Params) ColAddrBits() int { return bits.Len(uint(p.BPC - 1)) }
+
+// Bits returns the regular capacity in bits.
+func (p Params) Bits() int { return p.Words * p.BPW }
+
+// AreaReport decomposes the silicon area (µm²).
+type AreaReport struct {
+	ArrayRegular float64 // regular rows
+	ArraySpare   float64 // spare rows
+	RowDecoder   float64
+	ColPeriphery float64 // precharge, column mux, sense, write, column decoder
+	BIST         float64 // TRPLA + ADDGEN + DATAGEN + STREG
+	BISR         float64 // TLB + spare drivers + output tristates
+	Total        float64 // floorplan bounding box
+
+	// OverheadPct is (BIST+BISR)/(everything else) in percent — the
+	// paper's Table I metric (redundant rows excluded from the
+	// overhead, as argued in Section IX).
+	OverheadPct float64
+	// GrowthFactor is Total / (Total - spare - BIST - BISR), the
+	// yield model's defect-scaling factor.
+	GrowthFactor float64
+}
+
+// Design is the compiler output.
+type Design struct {
+	Params Params
+	Lib    *leafcell.Library
+	Macros map[string]*geom.Cell
+	Plan   *floorplan.Result
+	Top    *geom.Cell
+	Prog   *bist.Program
+	Area   AreaReport
+	Timing TimingReport
+	Power  PowerReport
+}
+
+// Compile runs the full flow.
+func Compile(p Params) (*Design, error) {
+	if p.Test.Name == "" {
+		p.Test = march.IFA9()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	lib, err := leafcell.NewLibrary(p.Process, p.BufSize)
+	if err != nil {
+		return nil, err
+	}
+	prog := p.Program
+	if prog == nil {
+		prog, err = bist.Assemble(p.Test)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d := &Design{Params: p, Lib: lib, Prog: prog, Macros: map[string]*geom.Cell{}}
+
+	array := d.buildArray()
+	rowdec := d.buildRowDecoder()
+	colper := d.buildColPeriphery()
+	datagen := d.buildDataGen()
+	addgen := d.buildAddGen()
+	streg := d.buildStReg()
+	trpla := d.buildTRPLA()
+	var tlb *geom.Cell
+	if p.Spares > 0 {
+		tlb = d.buildTLB()
+	}
+
+	macros := []floorplan.Macro{
+		{Name: "array", Cell: array},
+		{Name: "rowdec", Cell: rowdec},
+		{Name: "colper", Cell: colper},
+		{Name: "datagen", Cell: datagen},
+		{Name: "addgen", Cell: addgen},
+		{Name: "streg", Cell: streg},
+		{Name: "trpla", Cell: trpla},
+	}
+	nets := []floorplan.Net{
+		{Name: "wl_bus", Pins: []floorplan.Pin{{Macro: "rowdec", Port: "wl_edge"}, {Macro: "array", Port: "wl_edge"}}},
+		{Name: "bl_bus", Pins: []floorplan.Pin{{Macro: "array", Port: "bl_edge"}, {Macro: "colper", Port: "bl_edge"}}},
+		{Name: "dbus", Pins: []floorplan.Pin{{Macro: "colper", Port: "dout"}, {Macro: "datagen", Port: "dcmp"}}},
+		{Name: "addr", Pins: []floorplan.Pin{{Macro: "addgen", Port: "abus"}, {Macro: "rowdec", Port: "abus"}}},
+		{Name: "ctl", Pins: []floorplan.Pin{{Macro: "trpla", Port: "ctl"}, {Macro: "streg", Port: "ctl"}}},
+	}
+	if tlb != nil {
+		macros = append(macros, floorplan.Macro{Name: "tlb", Cell: tlb})
+		nets = append(nets, floorplan.Net{Name: "spare_wl", Pins: []floorplan.Pin{
+			{Macro: "tlb", Port: "spare_wl"}, {Macro: "array", Port: "wl_edge"}}})
+		nets = append(nets, floorplan.Net{Name: "addr_tlb", Pins: []floorplan.Pin{
+			{Macro: "addgen", Port: "abus"}, {Macro: "tlb", Port: "abus"}}})
+	}
+	plan, err := floorplan.Place(p.Process, macros, nets)
+	if err != nil {
+		return nil, err
+	}
+	if p.RefineIterations > 0 {
+		plan, err = floorplan.Refine(p.Process, macros, nets, plan, p.RefineIterations, 1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d.Plan = plan
+	d.Top = plan.Top
+	d.Top.Name = fmt.Sprintf("bisram_%dx%d", p.Words, p.BPW)
+
+	d.computeArea()
+	if err := d.computeTiming(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// um2 converts a cell bounding-box to µm².
+func um2(c *geom.Cell) float64 { return float64(c.Bounds().Area()) / 1e6 }
+
+func (d *Design) computeArea() {
+	p := d.Params
+	a := &d.Area
+	arr := d.Macros["array"]
+	rowFrac := float64(p.Rows()) / float64(p.Rows()+p.Spares)
+	a.ArrayRegular = um2(arr) * rowFrac
+	a.ArraySpare = um2(arr) - a.ArrayRegular
+	a.RowDecoder = um2(d.Macros["rowdec"])
+	a.ColPeriphery = um2(d.Macros["colper"])
+	a.BIST = um2(d.Macros["trpla"]) + um2(d.Macros["addgen"]) +
+		um2(d.Macros["datagen"]) + um2(d.Macros["streg"])
+	if t, ok := d.Macros["tlb"]; ok {
+		a.BISR = um2(t)
+	}
+	a.Total = float64(d.Plan.Area) / 1e6
+	base := a.ArrayRegular + a.ArraySpare + a.RowDecoder + a.ColPeriphery
+	if base > 0 {
+		a.OverheadPct = 100 * (a.BIST + a.BISR) / base
+	}
+	noRepair := a.Total - a.ArraySpare - a.BIST - a.BISR
+	if noRepair > 0 {
+		a.GrowthFactor = a.Total / noRepair
+	} else {
+		a.GrowthFactor = 1
+	}
+}
+
+// NewInstance returns a behavioural built-in self-repairable RAM
+// matching the compiled parameters — the simulation model the tool
+// ships with the layout. The behavioural model represents words as
+// uint64, so it is available for bpw <= 64 (wider layouts still
+// compile; simulate a representative slice instead).
+func (d *Design) NewInstance() (*bisr.RAM, error) {
+	cfg := sram.Config{
+		Words: d.Params.Words, BPW: d.Params.BPW,
+		BPC: d.Params.BPC, SpareRows: d.Params.Spares,
+	}
+	arr, err := sram.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return bisr.NewRAM(arr), nil
+}
+
+// Datasheet renders the human-readable summary the original RAMGEN
+// lineage shipped with each compiled macro.
+func (d *Design) Datasheet() string {
+	p := d.Params
+	var b strings.Builder
+	fmt.Fprintf(&b, "BISRAMGEN datasheet — %s\n", d.Top.Name)
+	fmt.Fprintf(&b, "process: %s (%.2f µm, %d metal layers, VDD %.1f V)\n",
+		p.Process.Name, float64(p.Process.Feature)/1000, p.Process.Metals, p.Process.VDD)
+	fmt.Fprintf(&b, "organisation: %d words x %d bits (bpc %d): %d rows + %d spare rows x %d columns\n",
+		p.Words, p.BPW, p.BPC, p.Rows(), p.Spares, p.BPW*p.BPC)
+	fmt.Fprintf(&b, "capacity: %d bits (%.1f kbyte)\n", p.Bits(), float64(p.Bits())/8192)
+	fmt.Fprintf(&b, "test algorithm: %s, %d backgrounds, %d controller states in %d flip-flops\n",
+		d.Prog.Name, p.BPW+1, d.Prog.NumStates, d.Prog.StateBits)
+	fmt.Fprintf(&b, "area: total %.0f µm² (array %.0f, spares %.0f, decode %.0f, periphery %.0f, BIST %.0f, BISR %.0f)\n",
+		d.Area.Total, d.Area.ArrayRegular, d.Area.ArraySpare, d.Area.RowDecoder,
+		d.Area.ColPeriphery, d.Area.BIST, d.Area.BISR)
+	fmt.Fprintf(&b, "BIST+BISR overhead: %.2f %%, growth factor %.4f\n", d.Area.OverheadPct, d.Area.GrowthFactor)
+	fmt.Fprintf(&b, "timing: access %.3f ns (decode %.3f + wordline %.3f + bitline %.3f + sense %.3f)\n",
+		d.Timing.AccessNs, d.Timing.DecodeNs, d.Timing.WordlineNs, d.Timing.BitlineNs, d.Timing.SenseNs)
+	fmt.Fprintf(&b, "power: %.2f pJ/read (%.2f mW @ 100 MHz), TRPLA static %.3f mW (test mode only)\n",
+		d.Power.ReadEnergyPJ, d.Power.DynamicMwAt100MHz, d.Power.PLAStaticMw)
+	if p.Spares > 0 {
+		masked := "no"
+		if d.Timing.TLBMaskable {
+			masked = "yes"
+		}
+		fmt.Fprintf(&b, "TLB match+map delay: %.3f ns (%.1fx below access; maskable: %s)\n",
+			d.Timing.TLBNs, d.Timing.AccessNs/d.Timing.TLBNs, masked)
+	}
+	fmt.Fprintf(&b, "floorplan: %.0f µm² outline, rectangularity %.3f, aspect %.2f, %d nets abutted, %d routed\n",
+		d.Area.Total, d.Plan.Rectangularity, d.Plan.AspectRatio, d.Plan.AbuttedNets, d.Plan.RoutedNets)
+	return b.String()
+}

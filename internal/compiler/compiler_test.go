@@ -1,0 +1,311 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bisr"
+	"repro/internal/march"
+	"repro/internal/sram"
+	"repro/internal/tech"
+)
+
+func smallParams() Params {
+	return Params{
+		Words: 1024, BPW: 8, BPC: 4, Spares: 4,
+		BufSize: 2, StrapCells: 32, Process: tech.CDA07,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := smallParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.Process = nil },
+		func(p *Params) { p.Words = 1000 }, // not power of 2
+		func(p *Params) { p.Spares = 3 },   // not 0/4/8/16
+		func(p *Params) { p.BufSize = 0 },
+		func(p *Params) { p.BPC = 3 },
+		func(p *Params) { p.StrapCells = -1 },
+	}
+	for i, mut := range bad {
+		p := smallParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestParamArithmetic(t *testing.T) {
+	p := smallParams()
+	if p.Rows() != 256 || p.RowAddrBits() != 8 || p.ColAddrBits() != 2 || p.Bits() != 8192 {
+		t.Fatalf("arithmetic: rows %d bits %d rab %d cab %d",
+			p.Rows(), p.Bits(), p.RowAddrBits(), p.ColAddrBits())
+	}
+}
+
+func TestCompileSmall(t *testing.T) {
+	d, err := Compile(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"array", "rowdec", "colper", "datagen", "addgen", "streg", "trpla", "tlb"} {
+		c, ok := d.Macros[m]
+		if !ok {
+			t.Fatalf("missing macro %s", m)
+		}
+		if c.Bounds().Empty() {
+			t.Fatalf("macro %s empty", m)
+		}
+	}
+	a := d.Area
+	if a.Total <= 0 || a.ArrayRegular <= 0 || a.BIST <= 0 || a.BISR <= 0 {
+		t.Fatalf("area report %+v", a)
+	}
+	// The paper's headline: BIST+BISR overhead below 7% for realistic
+	// sizes (this one is 8 Kb x ... = 1 kbyte, small; allow some slack
+	// but it must be modest).
+	if a.OverheadPct <= 0 || a.OverheadPct > 25 {
+		t.Fatalf("overhead %.2f%% implausible", a.OverheadPct)
+	}
+	if a.GrowthFactor < 1 || a.GrowthFactor > 1.5 {
+		t.Fatalf("growth factor %.3f implausible", a.GrowthFactor)
+	}
+	// Timing sanity: sub-micron embedded RAM in the few-ns range.
+	tm := d.Timing
+	if tm.AccessNs <= 0 || tm.AccessNs > 50 {
+		t.Fatalf("access %.2f ns implausible", tm.AccessNs)
+	}
+	if tm.TLBNs <= 0 {
+		t.Fatal("TLB delay missing")
+	}
+	// Paper Section VI: TLB delay at least an order of magnitude below
+	// access is the design target with 4 spares; require a healthy
+	// margin here.
+	if tm.TLBNs > tm.AccessNs/2 {
+		t.Fatalf("TLB %.3f ns vs access %.3f ns: not maskable", tm.TLBNs, tm.AccessNs)
+	}
+	if !tm.TLBMaskable {
+		t.Fatal("4-spare TLB should be maskable")
+	}
+}
+
+func TestOverheadShrinksWithArraySize(t *testing.T) {
+	small := smallParams() // 1 kbyte
+	big := smallParams()
+	big.Words = 16384 // 16 kbyte
+	ds, err := Compile(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Compile(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(db.Area.OverheadPct < ds.Area.OverheadPct) {
+		t.Fatalf("overhead should fall with size: %.2f%% -> %.2f%%",
+			ds.Area.OverheadPct, db.Area.OverheadPct)
+	}
+	// Realistic embedded sizes (paper: 64 Kb and up) stay below 7%.
+	if db.Area.OverheadPct > 7 {
+		t.Fatalf("16-kbyte overhead %.2f%% exceeds the paper's 7%% bound", db.Area.OverheadPct)
+	}
+}
+
+func TestNoBISRVariant(t *testing.T) {
+	p := smallParams()
+	p.Spares = 0
+	d, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Macros["tlb"]; ok {
+		t.Fatal("0-spare design must not build a TLB")
+	}
+	if d.Area.BISR != 0 {
+		t.Fatal("BISR area should be zero without spares")
+	}
+	if d.Timing.TLBNs != 0 {
+		t.Fatal("no TLB delay without spares")
+	}
+}
+
+func TestSimulationModelRepairs(t *testing.T) {
+	d, err := Compile(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ram, err := d.NewInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ram.Words() != 1024 {
+		t.Fatalf("instance words %d", ram.Words())
+	}
+	if err := ram.Arr.Inject(sram.CellAddr{Row: 7, Col: 3}, sram.Fault{Kind: sram.SA0}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := bisr.NewController(ram).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repaired {
+		t.Fatal("compiled simulation model failed to self-repair")
+	}
+	if !march.Run(ram, march.IFA9(), march.JohnsonBackgrounds(8), 8).Pass() {
+		t.Fatal("repaired instance fails verification march")
+	}
+}
+
+func TestDatasheet(t *testing.T) {
+	d, err := Compile(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := d.Datasheet()
+	for _, want := range []string{"BISRAMGEN datasheet", "cda07u3m1p", "IFA-9",
+		"BIST+BISR overhead", "TLB match+map delay", "rectangularity"} {
+		if !strings.Contains(ds, want) {
+			t.Errorf("datasheet missing %q:\n%s", want, ds)
+		}
+	}
+}
+
+func TestRefinedFloorplan(t *testing.T) {
+	base, err := Compile(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := smallParams()
+	p.RefineIterations = 2000
+	ref, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refiner keeps the best-seen state: the blended outline cost
+	// must not regress materially.
+	costOf := func(d *Design) float64 {
+		return d.Area.Total * (1 + 0.5*(d.Plan.AspectRatio-1))
+	}
+	if costOf(ref) > costOf(base)*1.05 {
+		t.Fatalf("refined floorplan regressed: %.0f -> %.0f", costOf(base), costOf(ref))
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	d, err := Compile(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"cda07u3m1p"`, `"algorithm": "IFA-9"`,
+		`"spare_rows": 4`, `"rectangularity"`, `"OverheadPct"`} {
+		if !strings.Contains(js, want) {
+			t.Errorf("JSON missing %s:\n%s", want, js)
+		}
+	}
+	r := d.Report()
+	if r.Organisation.Rows != 256 || r.Test.States != d.Prog.NumStates {
+		t.Fatalf("report fields wrong: %+v", r)
+	}
+}
+
+func TestStrapsGrowArray(t *testing.T) {
+	p := smallParams()
+	p.StrapCells = 0
+	noStrap, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StrapCells = 8
+	strapped, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wn := noStrap.Macros["array"].Bounds().W()
+	ws := strapped.Macros["array"].Bounds().W()
+	if !(ws > wn) {
+		t.Fatalf("straps should widen the array: %d vs %d", wn, ws)
+	}
+}
+
+func TestControllerAreaTiny(t *testing.T) {
+	// Paper Section VI: the self-test/repair controller is < 0.1% of
+	// a 16-kbyte RAM's array area.
+	p := smallParams()
+	p.Words = 16384 // 16 kbyte with bpw=8
+	d, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := float64(d.Macros["trpla"].Bounds().Area()) / 1e6
+	arr := d.Area.ArrayRegular
+	pct := 100 * ctrl / arr
+	if pct > 1.0 {
+		t.Fatalf("controller is %.3f%% of the array; paper says tiny (<0.1%%)", pct)
+	}
+}
+
+func TestPowerReport(t *testing.T) {
+	small, err := Compile(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := small.Power
+	if pw.ReadEnergyPJ <= 0 || pw.DynamicMwAt100MHz <= 0 || pw.PLAStaticMw <= 0 {
+		t.Fatalf("power report %+v", pw)
+	}
+	// Era-plausible magnitudes for a 1-kbyte 0.7µm macro: tens of pJ
+	// per access, sub-watt at 100 MHz.
+	if pw.ReadEnergyPJ > 10000 || pw.DynamicMwAt100MHz > 2000 {
+		t.Fatalf("implausible power %+v", pw)
+	}
+	// A bigger array burns more energy per access (longer lines, more
+	// columns).
+	big := smallParams()
+	big.Words = 16384
+	db, err := Compile(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(db.Power.ReadEnergyPJ > pw.ReadEnergyPJ) {
+		t.Fatalf("energy should grow with array size: %.2f vs %.2f",
+			db.Power.ReadEnergyPJ, pw.ReadEnergyPJ)
+	}
+	// PLA static power grows with the microprogram size.
+	p13 := smallParams()
+	p13.Test = march.IFA13()
+	d13, err := Compile(p13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(d13.Power.PLAStaticMw > small.Power.PLAStaticMw) {
+		t.Fatal("IFA-13's larger PLA should draw more static power")
+	}
+	if !strings.Contains(small.Datasheet(), "pJ/read") {
+		t.Fatal("datasheet missing power line")
+	}
+}
+
+func TestProcessPortability(t *testing.T) {
+	// Design-rule independence: same parameters compile on all three
+	// decks, and area scales with lambda².
+	var areas []float64
+	for _, proc := range []*tech.Process{tech.CDA05, tech.MOS06, tech.CDA07} {
+		p := smallParams()
+		p.Process = proc
+		d, err := Compile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", proc.Name, err)
+		}
+		areas = append(areas, d.Area.Total)
+	}
+	if !(areas[0] < areas[1] && areas[1] < areas[2]) {
+		t.Fatalf("areas should grow with feature size: %v", areas)
+	}
+}

@@ -1,0 +1,189 @@
+package compiler
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bisr"
+	"repro/internal/bist"
+	"repro/internal/geom"
+	"repro/internal/march"
+	"repro/internal/sram"
+	"repro/internal/tech"
+)
+
+// TestArrayDRCClean flattens a small compiled bit-cell array and runs
+// the width/spacing DRC over it: row mirroring must share rails
+// (same-net abutment), bitline insets must keep the metal2 rule across
+// cell boundaries, and wordlines must connect by same-net abutment.
+func TestArrayDRCClean(t *testing.T) {
+	p := Params{
+		Words: 64, BPW: 4, BPC: 4, Spares: 4,
+		BufSize: 1, StrapCells: 0, Process: tech.CDA07,
+	}
+	d, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := d.Macros["array"]
+	rules := map[geom.Layer]geom.Rule{
+		tech.Poly:   p.Process.Rules[tech.Poly],
+		tech.Metal1: p.Process.Rules[tech.Metal1],
+		tech.Metal2: p.Process.Rules[tech.Metal2],
+		tech.Metal3: p.Process.Rules[tech.Metal3],
+	}
+	if vs := geom.Check(arr, rules, 5); len(vs) > 0 {
+		t.Fatalf("array has %d DRC violations, first: %v", len(vs), vs[0])
+	}
+}
+
+// TestRowMirroringSharesRails verifies the alternate-row MX mirroring:
+// at every row boundary the two abutting rails carry the same power
+// net.
+func TestRowMirroringSharesRails(t *testing.T) {
+	p := Params{
+		Words: 64, BPW: 4, BPC: 4, Spares: 0,
+		BufSize: 1, StrapCells: 0, Process: tech.CDA07,
+	}
+	d, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := d.Macros["array"]
+	shapes := arr.Flatten()
+	// Collect metal1 rail shapes (full-width) by their y extents.
+	type rail struct {
+		y0, y1 int
+		net    string
+	}
+	var rails []rail
+	railH := p.Process.L(3) // rail strips are 3 lambda tall
+	for _, s := range shapes {
+		if s.Layer == tech.Metal1 && s.Rect.H() == railH &&
+			(s.Net == "vdd" || s.Net == "gnd") {
+			rails = append(rails, rail{s.Rect.Y0, s.Rect.Y1, s.Net})
+		}
+	}
+	if len(rails) == 0 {
+		t.Fatal("no rails found")
+	}
+	// Any two touching rails must share a net.
+	for i := range rails {
+		for j := i + 1; j < len(rails); j++ {
+			a, b := rails[i], rails[j]
+			if a.y1 == b.y0 || b.y1 == a.y0 {
+				if a.net != b.net {
+					t.Fatalf("touching rails carry %q and %q", a.net, b.net)
+				}
+			}
+		}
+	}
+}
+
+// TestPlaneFileLoadingPath compiles with a TRPLA program loaded from
+// plane files (the paper's runtime control-code path) and checks that
+// the resulting design is byte-identical in behaviour to the directly
+// assembled one: same states, same datasheet algorithm name, and a
+// repair run that behaves identically.
+func TestPlaneFileLoadingPath(t *testing.T) {
+	direct, err := bist.Assemble(march.IFA13())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var andB, orB bytes.Buffer
+	if err := direct.WritePlanes(&andB, &orB); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := bist.ReadPlanes("IFA-13", direct.StateBits, &andB, &orB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{
+		Words: 256, BPW: 4, BPC: 4, Spares: 4,
+		BufSize: 1, StrapCells: 0, Process: tech.CDA07,
+		Program: loaded,
+	}
+	d, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Prog.NumStates != direct.NumStates || len(d.Prog.Terms) != len(direct.Terms) {
+		t.Fatalf("loaded program differs: %d/%d states, %d/%d terms",
+			d.Prog.NumStates, direct.NumStates, len(d.Prog.Terms), len(direct.Terms))
+	}
+	// The loaded-program design must self-repair like the assembled
+	// one.
+	ram, err := d.NewInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ram.Arr.Inject(sram.CellAddr{Row: 9, Col: 2}, sram.Fault{Kind: sram.SA1}); err != nil {
+		t.Fatal(err)
+	}
+	ctl := bisr.NewController(ram)
+	ctl.Test = march.IFA13()
+	out, err := ctl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repaired {
+		t.Fatal("plane-loaded design failed to repair")
+	}
+}
+
+// TestEndToEndFlow is the full-system integration test: compile,
+// instantiate, break with a mixed defect pattern (cell, row, address
+// fault on a row already mapped), run the iterated flow, verify, and
+// use the memory.
+func TestEndToEndFlow(t *testing.T) {
+	d, err := Compile(Params{
+		Words: 512, BPW: 8, BPC: 4, Spares: 8,
+		BufSize: 2, StrapCells: 16, Process: tech.MOS06,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ram, err := d.NewInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := ram.Arr
+	arr.InjectRow(5)
+	mustInject(t, arr, sram.CellAddr{Row: 20, Col: 11}, sram.Fault{Kind: sram.TFD})
+	mustInject(t, arr, sram.CellAddr{Row: 77, Col: 0}, sram.Fault{Kind: sram.SA0})
+	// A faulty spare too: the iterated flow must route around it.
+	mustInject(t, arr, sram.CellAddr{Row: arr.Config().Rows(), Col: 3}, sram.Fault{Kind: sram.SA1})
+
+	ctl := bisr.NewController(ram)
+	ctl.MaxIterations = 4
+	out, err := ctl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Repaired {
+		t.Fatalf("end-to-end repair failed: %+v", out)
+	}
+	if !march.Run(ram, march.IFA9(), march.JohnsonBackgrounds(8), 8).Pass() {
+		t.Fatal("verification march failed")
+	}
+	// Transparent field re-test preserves live data.
+	for i := 0; i < ram.Words(); i++ {
+		ram.Write(i, uint64(i*7)&0xFF)
+	}
+	tres := march.RunTransparent(ram, march.IFA9(), 8)
+	if !tres.Pass() || !tres.Restored {
+		t.Fatalf("transparent field test: pass=%v restored=%v", tres.Pass(), tres.Restored)
+	}
+	for i := 0; i < ram.Words(); i++ {
+		if ram.Read(i) != uint64(i*7)&0xFF {
+			t.Fatalf("data lost at %d", i)
+		}
+	}
+}
+
+func mustInject(t *testing.T, a *sram.Array, c sram.CellAddr, f sram.Fault) {
+	t.Helper()
+	if err := a.Inject(c, f); err != nil {
+		t.Fatal(err)
+	}
+}

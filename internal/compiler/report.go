@@ -1,0 +1,85 @@
+package compiler
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Report is the machine-readable datasheet — the structured
+// counterpart of Datasheet(), for downstream flow integration.
+type Report struct {
+	Name    string `json:"name"`
+	Process struct {
+		Name      string  `json:"name"`
+		FeatureUm float64 `json:"feature_um"`
+		Metals    int     `json:"metals"`
+		VDD       float64 `json:"vdd"`
+	} `json:"process"`
+	Organisation struct {
+		Words     int `json:"words"`
+		BPW       int `json:"bits_per_word"`
+		BPC       int `json:"bits_per_column"`
+		Rows      int `json:"rows"`
+		SpareRows int `json:"spare_rows"`
+		Columns   int `json:"columns"`
+		Bits      int `json:"bits"`
+	} `json:"organisation"`
+	Test struct {
+		Algorithm   string `json:"algorithm"`
+		Backgrounds int    `json:"backgrounds"`
+		States      int    `json:"controller_states"`
+		FlipFlops   int    `json:"controller_flipflops"`
+		PLATerms    int    `json:"pla_terms"`
+	} `json:"test"`
+	Area   AreaReport   `json:"area_um2"`
+	Timing TimingReport `json:"timing_ns"`
+	Power  PowerReport  `json:"power"`
+	Plan   struct {
+		Rectangularity float64 `json:"rectangularity"`
+		AspectRatio    float64 `json:"aspect_ratio"`
+		AbuttedNets    int     `json:"abutted_nets"`
+		RoutedNets     int     `json:"routed_nets"`
+		WirelengthUm   float64 `json:"wirelength_um"`
+	} `json:"floorplan"`
+}
+
+// Report assembles the structured datasheet.
+func (d *Design) Report() Report {
+	p := d.Params
+	var r Report
+	r.Name = d.Top.Name
+	r.Process.Name = p.Process.Name
+	r.Process.FeatureUm = float64(p.Process.Feature) / 1000
+	r.Process.Metals = p.Process.Metals
+	r.Process.VDD = p.Process.VDD
+	r.Organisation.Words = p.Words
+	r.Organisation.BPW = p.BPW
+	r.Organisation.BPC = p.BPC
+	r.Organisation.Rows = p.Rows()
+	r.Organisation.SpareRows = p.Spares
+	r.Organisation.Columns = p.BPW * p.BPC
+	r.Organisation.Bits = p.Bits()
+	r.Test.Algorithm = d.Prog.Name
+	r.Test.Backgrounds = p.BPW + 1
+	r.Test.States = d.Prog.NumStates
+	r.Test.FlipFlops = d.Prog.StateBits
+	r.Test.PLATerms = len(d.Prog.Terms)
+	r.Area = d.Area
+	r.Timing = d.Timing
+	r.Power = d.Power
+	r.Plan.Rectangularity = d.Plan.Rectangularity
+	r.Plan.AspectRatio = d.Plan.AspectRatio
+	r.Plan.AbuttedNets = d.Plan.AbuttedNets
+	r.Plan.RoutedNets = d.Plan.RoutedNets
+	r.Plan.WirelengthUm = float64(d.Plan.Wirelength) / 1000
+	return r
+}
+
+// JSON renders the structured datasheet.
+func (d *Design) JSON() (string, error) {
+	b, err := json.MarshalIndent(d.Report(), "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("compiler: %w", err)
+	}
+	return string(b) + "\n", nil
+}

@@ -1,0 +1,225 @@
+package compiler
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bist"
+	"repro/internal/spice"
+	"repro/internal/tech"
+)
+
+// PowerReport carries the compiler's power guarantees (the paper's
+// flow extrapolates timing, area AND power from extracted leaf
+// cells).
+type PowerReport struct {
+	// ReadEnergyPJ is the switched energy per read access (pJ):
+	// decoder + wordline full swing plus the partial bitline swing of
+	// the current-mode scheme across the word's columns.
+	ReadEnergyPJ float64
+	// DynamicMwAt100MHz is the corresponding dynamic power at a
+	// 100 MHz access rate.
+	DynamicMwAt100MHz float64
+	// PLAStaticMw is the pseudo-NMOS TRPLA's static draw while the
+	// self-test runs: one weak ratioed pull-up per product-term row
+	// and per OR-plane column fights the NOR pull-downs whenever a
+	// line is low. Normal-mode accesses never pay it (the PLA idles).
+	PLAStaticMw float64
+}
+
+// TimingReport carries the compiler's extracted timing guarantees
+// (nanoseconds). The read access path is decode -> wordline ->
+// bitline -> sense; the TLB path is the parallel CAM match plus the
+// spare-address issue, which Section VI argues is maskable inside the
+// precharge/address-register phase.
+type TimingReport struct {
+	DecodeNs   float64
+	WordlineNs float64
+	BitlineNs  float64
+	SenseNs    float64
+	AccessNs   float64
+
+	TLBNs       float64
+	TLBMaskable bool
+}
+
+// computeTiming extracts the critical paths with the built-in SPICE
+// utility plus Elmore wire models (wordline and bitline are strapped
+// in metal2 per the array template).
+func (d *Design) computeTiming() error {
+	p := d.Params
+	proc := p.Process
+	lm := float64(proc.Feature) * 1e-9
+
+	// Representative gate capacitance per µm of width.
+	nmos := proc.MOS(tech.NMOS)
+	cg := func(wLambda int) float64 {
+		return nmos.CgsPerW * float64(proc.L(wLambda)) * 1e-9
+	}
+
+	// --- Decode: a 2-stage buffer driving the row-decoder NAND bank,
+	// measured with a transient on the sized inverter.
+	predecode := 1 << uint(p.RowAddrBits()/2)
+	decLoad := float64(p.Rows()) * cg(4) / float64(predecode)
+	wn := float64(proc.L(3*p.BufSize)) * 1e-9
+	wp := wn * proc.BetaRatio()
+	rise, fall, err := spice.InverterDelays(proc, wn, wp, lm, decLoad+20e-15)
+	if err != nil {
+		return fmt.Errorf("decode timing: %w", err)
+	}
+	stageNs := math.Max(rise, fall) * 1e9
+	// NAND + two buffer stages.
+	d.Timing.DecodeNs = 3 * stageNs
+
+	// --- Wordline: driver resistance into the strapped wire RC plus
+	// one pass-gate load per column.
+	arrW := float64(d.Macros["array"].Bounds().W()) * 1e-9 // metres
+	m2 := proc.Wire[tech.Metal2]
+	wlWidth := float64(proc.MinWidth(tech.Metal2)) * 1e-9
+	rw, cwire := spice.WireRC(arrW, wlWidth, m2.RSheet, m2.CArea, m2.CEdge)
+	cols := float64(p.BPW * p.BPC)
+	cload := cwire + cols*cg(3)
+	rdrv := driverResistance(proc, proc.L(3*p.BufSize))
+	d.Timing.WordlineNs = 0.69 * (rdrv*cload + rw*cwire/2 + rw*cols*cg(3)/2) * 1e9
+
+	// --- Bitline: current-mode sensing; the cell's read current
+	// discharges the bitline until the sense differential is reached.
+	arrH := float64(d.Macros["array"].Bounds().H()) * 1e-9
+	_, cbl := spice.WireRC(arrH, wlWidth, m2.RSheet, m2.CArea, m2.CEdge)
+	rowsTotal := float64(p.Rows() + p.Spares)
+	cbl += rowsTotal * nmos.CjPerW * float64(proc.L(3)) * 1e-9 // drain junctions
+	icell := cellReadCurrent(proc)
+	dvSense := 0.08 * proc.VDD // current-mode: small differential suffices
+	d.Timing.BitlineNs = cbl * dvSense / icell * 1e9
+
+	// --- Sense amplifier: regeneration of the extracted cross-coupled
+	// pair, approximated as 3 gm/C time constants of the sensing pair.
+	wcc := float64(proc.L(6)) * 1e-9
+	gm := nmos.KP * wcc / lm * (proc.VDD/2 - nmos.VT0)
+	csense := 2 * nmos.CgsPerW * wcc
+	if gm > 0 {
+		d.Timing.SenseNs = 3 * csense / gm * 1e9
+	}
+	d.Timing.AccessNs = d.Timing.DecodeNs + d.Timing.WordlineNs +
+		d.Timing.BitlineNs + d.Timing.SenseNs
+
+	// --- Power: per-access switched energy from the extracted wire
+	// and device capacitances, plus the TRPLA's pseudo-NMOS static
+	// draw.
+	{
+		eWL := (cwire + cols*cg(3)) * proc.VDD * proc.VDD
+		arrH := float64(d.Macros["array"].Bounds().H()) * 1e-9
+		_, cblw := spice.WireRC(arrH, wlWidth, m2.RSheet, m2.CArea, m2.CEdge)
+		cblTot := cblw + float64(p.Rows()+p.Spares)*nmos.CjPerW*float64(proc.L(3))*1e-9
+		// Current-mode sensing swings the bitline only ~8% of VDD,
+		// but every column on the selected row discharges.
+		eBL := cols * cblTot * (0.08 * proc.VDD) * proc.VDD
+		eDec := float64(p.Rows()) * cg(4) * proc.VDD * proc.VDD / 4
+		d.Power.ReadEnergyPJ = (eWL + eBL + eDec) * 1e12
+		d.Power.DynamicMwAt100MHz = (eWL + eBL + eDec) * 100e6 * 1e3
+		// PLA static: roughly half the term/output lines sit low,
+		// each burning the ratioed pull-up current. The pull-ups are
+		// weak long-channel devices (4x drawn length), and the PLA is
+		// active only while the self-test runs — normal-mode accesses
+		// never pay this power.
+		wpu := float64(proc.L(4)) * 1e-9
+		lpu := 4 * lm
+		pmos := proc.MOS(tech.PMOS)
+		ipu := 0.5 * pmos.KP * wpu / lpu * (proc.VDD + pmos.VT0) * (proc.VDD + pmos.VT0)
+		lines := float64(len(d.Prog.Terms)) + float64(bist.NumSigs+d.Prog.StateBits)
+		d.Power.PLAStaticMw = 0.5 * lines * ipu * proc.VDD * 1e3
+	}
+
+	// --- TLB: parallel CAM match. The match line spans the row
+	// address bits; a mismatch discharges it through the two-series
+	// compare stack; the match buffer and spare wordline driver follow.
+	if p.Spares > 0 {
+		tlbNs, err := d.tlbMatchDelay()
+		if err != nil {
+			return fmt.Errorf("tlb timing: %w", err)
+		}
+		d.Timing.TLBNs = tlbNs
+		// Maskable when it fits inside the precharge/address phase
+		// (roughly half the access), the criterion behind the paper's
+		// "1-4 spares keep the TLB fast" guidance.
+		d.Timing.TLBMaskable = tlbNs < d.Timing.AccessNs/2
+	}
+	return nil
+}
+
+// tlbMatchDelay builds the match-line circuit from the CAM leaf cell
+// and simulates the worst-case discharge: the line is precharged high
+// and a single bit mismatch must pull it low through the series
+// compare stack, after which the match inverter switches.
+func (d *Design) tlbMatchDelay() (float64, error) {
+	p := d.Params
+	proc := p.Process
+	lm := float64(proc.Feature) * 1e-9
+	bits := p.RowAddrBits()
+
+	ckt := spice.New()
+	ckt.V("vdd", "vdd", spice.DC(proc.VDD))
+	// Match line capacitance: per-bit wire segment plus the compare
+	// stack drain junction, times the address width.
+	camCaps := d.Lib.CAM.WireCaps()
+	cml := camCaps["ml"] * float64(bits)
+	nmos := proc.MOS(tech.NMOS)
+	cml += float64(bits) * nmos.CjPerW * float64(proc.L(4)) * 1e-9
+	ckt.C("ml", "0", cml)
+	// Precharge device (weak PMOS keeper, off during evaluate).
+	// Initial condition via a pulse source: ml starts at VDD through a
+	// large resistor, then the stack discharges.
+	ckt.R("vdd", "ml", 1e6)
+	// The mismatch stack: two series NMOS sized as in the CAM cell.
+	wx := float64(proc.L(4)) * 1e-9
+	ckt.M("mx1", "ml", "q", "x1", tech.NMOS, wx, lm, proc)
+	ckt.M("mx2", "x1", "sl", "0", tech.NMOS, wx, lm, proc)
+	ckt.V("vq", "q", spice.DC(proc.VDD))
+	ckt.V("vsl", "sl", spice.Step(0, proc.VDD, 1e-9, 50e-12))
+	// Match buffer inverter (from the TLB row) driving the shared
+	// spare-address issue bus. Every TLB entry hangs a tristate
+	// driver on that bus, so its capacitance — and hence the issue
+	// delay — grows with the spare count. This is why the paper
+	// guarantees maskability only for 1-4 spares.
+	wn := float64(proc.L(3*p.BufSize)) * 1e-9
+	ckt.M("mbn", "mlb", "ml", "0", tech.NMOS, wn, lm, proc)
+	ckt.M("mbp", "mlb", "ml", "vdd", tech.PMOS, wn*proc.BetaRatio(), lm, proc)
+	busLoad := 10e-15 + float64(p.Spares)*
+		(2*nmos.CjPerW*float64(proc.L(3*p.BufSize))*1e-9+5e-15)
+	ckt.C("mlb", "0", busLoad)
+
+	res, err := ckt.Transient(8e-9, 5e-12)
+	if err != nil {
+		return 0, err
+	}
+	t0 := 1e-9
+	tEdge, err := res.CrossTime("mlb", proc.VDD/2, true, t0)
+	if err != nil {
+		return 0, err
+	}
+	return (tEdge - t0) * 1e9, nil
+}
+
+// driverResistance estimates the on-resistance of an NMOS of drawn
+// width w dbu at VDD drive.
+func driverResistance(p *tech.Process, wDbu int) float64 {
+	n := p.MOS(tech.NMOS)
+	w := float64(wDbu) * 1e-9
+	l := float64(p.Feature) * 1e-9
+	idsat := 0.5 * n.KP * w / l * (p.VDD - n.VT0) * (p.VDD - n.VT0)
+	if idsat <= 0 {
+		return math.Inf(1)
+	}
+	return p.VDD / idsat
+}
+
+// cellReadCurrent estimates the 6T cell read current through the
+// series pass gate and pull-down.
+func cellReadCurrent(p *tech.Process) float64 {
+	n := p.MOS(tech.NMOS)
+	w := float64(p.L(3)) * 1e-9
+	l := float64(p.Feature) * 1e-9
+	// Degraded by the series stack and body effect: ~0.4x of a single
+	// saturated device.
+	return 0.4 * 0.5 * n.KP * w / l * (p.VDD - n.VT0) * (p.VDD - n.VT0)
+}

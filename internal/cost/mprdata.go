@@ -1,0 +1,72 @@
+package cost
+
+// The microprocessor database behind the paper's Tables II and III.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): the paper takes die sizes, wafer
+// costs and dies-per-wafer from the proprietary 1993–1994
+// Microprocessor Report data [13], whose numeric columns are not
+// reproduced in the available text. The entries below are
+// period-plausible public figures for the same named parts (die area,
+// process, pin count, package) with wafer costs in the $1300–$2300
+// range MPR quoted for the era. The experiment reproduces the *shape*
+// of Tables II–III: which chips benefit most, the ~2x die-cost ratio
+// for big-cache dies, and the 2–47% total-cost reduction band.
+
+// Chips returns the database, in the paper's table order. Chips with
+// fewer than three metal layers get blank BISR entries, exactly as in
+// the paper.
+func Chips() []Chip {
+	return []Chip{
+		{
+			Name: "Intel386DX", Year: 1991, FeatureUm: 1.0, Metals: 2,
+			DieMm2: 43, Pins: 132, Package: "PQFP", CacheFrac: 0.0,
+			WaferCost: 900, WaferDiamMm: 150, TestMinutes: 0.5,
+		},
+		{
+			Name: "Intel486DX2", Year: 1992, FeatureUm: 0.8, Metals: 3,
+			DieMm2: 81, Pins: 168, Package: "PGA", CacheFrac: 0.10,
+			WaferCost: 1300, WaferDiamMm: 200, TestMinutes: 1.0,
+		},
+		{
+			Name: "AMD486DX2", Year: 1993, FeatureUm: 0.8, Metals: 3,
+			DieMm2: 81, Pins: 168, Package: "PGA", CacheFrac: 0.10,
+			WaferCost: 1250, WaferDiamMm: 200, TestMinutes: 1.0,
+		},
+		{
+			Name: "Pentium", Year: 1994, FeatureUm: 0.6, Metals: 4,
+			DieMm2: 148, Pins: 296, Package: "PGA", CacheFrac: 0.12,
+			WaferCost: 1900, WaferDiamMm: 200, TestMinutes: 5.0,
+		},
+		{
+			Name: "TI SuperSPARC", Year: 1992, FeatureUm: 0.8, Metals: 3,
+			DieMm2: 256, Pins: 293, Package: "PGA", CacheFrac: 0.40,
+			WaferCost: 1700, WaferDiamMm: 200, TestMinutes: 5.0,
+		},
+		{
+			Name: "MIPS R4600", Year: 1994, FeatureUm: 0.64, Metals: 3,
+			DieMm2: 77, Pins: 179, Package: "PGA", CacheFrac: 0.35,
+			WaferCost: 1500, WaferDiamMm: 200, TestMinutes: 2.0,
+		},
+		{
+			Name: "MIPS R4200", Year: 1994, FeatureUm: 0.64, Metals: 2,
+			DieMm2: 76, Pins: 179, Package: "PQFP", CacheFrac: 0.30,
+			WaferCost: 1400, WaferDiamMm: 200, TestMinutes: 1.5,
+		},
+		{
+			Name: "PowerPC 604", Year: 1994, FeatureUm: 0.5, Metals: 4,
+			DieMm2: 196, Pins: 304, Package: "PGA", CacheFrac: 0.30,
+			WaferCost: 2200, WaferDiamMm: 200, TestMinutes: 4.0,
+		},
+		{
+			Name: "Alpha 21064A", Year: 1994, FeatureUm: 0.5, Metals: 4,
+			DieMm2: 164, Pins: 431, Package: "PGA", CacheFrac: 0.35,
+			WaferCost: 2300, WaferDiamMm: 200, TestMinutes: 4.0,
+		},
+	}
+}
+
+// DefaultDefects returns the era defect model: ~0.8 defects/cm² with
+// moderate clustering.
+func DefaultDefects() DefectModel {
+	return DefectModel{D0: 0.8, Alpha: 2.0}
+}

@@ -1,0 +1,153 @@
+package cost
+
+import (
+	"math"
+	"strings"
+)
+
+// WaferMap lays rectangular dies on a circular wafer — the geometric
+// underpinning of the dies-per-wafer term in the MPR cost model — and
+// evaluates per-die yield under a radial defect gradient (defect
+// density rises toward the wafer edge, the classic process signature),
+// with and without embedded-RAM BISR.
+type WaferMap struct {
+	DiamMm     float64
+	DieW, DieH float64
+	Dies       []DieSite
+}
+
+// DieSite is one die position; CX/CY are the centre coordinates in mm
+// from the wafer centre, R the normalised radial position (0 centre,
+// 1 edge).
+type DieSite struct {
+	Col, Row int
+	CX, CY   float64
+	R        float64
+}
+
+// NewWaferMap places every die whose four corners fit on the wafer.
+func NewWaferMap(diamMm, dieW, dieH float64) *WaferMap {
+	w := &WaferMap{DiamMm: diamMm, DieW: dieW, DieH: dieH}
+	radius := diamMm / 2
+	nx := int(diamMm/dieW) + 2
+	ny := int(diamMm/dieH) + 2
+	for row := -ny; row <= ny; row++ {
+		for col := -nx; col <= nx; col++ {
+			x0 := float64(col) * dieW
+			y0 := float64(row) * dieH
+			ok := true
+			for _, c := range [4][2]float64{{x0, y0}, {x0 + dieW, y0}, {x0, y0 + dieH}, {x0 + dieW, y0 + dieH}} {
+				if math.Hypot(c[0], c[1]) > radius {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cx, cy := x0+dieW/2, y0+dieH/2
+			w.Dies = append(w.Dies, DieSite{
+				Col: col, Row: row, CX: cx, CY: cy,
+				R: math.Hypot(cx, cy) / radius,
+			})
+		}
+	}
+	return w
+}
+
+// Count returns the number of placed dies.
+func (w *WaferMap) Count() int { return len(w.Dies) }
+
+// RadialDensity returns the local defect density at normalised radius
+// r for a base density d0 and an edge degradation factor: D(r) =
+// d0 * (1 + edgeFactor * r²). edgeFactor 0 recovers the uniform model.
+func RadialDensity(d0, edgeFactor, r float64) float64 {
+	return d0 * (1 + edgeFactor*r*r)
+}
+
+// YieldAt returns the die yield at a site under the radial model.
+func (w *WaferMap) YieldAt(site DieSite, d DefectModel, edgeFactor float64) float64 {
+	local := DefectModel{D0: RadialDensity(d.D0, edgeFactor, site.R), Alpha: d.Alpha}
+	return local.DieYield(w.DieW * w.DieH)
+}
+
+// ZoneYields integrates expected yield over three radial zones
+// (centre r<1/3, mid, edge r>2/3), with and without a BISR yield
+// improvement on the embedded RAM (cacheFrac of the die).
+func (w *WaferMap) ZoneYields(d DefectModel, edgeFactor, cacheFrac, ramImprovement float64) (zones [3][2]float64, counts [3]int) {
+	for _, s := range w.Dies {
+		z := 0
+		switch {
+		case s.R > 2.0/3:
+			z = 2
+		case s.R > 1.0/3:
+			z = 1
+		}
+		y := w.YieldAt(s, d, edgeFactor)
+		yRAM := math.Pow(y, cacheFrac)
+		yBISR := y / yRAM * math.Min(1, yRAM*ramImprovement)
+		zones[z][0] += y
+		zones[z][1] += yBISR
+		counts[z]++
+	}
+	for z := range zones {
+		if counts[z] > 0 {
+			zones[z][0] /= float64(counts[z])
+			zones[z][1] /= float64(counts[z])
+		}
+	}
+	return zones, counts
+}
+
+// ExpectedGood returns the expected good-die counts without and with
+// BISR over the whole wafer.
+func (w *WaferMap) ExpectedGood(d DefectModel, edgeFactor, cacheFrac, ramImprovement float64) (base, bisr float64) {
+	for _, s := range w.Dies {
+		y := w.YieldAt(s, d, edgeFactor)
+		yRAM := math.Pow(y, cacheFrac)
+		base += y
+		bisr += y / yRAM * math.Min(1, yRAM*ramImprovement)
+	}
+	return base, bisr
+}
+
+// ASCII renders the wafer as a character map of per-die yield
+// deciles: '9' = >90%, '0' = <10%.
+func (w *WaferMap) ASCII(d DefectModel, edgeFactor float64) string {
+	if len(w.Dies) == 0 {
+		return "(no dies fit)\n"
+	}
+	minC, maxC, minR, maxR := 1<<30, -(1 << 30), 1<<30, -(1 << 30)
+	for _, s := range w.Dies {
+		if s.Col < minC {
+			minC = s.Col
+		}
+		if s.Col > maxC {
+			maxC = s.Col
+		}
+		if s.Row < minR {
+			minR = s.Row
+		}
+		if s.Row > maxR {
+			maxR = s.Row
+		}
+	}
+	grid := make([][]byte, maxR-minR+1)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", maxC-minC+1))
+	}
+	for _, s := range w.Dies {
+		y := w.YieldAt(s, d, edgeFactor)
+		decile := int(y * 10)
+		if decile > 9 {
+			decile = 9
+		}
+		grid[maxR-s.Row][s.Col-minC] = byte('0' + decile)
+	}
+	var sb strings.Builder
+	for _, row := range grid {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,92 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWaferMapCountMatchesFormula(t *testing.T) {
+	// 200mm wafer, 10x10mm dies: the corner-fit map should land near
+	// the edge-corrected dies-per-wafer estimate.
+	w := NewWaferMap(200, 10, 10)
+	formula := DiesPerWafer(200, 100)
+	if w.Count() < formula*85/100 || w.Count() > formula*115/100 {
+		t.Fatalf("map %d dies vs formula %d", w.Count(), formula)
+	}
+	// Every die is inside the circle.
+	for _, s := range w.Dies {
+		cornerR := math.Hypot(math.Abs(s.CX)+5, math.Abs(s.CY)+5)
+		if cornerR > 100.0001 {
+			t.Fatalf("die at (%f,%f) pokes out", s.CX, s.CY)
+		}
+		if s.R < 0 || s.R > 1 {
+			t.Fatalf("normalised radius %f", s.R)
+		}
+	}
+}
+
+func TestRadialDensity(t *testing.T) {
+	if RadialDensity(1, 0, 0.9) != 1 {
+		t.Fatal("edgeFactor 0 should be uniform")
+	}
+	if !(RadialDensity(1, 2, 1) > RadialDensity(1, 2, 0.5)) {
+		t.Fatal("density should rise with radius")
+	}
+}
+
+func TestZoneYieldsEdgeWorse(t *testing.T) {
+	w := NewWaferMap(200, 12, 12)
+	d := DefaultDefects()
+	zones, counts := w.ZoneYields(d, 2.0, 0.3, 1.4)
+	for z := 0; z < 3; z++ {
+		if counts[z] == 0 {
+			t.Fatalf("zone %d empty", z)
+		}
+	}
+	// Centre yields best; edge worst.
+	if !(zones[0][0] > zones[1][0] && zones[1][0] > zones[2][0]) {
+		t.Fatalf("zone base yields not radial: %v", zones)
+	}
+	// BISR improves every zone, and the *relative* gain is largest at
+	// the edge where defects are dense.
+	for z := 0; z < 3; z++ {
+		if !(zones[z][1] > zones[z][0]) {
+			t.Fatalf("zone %d: BISR no gain: %v", z, zones[z])
+		}
+	}
+	gainC := zones[0][1] / zones[0][0]
+	gainE := zones[2][1] / zones[2][0]
+	if !(gainE > gainC) {
+		t.Fatalf("edge BISR gain %.3f should beat centre %.3f", gainE, gainC)
+	}
+}
+
+func TestExpectedGood(t *testing.T) {
+	w := NewWaferMap(200, 12, 12)
+	d := DefaultDefects()
+	base, bisr := w.ExpectedGood(d, 1.5, 0.3, 1.4)
+	if !(bisr > base && base > 0) {
+		t.Fatalf("expected-good %f / %f", base, bisr)
+	}
+	if base > float64(w.Count()) {
+		t.Fatal("yield above unity")
+	}
+}
+
+func TestWaferASCII(t *testing.T) {
+	w := NewWaferMap(150, 15, 15)
+	art := w.ASCII(DefaultDefects(), 2.0)
+	if !strings.ContainsAny(art, "0123456789") {
+		t.Fatalf("no yield digits:\n%s", art)
+	}
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("map too small:\n%s", art)
+	}
+	// Degenerate map.
+	tiny := NewWaferMap(10, 50, 50)
+	if tiny.ASCII(DefaultDefects(), 0) != "(no dies fit)\n" {
+		t.Fatal("empty-map rendering wrong")
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bist"
+	"repro/internal/cost"
+	"repro/internal/extract"
+	"repro/internal/leafcell"
+	"repro/internal/march"
+	"repro/internal/sram"
+	"repro/internal/tech"
+)
+
+// CostSensitivity sweeps the process defect density and reports the
+// BISR total-cost reduction for a small-cache and a large-cache chip:
+// the crossover where self-repair starts paying for its area is the
+// practical adoption criterion for the paper's cost argument.
+func CostSensitivity() (*Table, error) {
+	gf, err := GrowthFactors()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ABL-COST",
+		Title:  "BISR total-cost reduction vs defect density",
+		Header: []string{"D0_per_cm2", "Intel486DX2_pct", "TI_SuperSPARC_pct"},
+	}
+	p := cost.DefaultParams()
+	var c486, cSS cost.Chip
+	for _, c := range cost.Chips() {
+		switch c.Name {
+		case "Intel486DX2":
+			c486 = c
+		case "TI SuperSPARC":
+			cSS = c
+		}
+	}
+	for _, d0 := range []float64{0.1, 0.2, 0.4, 0.8, 1.2, 1.6, 2.0} {
+		dm := cost.DefectModel{D0: d0, Alpha: 2}
+		r486 := cost.AnalyzeBISR(c486, p, dm,
+			cacheYieldImprovement(c486, dm, gf[4]), 0.07)
+		rSS := cost.AnalyzeBISR(cSS, p, dm,
+			cacheYieldImprovement(cSS, dm, gf[4]), 0.03)
+		t.Add(d0, r486.TotalReductionPct, rSS.TotalReductionPct)
+	}
+	t.Note("reductions grow with defect density; at very low D0 the area overhead dominates")
+	return t, nil
+}
+
+// CriticalAreaStudy reproduces the §VII Khare-style argument: within
+// BISRAMGEN's 6T template, the critical area for *fatal* defects
+// (vdd-gnd bridges that short the global supply, which no row
+// redundancy can repair) is zero for realistic spot-defect radii,
+// while the row-repairable signal-short critical area grows normally.
+func CriticalAreaStudy() (*Table, error) {
+	t := &Table{
+		ID:     "CAA",
+		Title:  "Short critical area vs defect radius, 6T cell template (metal1+metal2, cda07u3m1p)",
+		Header: []string{"radius_lambda", "fatal_um2", "repairable_um2", "fatal_share_pct"},
+	}
+	proc := tech.CDA07
+	cell := leafcell.SRAM6T(proc)
+	for _, rL := range []int{1, 2, 3, 4} {
+		r := rL * proc.Lambda
+		var fatal, rep int64
+		for _, l := range tech.RoutingLayers[:2] { // metal1, metal2
+			fatal += extract.CriticalArea(cell.Cell, l, r, extract.FatalPairs)
+			rep += extract.CriticalArea(cell.Cell, l, r, extract.RepairablePairs)
+		}
+		share := 0.0
+		if fatal+rep > 0 {
+			share = 100 * float64(fatal) / float64(fatal+rep)
+		}
+		t.Add(rL, float64(fatal)/1e6, float64(rep)/1e6, share)
+	}
+	t.Note("fatal = vdd-gnd bridge (global supply short: unrepairable); repairable = any short involving a local signal (row redundancy absorbs it)")
+	t.Note("paper §VII: the chosen 6T template keeps the fatal critical area at zero for all realistic defect radii (beyond ~5λ — over 1.7 µm — the intra-cell supply tabs eventually bridge)")
+	return t, nil
+}
+
+// TestLengthTradeoff compares every implemented march algorithm on
+// the axes a BIST architect trades: operations per address, total
+// self-test cycles on a reference RAM (measured on the microprogrammed
+// engine, both passes, all backgrounds), controller size, and a
+// compact coverage score over the fault classes.
+func TestLengthTradeoff() (*Table, error) {
+	t := &Table{
+		ID:    "ABL-TEST",
+		Title: "March algorithm trade-offs (1024-word bpw=8 reference RAM)",
+		Header: []string{"algorithm", "ops/addr", "cycles(2-pass)", "pla_terms",
+			"states", "coverage_score"},
+	}
+	cfg := sram.Config{Words: 1024, BPW: 8, BPC: 4, SpareRows: 0}
+	kinds := []sram.FaultKind{sram.SA0, sram.SA1, sram.TFU, sram.TFD,
+		sram.SOF, sram.DRF0, sram.DRF1, sram.CFID, sram.CFIN, sram.CFST}
+	bg := march.JohnsonBackgrounds(8)
+	for _, alg := range march.AllTests() {
+		prog, err := bist.Assemble(alg)
+		if err != nil {
+			return nil, err
+		}
+		arr := sram.MustNew(cfg)
+		eng := bist.NewEngine(prog, arr, cfg.BPW)
+		stats, err := eng.Run(1 << 30)
+		if err != nil {
+			return nil, err
+		}
+		// Coverage score: mean detection over the fault classes.
+		total := 0.0
+		for _, k := range kinds {
+			det, inj := coverageCase(k, alg, bg)
+			if inj > 0 {
+				total += float64(det) / float64(inj)
+			}
+		}
+		score := 100 * total / float64(len(kinds))
+		t.Add(alg.Name, alg.OpCount(), stats.Cycles, len(prog.Terms),
+			prog.NumStates, fmt.Sprintf("%.0f%%", score))
+	}
+	t.Note("coverage score = mean detection rate across SAF/TF/SOF/DRF/CF classes with Johnson backgrounds")
+	t.Note("IFA-13 buys SOF coverage for ~33%% more cycles than IFA-9; MATS+ is 2.4x cheaper but misses retention and stuck-open faults")
+	return t, nil
+}

@@ -1,0 +1,136 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation: Fig. 4 (yield vs defects), Fig. 5 (reliability
+// vs age), Table I (BISR area overhead), Tables II and III (die and
+// total manufacturing cost with/without BISR), Figs. 6 and 7 (layout
+// plots), the Section VI TLB delay claim, the Section V fault
+// coverage claims, and the ablations DESIGN.md calls out. Each
+// experiment returns a structured Table that prints as aligned text
+// or CSV; EXPERIMENTS.md records the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string // experiment id from DESIGN.md (FIG4, TAB1, ...)
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row, formatting each value.
+func (t *Table) Add(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case string:
+			row[i] = x
+		case float64:
+			row[i] = trimFloat(x)
+		case int:
+			row[i] = fmt.Sprintf("%d", x)
+		case int64:
+			row[i] = fmt.Sprintf("%d", x)
+		case bool:
+			if x {
+				row[i] = "yes"
+			} else {
+				row[i] = "no"
+			}
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(x float64) string {
+	ax := x
+	if ax < 0 {
+		ax = -ax
+	}
+	switch {
+	case ax != 0 && ax < 0.001:
+		return fmt.Sprintf("%.3e", x)
+	case ax < 10:
+		return fmt.Sprintf("%.4f", x)
+	case ax < 1000:
+		return fmt.Sprintf("%.2f", x)
+	default:
+		return fmt.Sprintf("%.0f", x)
+	}
+}
+
+// Note appends a free-text annotation printed under the table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(esc(c))
+		}
+		sb.WriteByte('\n')
+	}
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return sb.String()
+}

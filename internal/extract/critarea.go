@@ -1,0 +1,89 @@
+package extract
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Critical-area analysis, after Khare et al. (the paper's §VII cites
+// it to argue that BISRAMGEN's 6T template leaves near-zero critical
+// area for *fatal* defects — shorts involving the global supply nets
+// that no amount of row redundancy can repair).
+//
+// A spot defect of radius r shorts two same-layer shapes when it
+// bridges their gap; for two facing parallel edges of overlap length
+// L at spacing s the classic estimate of the critical area is
+// L·(2r − s) for 2r > s (corner contributions ignored).
+
+// PairFilter selects which shape pairs count, based on their net
+// labels (empty label = anonymous wiring).
+type PairFilter func(netA, netB string) bool
+
+// FatalPairs selects shorts between the two global supply nets — the
+// §VII fatal class: a vdd-gnd bridge shorts the whole chip's supply
+// and no amount of row redundancy repairs it. (Shorts between a
+// supply and a local signal merely break that cell: repairable.)
+func FatalPairs(a, b string) bool {
+	return isSupply(a) && isSupply(b) && a != b
+}
+
+// SignalPairs selects shorts between two distinct non-supply nets —
+// repairable by row replacement when inside the array.
+func SignalPairs(a, b string) bool {
+	return !isSupply(a) && !isSupply(b) && a != b && a != "" && b != ""
+}
+
+// RepairablePairs selects every distinct-net short that involves at
+// least one local signal — the defects the BISR row redundancy can
+// absorb.
+func RepairablePairs(a, b string) bool {
+	return a != b && a != "" && b != "" && !(isSupply(a) && isSupply(b))
+}
+
+func isSupply(n string) bool { return n == "vdd" || n == "gnd" }
+
+// CriticalArea sums the short critical area (dbu²) on one layer of
+// the flattened cell for a defect radius r (dbu), over pairs accepted
+// by the filter.
+func CriticalArea(c *geom.Cell, layer geom.Layer, radius int, filter PairFilter) int64 {
+	var shapes []geom.Shape
+	for _, s := range c.Flatten() {
+		if s.Layer == layer {
+			shapes = append(shapes, s)
+		}
+	}
+	sort.Slice(shapes, func(i, j int) bool { return shapes[i].Rect.X0 < shapes[j].Rect.X0 })
+	var total int64
+	for i := range shapes {
+		for j := i + 1; j < len(shapes); j++ {
+			a, b := shapes[i], shapes[j]
+			if b.Rect.X0-a.Rect.X1 >= 2*radius {
+				break
+			}
+			if !filter(a.Net, b.Net) {
+				continue
+			}
+			total += pairCritArea(a.Rect, b.Rect, radius)
+		}
+	}
+	return total
+}
+
+// pairCritArea returns the facing-edge critical area between two
+// rects for defect radius r.
+func pairCritArea(a, b geom.Rect, r int) int64 {
+	// Vertical adjacency: x-ranges overlap, gap in y.
+	xo := min(a.X1, b.X1) - max(a.X0, b.X0)
+	yGap := max(a.Y0-b.Y1, b.Y0-a.Y1)
+	if xo > 0 && yGap > 0 && 2*r > yGap {
+		return int64(xo) * int64(2*r-yGap)
+	}
+	// Horizontal adjacency: y-ranges overlap, gap in x.
+	yo := min(a.Y1, b.Y1) - max(a.Y0, b.Y0)
+	xGap := max(a.X0-b.X1, b.X0-a.X1)
+	if yo > 0 && xGap > 0 && 2*r > xGap {
+		return int64(yo) * int64(2*r-xGap)
+	}
+	return 0
+}

@@ -1,0 +1,275 @@
+// Package extract derives electrical connectivity from layout
+// geometry: overlapping or abutting shapes on the same layer join one
+// net, and contact/via shapes join the layers of the process stack
+// they cut between. The result supports a lightweight layout-versus-
+// schematic check — comparing the geometric nets against the net
+// labels the generators attached — and powers the critical-area
+// analysis used to argue the §VII near-zero fatal critical area of
+// the 6T template.
+package extract
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// cutLayers describes which pair of conducting layers each cut layer
+// connects, for the standard stack.
+var cutLayers = map[geom.Layer][2]geom.Layer{
+	tech.Contact: {tech.Poly, tech.Metal1}, // also active-metal1; see below
+	tech.Via1:    {tech.Metal1, tech.Metal2},
+	tech.Via2:    {tech.Metal2, tech.Metal3},
+}
+
+// conducting reports whether a layer carries signal.
+func conducting(l geom.Layer) bool {
+	switch l {
+	case tech.Active, tech.Poly, tech.Metal1, tech.Metal2, tech.Metal3:
+		return true
+	}
+	return false
+}
+
+// Netlist is the extraction result.
+type Netlist struct {
+	// NetOf[i] is the net id of flattened conducting shape i (indices
+	// into Shapes).
+	NetOf  []int
+	Shapes []geom.Shape
+	// NumNets is the number of distinct nets found.
+	NumNets int
+	// Labels maps net id -> the set of generator labels seen on its
+	// shapes (sorted, empty labels dropped).
+	Labels map[int][]string
+}
+
+// union-find
+type dsu struct{ parent []int }
+
+func newDSU(n int) *dsu {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &dsu{parent: p}
+}
+
+func (d *dsu) find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *dsu) union(a, b int) { d.parent[d.find(a)] = d.find(b) }
+
+// Extract flattens the cell and computes connectivity. MOS channels
+// interrupt diffusion: every active shape is fragmented around the
+// poly gates crossing it, so source and drain stay separate nets (the
+// transistor itself is a device, not a wire).
+func Extract(c *geom.Cell) *Netlist {
+	all := c.Flatten()
+	var shapes []geom.Shape
+	var cuts []geom.Shape
+	var polys []geom.Rect
+	for _, s := range all {
+		if s.Layer == tech.Poly {
+			polys = append(polys, s.Rect)
+		}
+	}
+	for _, s := range all {
+		switch {
+		case s.Layer == tech.Active:
+			for _, frag := range subtractAll(s.Rect, polys) {
+				shapes = append(shapes, geom.Shape{Layer: s.Layer, Rect: frag, Net: s.Net})
+			}
+		case conducting(s.Layer):
+			shapes = append(shapes, s)
+		default:
+			if _, ok := cutLayers[s.Layer]; ok {
+				cuts = append(cuts, s)
+			}
+		}
+	}
+	d := newDSU(len(shapes))
+
+	// Same-layer connectivity: touching or overlapping shapes merge.
+	// Sweep per layer over x-sorted shapes.
+	byLayer := map[geom.Layer][]int{}
+	for i, s := range shapes {
+		byLayer[s.Layer] = append(byLayer[s.Layer], i)
+	}
+	for _, idx := range byLayer {
+		sort.Slice(idx, func(a, b int) bool { return shapes[idx[a]].Rect.X0 < shapes[idx[b]].Rect.X0 })
+		for a := 0; a < len(idx); a++ {
+			ra := shapes[idx[a]].Rect
+			for b := a + 1; b < len(idx); b++ {
+				rb := shapes[idx[b]].Rect
+				if rb.X0 > ra.X1 {
+					break
+				}
+				if touches(ra, rb) {
+					d.union(idx[a], idx[b])
+				}
+			}
+		}
+	}
+
+	// Cross-layer connectivity through cuts: a cut joins every
+	// conducting shape (of the two layers it connects) that it
+	// overlaps. Contacts additionally connect active <-> metal1
+	// (diffusion contacts).
+	for _, cut := range cuts {
+		pair := cutLayers[cut.Layer]
+		var hit []int
+		for i, s := range shapes {
+			ok := s.Layer == pair[0] || s.Layer == pair[1]
+			if cut.Layer == tech.Contact && s.Layer == tech.Active {
+				ok = true
+			}
+			if ok && s.Rect.Expand(1).Overlaps(cut.Rect) {
+				hit = append(hit, i)
+			}
+		}
+		for i := 1; i < len(hit); i++ {
+			d.union(hit[0], hit[i])
+		}
+	}
+
+	// Compact net ids.
+	nl := &Netlist{Shapes: shapes, NetOf: make([]int, len(shapes)), Labels: map[int][]string{}}
+	ids := map[int]int{}
+	for i := range shapes {
+		root := d.find(i)
+		id, ok := ids[root]
+		if !ok {
+			id = len(ids)
+			ids[root] = id
+		}
+		nl.NetOf[i] = id
+	}
+	nl.NumNets = len(ids)
+	seen := map[int]map[string]bool{}
+	for i, s := range shapes {
+		if s.Net == "" {
+			continue
+		}
+		id := nl.NetOf[i]
+		if seen[id] == nil {
+			seen[id] = map[string]bool{}
+		}
+		if !seen[id][s.Net] {
+			seen[id][s.Net] = true
+			nl.Labels[id] = append(nl.Labels[id], s.Net)
+		}
+	}
+	for id := range nl.Labels {
+		sort.Strings(nl.Labels[id])
+	}
+	return nl
+}
+
+// touches reports whether two rects overlap or abut (share edge or
+// corner contact counts as connected metal).
+func touches(a, b geom.Rect) bool {
+	return a.X0 <= b.X1 && b.X0 <= a.X1 && a.Y0 <= b.Y1 && b.Y0 <= a.Y1
+}
+
+// subtract returns a minus cut as up to four rect pieces. The pieces
+// are shrunk by nothing — they share edges with the cut, but the
+// channel gap separates left/right diffusion because the cut spans
+// the full overlap.
+func subtract(a, cut geom.Rect) []geom.Rect {
+	ov := a.Intersect(cut)
+	if ov.Empty() {
+		return []geom.Rect{a}
+	}
+	var out []geom.Rect
+	if a.Y1 > ov.Y1 { // top slab
+		out = append(out, geom.Rect{X0: a.X0, Y0: ov.Y1, X1: a.X1, Y1: a.Y1})
+	}
+	if a.Y0 < ov.Y0 { // bottom slab
+		out = append(out, geom.Rect{X0: a.X0, Y0: a.Y0, X1: a.X1, Y1: ov.Y0})
+	}
+	if a.X0 < ov.X0 { // left slab
+		out = append(out, geom.Rect{X0: a.X0, Y0: ov.Y0, X1: ov.X0, Y1: ov.Y1})
+	}
+	if a.X1 > ov.X1 { // right slab
+		out = append(out, geom.Rect{X0: ov.X1, Y0: ov.Y0, X1: a.X1, Y1: ov.Y1})
+	}
+	return out
+}
+
+// subtractAll fragments a around every cutting rect. Fragments that
+// merely share the cut's edge line would re-merge under touches(), so
+// the left/right diffusion slabs are the only survivors of a gate
+// crossing and they sit strictly apart. To guarantee separation the
+// slabs flanking a cut are inset by one dbu from the cut edge.
+func subtractAll(a geom.Rect, cuts []geom.Rect) []geom.Rect {
+	pieces := []geom.Rect{a}
+	for _, cut := range cuts {
+		if !a.Overlaps(cut) {
+			continue
+		}
+		grown := cut.Expand(1) // ensure the fragments do not abut
+		var next []geom.Rect
+		for _, p := range pieces {
+			for _, f := range subtract(p, grown) {
+				if !f.Empty() {
+					next = append(next, f)
+				}
+			}
+		}
+		pieces = next
+	}
+	return pieces
+}
+
+// Short describes two different labels found on one geometric net.
+type Short struct {
+	Net    int
+	Labels []string
+}
+
+// Open describes one label split across several geometric nets.
+type Open struct {
+	Label string
+	Nets  []int
+}
+
+// Verify performs the LVS-style comparison between geometric nets and
+// generator labels: a net carrying two labels is a short; a label
+// spread over several nets is an open (unless the layout legitimately
+// leaves it abstract — the caller decides which labels must be
+// connected).
+func (nl *Netlist) Verify(mustConnect []string) (shorts []Short, opens []Open) {
+	for id, labels := range nl.Labels {
+		if len(labels) > 1 {
+			shorts = append(shorts, Short{Net: id, Labels: labels})
+		}
+	}
+	byLabel := map[string][]int{}
+	for id, labels := range nl.Labels {
+		for _, l := range labels {
+			byLabel[l] = append(byLabel[l], id)
+		}
+	}
+	for _, l := range mustConnect {
+		if nets := byLabel[l]; len(nets) > 1 {
+			sort.Ints(nets)
+			opens = append(opens, Open{Label: l, Nets: nets})
+		}
+	}
+	sort.Slice(shorts, func(i, j int) bool { return shorts[i].Net < shorts[j].Net })
+	sort.Slice(opens, func(i, j int) bool { return opens[i].Label < opens[j].Label })
+	return shorts, opens
+}
+
+func (s Short) String() string { return fmt.Sprintf("short: net %d carries %v", s.Net, s.Labels) }
+func (o Open) String() string {
+	return fmt.Sprintf("open: label %q split over nets %v", o.Label, o.Nets)
+}

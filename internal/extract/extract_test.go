@@ -1,0 +1,174 @@
+package extract
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/leafcell"
+	"repro/internal/tech"
+)
+
+func TestSameLayerMerging(t *testing.T) {
+	c := geom.NewCell("t")
+	c.AddShape(tech.Metal1, geom.R(0, 0, 10, 10), "a")
+	c.AddShape(tech.Metal1, geom.R(10, 0, 20, 10), "a") // abuts: same net
+	c.AddShape(tech.Metal1, geom.R(30, 0, 40, 10), "b") // separate
+	c.AddShape(tech.Metal2, geom.R(0, 0, 40, 10), "c")  // other layer: separate
+	nl := Extract(c)
+	if nl.NumNets != 3 {
+		t.Fatalf("nets = %d, want 3", nl.NumNets)
+	}
+	if nl.NetOf[0] != nl.NetOf[1] {
+		t.Fatal("abutting shapes should merge")
+	}
+	if nl.NetOf[0] == nl.NetOf[2] || nl.NetOf[0] == nl.NetOf[3] {
+		t.Fatal("disjoint shapes merged")
+	}
+}
+
+func TestViaConnectsLayers(t *testing.T) {
+	c := geom.NewCell("t")
+	c.AddShape(tech.Metal1, geom.R(0, 0, 100, 10), "x")
+	c.AddShape(tech.Metal2, geom.R(0, 0, 10, 100), "x")
+	nl := Extract(c)
+	if nl.NumNets != 2 {
+		t.Fatalf("without via: %d nets, want 2", nl.NumNets)
+	}
+	c.AddShape(tech.Via1, geom.R(2, 2, 8, 8), "")
+	nl = Extract(c)
+	if nl.NumNets != 1 {
+		t.Fatalf("with via: %d nets, want 1", nl.NumNets)
+	}
+	// Via2 joins M2-M3 but not M1.
+	c2 := geom.NewCell("t2")
+	c2.AddShape(tech.Metal1, geom.R(0, 0, 10, 10), "m1")
+	c2.AddShape(tech.Metal3, geom.R(0, 0, 10, 10), "m3")
+	c2.AddShape(tech.Via2, geom.R(2, 2, 8, 8), "")
+	nl2 := Extract(c2)
+	if nl2.NumNets != 2 {
+		t.Fatalf("via2 must not touch metal1: %d nets", nl2.NumNets)
+	}
+}
+
+func TestContactConnectsPolyAndActive(t *testing.T) {
+	c := geom.NewCell("t")
+	c.AddShape(tech.Poly, geom.R(0, 0, 10, 10), "g")
+	c.AddShape(tech.Metal1, geom.R(0, 0, 10, 10), "g")
+	c.AddShape(tech.Contact, geom.R(2, 2, 8, 8), "")
+	if nl := Extract(c); nl.NumNets != 1 {
+		t.Fatalf("poly contact: %d nets", nl.NumNets)
+	}
+	c2 := geom.NewCell("t2")
+	c2.AddShape(tech.Active, geom.R(0, 0, 10, 10), "d")
+	c2.AddShape(tech.Metal1, geom.R(0, 0, 10, 10), "d")
+	c2.AddShape(tech.Contact, geom.R(2, 2, 8, 8), "")
+	if nl := Extract(c2); nl.NumNets != 1 {
+		t.Fatalf("diffusion contact: %d nets", nl.NumNets)
+	}
+}
+
+func TestVerifyShortsAndOpens(t *testing.T) {
+	c := geom.NewCell("t")
+	// Short: two labels on touching shapes.
+	c.AddShape(tech.Metal1, geom.R(0, 0, 10, 10), "n1")
+	c.AddShape(tech.Metal1, geom.R(10, 0, 20, 10), "n2")
+	// Open: label "sig" on two disjoint islands.
+	c.AddShape(tech.Metal2, geom.R(0, 50, 10, 60), "sig")
+	c.AddShape(tech.Metal2, geom.R(100, 50, 110, 60), "sig")
+	nl := Extract(c)
+	shorts, opens := nl.Verify([]string{"sig"})
+	if len(shorts) != 1 || len(shorts[0].Labels) != 2 {
+		t.Fatalf("shorts = %v", shorts)
+	}
+	if len(opens) != 1 || opens[0].Label != "sig" || len(opens[0].Nets) != 2 {
+		t.Fatalf("opens = %v", opens)
+	}
+	if shorts[0].String() == "" || opens[0].String() == "" {
+		t.Fatal("string renderings empty")
+	}
+}
+
+// TestLeafCellsShortFree runs the LVS-style check on every generated
+// leaf cell: the geometric connectivity must never merge two
+// different labelled nets (no shorts by construction).
+func TestLeafCellsShortFree(t *testing.T) {
+	lib, err := leafcell.NewLibrary(tech.CDA07, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := lib.All()
+	cells = append(cells, lib.RowDecoder(8))
+	for _, cell := range cells {
+		nl := Extract(cell.Cell)
+		shorts, _ := nl.Verify(nil)
+		if len(shorts) > 0 {
+			t.Errorf("%s: %v", cell.Name, shorts[0])
+		}
+	}
+}
+
+func TestCriticalAreaParallelWires(t *testing.T) {
+	c := geom.NewCell("t")
+	// Two horizontal wires, length 100, spacing 4.
+	c.AddShape(tech.Metal1, geom.R(0, 0, 100, 3), "a")
+	c.AddShape(tech.Metal1, geom.R(0, 7, 100, 10), "b")
+	// r=1: 2r=2 < 4 -> no critical area.
+	if ca := CriticalArea(c, tech.Metal1, 1, SignalPairs); ca != 0 {
+		t.Fatalf("r=1 CA = %d, want 0", ca)
+	}
+	// r=3: 2r-4 = 2 over length 100 -> 200.
+	if ca := CriticalArea(c, tech.Metal1, 3, SignalPairs); ca != 200 {
+		t.Fatalf("r=3 CA = %d, want 200", ca)
+	}
+	// Monotone in radius.
+	if !(CriticalArea(c, tech.Metal1, 5, SignalPairs) > 200) {
+		t.Fatal("CA should grow with radius")
+	}
+	// Wrong layer: zero.
+	if CriticalArea(c, tech.Metal2, 5, SignalPairs) != 0 {
+		t.Fatal("CA on empty layer")
+	}
+}
+
+func TestFatalPairFilter(t *testing.T) {
+	if !FatalPairs("vdd", "gnd") || !FatalPairs("gnd", "vdd") {
+		t.Fatal("vdd-gnd bridge is the fatal class")
+	}
+	if FatalPairs("vdd", "sig") || FatalPairs("sig", "gnd") || FatalPairs("vdd", "vdd") {
+		t.Fatal("supply-signal / same-net is not fatal")
+	}
+	if FatalPairs("a", "b") {
+		t.Fatal("signal-signal is not fatal")
+	}
+	if !SignalPairs("a", "b") || SignalPairs("a", "a") || SignalPairs("vdd", "b") {
+		t.Fatal("signal filter wrong")
+	}
+	if !RepairablePairs("vdd", "b") || !RepairablePairs("a", "b") || RepairablePairs("vdd", "gnd") {
+		t.Fatal("repairable filter wrong")
+	}
+}
+
+// TestSRAMTemplateFatalCritArea reproduces the §VII argument: the 6T
+// template keeps the two supply rails at opposite cell edges (and the
+// array mirroring abuts like rails), so the fatal vdd-gnd critical
+// area is zero for all realistic defect radii while repairable
+// signal shorts dominate.
+func TestSRAMTemplateFatalCritArea(t *testing.T) {
+	cell := leafcell.SRAM6T(tech.CDA07)
+	lambda := tech.CDA07.Lambda
+	for _, rL := range []int{1, 2, 4} {
+		if fatal := CriticalArea(cell.Cell, tech.Metal1, rL*lambda, FatalPairs); fatal != 0 {
+			t.Errorf("fatal critical area at r=%dλ: %d, want 0", rL, fatal)
+		}
+	}
+	// Repairable shorts exist already at small radii (device tabs at
+	// the spacing rule).
+	if rep := CriticalArea(cell.Cell, tech.Metal1, 2*lambda, RepairablePairs); rep == 0 {
+		t.Fatal("expected repairable critical area at r=2λ")
+	}
+	// At some radius signal shorts appear on M2 too (bitline pair).
+	sig := CriticalArea(cell.Cell, tech.Metal2, 20*lambda, SignalPairs)
+	if sig == 0 {
+		t.Fatal("expected non-zero signal critical area at large radius")
+	}
+}

@@ -1,0 +1,363 @@
+// Package floorplan implements BISRAMGEN's macrocell place-and-route:
+// rectangular macrocells are sorted in decreasing order of area and
+// placed greedily with the paper's two heuristics — port alignment
+// (edges carrying connected ports are placed facing each other with
+// the ports aligned, avoiding the 64-orientation-pair search) and
+// stretching (a macro slides along its abutment edge so that as many
+// connected ports as possible line up) — while keeping the overall
+// outline "as rectangular as possible". Connections that do not
+// resolve by abutment are routed over the cell with metal3 L-routes.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Macro is one block to place.
+type Macro struct {
+	Name string
+	Cell *geom.Cell
+}
+
+// Pin names one macro port.
+type Pin struct {
+	Macro string
+	Port  string
+}
+
+// Net is a logical connection between pins of different macros.
+type Net struct {
+	Name string
+	Pins []Pin
+}
+
+// Placement is the final position of one macro.
+type Placement struct {
+	Orient geom.Orient
+	At     geom.Point
+}
+
+// Result is the completed floorplan.
+type Result struct {
+	Top        *geom.Cell
+	Placements map[string]Placement
+	// Area is the bounding-box area; SumMacroArea the lower bound.
+	Area         int64
+	SumMacroArea int64
+	// Rectangularity = Area / SumMacroArea (the paper's provably
+	// (1+epsilon) claim is about this ratio staying near 1).
+	Rectangularity float64
+	// AspectRatio = long side / short side of the outline.
+	AspectRatio float64
+	Wirelength  int64
+	AbuttedNets int
+	RoutedNets  int
+}
+
+// Place floorplans the macros. The process supplies the metal3 rules
+// for over-the-cell routing.
+func Place(p *tech.Process, macros []Macro, nets []Net) (*Result, error) {
+	if len(macros) == 0 {
+		return nil, fmt.Errorf("floorplan: no macros")
+	}
+	byName := map[string]*Macro{}
+	for i := range macros {
+		m := &macros[i]
+		if m.Cell == nil || m.Cell.Bounds().Empty() {
+			return nil, fmt.Errorf("floorplan: macro %q has no geometry", m.Name)
+		}
+		if _, dup := byName[m.Name]; dup {
+			return nil, fmt.Errorf("floorplan: duplicate macro %q", m.Name)
+		}
+		byName[m.Name] = m
+	}
+	for _, n := range nets {
+		for _, pin := range n.Pins {
+			m, ok := byName[pin.Macro]
+			if !ok {
+				return nil, fmt.Errorf("floorplan: net %q references unknown macro %q", n.Name, pin.Macro)
+			}
+			if _, ok := m.Cell.Port(pin.Port); !ok {
+				return nil, fmt.Errorf("floorplan: net %q references unknown port %s.%s", n.Name, pin.Macro, pin.Port)
+			}
+		}
+	}
+
+	// Decreasing-area order (paper's first step).
+	order := make([]*Macro, len(macros))
+	copy(order, func() []*Macro {
+		v := make([]*Macro, len(macros))
+		for i := range macros {
+			v[i] = &macros[i]
+		}
+		return v
+	}())
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Cell.Area() > order[j].Cell.Area() })
+
+	st := &state{p: p, placed: map[string]Placement{}, byName: byName, nets: nets}
+	// First macro at the origin.
+	first := order[0]
+	st.commit(first, Placement{Orient: geom.R0, At: geom.Point{}})
+	for _, m := range order[1:] {
+		best, ok := st.bestPlacement(m)
+		if !ok {
+			return nil, fmt.Errorf("floorplan: no legal position for %q", m.Name)
+		}
+		st.commit(m, best)
+	}
+	return st.finish(macros)
+}
+
+type state struct {
+	p      *tech.Process
+	byName map[string]*Macro
+	nets   []Net
+
+	placed map[string]Placement
+	boxes  []geom.Rect
+	bbox   geom.Rect
+}
+
+// placedBounds returns the placed bbox of a macro under a placement.
+func placedBounds(m *Macro, pl Placement) geom.Rect {
+	return geom.TransformRect(m.Cell.Bounds(), pl.Orient).Translate(pl.At)
+}
+
+// portRect returns the placed rect of a macro port.
+func portRect(m *Macro, pl Placement, port string) (geom.Rect, geom.Layer, bool) {
+	pt, ok := m.Cell.Port(port)
+	if !ok {
+		return geom.Rect{}, 0, false
+	}
+	return geom.TransformRect(pt.Rect, pl.Orient).Translate(pl.At), pt.Layer, true
+}
+
+func (st *state) commit(m *Macro, pl Placement) {
+	st.placed[m.Name] = pl
+	b := placedBounds(m, pl)
+	st.boxes = append(st.boxes, b)
+	st.bbox = st.bbox.Union(b)
+}
+
+// overlapsPlaced reports whether r collides with any placed box.
+func (st *state) overlapsPlaced(r geom.Rect) bool {
+	for _, b := range st.boxes {
+		if b.Overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// connections lists the (newPort, placedMacro, placedPort) pairs of
+// nets joining macro m to already-placed macros.
+func (st *state) connections(m *Macro) [][3]string {
+	var out [][3]string
+	for _, n := range st.nets {
+		var mine []string
+		var theirs [][2]string
+		for _, pin := range n.Pins {
+			if pin.Macro == m.Name {
+				mine = append(mine, pin.Port)
+			} else if _, ok := st.placed[pin.Macro]; ok {
+				theirs = append(theirs, [2]string{pin.Macro, pin.Port})
+			}
+		}
+		for _, mp := range mine {
+			for _, tp := range theirs {
+				out = append(out, [3]string{mp, tp[0], tp[1]})
+			}
+		}
+	}
+	return out
+}
+
+// bestPlacement evaluates candidate positions x orientations and
+// returns the lowest-cost legal placement.
+func (st *state) bestPlacement(m *Macro) (Placement, bool) {
+	conns := st.connections(m)
+	gap := 0 // abutting placement; spacing comes from abutment boxes
+	var cands []geom.Point
+	// Global shelf positions.
+	cands = append(cands,
+		geom.Point{X: st.bbox.X1 + gap, Y: st.bbox.Y0},
+		geom.Point{X: st.bbox.X0, Y: st.bbox.Y1 + gap},
+	)
+	// Adjacent to each placed box.
+	for _, b := range st.boxes {
+		cands = append(cands,
+			geom.Point{X: b.X1 + gap, Y: b.Y0},
+			geom.Point{X: b.X0, Y: b.Y1 + gap},
+			geom.Point{X: b.X0, Y: b.Y0}, // will be shifted left/down below
+		)
+	}
+	bestCost := math.Inf(1)
+	var best Placement
+	found := false
+	for _, o := range geom.AllOrients {
+		tb := geom.TransformRect(m.Cell.Bounds(), o)
+		for _, c := range cands {
+			// Anchor the transformed bounds' lower-left at c.
+			at := geom.Point{X: c.X - tb.X0, Y: c.Y - tb.Y0}
+			pl := Placement{Orient: o, At: at}
+			pl = st.stretch(m, pl, conns)
+			r := placedBounds(m, pl)
+			if st.overlapsPlaced(r) {
+				continue
+			}
+			cost := st.cost(m, pl, r, conns)
+			if cost < bestCost {
+				bestCost, best, found = cost, pl, true
+			}
+		}
+	}
+	return best, found
+}
+
+// stretch slides the macro along the axis that keeps it adjacent to
+// the outline, minimising the port misalignment of its connections —
+// the paper's stretching heuristic (implemented as a rigid slide; the
+// macro's own geometry is not deformed).
+func (st *state) stretch(m *Macro, pl Placement, conns [][3]string) Placement {
+	if len(conns) == 0 {
+		return pl
+	}
+	var dxs, dys []int
+	for _, c := range conns {
+		pr, _, ok := portRect(m, pl, c[0])
+		if !ok {
+			continue
+		}
+		om := st.byName[c[1]]
+		opl, placedOK := st.placed[c[1]]
+		if !placedOK {
+			continue
+		}
+		or, _, ok := portRect(om, opl, c[2])
+		if !ok {
+			continue
+		}
+		dxs = append(dxs, or.Center().X-pr.Center().X)
+		dys = append(dys, or.Center().Y-pr.Center().Y)
+	}
+	if len(dxs) == 0 {
+		return pl
+	}
+	sort.Ints(dxs)
+	sort.Ints(dys)
+	medX := dxs[len(dxs)/2]
+	medY := dys[len(dys)/2]
+	// Try the slide in each single axis; keep the first that stays
+	// legal and reduces misalignment.
+	for _, d := range []geom.Point{{X: 0, Y: medY}, {X: medX, Y: 0}} {
+		if d == (geom.Point{}) {
+			continue
+		}
+		slid := Placement{Orient: pl.Orient, At: pl.At.Add(d)}
+		if !st.overlapsPlaced(placedBounds(m, slid)) {
+			return slid
+		}
+	}
+	return pl
+}
+
+// cost scores a candidate placement: outline area, aspect-ratio
+// penalty (rectangularity), and connection wirelength.
+func (st *state) cost(m *Macro, pl Placement, r geom.Rect, conns [][3]string) float64 {
+	nb := st.bbox.Union(r)
+	area := float64(nb.Area())
+	w, h := float64(nb.W()), float64(nb.H())
+	aspect := math.Max(w, h) / math.Max(1, math.Min(w, h))
+	wl := 0.0
+	for _, c := range conns {
+		pr, _, ok := portRect(m, pl, c[0])
+		if !ok {
+			continue
+		}
+		om := st.byName[c[1]]
+		or, _, ok := portRect(om, st.placed[c[1]], c[2])
+		if !ok {
+			continue
+		}
+		a, b := pr.Center(), or.Center()
+		wl += math.Abs(float64(a.X-b.X)) + math.Abs(float64(a.Y-b.Y))
+	}
+	scale := math.Sqrt(area) + 1
+	return area*(1+0.5*(aspect-1)) + wl*scale/8
+}
+
+// finish assembles the top cell, abutment detection, and M3 routing.
+func (st *state) finish(macros []Macro) (*Result, error) {
+	top := geom.NewCell("floorplan")
+	res := &Result{Top: top, Placements: map[string]Placement{}}
+	for i := range macros {
+		m := &macros[i]
+		pl := st.placed[m.Name]
+		res.Placements[m.Name] = pl
+		top.Place(m.Name, m.Cell, pl.Orient, pl.At)
+		res.SumMacroArea += m.Cell.Area()
+	}
+	// Connectivity: a 2-pin connection counts as abutted when the port
+	// rects touch or overlap; otherwise it gets an over-the-cell M3
+	// L-route between port centers.
+	m3w := st.p.MinWidth(tech.Metal3)
+	for _, n := range st.nets {
+		type placedPin struct {
+			r geom.Rect
+		}
+		var pins []placedPin
+		for _, pin := range n.Pins {
+			m := st.byName[pin.Macro]
+			r, _, ok := portRect(m, st.placed[pin.Macro], pin.Port)
+			if !ok {
+				continue
+			}
+			pins = append(pins, placedPin{r: r})
+		}
+		if len(pins) < 2 {
+			continue
+		}
+		// Chain consecutive pins.
+		netAbutted := true
+		for i := 1; i < len(pins); i++ {
+			a, b := pins[i-1].r, pins[i].r
+			if a.Expand(1).Overlaps(b) {
+				continue // abutted
+			}
+			netAbutted = false
+			// L-route on metal3.
+			p0, p1 := a.Center(), b.Center()
+			h := geom.R(min(p0.X, p1.X)-m3w/2, p0.Y-m3w/2, max(p0.X, p1.X)+m3w/2, p0.Y+m3w/2)
+			v := geom.R(p1.X-m3w/2, min(p0.Y, p1.Y)-m3w/2, p1.X+m3w/2, max(p0.Y, p1.Y)+m3w/2)
+			top.AddShape(tech.Metal3, h, n.Name)
+			top.AddShape(tech.Metal3, v, n.Name)
+			res.Wirelength += int64(abs(p0.X-p1.X) + abs(p0.Y-p1.Y))
+		}
+		if netAbutted {
+			res.AbuttedNets++
+		} else {
+			res.RoutedNets++
+		}
+	}
+	res.Area = st.bbox.Area()
+	if res.SumMacroArea > 0 {
+		res.Rectangularity = float64(res.Area) / float64(res.SumMacroArea)
+	}
+	w, h := float64(st.bbox.W()), float64(st.bbox.H())
+	if w > 0 && h > 0 {
+		res.AspectRatio = math.Max(w, h) / math.Min(w, h)
+	}
+	return res, nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,203 @@
+package floorplan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+func block(name string, w, h int, ports ...geom.Port) Macro {
+	c := geom.NewCell(name)
+	c.Abut = geom.R(0, 0, w, h)
+	c.AddShape(tech.Metal1, geom.R(0, 0, w, h), name)
+	for _, p := range ports {
+		c.AddPort(p.Name, p.Layer, p.Rect, p.Dir)
+	}
+	return Macro{Name: name, Cell: c}
+}
+
+func TestPlaceRejectsBadInput(t *testing.T) {
+	if _, err := Place(tech.CDA07, nil, nil); err == nil {
+		t.Fatal("empty macro list accepted")
+	}
+	a := block("a", 100, 100)
+	b := block("a", 50, 50)
+	if _, err := Place(tech.CDA07, []Macro{a, b}, nil); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	if _, err := Place(tech.CDA07, []Macro{a}, []Net{{Name: "n", Pins: []Pin{{Macro: "zzz", Port: "p"}}}}); err == nil {
+		t.Fatal("unknown macro in net accepted")
+	}
+	if _, err := Place(tech.CDA07, []Macro{a}, []Net{{Name: "n", Pins: []Pin{{Macro: "a", Port: "nope"}}}}); err == nil {
+		t.Fatal("unknown port in net accepted")
+	}
+}
+
+func TestNoOverlaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var macros []Macro
+	for i := 0; i < 12; i++ {
+		w := 100 + rng.Intn(900)
+		h := 100 + rng.Intn(900)
+		macros = append(macros, block(string(rune('a'+i)), w, h))
+	}
+	res, err := Place(tech.CDA07, macros, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairwise no-overlap of placed bounds.
+	boxes := map[string]geom.Rect{}
+	for _, m := range macros {
+		pl := res.Placements[m.Name]
+		boxes[m.Name] = geom.TransformRect(m.Cell.Bounds(), pl.Orient).Translate(pl.At)
+	}
+	for n1, b1 := range boxes {
+		for n2, b2 := range boxes {
+			if n1 < n2 && b1.Overlaps(b2) {
+				t.Fatalf("%s and %s overlap: %v %v", n1, n2, b1, b2)
+			}
+		}
+	}
+	if res.Rectangularity < 1 {
+		t.Fatalf("rectangularity %f < 1 is impossible", res.Rectangularity)
+	}
+}
+
+func TestPackingQualityEqualBlocks(t *testing.T) {
+	// Sixteen equal squares should pack nearly perfectly: the
+	// (1+epsilon) quality claim.
+	var macros []Macro
+	for i := 0; i < 16; i++ {
+		macros = append(macros, block(string(rune('a'+i)), 500, 500))
+	}
+	res, err := Place(tech.CDA07, macros, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rectangularity > 1.35 {
+		t.Fatalf("equal squares packed at %.2fx optimal", res.Rectangularity)
+	}
+	if res.AspectRatio > 3 {
+		t.Fatalf("outline aspect %.2f not 'as rectangular as possible'", res.AspectRatio)
+	}
+}
+
+func TestLargestPlacedFirstAtOrigin(t *testing.T) {
+	small := block("small", 100, 100)
+	big := block("big", 1000, 1000)
+	res, err := Place(tech.CDA07, []Macro{small, big}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placements["big"].At != (geom.Point{}) || res.Placements["big"].Orient != geom.R0 {
+		t.Fatalf("largest macro should anchor the floorplan: %+v", res.Placements["big"])
+	}
+}
+
+func TestPortAlignmentAbuts(t *testing.T) {
+	// Macro a has a port on its east edge, b on its west edge; the
+	// net between them should resolve by abutment with zero routed
+	// wirelength.
+	a := block("a", 1000, 1000, geom.Port{
+		Name: "out", Layer: tech.Metal1, Rect: geom.R(990, 400, 1000, 600), Dir: geom.East})
+	b := block("b", 1000, 1000, geom.Port{
+		Name: "in", Layer: tech.Metal1, Rect: geom.R(0, 400, 10, 600), Dir: geom.West})
+	nets := []Net{{Name: "n", Pins: []Pin{{Macro: "a", Port: "out"}, {Macro: "b", Port: "in"}}}}
+	res, err := Place(tech.CDA07, []Macro{a, b}, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbuttedNets != 1 || res.RoutedNets != 0 {
+		t.Fatalf("expected pure abutment: abutted=%d routed=%d wl=%d",
+			res.AbuttedNets, res.RoutedNets, res.Wirelength)
+	}
+	if res.Wirelength != 0 {
+		t.Fatalf("abutted net should add no wirelength, got %d", res.Wirelength)
+	}
+}
+
+func TestStretchingAlignsOffsetPorts(t *testing.T) {
+	// b's port sits at a different height than a's; the stretching
+	// slide should line them up so they still abut.
+	a := block("a", 1000, 1000, geom.Port{
+		Name: "out", Layer: tech.Metal1, Rect: geom.R(990, 800, 1000, 900), Dir: geom.East})
+	b := block("b", 600, 600, geom.Port{
+		Name: "in", Layer: tech.Metal1, Rect: geom.R(0, 100, 10, 200), Dir: geom.West})
+	nets := []Net{{Name: "n", Pins: []Pin{{Macro: "a", Port: "out"}, {Macro: "b", Port: "in"}}}}
+	res, err := Place(tech.CDA07, []Macro{a, b}, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbuttedNets != 1 {
+		t.Fatalf("stretching failed to abut: %+v wl=%d", res, res.Wirelength)
+	}
+}
+
+func TestRoutedNetGetsM3Wire(t *testing.T) {
+	// Ports on the same (non-facing) edges force an over-the-cell
+	// route.
+	a := block("a", 1000, 1000, geom.Port{
+		Name: "p", Layer: tech.Metal1, Rect: geom.R(0, 0, 10, 10), Dir: geom.South})
+	b := block("b", 900, 900, geom.Port{
+		Name: "p", Layer: tech.Metal1, Rect: geom.R(880, 880, 900, 900), Dir: geom.North})
+	nets := []Net{{Name: "n", Pins: []Pin{{Macro: "a", Port: "p"}, {Macro: "b", Port: "p"}}}}
+	res, err := Place(tech.CDA07, []Macro{a, b}, nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoutedNets != 1 {
+		t.Fatalf("expected one routed net: %+v", res)
+	}
+	if res.Wirelength <= 0 {
+		t.Fatal("routed net must add wirelength")
+	}
+	m3 := 0
+	for _, s := range res.Top.Shapes {
+		if s.Layer == tech.Metal3 && s.Net == "n" {
+			m3++
+		}
+	}
+	if m3 == 0 {
+		t.Fatal("no metal3 wires emitted")
+	}
+}
+
+// Property: for random block sets, placement never overlaps and the
+// outline contains every block.
+func TestQuickPlacementLegality(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%6 + 2
+		var macros []Macro
+		for i := 0; i < n; i++ {
+			macros = append(macros, block(string(rune('a'+i)), 50+rng.Intn(400), 50+rng.Intn(400)))
+		}
+		res, err := Place(tech.CDA07, macros, nil)
+		if err != nil {
+			return false
+		}
+		var boxes []geom.Rect
+		for _, m := range macros {
+			pl := res.Placements[m.Name]
+			boxes = append(boxes, geom.TransformRect(m.Cell.Bounds(), pl.Orient).Translate(pl.At))
+		}
+		for i := range boxes {
+			for j := i + 1; j < len(boxes); j++ {
+				if boxes[i].Overlaps(boxes[j]) {
+					return false
+				}
+			}
+		}
+		var bbox geom.Rect
+		for _, b := range boxes {
+			bbox = bbox.Union(b)
+		}
+		return bbox.Area() == res.Area
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

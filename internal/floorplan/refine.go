@@ -1,0 +1,160 @@
+package floorplan
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Refine improves a greedy floorplan by simulated annealing over
+// macro placements: random re-orientation, relocation against another
+// macro's edge, and pairwise position swaps, accepted under a
+// geometric cooling schedule. The cost is the same outline-area /
+// rectangularity / wirelength blend the constructive pass optimises,
+// so Refine can only confirm or improve it. Deterministic for a given
+// seed.
+func Refine(p *tech.Process, macros []Macro, nets []Net, initial *Result, iterations int, seed int64) (*Result, error) {
+	if iterations <= 0 {
+		return initial, nil
+	}
+	byName := map[string]*Macro{}
+	for i := range macros {
+		byName[macros[i].Name] = &macros[i]
+	}
+	names := make([]string, 0, len(macros))
+	for i := range macros {
+		names = append(names, macros[i].Name)
+	}
+	cur := map[string]Placement{}
+	for n, pl := range initial.Placements {
+		cur[n] = pl
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	cost := func(pls map[string]Placement) float64 {
+		var bbox geom.Rect
+		for n, pl := range pls {
+			bbox = bbox.Union(placedBounds(byName[n], pl))
+		}
+		area := float64(bbox.Area())
+		w, h := float64(bbox.W()), float64(bbox.H())
+		aspect := 1.0
+		if w > 0 && h > 0 {
+			aspect = math.Max(w, h) / math.Min(w, h)
+		}
+		wl := 0.0
+		for _, net := range nets {
+			var pts []geom.Point
+			for _, pin := range net.Pins {
+				r, _, ok := portRect(byName[pin.Macro], pls[pin.Macro], pin.Port)
+				if ok {
+					pts = append(pts, r.Center())
+				}
+			}
+			for i := 1; i < len(pts); i++ {
+				wl += math.Abs(float64(pts[i].X-pts[i-1].X)) + math.Abs(float64(pts[i].Y-pts[i-1].Y))
+			}
+		}
+		return area*(1+0.5*(aspect-1)) + wl*(math.Sqrt(area)+1)/8
+	}
+	legal := func(pls map[string]Placement) bool {
+		boxes := make([]geom.Rect, 0, len(pls))
+		for n, pl := range pls {
+			boxes = append(boxes, placedBounds(byName[n], pl))
+		}
+		for i := range boxes {
+			for j := i + 1; j < len(boxes); j++ {
+				if boxes[i].Overlaps(boxes[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	curCost := cost(cur)
+	best := clonePlacements(cur)
+	bestCost := curCost
+	temp := curCost * 0.05
+	cool := math.Pow(0.01, 1/float64(iterations)) // decay to 1% over the run
+
+	for it := 0; it < iterations; it++ {
+		cand := clonePlacements(cur)
+		switch rng.Intn(3) {
+		case 0: // re-orient in place (keep the lower-left corner)
+			n := names[rng.Intn(len(names))]
+			pl := cand[n]
+			old := placedBounds(byName[n], pl)
+			pl.Orient = geom.AllOrients[rng.Intn(len(geom.AllOrients))]
+			tb := geom.TransformRect(byName[n].Cell.Bounds(), pl.Orient)
+			pl.At = geom.Point{X: old.X0 - tb.X0, Y: old.Y0 - tb.Y0}
+			cand[n] = pl
+		case 1: // relocate against a random other macro's edge
+			n := names[rng.Intn(len(names))]
+			m := names[rng.Intn(len(names))]
+			if n == m {
+				continue
+			}
+			anchor := placedBounds(byName[m], cand[m])
+			pl := cand[n]
+			tb := geom.TransformRect(byName[n].Cell.Bounds(), pl.Orient)
+			var at geom.Point
+			switch rng.Intn(4) {
+			case 0:
+				at = geom.Point{X: anchor.X1, Y: anchor.Y0}
+			case 1:
+				at = geom.Point{X: anchor.X0, Y: anchor.Y1}
+			case 2:
+				at = geom.Point{X: anchor.X0 - tb.W(), Y: anchor.Y0}
+			default:
+				at = geom.Point{X: anchor.X0, Y: anchor.Y0 - tb.H()}
+			}
+			pl.At = geom.Point{X: at.X - tb.X0, Y: at.Y - tb.Y0}
+			cand[n] = pl
+		default: // swap two macros' anchor corners
+			a := names[rng.Intn(len(names))]
+			b := names[rng.Intn(len(names))]
+			if a == b {
+				continue
+			}
+			ba := placedBounds(byName[a], cand[a])
+			bb := placedBounds(byName[b], cand[b])
+			pa, pb := cand[a], cand[b]
+			ta := geom.TransformRect(byName[a].Cell.Bounds(), pa.Orient)
+			tbx := geom.TransformRect(byName[b].Cell.Bounds(), pb.Orient)
+			pa.At = geom.Point{X: bb.X0 - ta.X0, Y: bb.Y0 - ta.Y0}
+			pb.At = geom.Point{X: ba.X0 - tbx.X0, Y: ba.Y0 - tbx.Y0}
+			cand[a], cand[b] = pa, pb
+		}
+		if !legal(cand) {
+			temp *= cool
+			continue
+		}
+		cc := cost(cand)
+		if cc < curCost || rng.Float64() < math.Exp((curCost-cc)/math.Max(temp, 1)) {
+			cur, curCost = cand, cc
+			if cc < bestCost {
+				best, bestCost = clonePlacements(cand), cc
+			}
+		}
+		temp *= cool
+	}
+
+	// Rebuild the final result from the best placements.
+	st := &state{p: p, placed: best, byName: byName, nets: nets}
+	for _, n := range names {
+		st.boxes = append(st.boxes, placedBounds(byName[n], best[n]))
+		st.bbox = st.bbox.Union(st.boxes[len(st.boxes)-1])
+	}
+	return st.finish(macros)
+}
+
+func clonePlacements(in map[string]Placement) map[string]Placement {
+	out := make(map[string]Placement, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

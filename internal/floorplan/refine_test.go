@@ -1,0 +1,102 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// blended mirrors the optimiser's area/aspect cost for result
+// comparison (wirelength-free instances).
+func blended(r *Result) float64 {
+	return float64(r.Area) * (1 + 0.5*(r.AspectRatio-1))
+}
+
+func TestRefineImprovesBadInitial(t *testing.T) {
+	// Eight equal squares laid out in a strip: aspect 8, ripe for
+	// improvement.
+	var macros []Macro
+	init := &Result{Placements: map[string]Placement{}}
+	for i := 0; i < 8; i++ {
+		m := block(string(rune('a'+i)), 500, 500)
+		macros = append(macros, m)
+		init.Placements[m.Name] = Placement{Orient: geom.R0, At: geom.Point{X: i * 500}}
+	}
+	init.Area = 8 * 500 * 500
+	init.AspectRatio = 8
+	refined, err := Refine(tech.CDA07, macros, nil, init, 4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(blended(refined) < blended(init)*0.8) {
+		t.Fatalf("refinement too weak: %.0f -> %.0f (aspect %.2f)",
+			blended(init), blended(refined), refined.AspectRatio)
+	}
+	// Legality: pairwise disjoint.
+	var boxes []geom.Rect
+	for _, m := range macros {
+		pl := refined.Placements[m.Name]
+		boxes = append(boxes, geom.TransformRect(m.Cell.Bounds(), pl.Orient).Translate(pl.At))
+	}
+	for i := range boxes {
+		for j := i + 1; j < len(boxes); j++ {
+			if boxes[i].Overlaps(boxes[j]) {
+				t.Fatalf("refined overlap between %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestRefineDeterministic(t *testing.T) {
+	var macros []Macro
+	for i := 0; i < 6; i++ {
+		macros = append(macros, block(string(rune('a'+i)), 300+i*90, 200+i*70))
+	}
+	base, err := Place(tech.CDA07, macros, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Refine(tech.CDA07, macros, nil, base, 1500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Refine(tech.CDA07, macros, nil, base, 1500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Area != r2.Area || r1.Wirelength != r2.Wirelength {
+		t.Fatalf("nondeterministic refinement: %d/%d vs %d/%d",
+			r1.Area, r1.Wirelength, r2.Area, r2.Wirelength)
+	}
+	// Zero iterations is the identity.
+	same, err := Refine(tech.CDA07, macros, nil, base, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != base {
+		t.Fatal("0 iterations should return the input")
+	}
+}
+
+func TestRefineNeverWorseThanGreedyByMuch(t *testing.T) {
+	// On a mixed instance the annealer must not end above the greedy
+	// cost (it keeps the best-seen state, which includes the start).
+	var macros []Macro
+	sizes := [][2]int{{900, 300}, {400, 400}, {700, 200}, {300, 800}, {500, 500}}
+	for i, s := range sizes {
+		macros = append(macros, block(string(rune('a'+i)), s[0], s[1]))
+	}
+	base, err := Place(tech.CDA07, macros, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Refine(tech.CDA07, macros, nil, base, 2500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blended(refined) > blended(base)*1.02+math.Sqrt(float64(base.Area)) {
+		t.Fatalf("refinement regressed: %.0f -> %.0f", blended(base), blended(refined))
+	}
+}

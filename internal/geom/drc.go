@@ -1,0 +1,102 @@
+package geom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rule is a minimum width and same-layer spacing constraint for one
+// layer, in dbu. Zero values disable the corresponding check.
+type Rule struct {
+	MinWidth   int
+	MinSpacing int
+}
+
+// Violation records one design-rule failure found by Check.
+type Violation struct {
+	Layer Layer
+	Kind  string // "width" or "spacing"
+	A, B  Rect   // offending rect(s); B is zero for width violations
+	Got   int
+	Want  int
+}
+
+func (v Violation) String() string {
+	if v.Kind == "width" {
+		return fmt.Sprintf("layer %d width %d < %d at %v", v.Layer, v.Got, v.Want, v.A)
+	}
+	return fmt.Sprintf("layer %d spacing %d < %d between %v and %v", v.Layer, v.Got, v.Want, v.A, v.B)
+}
+
+// Check runs a simplified width/spacing DRC over the flattened shapes
+// of the cell. Same-net shapes that touch or overlap are exempt from
+// spacing (they are connected wiring); distinct-net or disjoint
+// same-layer shapes must satisfy the layer's MinSpacing. The check is
+// O(n log n) per layer via a sweep over x-sorted shapes.
+//
+// maxViolations bounds the report size; 0 means unlimited.
+func Check(c *Cell, rules map[Layer]Rule, maxViolations int) []Violation {
+	shapes := c.Flatten()
+	byLayer := make(map[Layer][]Shape)
+	for _, s := range shapes {
+		byLayer[s.Layer] = append(byLayer[s.Layer], s)
+	}
+	var out []Violation
+	layers := make([]Layer, 0, len(byLayer))
+	for l := range byLayer {
+		layers = append(layers, l)
+	}
+	sort.Slice(layers, func(i, j int) bool { return layers[i] < layers[j] })
+	for _, l := range layers {
+		rule, ok := rules[l]
+		if !ok {
+			continue
+		}
+		ss := byLayer[l]
+		// Width check.
+		if rule.MinWidth > 0 {
+			for _, s := range ss {
+				w := min(s.Rect.W(), s.Rect.H())
+				if w < rule.MinWidth {
+					out = append(out, Violation{Layer: l, Kind: "width", A: s.Rect, Got: w, Want: rule.MinWidth})
+					if maxViolations > 0 && len(out) >= maxViolations {
+						return out
+					}
+				}
+			}
+		}
+		// Spacing check via x-sweep.
+		if rule.MinSpacing > 0 {
+			sort.Slice(ss, func(i, j int) bool { return ss[i].Rect.X0 < ss[j].Rect.X0 })
+			for i := range ss {
+				for j := i + 1; j < len(ss); j++ {
+					if ss[j].Rect.X0-ss[i].Rect.X1 >= rule.MinSpacing {
+						break // sorted by X0: no later shape can violate in x
+					}
+					a, b := ss[i], ss[j]
+					sep := a.Rect.Separation(b.Rect)
+					if sep >= rule.MinSpacing {
+						continue
+					}
+					// Touching/overlapping shapes on the same net are wiring.
+					if sep == 0 && sameNet(a, b) {
+						continue
+					}
+					if sep == 0 && (a.Net == "" || b.Net == "") && a.Rect.Expand(1).Overlaps(b.Rect) {
+						// Anonymous wiring abutting something is a connection.
+						continue
+					}
+					out = append(out, Violation{Layer: l, Kind: "spacing", A: a.Rect, B: b.Rect, Got: sep, Want: rule.MinSpacing})
+					if maxViolations > 0 && len(out) >= maxViolations {
+						return out
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sameNet(a, b Shape) bool {
+	return a.Net != "" && a.Net == b.Net
+}

@@ -1,0 +1,318 @@
+package leafcell
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Shared template dimensions (lambdas). All leaf cells share the same
+// height and horizontal device pitch so rails and rows abut cleanly.
+// With the clearances below, every generated cell passes the
+// simplified DRC for poly and the metal layers:
+//
+//   - max device width 6λ keeps NMOS gate poly below y=18 and PMOS
+//     gate poly above y=24, leaving the shared horizontal poly track
+//     at y=20..22 with 2λ (= min poly spacing) on both sides;
+//   - device M1 tabs sit >= 6λ from the supply rails (double the
+//     metal1 spacing rule), and the vdd and gnd rails live at
+//     opposite cell edges, so the critical area for fatal vdd-gnd
+//     bridges is zero for all realistic spot-defect radii (the §VII
+//     template argument; see the CAA experiment).
+const (
+	devPitch   = 14 // horizontal device pitch
+	cellHeight = 40 // standard cell/bit-cell height
+	railW      = 3  // power rail width (metal1 minimum)
+	nmosRowY   = 10 // NMOS active bottom
+	pmosRowY   = 26 // PMOS active bottom
+	wlY        = 20 // horizontal poly track (wordline / gate strap)
+	maxDevW    = 6  // channel width clamp for the template
+)
+
+// frame draws the power rails and abutment box for a cell of the
+// given width (lambdas) and registers the rail ports.
+func frame(b *B, widthL int) {
+	b.Rect(tech.Metal1, 0, 0, widthL, railW, "gnd")
+	b.Rect(tech.Metal1, 0, cellHeight-railW, widthL, cellHeight, "vdd")
+	b.Abut(0, 0, widthL, cellHeight)
+	b.Port("gnd", tech.Metal1, 0, 0, widthL, railW, geom.West)
+	b.Port("vdd", tech.Metal1, 0, cellHeight-railW, widthL, cellHeight, geom.East)
+}
+
+// devX returns the active-left x of device slot i (0-based).
+func devX(i int) int { return 2 + i*devPitch }
+
+// widthFor returns the standard cell width for n device slots.
+func widthFor(slots int) int { return devX(slots) + 1 }
+
+func clampW(w int) int {
+	if w < 3 {
+		return 3
+	}
+	if w > maxDevW {
+		return maxDevW
+	}
+	return w
+}
+
+// nmos places an NMOS in slot i with channel width w (clamped to the
+// template).
+func nmos(b *B, name string, slot, w int, d, g, s string) {
+	b.Device(name, devX(slot), nmosRowY, clampW(w), tech.NMOS, d, g, s)
+}
+
+// pmos places a PMOS in slot i with channel width w (clamped).
+func pmos(b *B, name string, slot, w int, d, g, s string) {
+	b.Device(name, devX(slot), pmosRowY, clampW(w), tech.PMOS, d, g, s)
+}
+
+// drainPort puts a port on the existing drain M1 tab of the device in
+// the given slot/row (so no extra metal is needed).
+func drainPort(b *B, name string, slot, w int, onNMOS bool, dir geom.PortDir) {
+	w = clampW(w)
+	rowY := nmosRowY
+	if !onNMOS {
+		rowY = pmosRowY
+	}
+	cy := rowY + w/2 - 1
+	x := devX(slot)
+	b.Port(name, tech.Metal1, x+7, cy-1, x+11, cy+3, dir)
+}
+
+// gatePort puts a port on the bottom of the gate poly of the device in
+// the given slot (NMOS row).
+func gatePort(b *B, name string, slot int, dir geom.PortDir) {
+	x := devX(slot)
+	b.Port(name, tech.Poly, x+5, nmosRowY-2, x+7, nmosRowY, dir)
+}
+
+// SRAM6T generates the six-transistor bit cell. Its layout template is
+// the one the paper credits with near-zero critical area for fatal
+// (global-net) defects. Ports: bl/blb (metal2, vertical), wl (poly,
+// horizontal), vdd/gnd rails.
+func SRAM6T(p *tech.Process) *Cell {
+	b := newB(p, "sram6t")
+	w := widthFor(3)
+	frame(b, w)
+	// Bitlines on metal2; inset 2λ so abutted neighbours keep the M2
+	// spacing rule.
+	b.Rect(tech.Metal2, 2, 0, 5, cellHeight, "bl")
+	b.Rect(tech.Metal2, w-5, 0, w-2, cellHeight, "blb")
+	// Wordline on poly across the cell; 2λ clear of every gate endcap.
+	b.Rect(tech.Poly, 0, wlY, w, wlY+2, "wl")
+	// Pass gates and pull-downs (NMOS row), pull-ups (PMOS row).
+	nmos(b, "pg1", 0, 3, "bl", "wl", "q")
+	nmos(b, "pd1", 1, 6, "q", "qb", "gnd")
+	nmos(b, "pd2", 2, 6, "qb", "q", "gnd")
+	pmos(b, "pg2d", 0, 3, "blb", "wl", "qb") // drawn in the PMOS row for density
+	pmos(b, "pu1", 1, 4, "q", "qb", "vdd")
+	pmos(b, "pu2", 2, 4, "qb", "q", "vdd")
+	// The second pass device is electrically NMOS; fix the netlist
+	// entry (the geometry slot is reused for density).
+	tr := &b.C.Transistors[3]
+	tr.Name, tr.Type = "pg2", tech.NMOS
+	b.Port("bl", tech.Metal2, 2, 0, 5, cellHeight, geom.North)
+	b.Port("blb", tech.Metal2, w-5, 0, w-2, cellHeight, geom.North)
+	b.Port("wl", tech.Poly, 0, wlY, w, wlY+2, geom.West)
+	return sanity(b.Done())
+}
+
+// Precharge generates the bitline precharge/equalise cell: two PMOS
+// pull-ups plus an equaliser, with widths scaled by bufSize (the
+// user's critical-gate size parameter; widths clamp to the template).
+func Precharge(p *tech.Process, bufSize int) *Cell {
+	if bufSize < 1 {
+		bufSize = 1
+	}
+	b := newB(p, fmt.Sprintf("precharge_x%d", bufSize))
+	w := widthFor(3)
+	frame(b, w)
+	b.Rect(tech.Metal2, 2, 0, 5, cellHeight, "bl")
+	b.Rect(tech.Metal2, w-5, 0, w-2, cellHeight, "blb")
+	b.Rect(tech.Poly, 0, wlY, w, wlY+2, "pre")
+	dw := 3 * bufSize
+	pmos(b, "pp1", 0, dw, "bl", "pre", "vdd")
+	pmos(b, "pp2", 1, dw, "blb", "pre", "vdd")
+	pmos(b, "peq", 2, dw, "bl", "pre", "blb")
+	b.Port("bl", tech.Metal2, 2, 0, 5, cellHeight, geom.South)
+	b.Port("blb", tech.Metal2, w-5, 0, w-2, cellHeight, geom.South)
+	b.Port("pre", tech.Poly, 0, wlY, w, wlY+2, geom.West)
+	return sanity(b.Done())
+}
+
+// SenseAmp generates the current-mode sense amplifier of Fig. 3: a
+// cross-coupled sensing pair, tail bias device and output buffer. A
+// small current differential on bl/blb latches the amplifier.
+func SenseAmp(p *tech.Process) *Cell {
+	b := newB(p, "senseamp")
+	w := widthFor(4)
+	frame(b, w)
+	b.Rect(tech.Metal2, 2, 0, 5, cellHeight, "bl")
+	b.Rect(tech.Metal2, w-5, 0, w-2, cellHeight, "blb")
+	b.Rect(tech.Poly, 0, wlY, w, wlY+2, "saen")
+	nmos(b, "mcc1", 0, 6, "out", "outb", "tail")
+	nmos(b, "mcc2", 1, 6, "outb", "out", "tail")
+	nmos(b, "mtail", 2, 6, "tail", "saen", "gnd")
+	nmos(b, "mobuf", 3, 4, "dout", "outb", "gnd")
+	pmos(b, "mld1", 0, 4, "out", "bl", "vdd")
+	pmos(b, "mld2", 1, 4, "outb", "blb", "vdd")
+	pmos(b, "mpbuf", 3, 6, "dout", "outb", "vdd")
+	b.Port("bl", tech.Metal2, 2, 0, 5, cellHeight, geom.North)
+	b.Port("blb", tech.Metal2, w-5, 0, w-2, cellHeight, geom.North)
+	b.Port("saen", tech.Poly, 0, wlY, w, wlY+2, geom.West)
+	drainPort(b, "dout", 3, 4, true, geom.South)
+	return sanity(b.Done())
+}
+
+// WriteDriver generates the write driver: in write mode the sense amp
+// is bypassed and the bitlines are driven directly.
+func WriteDriver(p *tech.Process) *Cell {
+	b := newB(p, "writedriver")
+	w := widthFor(4)
+	frame(b, w)
+	b.Rect(tech.Metal2, 2, 0, 5, cellHeight, "bl")
+	b.Rect(tech.Metal2, w-5, 0, w-2, cellHeight, "blb")
+	b.Rect(tech.Poly, 0, wlY, w, wlY+2, "wen")
+	nmos(b, "mn1", 0, 6, "bl", "din_b", "gnd")
+	nmos(b, "mn2", 1, 6, "blb", "din", "gnd")
+	nmos(b, "men1", 2, 6, "bl", "wen", "blv")
+	nmos(b, "men2", 3, 6, "blb", "wen", "blbv")
+	pmos(b, "mp1", 0, 6, "bl", "din", "vdd")
+	pmos(b, "mp2", 1, 6, "blb", "din_b", "vdd")
+	b.Port("bl", tech.Metal2, 2, 0, 5, cellHeight, geom.North)
+	b.Port("blb", tech.Metal2, w-5, 0, w-2, cellHeight, geom.North)
+	b.Port("wen", tech.Poly, 0, wlY, w, wlY+2, geom.West)
+	gatePort(b, "din", 1, geom.South)
+	return sanity(b.Done())
+}
+
+// ColMux generates one column-multiplexer slice: the pass-transistor
+// pair selecting this bitline pair onto the shared data bus (Fig. 2's
+// column-multiplexed addressing).
+func ColMux(p *tech.Process) *Cell {
+	b := newB(p, "colmux")
+	w := widthFor(2)
+	frame(b, w)
+	b.Rect(tech.Metal2, 2, 0, 5, cellHeight, "bl")
+	b.Rect(tech.Metal2, w-5, 0, w-2, cellHeight, "blb")
+	b.Rect(tech.Poly, 0, wlY, w, wlY+2, "sel")
+	nmos(b, "mpass1", 0, 6, "dbus", "sel", "bl")
+	nmos(b, "mpass2", 1, 6, "dbusb", "sel", "blb")
+	b.Port("bl", tech.Metal2, 2, 0, 5, cellHeight, geom.North)
+	b.Port("blb", tech.Metal2, w-5, 0, w-2, cellHeight, geom.North)
+	b.Port("sel", tech.Poly, 0, wlY, w, wlY+2, geom.West)
+	drainPort(b, "dbus", 0, 6, true, geom.South)
+	drainPort(b, "dbusb", 1, 6, true, geom.South)
+	return sanity(b.Done())
+}
+
+// RowDecoderUnit generates one row decoder slice: an addrBits-input
+// static NAND plus the sized wordline driver inverter. It shares the
+// bit-cell height so one unit abuts each array row.
+func RowDecoderUnit(p *tech.Process, addrBits, bufSize int) *Cell {
+	if addrBits < 1 {
+		addrBits = 1
+	}
+	if bufSize < 1 {
+		bufSize = 1
+	}
+	b := newB(p, fmt.Sprintf("rowdec_a%d_x%d", addrBits, bufSize))
+	slots := addrBits + 2
+	w := widthFor(slots)
+	frame(b, w)
+	// NAND: series NMOS chain, parallel PMOS.
+	for i := 0; i < addrBits; i++ {
+		src := fmt.Sprintf("n%d", i)
+		if i == addrBits-1 {
+			src = "gnd"
+		}
+		drn := fmt.Sprintf("n%d", i-1)
+		if i == 0 {
+			drn = "wlb"
+		}
+		g := fmt.Sprintf("a%d", i)
+		nmos(b, fmt.Sprintf("mnd%d", i), i, 4, drn, g, src)
+		pmos(b, fmt.Sprintf("mpd%d", i), i, 4, "wlb", g, "vdd")
+		// Address input pins: vertical metal2 stubs over the gates.
+		x := devX(i) + 5
+		b.Rect(tech.Metal2, x, 0, x+3, 8, g)
+		b.Port(g, tech.Metal2, x, 0, x+3, 8, geom.South)
+	}
+	// Wordline driver inverter, sized by bufSize.
+	dw := 3 * bufSize
+	nmos(b, "mninv", addrBits, dw, "wl", "wlb", "gnd")
+	pmos(b, "mpinv", addrBits+1, dw, "wl", "wlb", "vdd")
+	// Wordline output on the shared poly track, exiting east.
+	b.Rect(tech.Poly, devX(addrBits), wlY, w, wlY+2, "wl")
+	b.Port("wl", tech.Poly, devX(addrBits), wlY, w, wlY+2, geom.East)
+	return sanity(b.Done())
+}
+
+// CAMCell generates one TLB content-addressable bit: a 6T storage cell
+// plus the XOR compare stack that discharges the match line on a
+// mismatch. The match lines of a TLB row wire-AND horizontally,
+// giving the single-cycle parallel compare of the paper's BISR design.
+func CAMCell(p *tech.Process) *Cell {
+	b := newB(p, "camcell")
+	w := widthFor(5)
+	frame(b, w)
+	b.Rect(tech.Metal2, 2, 0, 5, cellHeight, "sl")
+	b.Rect(tech.Metal2, w-5, 0, w-2, cellHeight, "slb")
+	b.Rect(tech.Poly, 0, wlY, w, wlY+2, "wl")
+	// Match line: metal3 horizontal mid-cell (over the cell, clear of
+	// the M1 device tabs).
+	b.Rect(tech.Metal3, 0, 12, w, 17, "ml")
+	// Storage (6T topology, compacted).
+	nmos(b, "pg1", 0, 3, "sl", "wl", "q")
+	nmos(b, "pd1", 1, 6, "q", "qb", "gnd")
+	nmos(b, "pd2", 2, 6, "qb", "q", "gnd")
+	pmos(b, "pu1", 1, 4, "q", "qb", "vdd")
+	pmos(b, "pu2", 2, 4, "qb", "q", "vdd")
+	// Compare stack: mismatch pulls the match line low.
+	nmos(b, "mx1", 3, 4, "ml", "q", "x1")
+	nmos(b, "mx2", 4, 4, "x1", "slb", "gnd")
+	b.Port("sl", tech.Metal2, 2, 0, 5, cellHeight, geom.North)
+	b.Port("slb", tech.Metal2, w-5, 0, w-2, cellHeight, geom.North)
+	b.Port("wl", tech.Poly, 0, wlY, w, wlY+2, geom.West)
+	b.Port("ml", tech.Metal3, 0, 12, w, 17, geom.East)
+	return sanity(b.Done())
+}
+
+// PLA crosspoint cells: the pseudo-NMOS NOR-NOR planes are arrays of
+// these. A programmed crosspoint carries one NMOS pull-down; an
+// unprogrammed one is empty silicon of the same pitch.
+const plaPitch = devPitch + 2 // square-ish crosspoint pitch
+
+// PLACrosspoint returns the programmed (device) or empty variant.
+func PLACrosspoint(p *tech.Process, programmed bool) *Cell {
+	name := "pla_0"
+	if programmed {
+		name = "pla_1"
+	}
+	b := newB(p, name)
+	b.Abut(0, 0, plaPitch, plaPitch)
+	// Input line: vertical poly; term line: horizontal metal3 (clear
+	// of the device's M1 tabs).
+	b.Rect(tech.Poly, 7, 0, 9, plaPitch, "in")
+	b.Rect(tech.Metal3, 0, 8, plaPitch, 13, "term")
+	if programmed {
+		b.Device("mx", 2, 3, 3, tech.NMOS, "term", "in", "gnd")
+	}
+	b.Port("in", tech.Poly, 7, 0, 9, plaPitch, geom.South)
+	b.Port("term", tech.Metal3, 0, 8, plaPitch, 13, geom.West)
+	return sanity(b.Done())
+}
+
+// PLAPullup returns the pseudo-NMOS load cell terminating a plane
+// line.
+func PLAPullup(p *tech.Process) *Cell {
+	b := newB(p, "pla_pullup")
+	b.Abut(0, 0, plaPitch, cellHeight)
+	b.Rect(tech.Metal3, 0, 8, plaPitch, 13, "term")
+	b.Rect(tech.Metal1, 0, cellHeight-railW, plaPitch, cellHeight, "vdd")
+	b.Device("mpu", 2, pmosRowY, 4, tech.PMOS, "term", "gnd", "vdd")
+	b.Port("term", tech.Metal3, 0, 8, plaPitch, 13, geom.West)
+	b.Port("vdd", tech.Metal1, 0, cellHeight-railW, plaPitch, cellHeight, geom.East)
+	return sanity(b.Done())
+}

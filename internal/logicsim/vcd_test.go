@@ -1,0 +1,67 @@
+package logicsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVCDRecordsCounter(t *testing.T) {
+	s := New()
+	rstN := s.Net("rstN")
+	c := s.UpDownCounter("cnt", 3, rstN)
+	rec := NewVCDRecorder(s, c.Q)
+	s.Set(rstN, L0)
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyResets(); err != nil {
+		t.Fatal(err)
+	}
+	s.Set(rstN, L1)
+	s.Set(c.En, L1)
+	s.Set(c.Up, L1)
+	if err := s.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.ClockEdge(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.Events() == 0 {
+		t.Fatal("no events recorded")
+	}
+	var buf bytes.Buffer
+	if err := rec.Write(&buf, "1ns"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"$timescale 1ns $end", "$var wire 1", "cnt.q__0",
+		"$dumpvars", "$enddefinitions $end", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out[:min(400, len(out))])
+		}
+	}
+	// Value-change lines for both levels must appear.
+	if !strings.Contains(out, "1!") && !strings.Contains(out, "1\"") {
+		t.Error("no rising changes recorded")
+	}
+}
+
+func TestVCDIDGeneration(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestVCDValueChars(t *testing.T) {
+	if vcdValue(L0) != '0' || vcdValue(L1) != '1' || vcdValue(X) != 'x' || vcdValue(Z) != 'z' {
+		t.Fatal("value chars wrong")
+	}
+}

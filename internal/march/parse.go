@@ -1,0 +1,94 @@
+package march
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a march test from its notation, enabling custom test
+// algorithms from the command line ("changing the control code is a
+// simple and straightforward matter"). Both the unicode arrows and an
+// ASCII form are accepted:
+//
+//	{⇕(w0); ⇑(r0,w1); Del; ⇓(r1,w0)}
+//	{b(w0); u(r0,w1); Del; d(r1,w0)}
+//
+// u/⇑ ascending, d/⇓ descending, b/⇕ either; Del inserts the
+// data-retention delay before the next element; braces optional.
+func Parse(name, s string) (Test, error) {
+	t := Test{Name: name}
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "{")
+	s = strings.TrimSuffix(s, "}")
+	pendingDelay := false
+	for _, raw := range strings.Split(s, ";") {
+		e := strings.TrimSpace(raw)
+		if e == "" {
+			continue
+		}
+		if strings.EqualFold(e, "del") || strings.EqualFold(e, "delay") {
+			pendingDelay = true
+			continue
+		}
+		elem, err := parseElement(e)
+		if err != nil {
+			return Test{}, err
+		}
+		elem.Delay = pendingDelay
+		pendingDelay = false
+		t.Elements = append(t.Elements, elem)
+	}
+	if pendingDelay {
+		return Test{}, fmt.Errorf("march: trailing Del with no element")
+	}
+	if len(t.Elements) == 0 {
+		return Test{}, fmt.Errorf("march: empty test")
+	}
+	return t, nil
+}
+
+func parseElement(e string) (Element, error) {
+	var el Element
+	switch {
+	case strings.HasPrefix(e, "⇑"), strings.HasPrefix(e, "u"), strings.HasPrefix(e, "U"):
+		el.Order = Ascending
+	case strings.HasPrefix(e, "⇓"), strings.HasPrefix(e, "d"), strings.HasPrefix(e, "D"):
+		el.Order = Descending
+	case strings.HasPrefix(e, "⇕"), strings.HasPrefix(e, "b"), strings.HasPrefix(e, "B"):
+		el.Order = Either
+	default:
+		return el, fmt.Errorf("march: element %q: unknown order prefix", e)
+	}
+	open := strings.IndexByte(e, '(')
+	close := strings.LastIndexByte(e, ')')
+	if open < 0 || close < open {
+		return el, fmt.Errorf("march: element %q: missing parentheses", e)
+	}
+	for _, opStr := range strings.Split(e[open+1:close], ",") {
+		opStr = strings.TrimSpace(strings.ToLower(opStr))
+		if len(opStr) != 2 {
+			return el, fmt.Errorf("march: element %q: bad op %q", e, opStr)
+		}
+		var op Op
+		switch opStr[0] {
+		case 'r':
+			op.Kind = Read
+		case 'w':
+			op.Kind = Write
+		default:
+			return el, fmt.Errorf("march: element %q: bad op kind %q", e, opStr)
+		}
+		switch opStr[1] {
+		case '0':
+		case '1':
+			op.Inverted = true
+		default:
+			return el, fmt.Errorf("march: element %q: bad op datum %q", e, opStr)
+		}
+		el.Ops = append(el.Ops, op)
+	}
+	if len(el.Ops) == 0 {
+		return el, fmt.Errorf("march: element %q has no ops", e)
+	}
+	return el, nil
+}

@@ -1,0 +1,86 @@
+package march
+
+import (
+	"testing"
+
+	"repro/internal/sram"
+)
+
+func TestParseRoundTripsBuiltins(t *testing.T) {
+	for _, orig := range AllTests() {
+		// Render to notation and parse back.
+		s := orig.String()
+		// Strip the "NAME: " prefix.
+		idx := 0
+		for i := range s {
+			if s[i] == '{' {
+				idx = i
+				break
+			}
+		}
+		got, err := Parse(orig.Name, s[idx:])
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if len(got.Elements) != len(orig.Elements) {
+			t.Fatalf("%s: element count %d -> %d", orig.Name, len(orig.Elements), len(got.Elements))
+		}
+		for i := range got.Elements {
+			a, b := orig.Elements[i], got.Elements[i]
+			if a.Order != b.Order || a.Delay != b.Delay || len(a.Ops) != len(b.Ops) {
+				t.Fatalf("%s element %d: %+v vs %+v", orig.Name, i, a, b)
+			}
+			for j := range a.Ops {
+				if a.Ops[j] != b.Ops[j] {
+					t.Fatalf("%s element %d op %d differs", orig.Name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestParseASCIIForm(t *testing.T) {
+	tst, err := Parse("custom", "b(w0); u(r0,w1); Del; d(r1,w0); b(r0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tst.Elements) != 4 {
+		t.Fatalf("elements %d", len(tst.Elements))
+	}
+	if tst.Elements[0].Order != Either || tst.Elements[1].Order != Ascending ||
+		tst.Elements[2].Order != Descending {
+		t.Fatal("orders wrong")
+	}
+	if !tst.Elements[2].Delay {
+		t.Fatal("Del lost")
+	}
+	// The parsed test runs correctly.
+	a := sram.MustNew(sram.Config{Words: 32, BPW: 4, BPC: 4})
+	if !Run(a, tst, JohnsonBackgrounds(4), 4).Pass() {
+		t.Fatal("parsed test failed on fault-free array")
+	}
+	if err := a.Inject(sram.CellAddr{Row: 2, Col: 2}, sram.Fault{Kind: sram.SA1}); err != nil {
+		t.Fatal(err)
+	}
+	if Run(a, tst, JohnsonBackgrounds(4), 4).Pass() {
+		t.Fatal("parsed test missed a stuck-at fault")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"x(r0)",      // unknown order
+		"u r0",       // no parens
+		"u(q0)",      // bad kind
+		"u(r2)",      // bad datum
+		"u(rr0)",     // bad token
+		"u()",        // empty ops
+		"u(r0); Del", // trailing delay
+	}
+	for _, s := range bad {
+		if _, err := Parse("bad", s); err == nil {
+			t.Errorf("accepted %q", s)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package march
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sram"
+)
+
+func randomize(a *sram.Array, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	init := make([]uint64, a.Words())
+	for i := range init {
+		init[i] = rng.Uint64() & 0xF
+		a.Write(i, init[i])
+	}
+	return init
+}
+
+func TestTransparentFaultFreeRestores(t *testing.T) {
+	for _, test := range []Test{IFA9(), IFA13(), MATSPlus(), MarchCMinus()} {
+		a := sram.MustNew(sram.Config{Words: 64, BPW: 4, BPC: 4})
+		init := randomize(a, 11)
+		res := RunTransparent(a, test, 4)
+		if !res.Pass() {
+			t.Errorf("%s: transparent run failed on fault-free array: %v", test.Name, res.Failures[0])
+		}
+		if !res.Restored {
+			t.Errorf("%s: contents not restored", test.Name)
+		}
+		for addr, want := range init {
+			if got := a.Read(addr); got != want {
+				t.Fatalf("%s: addr %d: %x != %x", test.Name, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestTransparentDetectsFaults(t *testing.T) {
+	cases := []sram.Fault{
+		{Kind: sram.SA0}, {Kind: sram.SA1}, {Kind: sram.TFU}, {Kind: sram.TFD},
+	}
+	for _, f := range cases {
+		a := sram.MustNew(sram.Config{Words: 64, BPW: 4, BPC: 4})
+		randomize(a, 13)
+		if err := a.Inject(sram.CellAddr{Row: 4, Col: 6}, f); err != nil {
+			t.Fatal(err)
+		}
+		res := RunTransparent(a, IFA9(), 4)
+		if res.Pass() {
+			t.Errorf("transparent IFA-9 missed %v", f.Kind)
+		}
+	}
+	// Retention fault through the delay elements.
+	a := sram.MustNew(sram.Config{Words: 64, BPW: 4, BPC: 4})
+	randomize(a, 17)
+	if err := a.Inject(sram.CellAddr{Row: 2, Col: 2}, sram.Fault{Kind: sram.DRF0}); err != nil {
+		t.Fatal(err)
+	}
+	if res := RunTransparent(a, IFA9(), 4); res.Pass() {
+		t.Error("transparent IFA-9 missed DRF0")
+	}
+}
+
+func TestTransparentName(t *testing.T) {
+	a := sram.MustNew(sram.Config{Words: 16, BPW: 4, BPC: 4})
+	res := RunTransparent(a, IFA9(), 4)
+	if res.Test != "IFA-9 (transparent)" {
+		t.Fatalf("name %q", res.Test)
+	}
+	if res.Operations <= 0 {
+		t.Fatal("no operations counted")
+	}
+}
+
+// Property: transparent IFA-9 restores arbitrary random contents on a
+// fault-free memory.
+func TestQuickTransparentRestoration(t *testing.T) {
+	f := func(seed int64) bool {
+		a := sram.MustNew(sram.Config{Words: 32, BPW: 8, BPC: 4})
+		rng := rand.New(rand.NewSource(seed))
+		init := make([]uint64, a.Words())
+		for i := range init {
+			init[i] = rng.Uint64() & 0xFF
+			a.Write(i, init[i])
+		}
+		res := RunTransparent(a, IFA9(), 8)
+		if !res.Pass() || !res.Restored {
+			return false
+		}
+		for addr, want := range init {
+			if a.Read(addr) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressDecoderFault(t *testing.T) {
+	a := sram.MustNew(sram.Config{Words: 64, BPW: 4, BPC: 4})
+	if err := a.InjectAddressFault(10, 20); err != nil {
+		t.Fatal(err)
+	}
+	// Writing 10 lands on 20.
+	a.Write(10, 0x5)
+	if a.Read(20) != 0x5 {
+		t.Fatal("aliased write missed target")
+	}
+	// March detects the AF (writes to 20 clobber what 10 expects).
+	if res := Run(a, IFA9(), JohnsonBackgrounds(4), 4); res.Pass() {
+		t.Error("IFA-9 missed the address decoder fault")
+	}
+	// Bad injections rejected.
+	if err := a.InjectAddressFault(5, 5); err == nil {
+		t.Error("self-alias accepted")
+	}
+	if err := a.InjectAddressFault(99, 0); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Package render emits layout plots: SVG (the equivalents of the
+// paper's Figs. 6 and 7) and a coarse ASCII floorplan for terminals.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Options controls plot generation.
+type Options struct {
+	// Depth limits hierarchy flattening: instances deeper than Depth
+	// render as outlined boxes with their cell name. Depth 0 draws
+	// only top-level instance outlines.
+	Depth int
+	// MaxShapes caps emitted SVG elements (0 = 200k).
+	MaxShapes int
+	// WidthPx scales the drawing (0 = 1200).
+	WidthPx int
+	// Legend adds a layer-colour legend strip under the plot.
+	Legend bool
+}
+
+var layerColors = map[geom.Layer]string{
+	tech.NWell:   "#f2e8c9",
+	tech.Active:  "#7bd37b",
+	tech.Poly:    "#d64545",
+	tech.NPlus:   "#c9e4a0",
+	tech.PPlus:   "#e4c9a0",
+	tech.Contact: "#222222",
+	tech.Metal1:  "#4a6fd0",
+	tech.Via1:    "#101010",
+	tech.Metal2:  "#b06fd0",
+	tech.Via2:    "#101010",
+	tech.Metal3:  "#d0a84a",
+}
+
+type svgItem struct {
+	rect  geom.Rect
+	layer geom.Layer
+	label string // non-empty for outline boxes
+}
+
+// SVG renders the cell to an SVG document string.
+func SVG(c *geom.Cell, o Options) string {
+	if o.MaxShapes == 0 {
+		o.MaxShapes = 200000
+	}
+	if o.WidthPx == 0 {
+		o.WidthPx = 1200
+	}
+	var items []svgItem
+	collect(c, geom.Orient{}, geom.Point{}, o.Depth, &items, o.MaxShapes)
+	b := c.Bounds()
+	if b.Empty() {
+		b = geom.R(0, 0, 1, 1)
+	}
+	legendH := 0
+	if o.Legend {
+		legendH = b.W() / 20
+	}
+	scale := float64(o.WidthPx) / float64(b.W())
+	hPx := int(float64(b.H()+legendH) * scale)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="%d %d %d %d">`+"\n",
+		o.WidthPx, hPx, b.X0, b.Y0, b.W(), b.H()+legendH)
+	fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="#ffffff"/>`+"\n", b.X0, b.Y0, b.W(), b.H())
+	// Draw lower layers first.
+	sort.SliceStable(items, func(i, j int) bool { return items[i].layer < items[j].layer })
+	for _, it := range items {
+		r := it.rect
+		// Flip y (SVG y grows down).
+		y := b.Y0 + b.Y1 - r.Y1
+		if it.label != "" {
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#666" stroke-width="%d"/>`+"\n",
+				r.X0, y, r.W(), r.H(), max(1, b.W()/600))
+			fs := max(r.H()/8, b.W()/120)
+			fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="%d" fill="#333">%s</text>`+"\n",
+				r.X0+r.W()/20, y+r.H()/2, fs, it.label)
+			continue
+		}
+		color, ok := layerColors[it.layer]
+		if !ok {
+			color = "#999999"
+		}
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.6"/>`+"\n",
+			r.X0, y, r.W(), r.H(), color)
+	}
+	if o.Legend {
+		drawn := map[geom.Layer]bool{}
+		for _, it := range items {
+			if it.label == "" {
+				drawn[it.layer] = true
+			}
+		}
+		var layers []geom.Layer
+		for l := range drawn {
+			layers = append(layers, l)
+		}
+		sort.Slice(layers, func(i, j int) bool { return layers[i] < layers[j] })
+		y := b.Y0 + b.Y1 - b.Y0 + legendH/4 // below the flipped plot
+		sw := b.W() / (3 * max(1, len(layers)))
+		fs := legendH / 2
+		for i, l := range layers {
+			x := b.X0 + i*3*sw
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.8"/>`+"\n",
+				x, y, sw, legendH/2, layerColors[l])
+			fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="%d" fill="#333">%s</text>`+"\n",
+				x+sw+sw/8, y+legendH/2, fs, tech.LayerName(l))
+		}
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func collect(c *geom.Cell, o geom.Orient, at geom.Point, depth int, out *[]svgItem, cap int) {
+	if len(*out) >= cap {
+		return
+	}
+	for _, s := range c.Shapes {
+		if len(*out) >= cap {
+			return
+		}
+		*out = append(*out, svgItem{rect: geom.TransformRect(s.Rect, o).Translate(at), layer: s.Layer})
+	}
+	for i := range c.Instances {
+		in := &c.Instances[i]
+		co := geom.Compose(o, in.Orient)
+		cAt := geom.TransformPoint(in.At, o).Add(at)
+		if depth <= 0 {
+			*out = append(*out, svgItem{
+				rect:  geom.TransformRect(in.Cell.Bounds(), co).Translate(cAt),
+				layer: 100, label: in.Name,
+			})
+			if len(*out) >= cap {
+				return
+			}
+			continue
+		}
+		collect(in.Cell, co, cAt, depth-1, out, cap)
+	}
+}
+
+// ASCII renders the top-level instances of a cell as a character-grid
+// floorplan, for quick terminal inspection.
+func ASCII(c *geom.Cell, cols int) string {
+	if cols <= 0 {
+		cols = 78
+	}
+	b := c.Bounds()
+	if b.Empty() {
+		return "(empty cell)\n"
+	}
+	rows := int(float64(cols) * float64(b.H()) / float64(b.W()) / 2.2)
+	if rows < 6 {
+		rows = 6
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	mark := byte('A')
+	var legend []string
+	for i := range c.Instances {
+		in := &c.Instances[i]
+		r := in.Bounds()
+		x0 := (r.X0 - b.X0) * cols / b.W()
+		x1 := (r.X1 - b.X0) * cols / b.W()
+		y0 := (r.Y0 - b.Y0) * rows / b.H()
+		y1 := (r.Y1 - b.Y0) * rows / b.H()
+		for y := y0; y < y1 && y < rows; y++ {
+			for x := x0; x < x1 && x < cols; x++ {
+				grid[rows-1-y][x] = mark
+			}
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", mark, in.Name))
+		if mark == 'Z' {
+			mark = 'a'
+		} else {
+			mark++
+		}
+	}
+	var sb strings.Builder
+	for _, row := range grid {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Join(legend, "  "))
+	sb.WriteByte('\n')
+	return sb.String()
+}

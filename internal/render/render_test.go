@@ -1,0 +1,80 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+func sample() *geom.Cell {
+	leaf := geom.NewCell("leaf")
+	leaf.AddShape(tech.Metal1, geom.R(0, 0, 100, 50), "a")
+	leaf.AddShape(tech.Poly, geom.R(10, 10, 30, 40), "g")
+	top := geom.NewCell("top")
+	top.Place("l0", leaf, geom.R0, geom.Point{})
+	top.Place("l1", leaf, geom.R90, geom.Point{X: 200})
+	return top
+}
+
+func TestSVGFlattened(t *testing.T) {
+	svg := SVG(sample(), Options{Depth: 2})
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// Two leaves x two shapes + background.
+	if got := strings.Count(svg, "<rect"); got < 5 {
+		t.Fatalf("too few rects: %d", got)
+	}
+	// Layer colors present.
+	if !strings.Contains(svg, "#4a6fd0") || !strings.Contains(svg, "#d64545") {
+		t.Fatal("missing layer colors")
+	}
+}
+
+func TestSVGOutlineMode(t *testing.T) {
+	svg := SVG(sample(), Options{Depth: 0})
+	if !strings.Contains(svg, ">l0</text>") || !strings.Contains(svg, ">l1</text>") {
+		t.Fatal("outline mode should label instances")
+	}
+	if strings.Contains(svg, "#d64545") {
+		t.Fatal("outline mode should not draw leaf shapes")
+	}
+}
+
+func TestSVGShapeCap(t *testing.T) {
+	top := geom.NewCell("big")
+	for i := 0; i < 1000; i++ {
+		top.AddShape(tech.Metal1, geom.R(i*10, 0, i*10+5, 5), "")
+	}
+	svg := SVG(top, Options{Depth: 1, MaxShapes: 50})
+	if got := strings.Count(svg, "<rect"); got > 60 {
+		t.Fatalf("cap not applied: %d rects", got)
+	}
+}
+
+func TestSVGLegend(t *testing.T) {
+	svg := SVG(sample(), Options{Depth: 2, Legend: true})
+	if !strings.Contains(svg, ">metal1</text>") || !strings.Contains(svg, ">poly</text>") {
+		t.Fatalf("legend labels missing:\n%s", svg)
+	}
+	// Without the flag, no legend labels.
+	plain := SVG(sample(), Options{Depth: 2})
+	if strings.Contains(plain, ">metal1</text>") {
+		t.Fatal("legend leaked without the option")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	out := ASCII(sample(), 60)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatalf("instances not drawn:\n%s", out)
+	}
+	if !strings.Contains(out, "A=l0") || !strings.Contains(out, "B=l1") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if ASCII(geom.NewCell("empty"), 10) != "(empty cell)\n" {
+		t.Fatal("empty cell handling")
+	}
+}

@@ -1,0 +1,160 @@
+// Package route implements a classic left-edge channel router — the
+// "channel routing" fallback the paper contrasts with BISRAMGEN's
+// preferred over-the-cell metal3 routes. Nets enter the channel as
+// terminals on its top and bottom edges; each net gets one horizontal
+// trunk on a track plus vertical branches to its terminals.
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Terminal is one channel pin: an x position on the top or bottom
+// channel edge.
+type Terminal struct {
+	X   int
+	Top bool
+}
+
+// Net is a set of terminals to be joined in the channel.
+type Net struct {
+	Name      string
+	Terminals []Terminal
+}
+
+// Assignment places one net's trunk on a track.
+type Assignment struct {
+	Net    string
+	Track  int // 0-based, bottom-up
+	X0, X1 int // trunk extent
+}
+
+// Result is a routed channel.
+type Result struct {
+	Assignments []Assignment
+	Tracks      int
+	// Density is the lower bound: the maximum number of nets crossing
+	// any x position.
+	Density int
+}
+
+// Route runs the left-edge algorithm (no vertical-constraint doglegs:
+// trunks on distinct layers from branches, so vertical conflicts
+// cannot short).
+func Route(nets []Net) (*Result, error) {
+	var ivs []interval
+	for _, n := range nets {
+		if len(n.Terminals) < 2 {
+			return nil, fmt.Errorf("route: net %q needs at least 2 terminals", n.Name)
+		}
+		x0, x1 := n.Terminals[0].X, n.Terminals[0].X
+		for _, t := range n.Terminals[1:] {
+			if t.X < x0 {
+				x0 = t.X
+			}
+			if t.X > x1 {
+				x1 = t.X
+			}
+		}
+		ivs = append(ivs, interval{n.Name, x0, x1})
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].x0 != ivs[j].x0 {
+			return ivs[i].x0 < ivs[j].x0
+		}
+		return ivs[i].x1 < ivs[j].x1
+	})
+	// Left-edge: greedily pack intervals into tracks.
+	var trackEnd []int // last occupied x per track
+	res := &Result{}
+	for _, iv := range ivs {
+		placed := false
+		for tr := range trackEnd {
+			if trackEnd[tr] < iv.x0 { // strict: abutting trunks would short
+				trackEnd[tr] = iv.x1
+				res.Assignments = append(res.Assignments, Assignment{Net: iv.name, Track: tr, X0: iv.x0, X1: iv.x1})
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			trackEnd = append(trackEnd, iv.x1)
+			res.Assignments = append(res.Assignments, Assignment{
+				Net: iv.name, Track: len(trackEnd) - 1, X0: iv.x0, X1: iv.x1})
+		}
+	}
+	res.Tracks = len(trackEnd)
+	res.Density = density(ivs)
+	return res, nil
+}
+
+type interval struct {
+	name   string
+	x0, x1 int
+}
+
+func density(ivs []interval) int {
+	type ev struct{ x, d int }
+	var evs []ev
+	for _, iv := range ivs {
+		evs = append(evs, ev{iv.x0, 1}, ev{iv.x1 + 1, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].x != evs[j].x {
+			return evs[i].x < evs[j].x
+		}
+		return evs[i].d < evs[j].d
+	})
+	cur, best := 0, 0
+	for _, e := range evs {
+		cur += e.d
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}
+
+// Emit materialises a routed channel as geometry inside the given
+// channel box: trunks on metal3 horizontal tracks, branches on metal2
+// vertical stubs from each terminal to its trunk, vias at the joins.
+func Emit(c *geom.Cell, p *tech.Process, box geom.Rect, nets []Net, res *Result) error {
+	if res.Tracks == 0 {
+		return nil
+	}
+	pitch := p.Pitch(tech.Metal3)
+	need := res.Tracks*pitch + pitch
+	if box.H() < need {
+		return fmt.Errorf("route: channel height %d < required %d for %d tracks", box.H(), need, res.Tracks)
+	}
+	m3w := p.MinWidth(tech.Metal3)
+	m2w := p.MinWidth(tech.Metal2)
+	trackY := func(tr int) int { return box.Y0 + pitch/2 + tr*pitch }
+	trunkOf := map[string]Assignment{}
+	for _, a := range res.Assignments {
+		trunkOf[a.Net] = a
+		y := trackY(a.Track)
+		c.AddShape(tech.Metal3, geom.R(a.X0-m3w/2, y-m3w/2, a.X1+m3w/2, y+m3w/2), a.Net)
+	}
+	for _, n := range nets {
+		a, ok := trunkOf[n.Name]
+		if !ok {
+			continue
+		}
+		y := trackY(a.Track)
+		for _, t := range n.Terminals {
+			y0, y1 := box.Y0, y
+			if t.Top {
+				y0, y1 = y, box.Y1
+			}
+			c.AddShape(tech.Metal2, geom.R(t.X-m2w/2, y0, t.X+m2w/2, y1), n.Name)
+			vs := p.MinWidth(tech.Via2)
+			c.AddShape(tech.Via2, geom.R(t.X-vs/2, y-vs/2, t.X+vs/2, y+vs/2), n.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+func n2(name string, x0, x1 int) Net {
+	return Net{Name: name, Terminals: []Terminal{{X: x0, Top: true}, {X: x1, Top: false}}}
+}
+
+func TestRouteBasics(t *testing.T) {
+	// Two disjoint intervals share a track; an overlapping third needs
+	// its own.
+	res, err := Route([]Net{n2("a", 0, 10), n2("b", 20, 30), n2("c", 5, 25)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tracks != 2 {
+		t.Fatalf("tracks = %d, want 2", res.Tracks)
+	}
+	if res.Density != 2 {
+		t.Fatalf("density = %d, want 2", res.Density)
+	}
+	byNet := map[string]Assignment{}
+	for _, a := range res.Assignments {
+		byNet[a.Net] = a
+	}
+	if byNet["a"].Track != byNet["b"].Track {
+		t.Fatal("disjoint nets should share the first track")
+	}
+	if byNet["c"].Track == byNet["a"].Track {
+		t.Fatal("overlapping net must take a new track")
+	}
+}
+
+func TestRouteRejectsSingletons(t *testing.T) {
+	if _, err := Route([]Net{{Name: "x", Terminals: []Terminal{{X: 1}}}}); err == nil {
+		t.Fatal("single-terminal net accepted")
+	}
+}
+
+func TestRouteDensityOptimalWithoutConstraints(t *testing.T) {
+	// Left-edge is optimal (tracks == density) for interval packing.
+	rng := rand.New(rand.NewSource(8))
+	var nets []Net
+	for i := 0; i < 40; i++ {
+		x0 := rng.Intn(1000)
+		nets = append(nets, n2(string(rune('a'+i%26))+string(rune('0'+i/26)), x0, x0+10+rng.Intn(200)))
+	}
+	res, err := Route(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tracks != res.Density {
+		t.Fatalf("left-edge should hit density: %d tracks vs density %d", res.Tracks, res.Density)
+	}
+}
+
+// Property: no two trunks on the same track overlap.
+func TestQuickNoTrackOverlap(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%20 + 2
+		var nets []Net
+		for i := 0; i < n; i++ {
+			x0 := rng.Intn(500)
+			nets = append(nets, Net{
+				Name: "n" + string(rune('A'+i%26)) + string(rune('a'+i/26)),
+				Terminals: []Terminal{
+					{X: x0, Top: true}, {X: x0 + 1 + rng.Intn(100), Top: false},
+				},
+			})
+		}
+		res, err := Route(nets)
+		if err != nil {
+			return false
+		}
+		byTrack := map[int][]Assignment{}
+		for _, a := range res.Assignments {
+			byTrack[a.Track] = append(byTrack[a.Track], a)
+		}
+		for _, as := range byTrack {
+			for i := range as {
+				for j := i + 1; j < len(as); j++ {
+					if as[i].X0 <= as[j].X1 && as[j].X0 <= as[i].X1 {
+						return false
+					}
+				}
+			}
+		}
+		return res.Tracks >= res.Density
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitGeometry(t *testing.T) {
+	p := tech.CDA07
+	nets := []Net{n2("a", 1000, 9000), n2("b", 4000, 12000)}
+	res, err := Route(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := geom.NewCell("chan")
+	box := geom.R(0, 0, 15000, 20000)
+	if err := Emit(c, p, box, nets, res); err != nil {
+		t.Fatal(err)
+	}
+	var m3, m2, via int
+	for _, s := range c.Shapes {
+		switch s.Layer {
+		case tech.Metal3:
+			m3++
+		case tech.Metal2:
+			m2++
+		case tech.Via2:
+			via++
+		}
+	}
+	if m3 != 2 || m2 != 4 || via != 4 {
+		t.Fatalf("shape counts m3=%d m2=%d via=%d", m3, m2, via)
+	}
+	// Emitted geometry passes DRC on the routing layers.
+	rules := map[geom.Layer]geom.Rule{
+		tech.Metal2: p.Rules[tech.Metal2],
+		tech.Metal3: p.Rules[tech.Metal3],
+	}
+	if vs := geom.Check(c, rules, 5); len(vs) > 0 {
+		t.Fatalf("channel geometry violates DRC: %v", vs[0])
+	}
+	// Too-small channel is rejected.
+	if err := Emit(geom.NewCell("x"), p, geom.R(0, 0, 15000, 100), nets, res); err == nil {
+		t.Fatal("undersized channel accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package spice
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tech"
+)
+
+// BalancePWidth returns the PMOS width that balances the rise and fall
+// propagation delays of an inverter with the given NMOS width, found
+// by transient bisection around the analytic mobility-ratio seed. This
+// is the "automatic N/P sizing for balanced rise and fall times" the
+// paper attributes to BISRAMGEN's built-in SPICE access.
+//
+// Widths and lengths are in metres; cload is the external load in
+// farads.
+func BalancePWidth(p *tech.Process, wn, l, cload float64) (float64, error) {
+	seed := wn * p.BetaRatio()
+	lo, hi := seed*0.3, seed*3.0
+	skewLo, err := inverterSkew(p, wn, lo, l, cload)
+	if err != nil {
+		return 0, err
+	}
+	skewHi, err := inverterSkew(p, wn, hi, l, cload)
+	if err != nil {
+		return 0, err
+	}
+	if skewLo*skewHi > 0 {
+		// No sign change: return the analytic seed as best effort.
+		return seed, nil
+	}
+	for i := 0; i < 30; i++ {
+		mid := (lo + hi) / 2
+		s, err := inverterSkew(p, wn, mid, l, cload)
+		if err != nil {
+			return 0, err
+		}
+		if s == 0 || (hi-lo)/mid < 1e-3 {
+			return mid, nil
+		}
+		if s*skewLo > 0 {
+			lo, skewLo = mid, s
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// inverterSkew returns riseDelay - fallDelay for an inverter with the
+// given device widths driving cload.
+func inverterSkew(p *tech.Process, wn, wp, l, cload float64) (float64, error) {
+	rise, fall, err := InverterDelays(p, wn, wp, l, cload)
+	if err != nil {
+		return 0, err
+	}
+	return rise - fall, nil
+}
+
+// InverterDelays measures the output-rising and output-falling 50/50
+// propagation delays of a CMOS inverter under a fast input step.
+func InverterDelays(p *tech.Process, wn, wp, l, cload float64) (rise, fall float64, err error) {
+	tstop := 8e-9
+	edge := 2e-9
+	slew := 50e-12
+	build := func(up bool) *Circuit {
+		c := New()
+		c.V("vdd", "vdd", DC(p.VDD))
+		var wave Waveform
+		if up {
+			wave = Step(0, p.VDD, edge, slew)
+		} else {
+			wave = Step(p.VDD, 0, edge, slew)
+		}
+		c.V("vin", "in", wave)
+		c.M("mn", "out", "in", "0", tech.NMOS, wn, l, p)
+		c.M("mp", "out", "in", "vdd", tech.PMOS, wp, l, p)
+		c.C("out", "0", cload)
+		return c
+	}
+	// Input rising -> output falls.
+	res, err := build(true).Transient(tstop, 5e-12)
+	if err != nil {
+		return 0, 0, fmt.Errorf("fall sim: %w", err)
+	}
+	fall, err = res.PropDelay("in", "out", p.VDD, edge)
+	if err != nil {
+		return 0, 0, fmt.Errorf("fall measure: %w", err)
+	}
+	// Input falling -> output rises.
+	res, err = build(false).Transient(tstop, 5e-12)
+	if err != nil {
+		return 0, 0, fmt.Errorf("rise sim: %w", err)
+	}
+	rise, err = res.PropDelay("in", "out", p.VDD, edge)
+	if err != nil {
+		return 0, 0, fmt.Errorf("rise measure: %w", err)
+	}
+	return rise, fall, nil
+}
+
+// Deck renders the circuit as a SPICE input deck, the simulation-model
+// export format BISRAMGEN provides alongside layouts.
+func (c *Circuit) Deck(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "* %s\n", title)
+	name := func(i int) string {
+		if i < 0 {
+			return "0"
+		}
+		return c.nodes[i]
+	}
+	for i, r := range c.res {
+		fmt.Fprintf(&b, "R%d %s %s %.6g\n", i, name(r.a), name(r.b), r.r)
+	}
+	for i, cp := range c.caps {
+		fmt.Fprintf(&b, "C%d %s %s %.6g\n", i, name(cp.a), name(cp.b), cp.c)
+	}
+	for _, m := range c.mos {
+		model := "NMOS1"
+		if m.typ == tech.PMOS {
+			model = "PMOS1"
+		}
+		fmt.Fprintf(&b, "M%s %s %s %s %s %s W=%.4gu L=%.4gu\n",
+			m.name, name(m.d), name(m.g), name(m.s), name(m.s), model, m.w*1e6, m.l*1e6)
+	}
+	for _, v := range c.vsrc {
+		switch w := v.wave.(type) {
+		case DC:
+			fmt.Fprintf(&b, "V%s %s 0 DC %.4g\n", v.name, name(v.a), float64(w))
+		case PWL:
+			fmt.Fprintf(&b, "V%s %s 0 PWL(", v.name, name(v.a))
+			for i := range w.T {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%.4g %.4g", w.T[i], w.Y[i])
+			}
+			b.WriteString(")\n")
+		default:
+			fmt.Fprintf(&b, "V%s %s 0 DC 0\n", v.name, name(v.a))
+		}
+	}
+	b.WriteString(".end\n")
+	return b.String()
+}

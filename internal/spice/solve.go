@@ -1,0 +1,328 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solver parameters.
+const (
+	gmin      = 1e-9 // leak conductance to ground for convergence
+	vTol      = 1e-6 // Newton convergence tolerance (volts)
+	maxNewton = 200
+	dvLimit   = 0.3  // max Newton voltage step (volts), for damping
+	numDeriv  = 1e-6 // perturbation for numeric MOS derivatives
+)
+
+// Result holds a transient run: shared time points and per-node
+// waveforms.
+type Result struct {
+	Times []float64
+	wave  map[string][]float64
+}
+
+// Wave returns the voltage samples for a node name.
+func (r *Result) Wave(node string) []float64 { return r.wave[node] }
+
+// At returns node voltage at the sample nearest to t.
+func (r *Result) At(node string, t float64) float64 {
+	w := r.wave[node]
+	if len(w) == 0 {
+		return math.NaN()
+	}
+	// Times are uniform.
+	if t <= r.Times[0] {
+		return w[0]
+	}
+	if t >= r.Times[len(r.Times)-1] {
+		return w[len(w)-1]
+	}
+	h := r.Times[1] - r.Times[0]
+	i := int(t / h)
+	if i >= len(w)-1 {
+		i = len(w) - 2
+	}
+	frac := (t - r.Times[i]) / h
+	return w[i]*(1-frac) + w[i+1]*frac
+}
+
+// system is the assembled MNA problem at one time point.
+type system struct {
+	c   *Circuit
+	n   int // node count
+	m   int // vsource count
+	dim int
+	jac [][]float64
+	rhs []float64
+}
+
+func newSystem(c *Circuit) *system {
+	n, m := len(c.nodes), len(c.vsrc)
+	dim := n + m
+	s := &system{c: c, n: n, m: m, dim: dim}
+	s.jac = make([][]float64, dim)
+	for i := range s.jac {
+		s.jac[i] = make([]float64, dim)
+	}
+	s.rhs = make([]float64, dim)
+	return s
+}
+
+func (s *system) reset() {
+	for i := range s.jac {
+		row := s.jac[i]
+		for j := range row {
+			row[j] = 0
+		}
+		s.rhs[i] = 0
+	}
+}
+
+// stampG adds conductance g between nodes a, b (-1 = ground) into the
+// Jacobian.
+func (s *system) stampG(a, b int, g float64) {
+	if a >= 0 {
+		s.jac[a][a] += g
+		if b >= 0 {
+			s.jac[a][b] -= g
+		}
+	}
+	if b >= 0 {
+		s.jac[b][b] += g
+		if a >= 0 {
+			s.jac[b][a] -= g
+		}
+	}
+}
+
+// stampI adds a current i flowing out of node a into node b to the
+// residual (KCL: sum of currents leaving node = 0; rhs accumulates -F).
+func (s *system) stampI(a, b int, i float64) {
+	if a >= 0 {
+		s.rhs[a] -= i
+	}
+	if b >= 0 {
+		s.rhs[b] += i
+	}
+}
+
+// assemble builds the linearised system at voltages v (length n+m:
+// node voltages then source branch currents), time t, with transient
+// companion models if h > 0 using previous voltages vPrev.
+func (s *system) assemble(v, vPrev []float64, t, h float64) {
+	s.reset()
+	c := s.c
+	at := func(i int) float64 {
+		if i < 0 {
+			return 0
+		}
+		return v[i]
+	}
+	// gmin to ground on every node.
+	for i := 0; i < s.n; i++ {
+		s.stampG(i, -1, gmin)
+		s.stampI(i, -1, gmin*v[i])
+	}
+	for _, r := range c.res {
+		g := 1 / r.r
+		s.stampG(r.a, r.b, g)
+		s.stampI(r.a, r.b, g*(at(r.a)-at(r.b)))
+	}
+	if h > 0 {
+		for _, cp := range c.caps {
+			g := cp.c / h
+			dv := (at(cp.a) - at(cp.b)) - (prevAt(vPrev, cp.a) - prevAt(vPrev, cp.b))
+			i := g * dv // backward Euler companion
+			s.stampG(cp.a, cp.b, g)
+			s.stampI(cp.a, cp.b, i)
+		}
+	}
+	// MOSFETs: numeric 3-terminal Jacobian.
+	for k := range c.mos {
+		m := &c.mos[k]
+		vd, vg, vs := at(m.d), at(m.g), at(m.s)
+		i0, _, _ := m.ids(vd, vg, vs)
+		var gdd, gdg, gds float64
+		{
+			ip, _, _ := m.ids(vd+numDeriv, vg, vs)
+			gdd = (ip - i0) / numDeriv
+			ip, _, _ = m.ids(vd, vg+numDeriv, vs)
+			gdg = (ip - i0) / numDeriv
+			ip, _, _ = m.ids(vd, vg, vs+numDeriv)
+			gds = (ip - i0) / numDeriv
+		}
+		// Current i0 flows d -> s (leaves drain node, enters source).
+		s.stampI(m.d, m.s, i0)
+		// Jacobian rows for drain and source KCL equations.
+		add := func(row, col int, g float64) {
+			if row >= 0 && col >= 0 {
+				s.jac[row][col] += g
+			}
+		}
+		add(m.d, m.d, gdd)
+		add(m.d, m.g, gdg)
+		add(m.d, m.s, gds)
+		add(m.s, m.d, -gdd)
+		add(m.s, m.g, -gdg)
+		add(m.s, m.s, -gds)
+	}
+	// Voltage sources: branch current unknowns at index n+k.
+	for k, src := range c.vsrc {
+		bi := s.n + k
+		ib := v[bi]
+		// KCL: branch current leaves node a.
+		if src.a >= 0 {
+			s.jac[src.a][bi] += 1
+			s.rhs[src.a] -= ib
+		}
+		// Constraint: v[a] - wave(t) = 0.
+		if src.a >= 0 {
+			s.jac[bi][src.a] += 1
+		}
+		s.rhs[bi] -= at(src.a) - src.wave.V(t)
+	}
+}
+
+// solveLinear solves jac*x = rhs in place by Gaussian elimination with
+// partial pivoting. Returns false on a singular matrix.
+func solveLinear(a [][]float64, b []float64) bool {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// pivot
+		p := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, p = v, r
+			}
+		}
+		if best < 1e-18 {
+			return false
+		}
+		if p != col {
+			a[p], a[col] = a[col], a[p]
+			b[p], b[col] = b[col], b[p]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			row, prow := a[r], a[col]
+			for cc := col; cc < n; cc++ {
+				row[cc] -= f * prow[cc]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for cc := r + 1; cc < n; cc++ {
+			sum -= a[r][cc] * b[cc]
+		}
+		b[r] = sum / a[r][r]
+	}
+	return true
+}
+
+func prevAt(v []float64, i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	return v[i]
+}
+
+// newton iterates the nonlinear solve at time t. v is updated in
+// place; vPrev supplies transient history (nil/h==0 for DC).
+func (s *system) newton(v, vPrev []float64, t, h float64) error {
+	for it := 0; it < maxNewton; it++ {
+		s.assemble(v, vPrev, t, h)
+		// Copy jac since solveLinear destroys it.
+		jc := make([][]float64, s.dim)
+		for i := range jc {
+			jc[i] = append([]float64(nil), s.jac[i]...)
+		}
+		rhs := append([]float64(nil), s.rhs...)
+		if !solveLinear(jc, rhs) {
+			return fmt.Errorf("spice: singular matrix at t=%g", t)
+		}
+		maxDv := 0.0
+		for i := 0; i < s.n; i++ {
+			dv := rhs[i]
+			if dv > dvLimit {
+				dv = dvLimit
+			} else if dv < -dvLimit {
+				dv = -dvLimit
+			}
+			v[i] += dv
+			if a := math.Abs(dv); a > maxDv {
+				maxDv = a
+			}
+		}
+		for i := s.n; i < s.dim; i++ {
+			v[i] += rhs[i]
+		}
+		if maxDv < vTol {
+			return nil
+		}
+	}
+	return fmt.Errorf("spice: Newton did not converge at t=%g", t)
+}
+
+// OP computes the DC operating point and returns node voltages by
+// name.
+func (c *Circuit) OP() (map[string]float64, error) {
+	s := newSystem(c)
+	v := make([]float64, s.dim)
+	if err := s.newton(v, nil, 0, 0); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, s.n)
+	for i, name := range c.nodes {
+		out[name] = v[i]
+	}
+	return out, nil
+}
+
+// Transient runs a fixed-step transient analysis from the DC operating
+// point at t=0 to tstop with step h, recording every node.
+func (c *Circuit) Transient(tstop, h float64) (*Result, error) {
+	if h <= 0 || tstop <= 0 {
+		return nil, fmt.Errorf("spice: bad transient params tstop=%g h=%g", tstop, h)
+	}
+	s := newSystem(c)
+	v := make([]float64, s.dim)
+	if err := s.newton(v, nil, 0, 0); err != nil {
+		return nil, fmt.Errorf("op failed: %w", err)
+	}
+	steps := int(math.Ceil(tstop/h)) + 1
+	res := &Result{Times: make([]float64, 0, steps), wave: map[string][]float64{}}
+	for _, n := range c.nodes {
+		res.wave[n] = make([]float64, 0, steps)
+	}
+	for _, src := range c.vsrc {
+		res.wave["I("+src.name+")"] = make([]float64, 0, steps)
+	}
+	record := func(t float64) {
+		res.Times = append(res.Times, t)
+		for i, n := range c.nodes {
+			res.wave[n] = append(res.wave[n], v[i])
+		}
+		// Branch currents: positive = current flowing from the node
+		// into the source, so a supplying source reads negative.
+		for k, src := range c.vsrc {
+			res.wave["I("+src.name+")"] = append(res.wave["I("+src.name+")"], v[s.n+k])
+		}
+	}
+	record(0)
+	vPrev := append([]float64(nil), v...)
+	for t := h; t <= tstop+h/2; t += h {
+		copy(vPrev, v)
+		if err := s.newton(v, vPrev, t, h); err != nil {
+			return nil, err
+		}
+		record(t)
+	}
+	return res, nil
+}

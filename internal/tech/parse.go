@@ -1,0 +1,159 @@
+package tech
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Parse reads a user-supplied process deck — the "any input process
+// technology and set of design rules" capability the paper inherits
+// from the CDA and ARC compilers. The format is line-oriented
+// key/value text; '#' starts a comment:
+//
+//	name       my05u3m1p
+//	feature_nm 500
+//	metals     3
+//	vdd        3.3
+//	kp_n       110e-6
+//	kp_p       38e-6
+//	vt_n       0.7
+//	vt_p       -0.8
+//	# optional per-layer overrides, values in lambda:
+//	rule metal1 width 3 spacing 3
+//
+// Anything not specified inherits the scalable λ-rule defaults used
+// by the built-in decks.
+func Parse(r io.Reader) (*Process, error) {
+	vals := map[string]string{}
+	type ruleOverride struct {
+		layer          geom.Layer
+		width, spacing int
+	}
+	var overrides []ruleOverride
+
+	layerByName := map[string]geom.Layer{}
+	for l := geom.Layer(0); l < NumLayers; l++ {
+		layerByName[LayerName(l)] = l
+	}
+
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "rule":
+			if len(fields) != 6 || fields[2] != "width" || fields[4] != "spacing" {
+				return nil, fmt.Errorf("tech: line %d: want 'rule <layer> width <n> spacing <n>'", line)
+			}
+			l, ok := layerByName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("tech: line %d: unknown layer %q", line, fields[1])
+			}
+			w, err1 := strconv.Atoi(fields[3])
+			s, err2 := strconv.Atoi(fields[5])
+			if err1 != nil || err2 != nil || w <= 0 || s <= 0 {
+				return nil, fmt.Errorf("tech: line %d: bad rule numbers", line)
+			}
+			overrides = append(overrides, ruleOverride{l, w, s})
+		default:
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("tech: line %d: want 'key value'", line)
+			}
+			vals[fields[0]] = fields[1]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	get := func(key string) (string, error) {
+		v, ok := vals[key]
+		if !ok {
+			return "", fmt.Errorf("tech: missing required key %q", key)
+		}
+		return v, nil
+	}
+	getF := func(key string) (float64, error) {
+		s, err := get(key)
+		if err != nil {
+			return 0, err
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("tech: key %q: %v", key, err)
+		}
+		return f, nil
+	}
+
+	name, err := get("name")
+	if err != nil {
+		return nil, err
+	}
+	featF, err := getF("feature_nm")
+	if err != nil {
+		return nil, err
+	}
+	feature := int(featF)
+	if feature < 2 || feature%2 != 0 {
+		return nil, fmt.Errorf("tech: feature_nm %d must be a positive even number", feature)
+	}
+	vdd, err := getF("vdd")
+	if err != nil {
+		return nil, err
+	}
+	kpN, err := getF("kp_n")
+	if err != nil {
+		return nil, err
+	}
+	kpP, err := getF("kp_p")
+	if err != nil {
+		return nil, err
+	}
+
+	p := newProcess(name, feature, vdd, kpN, kpP)
+	if v, ok := vals["metals"]; ok {
+		m, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("tech: metals: %v", err)
+		}
+		p.Metals = m
+	}
+	if v, ok := vals["vt_n"]; ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tech: vt_n: %v", err)
+		}
+		p.NMOS.VT0 = f
+	}
+	if v, ok := vals["vt_p"]; ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("tech: vt_p: %v", err)
+		}
+		p.PMOS.VT0 = f
+	}
+	for _, ov := range overrides {
+		p.Rules[ov.layer] = geom.Rule{MinWidth: p.L(ov.width), MinSpacing: p.L(ov.spacing)}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Register adds a parsed process to the ByName registry, replacing
+// any same-named deck.
+func Register(p *Process) { processes[p.Name] = p }
