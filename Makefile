@@ -1,0 +1,39 @@
+# BISRAMGEN build/test entry points.
+#
+#   make ci   — everything the tree must pass before merging: vet,
+#               build, race-enabled tests, a short fuzz smoke pass on
+#               each parser, and the adversarial-input fault campaign.
+
+GO       ?= go
+FUZZTIME ?= 5s
+
+.PHONY: all build vet test race fuzz-smoke campaign ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Brief coverage-guided pass over every fuzz target. Seed corpora are
+# checked in under each package's testdata/fuzz/; anything the fuzzer
+# minimises lands there too and should be committed.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseDeck -fuzztime=$(FUZZTIME) ./internal/tech/
+	$(GO) test -run='^$$' -fuzz=FuzzMarchNotation -fuzztime=$(FUZZTIME) ./internal/march/
+	$(GO) test -run='^$$' -fuzz=FuzzPLAPlanes -fuzztime=$(FUZZTIME) ./internal/bist/
+
+# Adversarial-input campaign against the full compile pipeline: exits
+# non-zero on any panic, hang or untyped error.
+campaign:
+	$(GO) run ./cmd/bisrsim faultcampaign
+
+ci: vet build race fuzz-smoke campaign

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/bist"
+	"repro/internal/cerr"
 	"repro/internal/compiler"
 	"repro/internal/gds"
 	"repro/internal/march"
@@ -89,7 +90,7 @@ func main() {
 	// replace the built-in microprogram.
 	if *andFile != "" || *orFile != "" {
 		if *andFile == "" || *orFile == "" {
-			fatal(fmt.Errorf("both -and-plane and -or-plane are required"))
+			fatal(cerr.New(cerr.CodeInvalidParams, "both -and-plane and -or-plane are required"))
 		}
 		af, err := os.Open(*andFile)
 		if err != nil {
@@ -122,12 +123,22 @@ func main() {
 		fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
 	}
 
-	write("layout.svg", render.SVG(d.Top, render.Options{Depth: 0}))
-	var gdsBuf strings.Builder
-	if err := gds.Write(&gdsBuf, d.Top, d.Top.Name); err != nil {
-		fatal(err)
+	// A degraded compile may have no floorplan (estimate-only rung of
+	// the ladder): still emit the datasheet, report and control code,
+	// just skip the layout artefacts.
+	for _, deg := range d.Degradations {
+		fmt.Fprintf(os.Stderr, "bisramgen: warning: degraded result: %s\n", deg)
 	}
-	write("layout.gds", gdsBuf.String())
+	if d.Top != nil {
+		write("layout.svg", render.SVG(d.Top, render.Options{Depth: 0}))
+		var gdsBuf strings.Builder
+		if err := gds.Write(&gdsBuf, d.Top, d.Top.Name); err != nil {
+			fatal(err)
+		}
+		write("layout.gds", gdsBuf.String())
+	} else {
+		fmt.Fprintln(os.Stderr, "bisramgen: warning: no floorplan — skipping layout.svg and layout.gds")
+	}
 	write("datasheet.txt", d.Datasheet())
 	js, err := d.JSON()
 	if err != nil {
@@ -152,7 +163,7 @@ func main() {
 
 	fmt.Println()
 	fmt.Print(d.Datasheet())
-	if *ascii {
+	if *ascii && d.Top != nil {
 		fmt.Println()
 		fmt.Print(render.ASCII(d.Top, 78))
 	}
@@ -175,10 +186,18 @@ func testByName(name string) (march.Test, error) {
 	case "marchc-":
 		return march.MarchCMinus(), nil
 	}
-	return march.Test{}, fmt.Errorf("unknown test %q", name)
+	return march.Test{}, cerr.New(cerr.CodeInvalidParams, "unknown test %q", name)
 }
 
+// fatal reports a pipeline error, leading with its stable ERR_* code
+// name, and exits non-zero so scripts can branch on the taxonomy.
+// Typed errors already render their own code; untyped OS-level
+// failures get an explicit ERR_UNKNOWN prefix.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bisramgen:", err)
+	if cerr.IsTyped(err) {
+		fmt.Fprintf(os.Stderr, "bisramgen: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "bisramgen: %s: %v\n", cerr.CodeOf(err), err)
+	}
 	os.Exit(1)
 }

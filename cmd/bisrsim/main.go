@@ -7,6 +7,12 @@
 // Example:
 //
 //	bisrsim -words 1024 -bpw 8 -bpc 4 -spares 4 -faults 3 -trials 100
+//
+// The `faultcampaign` subcommand instead runs the adversarial-input
+// campaign against the full compiler pipeline and exits non-zero if
+// any input produced a panic, hang or untyped error:
+//
+//	bisrsim faultcampaign [-v] [-timeout 30s]
 package main
 
 import (
@@ -14,15 +20,34 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/bisr"
 	"repro/internal/bist"
+	"repro/internal/cerr"
+	"repro/internal/faultcampaign"
 	"repro/internal/logicsim"
 	"repro/internal/march"
 	"repro/internal/sram"
 )
 
+// fail reports a pipeline error, leading with its stable ERR_* code
+// name, and exits non-zero. Typed errors already render their own
+// code; untyped failures get an explicit ERR_UNKNOWN prefix.
+func fail(err error) {
+	if cerr.IsTyped(err) {
+		fmt.Fprintf(os.Stderr, "bisrsim: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "bisrsim: %s: %v\n", cerr.CodeOf(err), err)
+	}
+	os.Exit(1)
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "faultcampaign" {
+		runFaultCampaign(os.Args[2:])
+		return
+	}
 	var (
 		words  = flag.Int("words", 1024, "number of words")
 		bpw    = flag.Int("bpw", 8, "bits per word (<= 64)")
@@ -40,8 +65,7 @@ func main() {
 
 	cfg := sram.Config{Words: *words, BPW: *bpw, BPC: *bpc, SpareRows: *spares}
 	if err := cfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "bisrsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *gate {
 		runGateLevel(cfg, *faults, *seed, *vcd)
@@ -51,15 +75,17 @@ func main() {
 	var repaired, verified, overflow int
 	var totalSpares, totalCaptures, totalIters int
 	for trial := 0; trial < *trials; trial++ {
-		arr := sram.MustNew(cfg)
+		arr, err := sram.New(cfg)
+		if err != nil {
+			fail(err)
+		}
 		victims := arr.InjectRandom(*faults, rng)
 		ram := bisr.NewRAM(arr)
 		ctl := bisr.NewController(ram)
 		ctl.MaxIterations = *iters
 		out, err := ctl.Run()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bisrsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		pass := false
 		if out.Repaired {
@@ -93,11 +119,10 @@ func main() {
 // runGateLevel executes one fault-injection trial on the full
 // gate-level BIST+BISR netlist, optionally dumping control waveforms.
 func runGateLevel(cfg sram.Config, faults int, seed int64, vcdPath string) {
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "bisrsim:", err)
-		os.Exit(1)
+	arr, err := sram.New(cfg)
+	if err != nil {
+		fail(err)
 	}
-	arr := sram.MustNew(cfg)
 	arr.InjectRandom(faults, rand.New(rand.NewSource(seed)))
 	prog, err := bist.Assemble(march.IFA9())
 	if err != nil {
@@ -129,4 +154,41 @@ func runGateLevel(cfg sram.Config, faults int, seed int64, vcdPath string) {
 		}
 		fmt.Printf("wrote %s (%d timesteps)\n", vcdPath, rec.Events())
 	}
+}
+
+// runFaultCampaign executes the built-in adversarial-input campaign
+// against the full compile pipeline and reports the classified
+// outcomes. Exit status is non-zero unless every case ended in a clean
+// compile or a typed error.
+func runFaultCampaign(args []string) {
+	fs := flag.NewFlagSet("faultcampaign", flag.ExitOnError)
+	var (
+		verbose = fs.Bool("v", false, "print every case, not just failures")
+		timeout = fs.Duration("timeout", faultcampaign.DefaultTimeout, "per-case deadline")
+	)
+	_ = fs.Parse(args)
+
+	cases := faultcampaign.Cases()
+	fmt.Printf("fault campaign: %d adversarial inputs, %v per-case deadline\n", len(cases), *timeout)
+	rep := faultcampaign.Run(cases, *timeout)
+	for _, res := range rep.Results {
+		bad := !res.Outcome.Acceptable()
+		if !*verbose && !bad {
+			continue
+		}
+		code := ""
+		if res.Code.String() != "ERR_UNKNOWN" {
+			code = " " + res.Code.String()
+		}
+		fmt.Printf("  %-38s [%-6s] %-12s%s (%s)\n", res.Name, res.Kind, res.Outcome, code, res.Elapsed.Round(time.Microsecond))
+	}
+	c := rep.Counts()
+	fmt.Printf("outcomes: %d ok, %d typed-error, %d untyped, %d panic, %d hang\n",
+		c[faultcampaign.OK], c[faultcampaign.TypedError], c[faultcampaign.UntypedError],
+		c[faultcampaign.Panicked], c[faultcampaign.Hung])
+	if !rep.Clean() {
+		fmt.Fprintln(os.Stderr, "bisrsim: FAULT CAMPAIGN FAILED — pipeline produced a panic, hang or untyped error")
+		os.Exit(1)
+	}
+	fmt.Println("fault campaign clean: every outcome is a typed error or a successful compile")
 }

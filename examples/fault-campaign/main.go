@@ -37,7 +37,10 @@ func main() {
 	for _, nd := range []int{1, 2, 3, 4, 5, 6, 8, 10} {
 		var repaired, verified, overflow int
 		for trial := 0; trial < *trials; trial++ {
-			arr := sram.MustNew(cfg)
+			arr, err := sram.New(cfg)
+			if err != nil {
+				log.Fatalln("fault-campaign:", err)
+			}
 			arr.InjectRandom(nd, rng)
 			ram := bisr.NewRAM(arr)
 			ctl := bisr.NewController(ram)

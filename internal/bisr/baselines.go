@@ -1,6 +1,10 @@
 package bisr
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/cerr"
+)
 
 // This file implements the two prior-art self-repair schemes the
 // paper critiques in Section III, used as experimental baselines.
@@ -63,12 +67,15 @@ type ChenSunada struct {
 	deadBlocks []int
 }
 
-// NewChenSunada returns an empty instance.
-func NewChenSunada(cfg ChenSunadaConfig) *ChenSunada {
+// NewChenSunada returns an empty instance, or a typed
+// cerr.ErrInvalidParams when the hierarchical geometry is impossible
+// (non-positive sizes, or words not a multiple of the subblock size).
+func NewChenSunada(cfg ChenSunadaConfig) (*ChenSunada, error) {
 	if cfg.SubblockWords <= 0 || cfg.Words <= 0 || cfg.Words%cfg.SubblockWords != 0 {
-		panic("bisr: bad Chen-Sunada geometry")
+		return nil, cerr.New(cerr.CodeInvalidParams,
+			"bisr: bad Chen-Sunada geometry (words %d, subblock %d)", cfg.Words, cfg.SubblockWords)
 	}
-	return &ChenSunada{cfg: cfg, capture: map[int][]int{}}
+	return &ChenSunada{cfg: cfg, capture: map[int][]int{}}, nil
 }
 
 // Register records a faulty word address in its subblock's fault

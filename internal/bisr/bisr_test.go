@@ -322,7 +322,13 @@ func TestSawadaBaseline(t *testing.T) {
 }
 
 func TestChenSunadaBaseline(t *testing.T) {
-	cs := NewChenSunada(ChenSunadaConfig{Words: 64, SubblockWords: 16, SpareBlocks: 1})
+	cs, err := NewChenSunada(ChenSunadaConfig{Words: 64, SubblockWords: 16, SpareBlocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewChenSunada(ChenSunadaConfig{Words: 64, SubblockWords: 13}); err == nil {
+		t.Fatal("non-divisible geometry must be rejected")
+	}
 	// Two faults in subblock 0: repairable in place.
 	cs.Register(1)
 	cs.Register(5)

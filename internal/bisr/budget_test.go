@@ -1,0 +1,56 @@
+package bisr
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cerr"
+	"repro/internal/sram"
+)
+
+// TestRunCtxDeadline runs the iterated repair flow on a large array
+// under a 1 ms deadline: the controller must stop promptly, surface
+// ERR_BUDGET_EXCEEDED, and hand back the partial Outcome.
+func TestRunCtxDeadline(t *testing.T) {
+	arr, err := sram.New(sram.Config{Words: 16384, BPW: 16, BPC: 4, SpareRows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewController(NewRAM(arr))
+	ctl.MaxIterations = 4
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	out, err := ctl.RunCtx(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, cerr.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("repair did not stop promptly: %v", elapsed)
+	}
+	if out == nil {
+		t.Fatal("no partial outcome returned")
+	}
+	if out.Repaired {
+		t.Fatal("cancelled run cannot claim success")
+	}
+}
+
+// TestRunCtxCancelledUpfront exercises the deterministic path: a
+// context that is already dead fails before the first engine cycle.
+func TestRunCtxCancelledUpfront(t *testing.T) {
+	arr := newArr(t, 4)
+	ctl := NewController(NewRAM(arr))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := ctl.RunCtx(ctx)
+	if !errors.Is(err, cerr.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	if out == nil || out.Iterations != 0 {
+		t.Fatalf("partial outcome wrong: %+v", out)
+	}
+}

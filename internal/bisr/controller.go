@@ -1,10 +1,11 @@
 package bisr
 
 import (
-	"fmt"
+	"context"
 	"sort"
 
 	"repro/internal/bist"
+	"repro/internal/cerr"
 	"repro/internal/march"
 )
 
@@ -51,6 +52,16 @@ func NewController(ram *RAM) *Controller {
 // After a successful run the RAM is left in Map mode, ready for
 // normal operation.
 func (c *Controller) Run() (*Outcome, error) {
+	return c.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cooperative cancellation. The context is threaded
+// into every engine run (checked every few thousand emulated cycles)
+// and re-checked between iterations; on expiry the controller returns
+// the partial Outcome accumulated so far together with a typed
+// cerr.ErrBudgetExceeded, so callers can still report how far the
+// iterated repair got.
+func (c *Controller) RunCtx(ctx context.Context) (*Outcome, error) {
 	iters := c.MaxIterations
 	if iters <= 0 {
 		iters = 1
@@ -66,6 +77,10 @@ func (c *Controller) Run() (*Outcome, error) {
 	// diagnosis.
 	colRows := map[int]map[int]bool{}
 	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return out, cerr.Wrap(cerr.CodeBudgetExceeded, err,
+				"bisr: repair cancelled after %d iterations", it)
+		}
 		if it == 0 {
 			c.RAM.Mode = Bypass
 		} else {
@@ -116,11 +131,14 @@ func (c *Controller) Run() (*Outcome, error) {
 			}
 			c.RAM.Mode = Map
 		}
-		stats, err := eng.Run(maxCyclesFor(c.RAM.Words(), bpw, c.Test))
-		if err != nil {
-			return nil, fmt.Errorf("bisr: iteration %d: %w", it, err)
+		stats, err := eng.RunCtx(ctx, maxCyclesFor(c.RAM.Words(), bpw, c.Test))
+		if stats != nil {
+			out.Stats = append(out.Stats, *stats)
 		}
-		out.Stats = append(out.Stats, *stats)
+		if err != nil {
+			out.SparesUsed = c.RAM.TLB.Used()
+			return out, cerr.Wrap(cerr.CodeInternal, err, "bisr: iteration %d", it)
+		}
 		out.Iterations = it + 1
 		out.SparesUsed = c.RAM.TLB.Used()
 		if !stats.Unsucc {

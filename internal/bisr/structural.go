@@ -3,6 +3,7 @@ package bisr
 import (
 	"fmt"
 
+	"repro/internal/cerr"
 	"repro/internal/logicsim"
 )
 
@@ -38,10 +39,28 @@ type StructuralTLB struct {
 }
 
 // BuildStructuralTLB elaborates the TLB for the given spare count and
-// row-address width onto the simulator.
+// row-address width onto the simulator. Impossible geometry (no
+// spares, no address bits, or a size that would explode the one-hot
+// decode) is recorded as a construction error on the simulator — check
+// s.Err() after building — and the geometry is clamped so elaboration
+// itself stays total.
 func BuildStructuralTLB(s *logicsim.Sim, spares, addrBits int, prefix string) *StructuralTLB {
-	if spares < 1 || addrBits < 1 {
-		panic("bisr: structural TLB needs at least one spare and one address bit")
+	const maxSpares, maxAddrBits = 4096, 32
+	if spares < 1 || addrBits < 1 || spares > maxSpares || addrBits > maxAddrBits {
+		s.Failf("bisr: structural TLB geometry (spares %d, addrBits %d) outside [1, %d]x[1, %d]",
+			spares, addrBits, maxSpares, maxAddrBits)
+		if spares < 1 {
+			spares = 1
+		}
+		if spares > maxSpares {
+			spares = maxSpares
+		}
+		if addrBits < 1 {
+			addrBits = 1
+		}
+		if addrBits > maxAddrBits {
+			addrBits = maxAddrBits
+		}
 	}
 	t := &StructuralTLB{
 		Sim: s, spares: spares, addrBits: addrBits,
@@ -192,7 +211,7 @@ func (t *StructuralTLB) Lookup(row int) (int, bool, error) {
 	}
 	v, ok := s.ReadBus(t.SpareIdx)
 	if !ok {
-		return 0, false, fmt.Errorf("bisr: spare index bus unknown")
+		return 0, false, cerr.New(cerr.CodeSimDiverged, "bisr: spare index bus unknown")
 	}
 	return int(v), true, nil
 }

@@ -1,10 +1,12 @@
 package bisr
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/cerr"
 	"repro/internal/logicsim"
 )
 
@@ -152,11 +154,18 @@ func TestQuickStructuralAssignment(t *testing.T) {
 	}
 }
 
-func TestStructuralTLBPanicsOnBadGeometry(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for zero spares")
-		}
-	}()
-	BuildStructuralTLB(logicsim.New(), 0, 4, "x")
+func TestStructuralTLBBadGeometryIsTypedError(t *testing.T) {
+	s := logicsim.New()
+	BuildStructuralTLB(s, 0, 4, "x")
+	err := s.Err()
+	if err == nil {
+		t.Fatal("expected construction error for zero spares")
+	}
+	if !errors.Is(err, cerr.ErrNetlist) {
+		t.Fatalf("construction error must be ErrNetlist, got %v", err)
+	}
+	// The malformed netlist must refuse to simulate.
+	if serr := s.Settle(); serr == nil || !errors.Is(serr, cerr.ErrNetlist) {
+		t.Fatalf("Settle on a failed netlist must return the construction error, got %v", serr)
+	}
 }

@@ -9,7 +9,7 @@
 // against (Sawada et al. 1989 and Chen–Sunada 1993).
 package bisr
 
-import "fmt"
+import "repro/internal/cerr"
 
 // Entry is one TLB row: a faulty row address mapped to the spare row
 // whose index equals the entry's position in the fill sequence.
@@ -31,10 +31,14 @@ type TLB struct {
 	overflow bool
 }
 
-// NewTLB returns a TLB backed by the given number of spare rows.
+// NewTLB returns a TLB backed by the given number of spare rows. The
+// constructor is total: a negative spare count is clamped to zero (a
+// TLB with no capacity), matching the hardware reality that you cannot
+// build negative spare rows. Spare counts are validated against the
+// user envelope at the sram / compiler boundary.
 func NewTLB(spares int) *TLB {
 	if spares < 0 {
-		panic("bisr: negative spare count")
+		spares = 0
 	}
 	return &TLB{spares: spares}
 }
@@ -52,7 +56,7 @@ func (t *TLB) Reset() {
 func (t *TLB) Store(row int) (int, error) {
 	if len(t.entries) >= t.spares {
 		t.overflow = true
-		return -1, fmt.Errorf("bisr: TLB full (%d spares)", t.spares)
+		return -1, cerr.New(cerr.CodeRepairFailed, "bisr: TLB full (%d spares)", t.spares)
 	}
 	for i := range t.entries {
 		if t.entries[i].Valid && t.entries[i].Row == row {

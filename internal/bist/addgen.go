@@ -19,10 +19,14 @@ type AddGen struct {
 	up    bool
 }
 
-// NewAddGen returns a generator over addresses [0, words).
+// NewAddGen returns a generator over addresses [0, words). The
+// constructor is total: a non-positive word count is clamped to a
+// single-word address space (word counts are validated at the sram /
+// compiler boundary; the clamp keeps internal wiring panic-free on
+// degenerate DUTs).
 func NewAddGen(words int) *AddGen {
 	if words <= 0 {
-		panic("bist: AddGen needs at least one word")
+		words = 1
 	}
 	return &AddGen{words: words, up: true}
 }

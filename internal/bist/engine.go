@@ -1,8 +1,9 @@
 package bist
 
 import (
-	"fmt"
+	"context"
 
+	"repro/internal/cerr"
 	"repro/internal/march"
 )
 
@@ -95,10 +96,35 @@ func (e *Engine) conds(err bool) uint64 {
 // elapses (guarding against a malformed microprogram). It returns the
 // run statistics.
 func (e *Engine) Run(maxCycles int64) (*RunStats, error) {
+	return e.RunCtx(context.Background(), maxCycles)
+}
+
+// ctxCheckInterval is how many emulated cycles elapse between context
+// deadline checks in RunCtx: frequent enough that a 1 ms deadline is
+// honoured promptly, sparse enough that ctx.Err is off the hot path.
+const ctxCheckInterval = 1024
+
+// RunCtx is Run with cooperative cancellation: the context deadline is
+// checked every ctxCheckInterval cycles, and on expiry the engine
+// returns the partial run statistics together with a typed
+// cerr.ErrBudgetExceeded.
+func (e *Engine) RunCtx(ctx context.Context, maxCycles int64) (*RunStats, error) {
+	if e.BPW < 1 || e.BPW > 64 {
+		return nil, cerr.New(cerr.CodeInvalidParams, "bist: bpw %d outside model range [1, 64]", e.BPW)
+	}
+	if e.Prog == nil || len(e.Prog.Terms) == 0 {
+		return nil, cerr.New(cerr.CodePlaneParse, "bist: empty control program")
+	}
 	e.streg.Reset()
 	stats := &RunStats{}
 	sigs := func(s uint64, bit int) bool { return s&(1<<uint(bit)) != 0 }
 	for stats.Cycles = 0; stats.Cycles < maxCycles; stats.Cycles++ {
+		if stats.Cycles%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return stats, cerr.Wrap(cerr.CodeBudgetExceeded, err,
+					"bist: run cancelled after %d cycles", stats.Cycles)
+			}
+		}
 		// Phase 1: Mealy evaluation with err=0 to obtain the datapath
 		// controls (none of which depend on err).
 		out, next := e.Prog.Eval(e.streg.State, e.conds(false))
@@ -129,7 +155,8 @@ func (e *Engine) Run(maxCycles int64) (*RunStats, error) {
 		// the err-qualified capture/unsuccessful terms.
 		out2, next2 := e.Prog.Eval(e.streg.State, e.conds(errFlag))
 		if next2 != next {
-			return nil, fmt.Errorf("bist: next state depends on err (state %d)", e.streg.State)
+			return stats, cerr.New(cerr.CodePlaneParse,
+				"bist: next state depends on err (state %d)", e.streg.State)
 		}
 		if sigs(out2, SigCapture) {
 			stats.Captures++
@@ -168,5 +195,6 @@ func (e *Engine) Run(maxCycles int64) (*RunStats, error) {
 		}
 		e.streg.State = next
 	}
-	return nil, fmt.Errorf("bist: program did not finish within %d cycles", maxCycles)
+	return stats, cerr.New(cerr.CodeBudgetExceeded,
+		"bist: program did not finish within %d cycles", maxCycles)
 }

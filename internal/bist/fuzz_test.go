@@ -1,0 +1,45 @@
+package bist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cerr"
+)
+
+// FuzzPLAPlanes feeds arbitrary plane files and state-bit counts
+// through the TRPLA control-code loader. Contract: never panics,
+// rejections are typed cerr errors, and an accepted program has
+// self-consistent geometry.
+func FuzzPLAPlanes(f *testing.F) {
+	f.Add(4, "----------\n", "0000000000000\n")
+	f.Add(4, "", "")
+	f.Add(0, "-\n", "0\n")
+	f.Add(64, "-\n", "0\n")
+	f.Add(2, "--------\n--------\n", "--------\n")
+	f.Add(4, "# comment\n--------\n", "000000000\n")
+	f.Add(4, "\x00\xff\n", "\x01\x02\n")
+	f.Add(2, strings.Repeat("--\n", 100), strings.Repeat("00\n", 100))
+	f.Add(3, strings.Repeat("-", 100_000)+"\n", "000\n")
+	f.Fuzz(func(t *testing.T, stateBits int, andPlane, orPlane string) {
+		prog, err := ReadPlanes("fuzz", stateBits, strings.NewReader(andPlane), strings.NewReader(orPlane))
+		if err != nil {
+			if !cerr.IsTyped(err) {
+				t.Fatalf("untyped plane error: %v", err)
+			}
+			return
+		}
+		if prog == nil {
+			t.Fatal("nil program with nil error")
+		}
+		if prog.StateBits != stateBits {
+			t.Fatalf("state bits mangled: %d != %d", prog.StateBits, stateBits)
+		}
+		if len(prog.Terms) == 0 {
+			t.Fatal("accepted empty program")
+		}
+		if prog.NumStates < 1 || prog.NumStates > 1<<uint(stateBits) {
+			t.Fatalf("inconsistent state count %d for %d bits", prog.NumStates, stateBits)
+		}
+	})
+}

@@ -6,7 +6,17 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/cerr"
 	"repro/internal/march"
+)
+
+// Plane parse limits. Plane files are user inputs ("loaded from
+// AND/OR plane files at runtime"); the caps bound adversarial files
+// without excluding any program the assembler can produce.
+const (
+	maxStateBits    = 32      // NumStates <= 2^32 is already absurd
+	maxPlaneRows    = 1 << 16 // product terms
+	maxPlaneLineLen = 4096    // bytes per plane row
 )
 
 // Control signal output positions of the TRPLA's OR plane. The next-
@@ -114,7 +124,7 @@ func stateBitsFor(n int) int {
 // combined test and repair controller does.
 func Assemble(t march.Test) (*Program, error) {
 	if len(t.Elements) == 0 {
-		return nil, fmt.Errorf("bist: empty march test")
+		return nil, cerr.New(cerr.CodeMarchParse, "bist: empty march test")
 	}
 	type opRef struct{ elem, op int }
 	// State layout:
@@ -129,7 +139,7 @@ func Assemble(t march.Test) (*Program, error) {
 	opState := make([][]int, len(t.Elements))
 	for i, e := range t.Elements {
 		if len(e.Ops) == 0 {
-			return nil, fmt.Errorf("bist: element %d has no ops", i)
+			return nil, cerr.New(cerr.CodeMarchParse, "bist: element %d has no ops", i)
 		}
 		if i == 0 {
 			elemInit[i] = 0
@@ -151,7 +161,8 @@ func Assemble(t march.Test) (*Program, error) {
 	p := &Program{Name: t.Name, NumStates: nStates}
 	p.StateBits = stateBitsFor(nStates)
 	if p.numInputs() > 64 || p.numOutputs() > 64 {
-		return nil, fmt.Errorf("bist: program too wide")
+		return nil, cerr.New(cerr.CodeInvalidParams,
+			"bist: program too wide (%d inputs, %d outputs; 64 max)", p.numInputs(), p.numOutputs())
 	}
 
 	sBits := uint(p.StateBits)
@@ -289,27 +300,42 @@ func (p *Program) WritePlanes(andPlane, orPlane io.Writer) error {
 // ReadPlanes parses a pair of plane files into a Program. The caller
 // supplies the state-bit count (the plane geometry fixes everything
 // else). Blank lines and lines starting with '#' are ignored.
+//
+// Plane files are user-controllable input; every failure — geometry
+// mismatch, bad characters, oversized files, out-of-range state-bit
+// counts — is a typed cerr.ErrPlaneParse, and parsing never panics
+// (see FuzzPLAPlanes and the faultcampaign suite).
 func ReadPlanes(name string, stateBits int, andPlane, orPlane io.Reader) (*Program, error) {
+	if stateBits < 1 || stateBits > maxStateBits {
+		return nil, cerr.New(cerr.CodePlaneParse,
+			"bist: state bits %d outside [1, %d]", stateBits, maxStateBits)
+	}
 	andRows, err := planeRows(andPlane)
 	if err != nil {
-		return nil, fmt.Errorf("bist: AND plane: %w", err)
+		return nil, cerr.Wrap(cerr.CodePlaneParse, err, "bist: AND plane")
 	}
 	orRows, err := planeRows(orPlane)
 	if err != nil {
-		return nil, fmt.Errorf("bist: OR plane: %w", err)
+		return nil, cerr.Wrap(cerr.CodePlaneParse, err, "bist: OR plane")
 	}
 	if len(andRows) != len(orRows) {
-		return nil, fmt.Errorf("bist: plane row mismatch: %d AND vs %d OR", len(andRows), len(orRows))
+		return nil, cerr.New(cerr.CodePlaneParse,
+			"bist: plane row mismatch: %d AND vs %d OR", len(andRows), len(orRows))
+	}
+	if len(andRows) == 0 {
+		return nil, cerr.New(cerr.CodePlaneParse, "bist: empty planes")
 	}
 	p := &Program{Name: name, StateBits: stateBits}
 	nin, nout := p.numInputs(), p.numOutputs()
 	maxState := 0
 	for r := range andRows {
 		if len(andRows[r]) != nin {
-			return nil, fmt.Errorf("bist: AND row %d has %d columns, want %d", r, len(andRows[r]), nin)
+			return nil, cerr.New(cerr.CodePlaneParse,
+				"bist: AND row %d has %d columns, want %d", r, len(andRows[r]), nin)
 		}
 		if len(orRows[r]) != nout {
-			return nil, fmt.Errorf("bist: OR row %d has %d columns, want %d", r, len(orRows[r]), nout)
+			return nil, cerr.New(cerr.CodePlaneParse,
+				"bist: OR row %d has %d columns, want %d", r, len(orRows[r]), nout)
 		}
 		var t Term
 		for i, ch := range andRows[r] {
@@ -321,7 +347,7 @@ func ReadPlanes(name string, stateBits int, andPlane, orPlane io.Reader) (*Progr
 			case '0':
 				t.Mask |= 1 << uint(i)
 			default:
-				return nil, fmt.Errorf("bist: AND row %d: bad char %q", r, ch)
+				return nil, cerr.New(cerr.CodePlaneParse, "bist: AND row %d: bad char %q", r, ch)
 			}
 		}
 		for o, ch := range orRows[r] {
@@ -330,13 +356,17 @@ func ReadPlanes(name string, stateBits int, andPlane, orPlane io.Reader) (*Progr
 				t.Out |= 1 << uint(o)
 			case '0', '-':
 			default:
-				return nil, fmt.Errorf("bist: OR row %d: bad char %q", r, ch)
+				return nil, cerr.New(cerr.CodePlaneParse, "bist: OR row %d: bad char %q", r, ch)
 			}
 		}
 		if ns := int(t.Out >> NumSigs); ns > maxState {
 			maxState = ns
 		}
 		p.Terms = append(p.Terms, t)
+	}
+	if maxState >= 1<<uint(stateBits) {
+		return nil, cerr.New(cerr.CodePlaneParse,
+			"bist: OR plane encodes state %d, beyond %d state bits", maxState, stateBits)
 	}
 	p.NumStates = maxState + 1
 	return p, nil
@@ -345,10 +375,14 @@ func ReadPlanes(name string, stateBits int, andPlane, orPlane io.Reader) (*Progr
 func planeRows(r io.Reader) ([]string, error) {
 	var rows []string
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024), maxPlaneLineLen)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		if len(rows) >= maxPlaneRows {
+			return nil, cerr.New(cerr.CodePlaneParse, "plane exceeds %d rows", maxPlaneRows)
 		}
 		rows = append(rows, line)
 	}

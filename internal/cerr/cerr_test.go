@@ -1,0 +1,129 @@
+package cerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSentinelMatching(t *testing.T) {
+	err := New(CodeFloorplan, "no legal position for %q", "tlb")
+	if !errors.Is(err, ErrFloorplan) {
+		t.Fatal("expected errors.Is(err, ErrFloorplan)")
+	}
+	if errors.Is(err, ErrDeckParse) {
+		t.Fatal("floorplan error must not match deck-parse sentinel")
+	}
+	wrapped := fmt.Errorf("outer: %w", err)
+	if !errors.Is(wrapped, ErrFloorplan) {
+		t.Fatal("sentinel must match through fmt wrapping")
+	}
+}
+
+func TestWrapPreservesInnerCode(t *testing.T) {
+	inner := New(CodeDeckParse, "bad key")
+	outer := Wrap(CodeInvalidParams, inner, "loading process")
+	if CodeOf(outer) != CodeDeckParse {
+		t.Fatalf("wrap must preserve the specific inner code, got %v", CodeOf(outer))
+	}
+	if Wrap(CodeGeometry, nil, "x") != nil {
+		t.Fatal("wrapping nil must yield nil")
+	}
+	untyped := errors.New("plain")
+	if CodeOf(Wrap(CodeGeometry, untyped, "ctx")) != CodeGeometry {
+		t.Fatal("wrapping an untyped error must apply the given code")
+	}
+}
+
+func TestWithStageAndStageOf(t *testing.T) {
+	err := WithStage("timing", New(CodeSimDiverged, "newton diverged"))
+	if got := StageOf(err); got != "timing" {
+		t.Fatalf("StageOf = %q, want timing", got)
+	}
+	if CodeOf(err) != CodeSimDiverged {
+		t.Fatalf("stage attribution must preserve code, got %v", CodeOf(err))
+	}
+	if !errors.Is(err, ErrSimDiverged) {
+		t.Fatal("staged error must still match its sentinel")
+	}
+	if WithStage("x", nil) != nil {
+		t.Fatal("WithStage(nil) must be nil")
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	err := WithStage("floorplan", New(CodeFloorplan, "no legal position"))
+	s := err.Error()
+	if !strings.Contains(s, "ERR_FLOORPLAN") || !strings.Contains(s, "[floorplan]") {
+		t.Fatalf("rendering %q must lead with code name and stage", s)
+	}
+}
+
+func TestCodeNamesStable(t *testing.T) {
+	want := map[Code]string{
+		CodeInvalidParams:  "ERR_INVALID_PARAMS",
+		CodeDeckParse:      "ERR_DECK_PARSE",
+		CodeMarchParse:     "ERR_MARCH_PARSE",
+		CodePlaneParse:     "ERR_PLANE_PARSE",
+		CodeGeometry:       "ERR_GEOMETRY",
+		CodeNetlist:        "ERR_NETLIST",
+		CodeSimDiverged:    "ERR_SIM_DIVERGED",
+		CodeFloorplan:      "ERR_FLOORPLAN",
+		CodeRepairFailed:   "ERR_REPAIR_FAILED",
+		CodeBudgetExceeded: "ERR_BUDGET_EXCEEDED",
+		CodeNonFinite:      "ERR_NON_FINITE",
+		CodeInternal:       "ERR_INTERNAL",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), name)
+		}
+	}
+	if len(Codes()) != len(want) {
+		t.Errorf("Codes() returned %d codes, want %d", len(Codes()), len(want))
+	}
+}
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	run := func() (err error) {
+		defer Recover("macros", &err)
+		panic("geom: cell \"x\" has no port \"y\"")
+	}
+	err := run()
+	if err == nil {
+		t.Fatal("expected recovered error")
+	}
+	if CodeOf(err) != CodeInternal {
+		t.Fatalf("recovered panic must be CodeInternal, got %v", CodeOf(err))
+	}
+	if StageOf(err) != "macros" {
+		t.Fatalf("stage = %q, want macros", StageOf(err))
+	}
+	if !strings.Contains(err.Error(), "recovered panic") {
+		t.Fatalf("unexpected rendering %q", err.Error())
+	}
+	// No panic: errp untouched.
+	clean := func() (err error) {
+		defer Recover("x", &err)
+		return nil
+	}
+	if clean() != nil {
+		t.Fatal("Recover must not fabricate an error without a panic")
+	}
+}
+
+func TestCodeOfUntyped(t *testing.T) {
+	if CodeOf(errors.New("plain")) != CodeUnknown {
+		t.Fatal("untyped errors must map to CodeUnknown")
+	}
+	if CodeOf(nil) != CodeUnknown {
+		t.Fatal("nil must map to CodeUnknown")
+	}
+	if IsTyped(errors.New("plain")) {
+		t.Fatal("plain error must not be typed")
+	}
+	if !IsTyped(New(CodeGeometry, "x")) {
+		t.Fatal("taxonomy error must be typed")
+	}
+}

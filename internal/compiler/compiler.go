@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bisr"
 	"repro/internal/bist"
+	"repro/internal/cerr"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
 	"repro/internal/leafcell"
@@ -49,39 +50,66 @@ type Params struct {
 	RefineIterations int
 }
 
-// Validate checks the parameter envelope.
+// Parameter envelope caps. They bound the resources a single compile
+// may demand: well beyond the paper's largest arrays, but small enough
+// that an absurd request (found by the fault campaign: 2^62 words
+// passed the old divisibility checks) is rejected in Validate instead
+// of wedging the macro generators.
+const (
+	maxWords = 1 << 24 // 16M words
+	maxBPW   = 1024
+	maxBPC   = 256
+)
+
+// Validate checks the parameter envelope. Every rejection is a typed
+// cerr.ErrInvalidParams (process-deck problems keep their own
+// classification), so callers and the fault campaign can assert on the
+// code rather than on message text.
 func (p Params) Validate() error {
 	if p.Process == nil {
-		return fmt.Errorf("compiler: no process selected")
+		return cerr.New(cerr.CodeInvalidParams, "compiler: no process selected")
 	}
 	if err := p.Process.Validate(); err != nil {
-		return err
+		return cerr.Wrap(cerr.CodeInvalidParams, err, "compiler: process %q rejected", p.Process.Name)
 	}
 	if p.Words <= 0 || p.BPW <= 0 || p.BPC <= 0 {
-		return fmt.Errorf("compiler: non-positive geometry %+v", p)
+		return cerr.New(cerr.CodeInvalidParams,
+			"compiler: non-positive geometry words=%d bpw=%d bpc=%d", p.Words, p.BPW, p.BPC)
+	}
+	if p.Words > maxWords || p.BPW > maxBPW || p.BPC > maxBPC {
+		return cerr.New(cerr.CodeInvalidParams,
+			"compiler: geometry words=%d bpw=%d bpc=%d exceeds envelope (%d, %d, %d)",
+			p.Words, p.BPW, p.BPC, maxWords, maxBPW, maxBPC)
 	}
 	if p.BPC&(p.BPC-1) != 0 {
-		return fmt.Errorf("compiler: bpc %d must be a power of 2", p.BPC)
+		return cerr.New(cerr.CodeInvalidParams, "compiler: bpc %d must be a power of 2", p.BPC)
 	}
 	if p.Words%p.BPC != 0 {
-		return fmt.Errorf("compiler: words %d not divisible by bpc %d", p.Words, p.BPC)
+		return cerr.New(cerr.CodeInvalidParams, "compiler: words %d not divisible by bpc %d", p.Words, p.BPC)
 	}
 	if p.Words&(p.Words-1) != 0 {
-		return fmt.Errorf("compiler: words %d must be a power of 2", p.Words)
+		return cerr.New(cerr.CodeInvalidParams, "compiler: words %d must be a power of 2", p.Words)
 	}
 	switch p.Spares {
 	case 0, 4, 8, 16:
 	default:
-		return fmt.Errorf("compiler: spare rows must be 0, 4, 8 or 16 (got %d)", p.Spares)
+		return cerr.New(cerr.CodeInvalidParams, "compiler: spare rows must be 0, 4, 8 or 16 (got %d)", p.Spares)
 	}
 	if p.BufSize < 1 || p.BufSize > 4 {
-		return fmt.Errorf("compiler: buffer size %d out of range 1..4", p.BufSize)
+		return cerr.New(cerr.CodeInvalidParams, "compiler: buffer size %d out of range 1..4", p.BufSize)
 	}
 	if p.StrapCells < 0 {
-		return fmt.Errorf("compiler: negative strap spacing")
+		return cerr.New(cerr.CodeInvalidParams, "compiler: negative strap spacing %d", p.StrapCells)
 	}
 	if p.Rows() < 2 {
-		return fmt.Errorf("compiler: fewer than 2 rows")
+		return cerr.New(cerr.CodeInvalidParams, "compiler: fewer than 2 rows (words %d / bpc %d)", p.Words, p.BPC)
+	}
+	if p.Spares > p.Rows() {
+		return cerr.New(cerr.CodeInvalidParams,
+			"compiler: %d spare rows exceed the %d regular rows they would repair", p.Spares, p.Rows())
+	}
+	if p.RefineIterations < 0 {
+		return cerr.New(cerr.CodeInvalidParams, "compiler: negative refine budget %d", p.RefineIterations)
 	}
 	return nil
 }
@@ -120,37 +148,106 @@ type AreaReport struct {
 // Design is the compiler output.
 type Design struct {
 	Params Params
+	// Name is the macro name ("bisram_<words>x<bpw>"); unlike Top it is
+	// always set, even when the degradation ladder bottomed out without
+	// a layout.
+	Name   string
 	Lib    *leafcell.Library
 	Macros map[string]*geom.Cell
+	// Plan and Top are nil when the compile degraded to an
+	// area-estimate-only datasheet (see Degradations).
 	Plan   *floorplan.Result
 	Top    *geom.Cell
 	Prog   *bist.Program
 	Area   AreaReport
 	Timing TimingReport
 	Power  PowerReport
+	// Degradations records each rung of the degradation ladder the
+	// compile descended to stay alive: the stacked fallback placement,
+	// a refine budget that expired, or the area-estimate-only
+	// datasheet. Empty means the full flow succeeded.
+	Degradations []string
 }
 
-// Compile runs the full flow.
+// degrade records a degradation-ladder step.
+func (d *Design) degrade(format string, args ...any) {
+	d.Degradations = append(d.Degradations, fmt.Sprintf(format, args...))
+}
+
+// Compile runs the full flow. Every stage executes behind a
+// recover-to-typed-error guard (cerr.Recover), so even a generator
+// panic at one of the documented invariant sites surfaces to the
+// caller as a cerr.ErrInternal with stage attribution rather than
+// crashing the process. Floorplanning follows a degradation ladder —
+// abutment placer, then the stacked fallback placer, then an
+// area-estimate-only datasheet — with every fallback recorded in
+// Design.Degradations and in the report.
 func Compile(p Params) (*Design, error) {
 	if p.Test.Name == "" {
 		p.Test = march.IFA9()
 	}
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, cerr.WithStage("params", err)
 	}
-	lib, err := leafcell.NewLibrary(p.Process, p.BufSize)
+	var lib *leafcell.Library
+	err := func() (err error) {
+		defer cerr.Recover("leafcells", &err)
+		lib, err = leafcell.NewLibrary(p.Process, p.BufSize)
+		return cerr.WithStage("leafcells", err)
+	}()
 	if err != nil {
 		return nil, err
 	}
 	prog := p.Program
 	if prog == nil {
-		prog, err = bist.Assemble(p.Test)
-		if err != nil {
-			return nil, err
+		var aerr error
+		prog, aerr = bist.Assemble(p.Test)
+		if aerr != nil {
+			return nil, cerr.WithStage("microcode", aerr)
 		}
 	}
-	d := &Design{Params: p, Lib: lib, Prog: prog, Macros: map[string]*geom.Cell{}}
+	d := &Design{
+		Params: p, Lib: lib, Prog: prog,
+		Macros: map[string]*geom.Cell{},
+		Name:   fmt.Sprintf("bisram_%dx%d", p.Words, p.BPW),
+	}
 
+	var macros []floorplan.Macro
+	var nets []floorplan.Net
+	err = func() (err error) {
+		defer cerr.Recover("macros", &err)
+		macros, nets = d.buildMacros()
+		return nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+
+	err = func() (err error) {
+		defer cerr.Recover("floorplan", &err)
+		return d.floorplanLadder(macros, nets)
+	}()
+	if err != nil {
+		return nil, err
+	}
+
+	err = func() (err error) {
+		defer cerr.Recover("analysis", &err)
+		d.computeArea()
+		return cerr.WithStage("timing", d.computeTiming())
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// buildMacros elaborates every macrocell and assembles the floorplan
+// macro and net lists. It runs behind the "macros" Recover guard in
+// Compile because the leaf-cell generators' residual invariant panics
+// (geom.MustPort, leafcell sanity) live beneath it.
+func (d *Design) buildMacros() ([]floorplan.Macro, []floorplan.Net) {
+	p := d.Params
 	array := d.buildArray()
 	rowdec := d.buildRowDecoder()
 	colper := d.buildColPeriphery()
@@ -186,25 +283,48 @@ func Compile(p Params) (*Design, error) {
 		nets = append(nets, floorplan.Net{Name: "addr_tlb", Pins: []floorplan.Pin{
 			{Macro: "addgen", Port: "abus"}, {Macro: "tlb", Port: "abus"}}})
 	}
+	return macros, nets
+}
+
+// floorplanLadder descends the degradation ladder:
+//
+//  1. the abutment placer with port alignment and stretching;
+//  2. on failure, the stacked fallback placer (legal but loose);
+//  3. on failure again, no layout at all — the datasheet is produced
+//     from macro bounding-box areas only (Plan and Top stay nil).
+//
+// A refine budget that expires keeps the best-so-far placement. Each
+// fallback taken is recorded in d.Degradations; only rung 3 leaves the
+// design without geometry, and even that returns nil error so the
+// caller still gets a report.
+func (d *Design) floorplanLadder(macros []floorplan.Macro, nets []floorplan.Net) error {
+	p := d.Params
 	plan, err := floorplan.Place(p.Process, macros, nets)
 	if err != nil {
-		return nil, err
+		var serr error
+		plan, serr = floorplan.Stack(p.Process, macros, nets)
+		if serr != nil {
+			d.degrade("floorplan unavailable (place: %v; stack: %v): datasheet is area-estimate-only", err, serr)
+			return nil
+		}
+		d.degrade("abutment floorplan failed (%v): using stacked fallback placement", err)
 	}
 	if p.RefineIterations > 0 {
-		plan, err = floorplan.Refine(p.Process, macros, nets, plan, p.RefineIterations, 1)
-		if err != nil {
-			return nil, err
+		refined, rerr := floorplan.Refine(p.Process, macros, nets, plan, p.RefineIterations, 1)
+		switch {
+		case rerr != nil && refined != nil:
+			d.degrade("floorplan refinement stopped early (%v): keeping best-so-far placement", rerr)
+			plan = refined
+		case rerr != nil:
+			d.degrade("floorplan refinement failed (%v): keeping constructive placement", rerr)
+		default:
+			plan = refined
 		}
 	}
 	d.Plan = plan
 	d.Top = plan.Top
-	d.Top.Name = fmt.Sprintf("bisram_%dx%d", p.Words, p.BPW)
-
-	d.computeArea()
-	if err := d.computeTiming(); err != nil {
-		return nil, err
-	}
-	return d, nil
+	d.Top.Name = d.Name
+	return nil
 }
 
 // um2 converts a cell bounding-box to µm².
@@ -224,7 +344,16 @@ func (d *Design) computeArea() {
 	if t, ok := d.Macros["tlb"]; ok {
 		a.BISR = um2(t)
 	}
-	a.Total = float64(d.Plan.Area) / 1e6
+	if d.Plan != nil {
+		a.Total = float64(d.Plan.Area) / 1e6
+	} else {
+		// Area-estimate-only mode (degradation-ladder rung 3): the sum
+		// of macro bounding boxes is the floorplan's provable lower
+		// bound, so report that instead of an outline.
+		for _, c := range d.Macros {
+			a.Total += um2(c)
+		}
+	}
 	base := a.ArrayRegular + a.ArraySpare + a.RowDecoder + a.ColPeriphery
 	if base > 0 {
 		a.OverheadPct = 100 * (a.BIST + a.BISR) / base
@@ -259,7 +388,7 @@ func (d *Design) NewInstance() (*bisr.RAM, error) {
 func (d *Design) Datasheet() string {
 	p := d.Params
 	var b strings.Builder
-	fmt.Fprintf(&b, "BISRAMGEN datasheet — %s\n", d.Top.Name)
+	fmt.Fprintf(&b, "BISRAMGEN datasheet — %s\n", d.Name)
 	fmt.Fprintf(&b, "process: %s (%.2f µm, %d metal layers, VDD %.1f V)\n",
 		p.Process.Name, float64(p.Process.Feature)/1000, p.Process.Metals, p.Process.VDD)
 	fmt.Fprintf(&b, "organisation: %d words x %d bits (bpc %d): %d rows + %d spare rows x %d columns\n",
@@ -283,7 +412,14 @@ func (d *Design) Datasheet() string {
 		fmt.Fprintf(&b, "TLB match+map delay: %.3f ns (%.1fx below access; maskable: %s)\n",
 			d.Timing.TLBNs, d.Timing.AccessNs/d.Timing.TLBNs, masked)
 	}
-	fmt.Fprintf(&b, "floorplan: %.0f µm² outline, rectangularity %.3f, aspect %.2f, %d nets abutted, %d routed\n",
-		d.Area.Total, d.Plan.Rectangularity, d.Plan.AspectRatio, d.Plan.AbuttedNets, d.Plan.RoutedNets)
+	if d.Plan != nil {
+		fmt.Fprintf(&b, "floorplan: %.0f µm² outline, rectangularity %.3f, aspect %.2f, %d nets abutted, %d routed\n",
+			d.Area.Total, d.Plan.Rectangularity, d.Plan.AspectRatio, d.Plan.AbuttedNets, d.Plan.RoutedNets)
+	} else {
+		fmt.Fprintf(&b, "floorplan: unavailable — area is the sum of macro bounding boxes (lower bound)\n")
+	}
+	for _, g := range d.Degradations {
+		fmt.Fprintf(&b, "degraded: %s\n", g)
+	}
 	return b.String()
 }

@@ -40,14 +40,22 @@ type Report struct {
 		AbuttedNets    int     `json:"abutted_nets"`
 		RoutedNets     int     `json:"routed_nets"`
 		WirelengthUm   float64 `json:"wirelength_um"`
+		// EstimateOnly marks a report produced without a floorplan
+		// (degradation-ladder rung 3): the area figures are macro
+		// bounding-box sums and the fields above are zero.
+		EstimateOnly bool `json:"estimate_only,omitempty"`
 	} `json:"floorplan"`
+	// Degradations lists the fallbacks the compiler took to keep this
+	// compile alive (see Design.Degradations). Empty when the full flow
+	// succeeded.
+	Degradations []string `json:"degradations,omitempty"`
 }
 
 // Report assembles the structured datasheet.
 func (d *Design) Report() Report {
 	p := d.Params
 	var r Report
-	r.Name = d.Top.Name
+	r.Name = d.Name
 	r.Process.Name = p.Process.Name
 	r.Process.FeatureUm = float64(p.Process.Feature) / 1000
 	r.Process.Metals = p.Process.Metals
@@ -67,11 +75,16 @@ func (d *Design) Report() Report {
 	r.Area = d.Area
 	r.Timing = d.Timing
 	r.Power = d.Power
-	r.Plan.Rectangularity = d.Plan.Rectangularity
-	r.Plan.AspectRatio = d.Plan.AspectRatio
-	r.Plan.AbuttedNets = d.Plan.AbuttedNets
-	r.Plan.RoutedNets = d.Plan.RoutedNets
-	r.Plan.WirelengthUm = float64(d.Plan.Wirelength) / 1000
+	if d.Plan != nil {
+		r.Plan.Rectangularity = d.Plan.Rectangularity
+		r.Plan.AspectRatio = d.Plan.AspectRatio
+		r.Plan.AbuttedNets = d.Plan.AbuttedNets
+		r.Plan.RoutedNets = d.Plan.RoutedNets
+		r.Plan.WirelengthUm = float64(d.Plan.Wirelength) / 1000
+	} else {
+		r.Plan.EstimateOnly = true
+	}
+	r.Degradations = d.Degradations
 	return r
 }
 

@@ -1,0 +1,81 @@
+package compiler
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cerr"
+	"repro/internal/tech"
+)
+
+// TestValidateCodes pins the taxonomy code for every rejection class of
+// Params.Validate. The fault campaign asserts rejections are *typed*;
+// this table asserts they carry the *right* type, so a refactor cannot
+// silently reclassify, say, a process-deck problem as a geometry one.
+func TestValidateCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+		want error
+	}{
+		{"zero words", func(p *Params) { p.Words = 0 }, cerr.ErrInvalidParams},
+		{"negative words", func(p *Params) { p.Words = -1024 }, cerr.ErrInvalidParams},
+		{"zero bpw", func(p *Params) { p.BPW = 0 }, cerr.ErrInvalidParams},
+		{"negative bpc", func(p *Params) { p.BPC = -4 }, cerr.ErrInvalidParams},
+		{"words exceed envelope", func(p *Params) { p.Words = maxWords * 2 }, cerr.ErrInvalidParams},
+		{"bpw exceeds envelope", func(p *Params) { p.BPW = maxBPW + 1 }, cerr.ErrInvalidParams},
+		{"bpc exceeds envelope", func(p *Params) { p.BPC = maxBPC * 2 }, cerr.ErrInvalidParams},
+		{"bpc not a power of 2", func(p *Params) { p.BPC = 6 }, cerr.ErrInvalidParams},
+		{"words not divisible by bpc", func(p *Params) { p.Words = 1024; p.BPC = 4; p.Words = 1022 }, cerr.ErrInvalidParams},
+		{"words not a power of 2", func(p *Params) { p.Words = 768 }, cerr.ErrInvalidParams},
+		{"overflow bait", func(p *Params) { p.Words = 1 << 62; p.BPC = 1 << 31 }, cerr.ErrInvalidParams},
+		{"spares not 0/4/8/16", func(p *Params) { p.Spares = 5 }, cerr.ErrInvalidParams},
+		{"negative spares", func(p *Params) { p.Spares = -4 }, cerr.ErrInvalidParams},
+		{"spares exceed rows", func(p *Params) { p.Words = 8; p.BPC = 4; p.Spares = 16 }, cerr.ErrInvalidParams},
+		{"zero gate size", func(p *Params) { p.BufSize = 0 }, cerr.ErrInvalidParams},
+		{"absurd gate size", func(p *Params) { p.BufSize = 1 << 20 }, cerr.ErrInvalidParams},
+		{"negative gate size", func(p *Params) { p.BufSize = -2 }, cerr.ErrInvalidParams},
+		{"negative strap spacing", func(p *Params) { p.StrapCells = -1 }, cerr.ErrInvalidParams},
+		{"single row", func(p *Params) { p.Words = 4; p.BPC = 4; p.Spares = 0 }, cerr.ErrInvalidParams},
+		{"negative refine budget", func(p *Params) { p.RefineIterations = -1 }, cerr.ErrInvalidParams},
+		{"no process", func(p *Params) { p.Process = nil }, cerr.ErrInvalidParams},
+		// An out-of-envelope process keeps its own deck classification
+		// even when caught at the compiler boundary: Wrap preserves the
+		// inner typed code.
+		{"invalid process", func(p *Params) {
+			bad := *tech.CDA07
+			bad.Feature = -1
+			p.Process = &bad
+		}, cerr.ErrDeckParse},
+	}
+	for _, tc := range cases {
+		p := smallParams()
+		tc.mut(&p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, p)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v (code %s), want code %s", tc.name, err, cerr.CodeOf(err), cerr.CodeOf(tc.want))
+		}
+		if !cerr.IsTyped(err) {
+			t.Errorf("%s: rejection is untyped: %v", tc.name, err)
+		}
+	}
+}
+
+// TestValidateEnvelopeAccepts spot-checks that the envelope caps do not
+// reject the paper's real configurations.
+func TestValidateEnvelopeAccepts(t *testing.T) {
+	good := []Params{
+		{Words: 64, BPW: 4, BPC: 4, Spares: 4, BufSize: 1, Process: tech.CDA07},
+		{Words: 16384, BPW: 16, BPC: 16, Spares: 16, BufSize: 4, StrapCells: 16, Process: tech.CDA07},
+		{Words: 1024, BPW: 8, BPC: 4, Spares: 0, BufSize: 2, Process: tech.CDA07}, // BISR disabled
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("config %d rejected: %v", i, err)
+		}
+	}
+}

@@ -100,7 +100,10 @@ func TestLengthTradeoff() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		arr := sram.MustNew(cfg)
+		arr, err := sram.New(cfg)
+		if err != nil {
+			return nil, err
+		}
 		eng := bist.NewEngine(prog, arr, cfg.BPW)
 		stats, err := eng.Run(1 << 30)
 		if err != nil {
@@ -109,7 +112,10 @@ func TestLengthTradeoff() (*Table, error) {
 		// Coverage score: mean detection over the fault classes.
 		total := 0.0
 		for _, k := range kinds {
-			det, inj := coverageCase(k, alg, bg)
+			det, inj, err := coverageCase(k, alg, bg)
+			if err != nil {
+				return nil, err
+			}
 			if inj > 0 {
 				total += float64(det) / float64(inj)
 			}

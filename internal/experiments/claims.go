@@ -115,7 +115,10 @@ func Clustering(trials int, seed int64) (*Table, error) {
 	for _, nd := range []int{4, 6, 8, 12} {
 		var okU, okC int
 		for trial := 0; trial < trials; trial++ {
-			aU := sram.MustNew(cfg)
+			aU, err := sram.New(cfg)
+			if err != nil {
+				return nil, err
+			}
 			for i := 0; i < nd; i++ {
 				k := sram.SA0
 				if rng.Intn(2) == 1 {
@@ -124,7 +127,10 @@ func Clustering(trials int, seed int64) (*Table, error) {
 				_ = aU.Inject(sram.CellAddr{Row: rng.Intn(cfg.TotalRows()), Col: rng.Intn(cfg.Cols())},
 					sram.Fault{Kind: k})
 			}
-			aC := sram.MustNew(cfg)
+			aC, err := sram.New(cfg)
+			if err != nil {
+				return nil, err
+			}
 			aC.InjectClustered(nd, 4, 1, rng)
 			outU, err := bisr.NewController(bisr.NewRAM(aU)).Run()
 			if err != nil {
@@ -181,7 +187,7 @@ func GateLevel(trials int, seed int64) (*Table, error) {
 				pattern[i] = fp{cell: sram.CellAddr{Row: rng.Intn(cfg.Rows()), Col: rng.Intn(cfg.Cols())}, kind: k}
 			}
 			build := func() *sram.Array {
-				a := sram.MustNew(cfg)
+				a, _ := sram.New(cfg) // cfg is a validated literal
 				for _, f := range pattern {
 					_ = a.Inject(f.cell, sram.Fault{Kind: f.kind})
 				}
@@ -215,14 +221,18 @@ func GateLevel(trials int, seed int64) (*Table, error) {
 // coverageCase injects every single fault of one kind across a sample
 // of cells and reports the detection rate of a test/background
 // combination.
-func coverageCase(kind sram.FaultKind, test march.Test, backgrounds []uint64) (detected, injected int) {
+func coverageCase(kind sram.FaultKind, test march.Test, backgrounds []uint64) (detected, injected int, err error) {
 	cfg := sram.Config{Words: 64, BPW: 8, BPC: 4, SpareRows: 0}
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
 	// Sample positions: every 3rd cell (full space for the small
 	// array would be 512 cells x kinds x tests; the stride keeps the
 	// suite fast without losing position diversity).
 	for row := 0; row < cfg.Rows(); row += 2 {
 		for col := 0; col < cfg.Cols(); col += 3 {
-			a := sram.MustNew(cfg)
+			a, _ := sram.New(cfg) // cfg validated above
+
 			f := sram.Fault{Kind: kind}
 			switch kind {
 			case sram.CFID, sram.CFIN, sram.CFST:
@@ -243,17 +253,20 @@ func coverageCase(kind sram.FaultKind, test march.Test, backgrounds []uint64) (d
 			}
 		}
 	}
-	return detected, injected
+	return detected, injected, nil
 }
 
 // intraWordCoverage measures detection of couplings between bits of
 // the same word — the case the paper's Johnson backgrounds exist for.
-func intraWordCoverage(test march.Test, backgrounds []uint64) (detected, injected int) {
+func intraWordCoverage(test march.Test, backgrounds []uint64) (detected, injected int, err error) {
 	cfg := sram.Config{Words: 64, BPW: 8, BPC: 4, SpareRows: 0}
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
 	for row := 0; row < cfg.Rows(); row += 3 {
 		for vb := 0; vb < cfg.BPW; vb++ {
 			ab := (vb + 3) % cfg.BPW
-			a := sram.MustNew(cfg)
+			a, _ := sram.New(cfg) // cfg validated above
 			f := sram.Fault{
 				Kind:      sram.CFID,
 				Aggressor: sram.CellAddr{Row: row, Col: ab*cfg.BPC + 1},
@@ -269,7 +282,7 @@ func intraWordCoverage(test march.Test, backgrounds []uint64) (detected, injecte
 			}
 		}
 	}
-	return detected, injected
+	return detected, injected, nil
 }
 
 // Coverage reproduces the Section V fault-coverage claims: IFA-9
@@ -290,20 +303,32 @@ func Coverage() (*Table, error) {
 	for _, k := range kinds {
 		row := []interface{}{k.String()}
 		for _, test := range tests {
-			det, inj := coverageCase(k, test, bg)
+			det, inj, err := coverageCase(k, test, bg)
+			if err != nil {
+				return nil, err
+			}
 			row = append(row, pct(det, inj))
 		}
-		det, inj := coverageCase(k, march.IFA9(), march.SingleBackground())
+		det, inj, err := coverageCase(k, march.IFA9(), march.SingleBackground())
+		if err != nil {
+			return nil, err
+		}
 		row = append(row, pct(det, inj))
 		t.Add(row...)
 	}
 	// Intra-word coupling: the Johnson-vs-single-background ablation.
 	rowJ := []interface{}{"CFID(intra-word)"}
 	for _, test := range tests {
-		det, inj := intraWordCoverage(test, bg)
+		det, inj, err := intraWordCoverage(test, bg)
+		if err != nil {
+			return nil, err
+		}
 		rowJ = append(rowJ, pct(det, inj))
 	}
-	detS, injS := intraWordCoverage(march.IFA9(), march.SingleBackground())
+	detS, injS, err := intraWordCoverage(march.IFA9(), march.SingleBackground())
+	if err != nil {
+		return nil, err
+	}
 	rowJ = append(rowJ, pct(detS, injS))
 	t.Add(rowJ...)
 	t.Note("IFA-13 = IFA-9 + read-after-write: adds SOF coverage")
@@ -353,7 +378,7 @@ func RepairComparison(trials int, seed int64) (*Table, error) {
 				}
 			}
 			build := func() *sram.Array {
-				a := sram.MustNew(cfg)
+				a, _ := sram.New(cfg) // cfg is a validated literal
 				for _, f := range pattern {
 					_ = a.Inject(f.cell, sram.Fault{Kind: f.kind})
 				}
@@ -392,7 +417,10 @@ func RepairComparison(trials int, seed int64) (*Table, error) {
 				okSaw++
 			}
 			// Chen-Sunada: 16-word subblocks, 1 spare block.
-			cs := bisr.NewChenSunada(bisr.ChenSunadaConfig{Words: 64, SubblockWords: 16, SpareBlocks: 1})
+			cs, err := bisr.NewChenSunada(bisr.ChenSunadaConfig{Words: 64, SubblockWords: 16, SpareBlocks: 1})
+			if err != nil {
+				return nil, err
+			}
 			for _, ad := range res.FailedAddrs() {
 				cs.Register(ad)
 			}
@@ -454,7 +482,10 @@ func MonteCarloYield(trials int, seed int64) (*Table, error) {
 	for _, nd := range []int{1, 2, 4, 6, 8} {
 		ok := 0
 		for trial := 0; trial < trials; trial++ {
-			a := sram.MustNew(cfg)
+			a, err := sram.New(cfg)
+			if err != nil {
+				return nil, err
+			}
 			// Poisson-like: nd stuck-at defects at uniform cells
 			// across regular AND spare rows (growth handled by the
 			// total row count).

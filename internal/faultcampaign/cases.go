@@ -1,0 +1,241 @@
+package faultcampaign
+
+import (
+	"bytes"
+	"strings"
+
+	"repro/internal/bist"
+	"repro/internal/compiler"
+	"repro/internal/march"
+	"repro/internal/tech"
+)
+
+// goodDeck is a minimal valid process deck; the adversarial deck cases
+// are mutations of it, so each case isolates exactly one corruption.
+const goodDeck = `name campaign05
+feature_nm 500
+metals 3
+vdd 3.3
+kp_n 110e-6
+kp_p 38e-6
+vt_n 0.7
+vt_p -0.8
+`
+
+// smallParams returns fast-to-compile parameters against the given
+// process, for the cases that make it past parsing.
+func smallParams(p *tech.Process) compiler.Params {
+	return compiler.Params{Words: 64, BPW: 4, BPC: 4, Spares: 4, BufSize: 1, Process: p}
+}
+
+// deckCase parses an adversarial deck and, if it parses, compiles a
+// small RAM on it — corrupt decks must die in Parse or Validate with a
+// typed error, never downstream.
+func deckCase(name, deck string) Case {
+	return Case{Name: name, Kind: "deck", Run: func() error {
+		p, err := tech.Parse(strings.NewReader(deck))
+		if err != nil {
+			return err
+		}
+		_, err = compiler.Compile(smallParams(p))
+		return err
+	}}
+}
+
+// marchCase parses an adversarial march string and, if it parses,
+// compiles with it microprogrammed into the TRPLA.
+func marchCase(name, notation string) Case {
+	return Case{Name: name, Kind: "march", Run: func() error {
+		t, err := march.Parse(name, notation)
+		if err != nil {
+			return err
+		}
+		pp := smallParams(tech.CDA07)
+		pp.Test = t
+		_, err = compiler.Compile(pp)
+		return err
+	}}
+}
+
+// planesCase reads adversarial TRPLA plane files and, if they parse,
+// compiles with the loaded control program.
+func planesCase(name string, stateBits int, andPlane, orPlane string) Case {
+	return Case{Name: name, Kind: "planes", Run: func() error {
+		prog, err := bist.ReadPlanes(name, stateBits, strings.NewReader(andPlane), strings.NewReader(orPlane))
+		if err != nil {
+			return err
+		}
+		pp := smallParams(tech.CDA07)
+		pp.Program = prog
+		_, err = compiler.Compile(pp)
+		return err
+	}}
+}
+
+// paramsCase compiles degenerate geometry/sizing parameters against a
+// known-good process.
+func paramsCase(name string, mut func(*compiler.Params)) Case {
+	return Case{Name: name, Kind: "params", Run: func() error {
+		pp := smallParams(tech.CDA07)
+		mut(&pp)
+		_, err := compiler.Compile(pp)
+		return err
+	}}
+}
+
+// mutateDeck replaces the line starting with key in goodDeck.
+func mutateDeck(key, replacement string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(goodDeck, "\n") {
+		if strings.HasPrefix(line, key) {
+			if replacement != "" {
+				b.WriteString(replacement + "\n")
+			}
+			continue
+		}
+		b.WriteString(line + "\n")
+	}
+	return b.String()
+}
+
+// Cases returns the built-in adversarial campaign: every input class
+// the pipeline accepts from users, each corrupted in the ways the
+// hardening layer must survive.
+func Cases() []Case {
+	var cs []Case
+
+	// --- Control cases: the clean versions of each input class must
+	// still compile, so a campaign pass can't be faked by rejecting
+	// everything.
+	cs = append(cs,
+		deckCase("control: valid deck", goodDeck),
+		marchCase("control: valid march", "{b(w0); u(r0,w1); d(r1,w0)}"),
+		Case{Name: "control: round-trip planes", Kind: "planes", Run: func() error {
+			prog, err := bist.Assemble(march.IFA9())
+			if err != nil {
+				return err
+			}
+			var andB, orB bytes.Buffer
+			if err := prog.WritePlanes(&andB, &orB); err != nil {
+				return err
+			}
+			reread, err := bist.ReadPlanes("roundtrip", prog.StateBits, &andB, &orB)
+			if err != nil {
+				return err
+			}
+			pp := smallParams(tech.CDA07)
+			pp.Program = reread
+			_, err = compiler.Compile(pp)
+			return err
+		}},
+		paramsCase("control: valid params", func(p *compiler.Params) {}),
+	)
+
+	// --- Adversarial process decks.
+	cs = append(cs,
+		deckCase("deck: empty", ""),
+		deckCase("deck: whitespace only", "   \n\t\n  \n"),
+		deckCase("deck: binary garbage", "\x00\x01\xff\xfe name \x7f\n\x00\x00"),
+		deckCase("deck: truncated mid-key", goodDeck[:len(goodDeck)/2]),
+		deckCase("deck: missing name", mutateDeck("name", "")),
+		deckCase("deck: missing feature", mutateDeck("feature_nm", "")),
+		deckCase("deck: missing kp_n", mutateDeck("kp_n", "")),
+		deckCase("deck: NaN vdd", mutateDeck("vdd", "vdd NaN")),
+		deckCase("deck: +Inf vdd", mutateDeck("vdd", "vdd +Inf")),
+		deckCase("deck: overflow literal", mutateDeck("kp_n", "kp_n 1e309")),
+		deckCase("deck: negative vdd", mutateDeck("vdd", "vdd -3.3")),
+		deckCase("deck: absurd vdd", mutateDeck("vdd", "vdd 5000")),
+		deckCase("deck: zero feature", mutateDeck("feature_nm", "feature_nm 0")),
+		deckCase("deck: negative feature", mutateDeck("feature_nm", "feature_nm -500")),
+		deckCase("deck: odd feature", mutateDeck("feature_nm", "feature_nm 501")),
+		deckCase("deck: gigantic feature", mutateDeck("feature_nm", "feature_nm 999999999")),
+		deckCase("deck: zero metals", mutateDeck("metals", "metals 0")),
+		deckCase("deck: absurd metals", mutateDeck("metals", "metals 4096")),
+		deckCase("deck: non-numeric value", mutateDeck("kp_p", "kp_p banana")),
+		deckCase("deck: three-field line", goodDeck+"rogue key value\n"),
+		deckCase("deck: bad rule layer", goodDeck+"rule unobtanium width 3 spacing 3\n"),
+		deckCase("deck: bad rule numbers", goodDeck+"rule metal1 width -3 spacing 0\n"),
+		deckCase("deck: oversized line", goodDeck+strings.Repeat("x", 100_000)+" 1\n"),
+		deckCase("deck: key flood", goodDeck+func() string {
+			var b strings.Builder
+			for i := 0; i < 300; i++ {
+				b.WriteString("key")
+				b.WriteByte(byte('a' + i%26))
+				b.WriteString(string(rune('a'+(i/26)%26)) + " 1\n")
+			}
+			return b.String()
+		}()),
+	)
+
+	// --- Malformed march strings.
+	cs = append(cs,
+		marchCase("march: empty", ""),
+		marchCase("march: braces only", "{}"),
+		marchCase("march: unknown direction", "{x(w0)}"),
+		marchCase("march: missing parens", "{u w0}"),
+		marchCase("march: unclosed paren", "{u(r0,w1}"),
+		marchCase("march: empty element", "{u()}"),
+		marchCase("march: unknown op", "{u(q7)}"),
+		marchCase("march: bad data bit", "{u(w2)}"),
+		marchCase("march: trailing delay", "{u(w0); Del}"),
+		marchCase("march: unicode garbage", "{⇑(日本語)}"),
+		marchCase("march: nested braces", "{{u(w0)}}"),
+		marchCase("march: op flood", "{u("+strings.Repeat("r0,", 2000)+"w0)}"),
+		marchCase("march: element flood", strings.Repeat("u(w0);", 5000)),
+		marchCase("march: null bytes", "{u(\x00w0)}"),
+	)
+
+	// --- Corrupt TRPLA plane files.
+	longRows := func(n int, row string) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString(row + "\n")
+		}
+		return b.String()
+	}
+	cs = append(cs,
+		planesCase("planes: empty", 4, "", ""),
+		planesCase("planes: comments only", 4, "# nothing\n", "# nothing\n"),
+		planesCase("planes: zero state bits", 0, "----\n", "0000\n"),
+		planesCase("planes: absurd state bits", 64, "----\n", "0000\n"),
+		planesCase("planes: row count mismatch", 4, "--------\n--------\n", "--------\n"),
+		planesCase("planes: AND too narrow", 4, "--\n", longRows(1, strings.Repeat("0", 4+bistOutputsFor(4)))),
+		planesCase("planes: OR too narrow", 4, longRows(1, strings.Repeat("-", 4+bist.NumConds)), "0\n"),
+		planesCase("planes: bad AND char", 4,
+			"2"+strings.Repeat("-", 3+bist.NumConds)+"\n",
+			strings.Repeat("0", bistOutputsFor(4))+"\n"),
+		planesCase("planes: bad OR char", 4,
+			strings.Repeat("-", 4+bist.NumConds)+"\n",
+			"x"+strings.Repeat("0", bistOutputsFor(4)-1)+"\n"),
+		planesCase("planes: row flood", 2,
+			longRows(70_000, strings.Repeat("-", 2+bist.NumConds)),
+			longRows(70_000, strings.Repeat("0", bistOutputsFor(2)))),
+		planesCase("planes: oversized line", 4, strings.Repeat("-", 100_000)+"\n", "0000\n"),
+		planesCase("planes: binary garbage", 4, "\x00\xff\x00\xff\n", "\x01\x02\x03\x04\n"),
+	)
+
+	// --- Degenerate geometries and sizing.
+	cs = append(cs,
+		paramsCase("params: nil process", func(p *compiler.Params) { p.Process = nil }),
+		paramsCase("params: zero words", func(p *compiler.Params) { p.Words = 0 }),
+		paramsCase("params: negative words", func(p *compiler.Params) { p.Words = -64 }),
+		paramsCase("params: zero bpw", func(p *compiler.Params) { p.BPW = 0 }),
+		paramsCase("params: non-pow2 bpc", func(p *compiler.Params) { p.BPC = 3 }),
+		paramsCase("params: words not divisible", func(p *compiler.Params) { p.Words = 64; p.BPC = 128 }),
+		paramsCase("params: non-pow2 words", func(p *compiler.Params) { p.Words = 60 }),
+		paramsCase("params: odd spare count", func(p *compiler.Params) { p.Spares = 5 }),
+		paramsCase("params: negative spares", func(p *compiler.Params) { p.Spares = -4 }),
+		paramsCase("params: spares exceed menu", func(p *compiler.Params) { p.Spares = 1024 }),
+		paramsCase("params: zero buffer size", func(p *compiler.Params) { p.BufSize = 0 }),
+		paramsCase("params: absurd buffer size", func(p *compiler.Params) { p.BufSize = 99 }),
+		paramsCase("params: negative straps", func(p *compiler.Params) { p.StrapCells = -1 }),
+		paramsCase("params: single row", func(p *compiler.Params) { p.Words = 16; p.BPC = 16 }),
+		paramsCase("params: negative refine budget", func(p *compiler.Params) { p.RefineIterations = -1 }),
+		paramsCase("params: int overflow bait", func(p *compiler.Params) { p.Words = 1 << 62; p.BPC = 1 << 31 }),
+	)
+	return cs
+}
+
+// bistOutputsFor mirrors bist.Program.numOutputs for building plane
+// rows of the right (or deliberately wrong) width.
+func bistOutputsFor(stateBits int) int { return bist.NumSigs + stateBits }

@@ -10,10 +10,10 @@
 package floorplan
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/cerr"
 	"repro/internal/geom"
 	"repro/internal/tech"
 )
@@ -60,32 +60,13 @@ type Result struct {
 }
 
 // Place floorplans the macros. The process supplies the metal3 rules
-// for over-the-cell routing.
+// for over-the-cell routing. All failures are typed cerr.ErrFloorplan
+// errors so the compiler's degradation ladder can detect them and fall
+// back to Stack.
 func Place(p *tech.Process, macros []Macro, nets []Net) (*Result, error) {
-	if len(macros) == 0 {
-		return nil, fmt.Errorf("floorplan: no macros")
-	}
-	byName := map[string]*Macro{}
-	for i := range macros {
-		m := &macros[i]
-		if m.Cell == nil || m.Cell.Bounds().Empty() {
-			return nil, fmt.Errorf("floorplan: macro %q has no geometry", m.Name)
-		}
-		if _, dup := byName[m.Name]; dup {
-			return nil, fmt.Errorf("floorplan: duplicate macro %q", m.Name)
-		}
-		byName[m.Name] = m
-	}
-	for _, n := range nets {
-		for _, pin := range n.Pins {
-			m, ok := byName[pin.Macro]
-			if !ok {
-				return nil, fmt.Errorf("floorplan: net %q references unknown macro %q", n.Name, pin.Macro)
-			}
-			if _, ok := m.Cell.Port(pin.Port); !ok {
-				return nil, fmt.Errorf("floorplan: net %q references unknown port %s.%s", n.Name, pin.Macro, pin.Port)
-			}
-		}
+	byName, err := indexMacros(macros, nets)
+	if err != nil {
+		return nil, err
 	}
 
 	// Decreasing-area order (paper's first step).
@@ -106,9 +87,70 @@ func Place(p *tech.Process, macros []Macro, nets []Net) (*Result, error) {
 	for _, m := range order[1:] {
 		best, ok := st.bestPlacement(m)
 		if !ok {
-			return nil, fmt.Errorf("floorplan: no legal position for %q", m.Name)
+			return nil, cerr.New(cerr.CodeFloorplan, "floorplan: no legal position for %q", m.Name)
 		}
 		st.commit(m, best)
+	}
+	return st.finish(macros)
+}
+
+// indexMacros validates the macro and net lists shared by Place and
+// Stack and returns the name index. All errors are CodeFloorplan.
+func indexMacros(macros []Macro, nets []Net) (map[string]*Macro, error) {
+	if len(macros) == 0 {
+		return nil, cerr.New(cerr.CodeFloorplan, "floorplan: no macros")
+	}
+	byName := map[string]*Macro{}
+	for i := range macros {
+		m := &macros[i]
+		if m.Cell == nil || m.Cell.Bounds().Empty() {
+			return nil, cerr.New(cerr.CodeFloorplan, "floorplan: macro %q has no geometry", m.Name)
+		}
+		if _, dup := byName[m.Name]; dup {
+			return nil, cerr.New(cerr.CodeFloorplan, "floorplan: duplicate macro %q", m.Name)
+		}
+		byName[m.Name] = m
+	}
+	for _, n := range nets {
+		for _, pin := range n.Pins {
+			m, ok := byName[pin.Macro]
+			if !ok {
+				return nil, cerr.New(cerr.CodeFloorplan, "floorplan: net %q references unknown macro %q", n.Name, pin.Macro)
+			}
+			if _, ok := m.Cell.Port(pin.Port); !ok {
+				return nil, cerr.New(cerr.CodeFloorplan, "floorplan: net %q references unknown port %s.%s", n.Name, pin.Macro, pin.Port)
+			}
+		}
+	}
+	return byName, nil
+}
+
+// Stack is the degraded-mode placer: macros are stacked vertically in
+// decreasing-area order with no orientation search, no port alignment,
+// and no stretching. It cannot fail once the inputs validate (every
+// macro gets a fresh shelf above the previous one), which is what makes
+// it a safe fallback rung for the compiler's degradation ladder when
+// Place cannot find a legal abutment placement. Connectivity is still
+// resolved in finish (abutment detection plus M3 L-routes), so the
+// result is a legal — merely less compact — floorplan.
+func Stack(p *tech.Process, macros []Macro, nets []Net) (*Result, error) {
+	byName, err := indexMacros(macros, nets)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]*Macro, len(macros))
+	for i := range macros {
+		order[i] = &macros[i]
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Cell.Area() > order[j].Cell.Area() })
+
+	st := &state{p: p, placed: map[string]Placement{}, byName: byName, nets: nets}
+	y := 0
+	for _, m := range order {
+		b := m.Cell.Bounds()
+		// Anchor the macro's lower-left at (0, y) in R0.
+		st.commit(m, Placement{Orient: geom.R0, At: geom.Point{X: -b.X0, Y: y - b.Y0}})
+		y += b.H()
 	}
 	return st.finish(macros)
 }

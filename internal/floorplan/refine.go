@@ -1,12 +1,23 @@
 package floorplan
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
+	"repro/internal/cerr"
 	"repro/internal/geom"
 	"repro/internal/tech"
 )
+
+// ctxCheckMoves is how many annealing moves run between context
+// checks; checking every move would put a timer read in the hot loop.
+const ctxCheckMoves = 256
+
+// maxRefineIterations caps the annealing budget so that adversarial
+// parameters cannot demand an effectively unbounded run. The cap is
+// generous: production compiles use a few thousand iterations.
+const maxRefineIterations = 10_000_000
 
 // Refine improves a greedy floorplan by simulated annealing over
 // macro placements: random re-orientation, relocation against another
@@ -14,10 +25,25 @@ import (
 // geometric cooling schedule. The cost is the same outline-area /
 // rectangularity / wirelength blend the constructive pass optimises,
 // so Refine can only confirm or improve it. Deterministic for a given
-// seed.
+// seed. Refine is RefineCtx with a background context.
 func Refine(p *tech.Process, macros []Macro, nets []Net, initial *Result, iterations int, seed int64) (*Result, error) {
+	return RefineCtx(context.Background(), p, macros, nets, initial, iterations, seed)
+}
+
+// RefineCtx is Refine under a context deadline. The annealing loop
+// checks ctx every ctxCheckMoves moves; on expiry it rebuilds the
+// floorplan from the best placements found so far and returns that
+// partial result together with a cerr.ErrBudgetExceeded error, so
+// callers keep a legal (if less optimised) floorplan as a diagnostic.
+// An iteration budget above maxRefineIterations is rejected with
+// cerr.ErrInvalidParams before any work runs.
+func RefineCtx(ctx context.Context, p *tech.Process, macros []Macro, nets []Net, initial *Result, iterations int, seed int64) (*Result, error) {
 	if iterations <= 0 {
 		return initial, nil
+	}
+	if iterations > maxRefineIterations {
+		return initial, cerr.New(cerr.CodeInvalidParams,
+			"floorplan: refine budget %d exceeds cap %d", iterations, maxRefineIterations)
 	}
 	byName := map[string]*Macro{}
 	for i := range macros {
@@ -80,7 +106,15 @@ func Refine(p *tech.Process, macros []Macro, nets []Net, initial *Result, iterat
 	temp := curCost * 0.05
 	cool := math.Pow(0.01, 1/float64(iterations)) // decay to 1% over the run
 
+	var budgetErr error
 	for it := 0; it < iterations; it++ {
+		if it%ctxCheckMoves == 0 {
+			if err := ctx.Err(); err != nil {
+				budgetErr = cerr.Wrap(cerr.CodeBudgetExceeded, err,
+					"floorplan: refine cancelled after %d of %d iterations", it, iterations)
+				break
+			}
+		}
 		cand := clonePlacements(cur)
 		switch rng.Intn(3) {
 		case 0: // re-orient in place (keep the lower-left corner)
@@ -142,13 +176,18 @@ func Refine(p *tech.Process, macros []Macro, nets []Net, initial *Result, iterat
 		temp *= cool
 	}
 
-	// Rebuild the final result from the best placements.
+	// Rebuild the final result from the best placements (on budget
+	// expiry this is the best-so-far partial answer).
 	st := &state{p: p, placed: best, byName: byName, nets: nets}
 	for _, n := range names {
 		st.boxes = append(st.boxes, placedBounds(byName[n], best[n]))
 		st.bbox = st.bbox.Union(st.boxes[len(st.boxes)-1])
 	}
-	return st.finish(macros)
+	res, err := st.finish(macros)
+	if err != nil {
+		return res, err
+	}
+	return res, budgetErr
 }
 
 func clonePlacements(in map[string]Placement) map[string]Placement {

@@ -12,6 +12,8 @@ package geom
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/cerr"
 )
 
 // DBUPerMicron is the number of database units per micron. All layout
@@ -275,8 +277,24 @@ func (c *Cell) Port(name string) (Port, bool) {
 	return c.Ports[i], true
 }
 
+// PortErr is Port with a typed error: a missing port returns
+// cerr.ErrGeometry. Use it wherever the port name is not statically
+// guaranteed by the caller (e.g. names derived from user input).
+func (c *Cell) PortErr(name string) (Port, error) {
+	p, ok := c.Port(name)
+	if !ok {
+		return Port{}, cerr.New(cerr.CodeGeometry, "geom: cell %q has no port %q", c.Name, name)
+	}
+	return p, nil
+}
+
 // MustPort is Port but panics when the port is missing; generators use
-// it for ports they themselves created.
+// it ONLY for ports they themselves created moments earlier, so a
+// failure is a programming error in the generator. This is one of the
+// documented residual panic sites of the cerr panic policy (see
+// package cerr); every generator runs behind a compile-stage Recover
+// guard, so even this panic surfaces to compiler callers as a typed
+// ErrInternal. Code handling user-derived port names must use PortErr.
 func (c *Cell) MustPort(name string) Port {
 	p, ok := c.Port(name)
 	if !ok {

@@ -100,6 +100,11 @@ func TransformDir(d PortDir, o Orient) PortDir {
 
 // Compose returns the orientation equivalent to applying inner first,
 // then outer: Compose(outer, inner)(p) == outer(inner(p)).
+//
+// The eight Manhattan orientations form a closed group, so composition
+// is mathematically total; the panic below is a documented invariant
+// site of the cerr panic policy (see package cerr), unreachable from
+// any input.
 func Compose(outer, inner Orient) Orient {
 	// Work out action on basis vectors.
 	ex := TransformPoint(TransformPoint(Point{1, 0}, inner), outer)
@@ -113,7 +118,9 @@ func Compose(outer, inner Orient) Orient {
 }
 
 // Invert returns the orientation o⁻¹ such that Compose(o, Invert(o))
-// is the identity.
+// is the identity. Inversion is total over the closed orientation
+// group; the panic below is a documented invariant site of the cerr
+// panic policy (see package cerr).
 func Invert(o Orient) Orient {
 	for _, inv := range AllOrients {
 		if Compose(o, inv) == R0 {

@@ -189,7 +189,10 @@ func (c *Cell) CheckDRC(max int) []geom.Violation {
 }
 
 // sanity panics with context if a generator produced an empty cell —
-// generators are internal, so this is a programming error.
+// generators are internal, so this is a programming error, and the
+// panic is a documented invariant site of the cerr panic policy (see
+// package cerr). Generators run behind compile-stage Recover guards,
+// so the panic reaches compiler callers as a typed ErrInternal.
 func sanity(c *Cell) *Cell {
 	if c.Bounds().Empty() {
 		panic(fmt.Sprintf("leafcell: %s has empty bounds", c.Name))

@@ -25,7 +25,10 @@ func (s *Sim) AndReduce(name string, in []int) int {
 
 func (s *Sim) reduce(name string, k Kind, in []int) int {
 	if len(in) == 0 {
-		panic("logicsim: reduce over empty bus")
+		// Construction error: record it and return a placeholder X net
+		// so callers can keep wiring; the sim refuses to run (see Err).
+		s.Failf("logicsim: %v reduce %q over empty bus", k, name)
+		return s.Net(name + ".r")
 	}
 	level := 0
 	cur := in
@@ -83,7 +86,12 @@ func (s *Sim) Decoder(name string, addr []int, en int) []int {
 // and b (same width) and returns a net that is 1 when equal.
 func (s *Sim) EqComparator(name string, a, b []int) int {
 	if len(a) != len(b) {
-		panic("logicsim: comparator width mismatch")
+		s.Failf("logicsim: comparator %q width mismatch (%d vs %d)", name, len(a), len(b))
+		return s.Net(name + ".eq")
+	}
+	if len(a) == 0 {
+		s.Failf("logicsim: comparator %q over empty buses", name)
+		return s.Net(name + ".eq")
 	}
 	diffs := make([]int, len(a))
 	for i := range a {
@@ -109,7 +117,8 @@ func (s *Sim) Register(name string, d []int, rstN int) []int {
 // Mux2Bus builds a per-bit 2:1 mux: out = a when sel=0, b when sel=1.
 func (s *Sim) Mux2Bus(name string, sel int, a, b []int) []int {
 	if len(a) != len(b) {
-		panic("logicsim: mux width mismatch")
+		s.Failf("logicsim: mux %q width mismatch (%d vs %d)", name, len(a), len(b))
+		return s.Bus(name, len(a))
 	}
 	out := s.Bus(name, len(a))
 	for i := range a {

@@ -8,6 +8,8 @@ package logicsim
 import (
 	"container/heap"
 	"fmt"
+
+	"repro/internal/cerr"
 )
 
 // Value is a four-state logic level.
@@ -236,6 +238,14 @@ type Sim struct {
 	watch map[int][]func(Value)
 
 	evals uint64 // statistics: gate evaluations
+
+	// err is the sticky first construction error. Netlist builders are
+	// fluent (no per-call error returns); a malformed construction —
+	// empty reduction, bus width mismatch, gate with no inputs —
+	// records a typed cerr.ErrNetlist here instead of panicking, and
+	// every subsequent Settle/ClockEdge refuses to run until the
+	// netlist is rebuilt. Check Err after building.
+	err error
 }
 
 // New returns an empty simulator.
@@ -279,10 +289,25 @@ func (s *Sim) Gate(k Kind, out int, in ...int) {
 	s.GateD(k, 1, out, in...)
 }
 
-// GateD adds a gate with an explicit delay in ticks (>= 1).
+// Failf records a netlist construction error (first one wins) as a
+// typed cerr.ErrNetlist. Block generators call it instead of panicking
+// on impossible geometry; the simulator then refuses to run.
+func (s *Sim) Failf(format string, args ...any) {
+	if s.err == nil {
+		s.err = cerr.New(cerr.CodeNetlist, format, args...)
+	}
+}
+
+// Err returns the first netlist construction error, or nil.
+func (s *Sim) Err() error { return s.err }
+
+// GateD adds a gate with an explicit delay in ticks (>= 1). A gate
+// with no inputs is recorded as a construction error (see Failf) and
+// not added.
 func (s *Sim) GateD(k Kind, delay uint64, out int, in ...int) {
 	if len(in) == 0 {
-		panic("logicsim: gate with no inputs")
+		s.Failf("logicsim: %v gate driving %q has no inputs", k, s.names[out])
+		return
 	}
 	if delay == 0 {
 		delay = 1
@@ -354,9 +379,13 @@ func (s *Sim) post(t uint64, net int, v Value) {
 }
 
 // Settle runs the event queue until quiescent or until the budget of
-// events is exhausted, returning an error in the latter case
-// (indicating oscillation, e.g. an unstable combinational loop).
+// events is exhausted, returning a typed cerr.ErrSimDiverged in the
+// latter case (indicating oscillation, e.g. an unstable combinational
+// loop). A netlist with a recorded construction error refuses to run.
 func (s *Sim) Settle() error {
+	if s.err != nil {
+		return s.err
+	}
 	const budget = 4_000_000
 	n := 0
 	for s.queue.Len() > 0 {
@@ -379,7 +408,8 @@ func (s *Sim) Settle() error {
 		}
 		n++
 		if n > budget {
-			return fmt.Errorf("logicsim: did not settle after %d events (oscillation?)", budget)
+			return cerr.New(cerr.CodeSimDiverged,
+				"logicsim: did not settle after %d events (oscillation?)", budget)
 		}
 	}
 	return nil

@@ -1,0 +1,45 @@
+package march
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cerr"
+)
+
+// FuzzMarchNotation feeds arbitrary strings through the march-test
+// parser. Contract: never panics, rejections are typed, and accepted
+// tests stay within the element/op caps so downstream cycle budgets
+// remain bounded.
+func FuzzMarchNotation(f *testing.F) {
+	f.Add("{b(w0); u(r0,w1); Del; d(r1,w0)}")
+	f.Add("{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}")
+	f.Add("")
+	f.Add("{}")
+	f.Add("{u(q9)}")
+	f.Add("{u(w0); Del}")
+	f.Add("{{u(w0)}}")
+	f.Add(strings.Repeat("u(w0);", 5000))
+	f.Add("{u(" + strings.Repeat("r0,", 2000) + "w0)}")
+	f.Add("\x00\x01\x02")
+	f.Fuzz(func(t *testing.T, s string) {
+		test, err := Parse("fuzz", s)
+		if err != nil {
+			if !cerr.IsTyped(err) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		if len(test.Elements) == 0 || len(test.Elements) > 4096 {
+			t.Fatalf("accepted test with %d elements", len(test.Elements))
+		}
+		for _, e := range test.Elements {
+			if len(e.Ops) == 0 || len(e.Ops) > 1024 {
+				t.Fatalf("accepted element with %d ops", len(e.Ops))
+			}
+		}
+		if test.OpCount() <= 0 {
+			t.Fatalf("accepted test with op count %d", test.OpCount())
+		}
+	})
+}

@@ -8,6 +8,8 @@ package march
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/cerr"
 )
 
 // DUT is the device under test: a word-addressable memory. The
@@ -257,9 +259,17 @@ func (r *Result) FailedAddrs() []int {
 // all-0, 10…0-style running fills, …, all-1. The Johnson counter's
 // 2·bpw states produce bpw+1 distinct unordered background pairs
 // (each pattern's complement appears in the other half-cycle).
+//
+// The function is total: out-of-range widths are clamped into the
+// representable [1, 64] (the behavioural model packs words in uint64).
+// Boundaries that must reject rather than clamp use
+// JohnsonBackgroundsChecked.
 func JohnsonBackgrounds(bpw int) []uint64 {
-	if bpw <= 0 || bpw > 64 {
-		panic(fmt.Sprintf("march: bad bpw %d", bpw))
+	if bpw < 1 {
+		bpw = 1
+	}
+	if bpw > 64 {
+		bpw = 64
 	}
 	out := make([]uint64, 0, bpw+1)
 	v := uint64(0)
@@ -269,6 +279,16 @@ func JohnsonBackgrounds(bpw int) []uint64 {
 		out = append(out, v)
 	}
 	return out
+}
+
+// JohnsonBackgroundsChecked is JohnsonBackgrounds with boundary
+// validation: word widths outside [1, 64] return a typed
+// cerr.ErrInvalidParams instead of being clamped.
+func JohnsonBackgroundsChecked(bpw int) ([]uint64, error) {
+	if bpw < 1 || bpw > 64 {
+		return nil, cerr.New(cerr.CodeInvalidParams, "march: bpw %d outside model range [1, 64]", bpw)
+	}
+	return JohnsonBackgrounds(bpw), nil
 }
 
 // SingleBackground is the degenerate background set (all-0 only) used

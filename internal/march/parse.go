@@ -1,8 +1,19 @@
 package march
 
 import (
-	"fmt"
 	"strings"
+
+	"repro/internal/cerr"
+)
+
+// Parse limits. March strings come from the command line; the caps
+// keep a hostile string from ballooning the in-memory test (and the
+// cycle counts derived from it) without excluding any realistic
+// algorithm — the longest published march tests are tens of
+// operations, not thousands.
+const (
+	maxElements      = 4096
+	maxOpsPerElement = 1024
 )
 
 // Parse reads a march test from its notation, enabling custom test
@@ -15,6 +26,8 @@ import (
 //
 // u/⇑ ascending, d/⇓ descending, b/⇕ either; Del inserts the
 // data-retention delay before the next element; braces optional.
+//
+// All failures are typed cerr.ErrMarchParse.
 func Parse(name, s string) (Test, error) {
 	t := Test{Name: name}
 	s = strings.TrimSpace(s)
@@ -30,6 +43,9 @@ func Parse(name, s string) (Test, error) {
 			pendingDelay = true
 			continue
 		}
+		if len(t.Elements) >= maxElements {
+			return Test{}, cerr.New(cerr.CodeMarchParse, "march: more than %d elements", maxElements)
+		}
 		elem, err := parseElement(e)
 		if err != nil {
 			return Test{}, err
@@ -39,10 +55,10 @@ func Parse(name, s string) (Test, error) {
 		t.Elements = append(t.Elements, elem)
 	}
 	if pendingDelay {
-		return Test{}, fmt.Errorf("march: trailing Del with no element")
+		return Test{}, cerr.New(cerr.CodeMarchParse, "march: trailing Del with no element")
 	}
 	if len(t.Elements) == 0 {
-		return Test{}, fmt.Errorf("march: empty test")
+		return Test{}, cerr.New(cerr.CodeMarchParse, "march: empty test")
 	}
 	return t, nil
 }
@@ -57,17 +73,20 @@ func parseElement(e string) (Element, error) {
 	case strings.HasPrefix(e, "⇕"), strings.HasPrefix(e, "b"), strings.HasPrefix(e, "B"):
 		el.Order = Either
 	default:
-		return el, fmt.Errorf("march: element %q: unknown order prefix", e)
+		return el, cerr.New(cerr.CodeMarchParse, "march: element %q: unknown order prefix", e)
 	}
 	open := strings.IndexByte(e, '(')
 	close := strings.LastIndexByte(e, ')')
 	if open < 0 || close < open {
-		return el, fmt.Errorf("march: element %q: missing parentheses", e)
+		return el, cerr.New(cerr.CodeMarchParse, "march: element %q: missing parentheses", e)
 	}
 	for _, opStr := range strings.Split(e[open+1:close], ",") {
 		opStr = strings.TrimSpace(strings.ToLower(opStr))
 		if len(opStr) != 2 {
-			return el, fmt.Errorf("march: element %q: bad op %q", e, opStr)
+			return el, cerr.New(cerr.CodeMarchParse, "march: element %q: bad op %q", e, opStr)
+		}
+		if len(el.Ops) >= maxOpsPerElement {
+			return el, cerr.New(cerr.CodeMarchParse, "march: element %q: more than %d ops", e, maxOpsPerElement)
 		}
 		var op Op
 		switch opStr[0] {
@@ -76,19 +95,19 @@ func parseElement(e string) (Element, error) {
 		case 'w':
 			op.Kind = Write
 		default:
-			return el, fmt.Errorf("march: element %q: bad op kind %q", e, opStr)
+			return el, cerr.New(cerr.CodeMarchParse, "march: element %q: bad op kind %q", e, opStr)
 		}
 		switch opStr[1] {
 		case '0':
 		case '1':
 			op.Inverted = true
 		default:
-			return el, fmt.Errorf("march: element %q: bad op datum %q", e, opStr)
+			return el, cerr.New(cerr.CodeMarchParse, "march: element %q: bad op datum %q", e, opStr)
 		}
 		el.Ops = append(el.Ops, op)
 	}
 	if len(el.Ops) == 0 {
-		return el, fmt.Errorf("march: element %q has no ops", e)
+		return el, cerr.New(cerr.CodeMarchParse, "march: element %q has no ops", e)
 	}
 	return el, nil
 }

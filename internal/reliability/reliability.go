@@ -6,8 +6,9 @@
 package reliability
 
 import (
-	"fmt"
 	"math"
+
+	"repro/internal/cerr"
 )
 
 // Model describes one BISR'ed RAM for reliability evaluation.
@@ -24,15 +25,54 @@ type Model struct {
 	LambdaBit float64
 }
 
-// Validate checks model sanity.
+// Validate checks model sanity. Non-finite failure rates are rejected
+// with cerr.ErrNonFinite (note a NaN rate would slide through a plain
+// `<= 0` comparison), out-of-range finite values with
+// cerr.ErrInvalidParams.
 func (m Model) Validate() error {
 	if m.Rows <= 0 || m.BPC <= 0 || m.BPW <= 0 || m.Spares < 0 {
-		return fmt.Errorf("reliability: bad geometry %+v", m)
+		return cerr.New(cerr.CodeInvalidParams,
+			"reliability: bad geometry rows=%d bpc=%d bpw=%d spares=%d", m.Rows, m.BPC, m.BPW, m.Spares)
+	}
+	if math.IsNaN(m.LambdaBit) || math.IsInf(m.LambdaBit, 0) {
+		return cerr.New(cerr.CodeNonFinite, "reliability: non-finite failure rate")
 	}
 	if m.LambdaBit <= 0 {
-		return fmt.Errorf("reliability: non-positive failure rate")
+		return cerr.New(cerr.CodeInvalidParams, "reliability: non-positive failure rate %g", m.LambdaBit)
 	}
 	return nil
+}
+
+// CheckAge validates an age axis value (hours): non-finite inputs are
+// rejected with cerr.ErrNonFinite. Negative finite ages are legal —
+// the survival function clamps them to R=1.
+func CheckAge(t float64) error {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return cerr.New(cerr.CodeNonFinite, "reliability: non-finite age %v", t)
+	}
+	return nil
+}
+
+// ReliabilityErr is Reliability with full input checking: the model
+// and the age must validate, otherwise the typed error is returned
+// instead of a NaN.
+func (m Model) ReliabilityErr(t float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if err := CheckAge(t); err != nil {
+		return 0, err
+	}
+	return m.Reliability(t), nil
+}
+
+// MTTFErr is MTTF with model checking, so a NaN failure rate surfaces
+// as cerr.ErrNonFinite rather than a nonsense integral.
+func (m Model) MTTFErr() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	return m.MTTF(), nil
 }
 
 // Words returns the regular word count.
@@ -96,18 +136,30 @@ func (m Model) MTTF() float64 {
 // several years. It returns an error when no crossover exists within
 // the horizon.
 func CrossoverAge(base Model, fewerSpares, moreSpares int, horizonHours float64) (float64, error) {
+	if math.IsNaN(horizonHours) || math.IsInf(horizonHours, 0) {
+		return 0, cerr.New(cerr.CodeNonFinite, "reliability: non-finite horizon %v", horizonHours)
+	}
+	if fewerSpares < 0 || moreSpares <= fewerSpares || horizonHours <= 1 {
+		return 0, cerr.New(cerr.CodeInvalidParams,
+			"reliability: bad crossover query spares %d..%d horizon %g", fewerSpares, moreSpares, horizonHours)
+	}
 	a := base
 	a.Spares = fewerSpares
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
 	b := base
 	b.Spares = moreSpares
 	diff := func(t float64) float64 { return b.Reliability(t) - a.Reliability(t) }
 	// Expect diff < 0 early, > 0 late.
 	lo, hi := 1.0, horizonHours
 	if diff(lo) >= 0 {
-		return 0, fmt.Errorf("reliability: %d spares already better at t=%g", moreSpares, lo)
+		return 0, cerr.New(cerr.CodeInvalidParams,
+			"reliability: %d spares already better at t=%g", moreSpares, lo)
 	}
 	if diff(hi) <= 0 {
-		return 0, fmt.Errorf("reliability: no crossover before %g hours", horizonHours)
+		return 0, cerr.New(cerr.CodeInvalidParams,
+			"reliability: no crossover before %g hours", horizonHours)
 	}
 	for i := 0; i < 200; i++ {
 		mid := (lo + hi) / 2

@@ -12,9 +12,10 @@
 package spice
 
 import (
-	"fmt"
+	"math"
 	"sort"
 
+	"repro/internal/cerr"
 	"repro/internal/tech"
 )
 
@@ -28,6 +29,15 @@ type Circuit struct {
 	caps []capacitor
 	mos  []mosfet
 	vsrc []vsource
+
+	// err is the sticky first construction error. The builder methods
+	// are fluent (no per-call error return); an impossible element —
+	// non-positive resistance, negative or non-finite capacitance,
+	// degenerate MOS geometry — records a typed cerr.ErrNetlist here
+	// instead of panicking, and OP/Transient refuse to run until the
+	// netlist is rebuilt. Check Err after building, or rely on the
+	// analysis entry points surfacing it.
+	err error
 }
 
 type resistor struct {
@@ -119,18 +129,35 @@ func (c *Circuit) Node(name string) int {
 // NumNodes returns the number of non-ground nodes.
 func (c *Circuit) NumNodes() int { return len(c.nodes) }
 
-// R adds a resistor of r ohms between nodes a and b.
+// Failf records a netlist construction error (first one wins) as a
+// typed cerr.ErrNetlist.
+func (c *Circuit) Failf(format string, args ...any) {
+	if c.err == nil {
+		c.err = cerr.New(cerr.CodeNetlist, format, args...)
+	}
+}
+
+// Err returns the first netlist construction error, or nil.
+func (c *Circuit) Err() error { return c.err }
+
+// R adds a resistor of r ohms between nodes a and b. A non-positive
+// or non-finite resistance is a construction error (see Err); the
+// element is skipped.
 func (c *Circuit) R(a, b string, r float64) {
-	if r <= 0 {
-		panic(fmt.Sprintf("spice: non-positive resistance %g", r))
+	if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		c.Failf("spice: resistor %s-%s: non-positive or non-finite resistance %g", a, b, r)
+		return
 	}
 	c.res = append(c.res, resistor{c.Node(a), c.Node(b), r})
 }
 
-// C adds a capacitor of f farads between nodes a and b.
+// C adds a capacitor of f farads between nodes a and b. A negative or
+// non-finite capacitance is a construction error (see Err); the
+// element is skipped.
 func (c *Circuit) C(a, b string, f float64) {
-	if f < 0 {
-		panic(fmt.Sprintf("spice: negative capacitance %g", f))
+	if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		c.Failf("spice: capacitor %s-%s: negative or non-finite capacitance %g", a, b, f)
+		return
 	}
 	if f == 0 {
 		return
@@ -140,8 +167,13 @@ func (c *Circuit) C(a, b string, f float64) {
 
 // M adds a MOSFET. w and l are in metres; parameters come from the
 // process deck. Device capacitances (gate and junction) are added
-// automatically as grounded linear capacitors.
+// automatically as grounded linear capacitors. Degenerate geometry
+// (non-positive or non-finite w or l) is a construction error.
 func (c *Circuit) M(name string, d, g, s string, typ tech.MOSType, w, l float64, p *tech.Process) {
+	if w <= 0 || l <= 0 || math.IsNaN(w) || math.IsInf(w, 0) || math.IsNaN(l) || math.IsInf(l, 0) {
+		c.Failf("spice: mosfet %s: degenerate geometry w=%g l=%g", name, w, l)
+		return
+	}
 	mp := p.MOS(typ)
 	c.mos = append(c.mos, mosfet{name: name, d: c.Node(d), g: c.Node(g), s: c.Node(s), typ: typ, w: w, l: l, p: mp})
 	c.C(g, "0", mp.CgsPerW*w)
@@ -149,8 +181,13 @@ func (c *Circuit) M(name string, d, g, s string, typ tech.MOSType, w, l float64,
 	c.C(s, "0", mp.CjPerW*w)
 }
 
-// V adds an independent voltage source from node a to ground.
+// V adds an independent voltage source from node a to ground. A nil
+// waveform is a construction error.
 func (c *Circuit) V(name, a string, w Waveform) {
+	if w == nil {
+		c.Failf("spice: source %s: nil waveform", name)
+		return
+	}
 	c.vsrc = append(c.vsrc, vsource{name: name, a: c.Node(a), wave: w})
 }
 

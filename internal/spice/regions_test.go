@@ -1,9 +1,11 @@
 package spice
 
 import (
+	"errors"
 	"math"
 	"testing"
 
+	"repro/internal/cerr"
 	"repro/internal/tech"
 )
 
@@ -120,22 +122,26 @@ func TestTransientRejectsBadParams(t *testing.T) {
 	}
 }
 
-func TestPanicsOnBadElements(t *testing.T) {
+func TestBadElementsAreTypedErrors(t *testing.T) {
 	c := New()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("non-positive resistor accepted")
-			}
-		}()
-		c.R("a", "b", -5)
-	}()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("negative capacitor accepted")
-			}
-		}()
-		c.C("a", "b", -1e-12)
-	}()
+	c.R("a", "b", -5)
+	if err := c.Err(); err == nil {
+		t.Error("non-positive resistor accepted")
+	} else if !errors.Is(err, cerr.ErrNetlist) {
+		t.Errorf("resistor error must be ErrNetlist, got %v", err)
+	}
+	c2 := New()
+	c2.C("a", "b", -1e-12)
+	if c2.Err() == nil {
+		t.Error("negative capacitor accepted")
+	}
+	c3 := New()
+	c3.C("a", "b", math.NaN())
+	if c3.Err() == nil {
+		t.Error("NaN capacitor accepted")
+	}
+	// A failed netlist refuses to simulate, with the construction error.
+	if _, err := c3.OP(); err == nil || !errors.Is(err, cerr.ErrNetlist) {
+		t.Errorf("OP on failed netlist must return ErrNetlist, got %v", err)
+	}
 }

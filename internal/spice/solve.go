@@ -1,8 +1,10 @@
 package spice
 
 import (
-	"fmt"
+	"context"
 	"math"
+
+	"repro/internal/cerr"
 )
 
 // Solver parameters.
@@ -245,7 +247,7 @@ func (s *system) newton(v, vPrev []float64, t, h float64) error {
 		}
 		rhs := append([]float64(nil), s.rhs...)
 		if !solveLinear(jc, rhs) {
-			return fmt.Errorf("spice: singular matrix at t=%g", t)
+			return cerr.New(cerr.CodeSimDiverged, "spice: singular matrix at t=%g", t)
 		}
 		maxDv := 0.0
 		for i := 0; i < s.n; i++ {
@@ -267,12 +269,15 @@ func (s *system) newton(v, vPrev []float64, t, h float64) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("spice: Newton did not converge at t=%g", t)
+	return cerr.New(cerr.CodeSimDiverged, "spice: Newton did not converge at t=%g", t)
 }
 
 // OP computes the DC operating point and returns node voltages by
 // name.
 func (c *Circuit) OP() (map[string]float64, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
 	s := newSystem(c)
 	v := make([]float64, s.dim)
 	if err := s.newton(v, nil, 0, 0); err != nil {
@@ -285,16 +290,44 @@ func (c *Circuit) OP() (map[string]float64, error) {
 	return out, nil
 }
 
+// maxTransientSteps caps the fixed-step transient loop: a hostile
+// tstop/h ratio (e.g. 1 second at 1 fs) would otherwise iterate
+// effectively forever. Exceeding the cap is a typed
+// cerr.ErrBudgetExceeded before any stepping begins.
+const maxTransientSteps = 4_000_000
+
 // Transient runs a fixed-step transient analysis from the DC operating
 // point at t=0 to tstop with step h, recording every node.
 func (c *Circuit) Transient(tstop, h float64) (*Result, error) {
-	if h <= 0 || tstop <= 0 {
-		return nil, fmt.Errorf("spice: bad transient params tstop=%g h=%g", tstop, h)
+	return c.TransientCtx(context.Background(), tstop, h)
+}
+
+// ctxCheckSteps is how many transient steps elapse between context
+// checks: frequent enough to honour millisecond deadlines, sparse
+// enough to keep ctx.Err off the inner Newton loop.
+const ctxCheckSteps = 64
+
+// TransientCtx is Transient with cooperative cancellation. The context
+// deadline is checked every ctxCheckSteps time steps; on expiry the
+// partial Result recorded so far is returned together with a typed
+// cerr.ErrBudgetExceeded, so callers can still inspect the waveforms
+// up to the cancellation point.
+func (c *Circuit) TransientCtx(ctx context.Context, tstop, h float64) (*Result, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if !(h > 0) || !(tstop > 0) || math.IsInf(h, 0) || math.IsInf(tstop, 0) {
+		// The negated comparisons also reject NaN.
+		return nil, cerr.New(cerr.CodeInvalidParams, "spice: bad transient params tstop=%g h=%g", tstop, h)
+	}
+	if tstop/h > maxTransientSteps {
+		return nil, cerr.New(cerr.CodeBudgetExceeded,
+			"spice: transient needs %g steps, cap is %d", math.Ceil(tstop/h), maxTransientSteps)
 	}
 	s := newSystem(c)
 	v := make([]float64, s.dim)
 	if err := s.newton(v, nil, 0, 0); err != nil {
-		return nil, fmt.Errorf("op failed: %w", err)
+		return nil, cerr.Wrap(cerr.CodeSimDiverged, err, "spice: op failed")
 	}
 	steps := int(math.Ceil(tstop/h)) + 1
 	res := &Result{Times: make([]float64, 0, steps), wave: map[string][]float64{}}
@@ -317,10 +350,18 @@ func (c *Circuit) Transient(tstop, h float64) (*Result, error) {
 	}
 	record(0)
 	vPrev := append([]float64(nil), v...)
+	step := 0
 	for t := h; t <= tstop+h/2; t += h {
+		if step%ctxCheckSteps == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, cerr.Wrap(cerr.CodeBudgetExceeded, err,
+					"spice: transient cancelled at t=%g (%d of ~%d steps)", t, step, steps)
+			}
+		}
+		step++
 		copy(vPrev, v)
 		if err := s.newton(v, vPrev, t, h); err != nil {
-			return nil, err
+			return res, err
 		}
 		record(t)
 	}

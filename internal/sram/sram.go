@@ -12,8 +12,9 @@
 package sram
 
 import (
-	"fmt"
 	"math/rand"
+
+	"repro/internal/cerr"
 )
 
 // Config describes one RAM instance.
@@ -27,19 +28,19 @@ type Config struct {
 // Validate checks the configuration invariants.
 func (c Config) Validate() error {
 	if c.Words <= 0 || c.BPW <= 0 || c.BPC <= 0 {
-		return fmt.Errorf("sram: non-positive geometry %+v", c)
+		return cerr.New(cerr.CodeInvalidParams, "sram: non-positive geometry %+v", c)
 	}
 	if c.BPC&(c.BPC-1) != 0 {
-		return fmt.Errorf("sram: bpc %d must be a power of 2", c.BPC)
+		return cerr.New(cerr.CodeInvalidParams, "sram: bpc %d must be a power of 2", c.BPC)
 	}
 	if c.Words%c.BPC != 0 {
-		return fmt.Errorf("sram: words %d not divisible by bpc %d", c.Words, c.BPC)
+		return cerr.New(cerr.CodeInvalidParams, "sram: words %d not divisible by bpc %d", c.Words, c.BPC)
 	}
 	if c.BPW > 64 {
-		return fmt.Errorf("sram: bpw %d exceeds model word limit 64", c.BPW)
+		return cerr.New(cerr.CodeInvalidParams, "sram: bpw %d exceeds model word limit 64", c.BPW)
 	}
 	if c.SpareRows < 0 {
-		return fmt.Errorf("sram: negative spare rows")
+		return cerr.New(cerr.CodeInvalidParams, "sram: negative spare rows")
 	}
 	return nil
 }
@@ -142,7 +143,10 @@ func New(cfg Config) (*Array, error) {
 	}, nil
 }
 
-// MustNew is New for known-good configs in tests and examples.
+// MustNew is New for literal known-good configs in tests ONLY. It is
+// one of the documented residual panic sites of the cerr panic policy
+// (see package cerr): production paths — the compiler, the CLIs, the
+// experiment drivers — must use New and propagate the typed error.
 func MustNew(cfg Config) *Array {
 	a, err := New(cfg)
 	if err != nil {
@@ -174,18 +178,18 @@ func (a *Array) wordCells(row, colSel int) []int {
 // aggressor distinct from the victim.
 func (a *Array) Inject(victim CellAddr, f Fault) error {
 	if victim.Row < 0 || victim.Row >= a.cfg.TotalRows() || victim.Col < 0 || victim.Col >= a.cfg.Cols() {
-		return fmt.Errorf("sram: victim %v out of range", victim)
+		return cerr.New(cerr.CodeInvalidParams, "sram: victim %v out of range", victim)
 	}
 	vi := a.cellIndex(victim)
 	switch f.Kind {
 	case CFID, CFIN, CFST:
 		ai := a.cellIndex(f.Aggressor)
 		if ai == vi {
-			return fmt.Errorf("sram: coupling fault aggressor == victim %v", victim)
+			return cerr.New(cerr.CodeInvalidParams, "sram: coupling fault aggressor == victim %v", victim)
 		}
 		if f.Aggressor.Row < 0 || f.Aggressor.Row >= a.cfg.TotalRows() ||
 			f.Aggressor.Col < 0 || f.Aggressor.Col >= a.cfg.Cols() {
-			return fmt.Errorf("sram: aggressor %v out of range", f.Aggressor)
+			return cerr.New(cerr.CodeInvalidParams, "sram: aggressor %v out of range", f.Aggressor)
 		}
 		a.aggr[ai] = append(a.aggr[ai], vi)
 	case DRF0, DRF1:
@@ -430,10 +434,10 @@ func (a *Array) readCell(ci, col int) bool {
 // addresses must be regular word addresses.
 func (a *Array) InjectAddressFault(addr, alias int) error {
 	if addr < 0 || addr >= a.cfg.Words || alias < 0 || alias >= a.cfg.Words {
-		return fmt.Errorf("sram: address fault %d->%d out of range", addr, alias)
+		return cerr.New(cerr.CodeInvalidParams, "sram: address fault %d->%d out of range", addr, alias)
 	}
 	if addr == alias {
-		return fmt.Errorf("sram: address fault must alias a different address")
+		return cerr.New(cerr.CodeInvalidParams, "sram: address fault must alias a different address")
 	}
 	if a.afMap == nil {
 		a.afMap = map[int]int{}

@@ -1,0 +1,40 @@
+package tech
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cerr"
+)
+
+// FuzzParseDeck feeds arbitrary bytes through the process-deck parser.
+// The hardening contract: Parse never panics, and every rejection
+// carries a taxonomy code. Accepted decks must additionally satisfy
+// Validate (parsing must not launder an out-of-envelope process).
+func FuzzParseDeck(f *testing.F) {
+	f.Add("name x\nfeature_nm 500\nmetals 3\nvdd 3.3\nkp_n 110e-6\nkp_p 38e-6\nvt_n 0.7\nvt_p -0.8\n")
+	f.Add("")
+	f.Add("name only\n")
+	f.Add("feature_nm NaN\nvdd +Inf\n")
+	f.Add("rule metal1 width 3 spacing 3\n")
+	f.Add("rule bogus width -1 spacing 0\n")
+	f.Add("# comment only\n\n\n")
+	f.Add("name a\nfeature_nm 1e309\n")
+	f.Add("\x00\xff\x00\xff")
+	f.Add(strings.Repeat("k v\n", 300))
+	f.Fuzz(func(t *testing.T, deck string) {
+		p, err := Parse(strings.NewReader(deck))
+		if err != nil {
+			if !cerr.IsTyped(err) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatal("nil process with nil error")
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid process: %v", err)
+		}
+	})
+}

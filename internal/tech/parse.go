@@ -2,12 +2,21 @@ package tech
 
 import (
 	"bufio"
-	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
+	"repro/internal/cerr"
 	"repro/internal/geom"
+)
+
+// Parse limits. User decks are small key/value files; anything past
+// these bounds is garbage input, and bounding them keeps adversarial
+// decks from exhausting memory.
+const (
+	maxDeckLines   = 1 << 16 // 65536 lines
+	maxDeckLineLen = 4096    // bytes per line
 )
 
 // Parse reads a user-supplied process deck — the "any input process
@@ -28,7 +37,15 @@ import (
 //
 // Anything not specified inherits the scalable λ-rule defaults used
 // by the built-in decks.
+//
+// All failures — syntax, missing keys, non-finite or out-of-envelope
+// values, oversized input — are typed cerr.ErrDeckParse; Parse never
+// panics on adversarial input (see FuzzParseDeck and the
+// faultcampaign suite).
 func Parse(r io.Reader) (*Process, error) {
+	perr := func(format string, args ...any) error {
+		return cerr.New(cerr.CodeDeckParse, format, args...)
+	}
 	vals := map[string]string{}
 	type ruleOverride struct {
 		layer          geom.Layer
@@ -42,9 +59,13 @@ func Parse(r io.Reader) (*Process, error) {
 	}
 
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024), maxDeckLineLen)
 	line := 0
 	for sc.Scan() {
 		line++
+		if line > maxDeckLines {
+			return nil, perr("tech: deck exceeds %d lines", maxDeckLines)
+		}
 		text := strings.TrimSpace(sc.Text())
 		if i := strings.IndexByte(text, '#'); i >= 0 {
 			text = strings.TrimSpace(text[:i])
@@ -56,36 +77,42 @@ func Parse(r io.Reader) (*Process, error) {
 		switch fields[0] {
 		case "rule":
 			if len(fields) != 6 || fields[2] != "width" || fields[4] != "spacing" {
-				return nil, fmt.Errorf("tech: line %d: want 'rule <layer> width <n> spacing <n>'", line)
+				return nil, perr("tech: line %d: want 'rule <layer> width <n> spacing <n>'", line)
 			}
 			l, ok := layerByName[fields[1]]
 			if !ok {
-				return nil, fmt.Errorf("tech: line %d: unknown layer %q", line, fields[1])
+				return nil, perr("tech: line %d: unknown layer %q", line, fields[1])
 			}
 			w, err1 := strconv.Atoi(fields[3])
 			s, err2 := strconv.Atoi(fields[5])
-			if err1 != nil || err2 != nil || w <= 0 || s <= 0 {
-				return nil, fmt.Errorf("tech: line %d: bad rule numbers", line)
+			if err1 != nil || err2 != nil || w <= 0 || s <= 0 || w > 1<<20 || s > 1<<20 {
+				return nil, perr("tech: line %d: bad rule numbers", line)
 			}
 			overrides = append(overrides, ruleOverride{l, w, s})
 		default:
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("tech: line %d: want 'key value'", line)
+				return nil, perr("tech: line %d: want 'key value'", line)
+			}
+			if len(vals) >= 256 {
+				return nil, perr("tech: line %d: too many keys", line)
 			}
 			vals[fields[0]] = fields[1]
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, cerr.Wrap(cerr.CodeDeckParse, err, "tech: reading deck")
 	}
 
 	get := func(key string) (string, error) {
 		v, ok := vals[key]
 		if !ok {
-			return "", fmt.Errorf("tech: missing required key %q", key)
+			return "", perr("tech: missing required key %q", key)
 		}
 		return v, nil
 	}
+	// getF parses a float and rejects NaN/Inf: a non-finite deck value
+	// would otherwise propagate through every downstream timing, power
+	// and yield computation.
 	getF := func(key string) (float64, error) {
 		s, err := get(key)
 		if err != nil {
@@ -93,7 +120,10 @@ func Parse(r io.Reader) (*Process, error) {
 		}
 		f, err := strconv.ParseFloat(s, 64)
 		if err != nil {
-			return 0, fmt.Errorf("tech: key %q: %v", key, err)
+			return 0, perr("tech: key %q: %v", key, err)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0, perr("tech: key %q: non-finite value %q", key, s)
 		}
 		return f, nil
 	}
@@ -106,9 +136,12 @@ func Parse(r io.Reader) (*Process, error) {
 	if err != nil {
 		return nil, err
 	}
+	if featF < 2 || featF > maxFeatureNm {
+		return nil, perr("tech: feature_nm %g outside [2, %d]", featF, maxFeatureNm)
+	}
 	feature := int(featF)
 	if feature < 2 || feature%2 != 0 {
-		return nil, fmt.Errorf("tech: feature_nm %d must be a positive even number", feature)
+		return nil, perr("tech: feature_nm %d must be a positive even number", feature)
 	}
 	vdd, err := getF("vdd")
 	if err != nil {
@@ -127,21 +160,21 @@ func Parse(r io.Reader) (*Process, error) {
 	if v, ok := vals["metals"]; ok {
 		m, err := strconv.Atoi(v)
 		if err != nil {
-			return nil, fmt.Errorf("tech: metals: %v", err)
+			return nil, perr("tech: metals: %v", err)
 		}
 		p.Metals = m
 	}
 	if v, ok := vals["vt_n"]; ok {
-		f, err := strconv.ParseFloat(v, 64)
+		f, err := getF("vt_n")
 		if err != nil {
-			return nil, fmt.Errorf("tech: vt_n: %v", err)
+			return nil, perr("tech: vt_n: bad value %q", v)
 		}
 		p.NMOS.VT0 = f
 	}
 	if v, ok := vals["vt_p"]; ok {
-		f, err := strconv.ParseFloat(v, 64)
+		f, err := getF("vt_p")
 		if err != nil {
-			return nil, fmt.Errorf("tech: vt_p: %v", err)
+			return nil, perr("tech: vt_p: bad value %q", v)
 		}
 		p.PMOS.VT0 = f
 	}

@@ -14,8 +14,10 @@ package tech
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
+	"repro/internal/cerr"
 	"repro/internal/geom"
 )
 
@@ -215,7 +217,7 @@ func (p *Process) Corner(name string) (*Process, error) {
 	case "fast":
 		kp, vt = 1.2, 0.9
 	default:
-		return nil, fmt.Errorf("tech: unknown corner %q (typ, slow, fast)", name)
+		return nil, cerr.New(cerr.CodeInvalidParams, "tech: unknown corner %q (typ, slow, fast)", name)
 	}
 	q := *p
 	q.Name = p.Name + "." + name
@@ -230,7 +232,7 @@ func (p *Process) Corner(name string) (*Process, error) {
 func ByName(name string) (*Process, error) {
 	p, ok := processes[name]
 	if !ok {
-		return nil, fmt.Errorf("tech: unknown process %q (have %v)", name, Names())
+		return nil, cerr.New(cerr.CodeInvalidParams, "tech: unknown process %q (have %v)", name, Names())
 	}
 	return p, nil
 }
@@ -246,25 +248,70 @@ func Names() []string {
 }
 
 // Validate performs internal consistency checks on a deck; generators
-// call it once before building a library.
+// call it once before building a library. Failures are typed
+// cerr.ErrDeckParse, since an invalid deck is a deck problem whether it
+// arrived from a file or was constructed in code.
 func (p *Process) Validate() error {
-	if p.Lambda <= 0 || p.Feature != 2*p.Lambda {
-		return fmt.Errorf("tech %s: feature %d must be 2×lambda %d", p.Name, p.Feature, p.Lambda)
+	deckErr := func(format string, args ...any) error {
+		return cerr.New(cerr.CodeDeckParse, format, args...)
 	}
-	if p.Metals < 3 {
-		return fmt.Errorf("tech %s: BISRAMGEN requires 3 metal layers, have %d", p.Name, p.Metals)
+	if p.Lambda <= 0 || p.Feature != 2*p.Lambda {
+		return deckErr("tech %s: feature %d must be 2×lambda %d", p.Name, p.Feature, p.Lambda)
+	}
+	if p.Feature > maxFeatureNm {
+		return deckErr("tech %s: feature %d nm beyond supported %d nm", p.Name, p.Feature, maxFeatureNm)
+	}
+	if p.Metals < 3 || p.Metals > maxMetals {
+		return deckErr("tech %s: BISRAMGEN requires 3..%d metal layers, have %d", p.Name, maxMetals, p.Metals)
+	}
+	// Non-finite or absurd electrical parameters poison every downstream
+	// timing/power integral; reject them at the boundary.
+	finite := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return deckErr("tech %s: %s is not finite (%v)", p.Name, name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"vdd", p.VDD},
+		{"kp_n", p.NMOS.KP}, {"kp_p", p.PMOS.KP},
+		{"vt_n", p.NMOS.VT0}, {"vt_p", p.PMOS.VT0},
+		{"cgs_n", p.NMOS.CgsPerW}, {"cgs_p", p.PMOS.CgsPerW},
+		{"cj_n", p.NMOS.CjPerW}, {"cj_p", p.PMOS.CjPerW},
+	} {
+		if err := finite(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if p.VDD <= 0 || p.VDD > maxVDD {
+		return deckErr("tech %s: VDD %g outside (0, %g]", p.Name, p.VDD, maxVDD)
+	}
+	if p.NMOS.KP <= 0 || p.PMOS.KP <= 0 {
+		return deckErr("tech %s: non-positive transconductance", p.Name)
 	}
 	for _, l := range []geom.Layer{Active, Poly, Contact, Metal1, Metal2, Metal3} {
 		r, ok := p.Rules[l]
 		if !ok || r.MinWidth <= 0 || r.MinSpacing <= 0 {
-			return fmt.Errorf("tech %s: missing rule for %s", p.Name, LayerName(l))
+			return deckErr("tech %s: missing rule for %s", p.Name, LayerName(l))
 		}
 	}
 	if p.NMOS.KP <= p.PMOS.KP {
-		return fmt.Errorf("tech %s: expected NMOS KP > PMOS KP", p.Name)
+		return deckErr("tech %s: expected NMOS KP > PMOS KP", p.Name)
 	}
 	if p.VDD <= p.NMOS.VT0-p.PMOS.VT0 {
-		return fmt.Errorf("tech %s: VDD %.2f too small for thresholds", p.Name, p.VDD)
+		return deckErr("tech %s: VDD %.2f too small for thresholds", p.Name, p.VDD)
 	}
 	return nil
 }
+
+// Envelope limits for user-supplied deck values. The paper's lineage
+// targets 0.5-0.7 µm CMOS; anything past these bounds is a corrupt
+// deck, not a plausible technology.
+const (
+	maxFeatureNm = 20000 // 20 µm
+	maxMetals    = 16
+	maxVDD       = 100.0
+)

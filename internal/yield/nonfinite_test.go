@@ -1,0 +1,108 @@
+package yield
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cerr"
+)
+
+// TestValidateNonFinite exercises the NaN/Inf guards on the model
+// fields, asserting the specific taxonomy code for each rejection.
+func TestValidateNonFinite(t *testing.T) {
+	good := Model{Rows: 64, Cols: 64, Spares: 4, GrowthFactor: 1.1}
+	cases := []struct {
+		name string
+		mut  func(*Model)
+		want *cerr.Error
+	}{
+		{"nan growth", func(m *Model) { m.GrowthFactor = math.NaN() }, cerr.ErrNonFinite},
+		{"+inf growth", func(m *Model) { m.GrowthFactor = math.Inf(1) }, cerr.ErrNonFinite},
+		{"-inf growth", func(m *Model) { m.GrowthFactor = math.Inf(-1) }, cerr.ErrNonFinite},
+		{"small growth", func(m *Model) { m.GrowthFactor = 0.5 }, cerr.ErrInvalidParams},
+		{"nan alpha", func(m *Model) { m.Alpha = math.NaN() }, cerr.ErrNonFinite},
+		{"zero rows", func(m *Model) { m.Rows = 0 }, cerr.ErrInvalidParams},
+		{"negative spares", func(m *Model) { m.Spares = -1 }, cerr.ErrInvalidParams},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("baseline model rejected: %v", err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := good
+			tc.mut(&m)
+			if err := m.Validate(); !errors.Is(err, tc.want) {
+				t.Fatalf("want %v, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestCheckDefects covers the defect-axis guard and the clamp
+// behaviour of the plain evaluators.
+func TestCheckDefects(t *testing.T) {
+	cases := []struct {
+		name    string
+		defects float64
+		want    *cerr.Error // nil means accepted
+	}{
+		{"zero", 0, nil},
+		{"positive", 12.5, nil},
+		{"negative", -3, cerr.ErrInvalidParams},
+		{"nan", math.NaN(), cerr.ErrNonFinite},
+		{"+inf", math.Inf(1), cerr.ErrNonFinite},
+		{"-inf", math.Inf(-1), cerr.ErrNonFinite},
+	}
+	m := Model{Rows: 64, Cols: 64, Spares: 4, GrowthFactor: 1.1}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckDefects(tc.defects)
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("unexpected rejection: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("want %v, got %v", tc.want, err)
+			}
+			if _, err := m.YieldBISRErr(tc.defects); !errors.Is(err, tc.want) {
+				t.Fatalf("YieldBISRErr: want %v, got %v", tc.want, err)
+			}
+			if _, err := m.YieldNoRepairErr(tc.defects); !errors.Is(err, tc.want) {
+				t.Fatalf("YieldNoRepairErr: want %v, got %v", tc.want, err)
+			}
+			if _, err := m.YieldBISRIteratedErr(tc.defects); !errors.Is(err, tc.want) {
+				t.Fatalf("YieldBISRIteratedErr: want %v, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestNegativeDefectsClamped: the plain evaluators treat a (finite)
+// negative defect count as zero rather than returning >1 yields.
+func TestNegativeDefectsClamped(t *testing.T) {
+	m := Model{Rows: 64, Cols: 64, Spares: 4, GrowthFactor: 1.1}
+	if y := m.YieldNoRepair(-5); y != 1 {
+		t.Fatalf("clamped no-repair yield = %g, want 1", y)
+	}
+	if y := m.YieldBISR(-5); math.Abs(y-1) > 1e-9 {
+		t.Fatalf("clamped BISR yield = %g, want ~1", y)
+	}
+}
+
+// TestCheckedEvaluatorsAgree: on clean input the *Err variants match
+// the plain evaluators exactly.
+func TestCheckedEvaluatorsAgree(t *testing.T) {
+	m := Model{Rows: 128, Cols: 64, Spares: 8, GrowthFactor: 1.08, Alpha: 2}
+	for _, d := range []float64{0, 1, 5, 25} {
+		got, err := m.YieldBISRErr(d)
+		if err != nil {
+			t.Fatalf("defects %g: %v", d, err)
+		}
+		if want := m.YieldBISR(d); got != want {
+			t.Fatalf("defects %g: checked %g != plain %g", d, got, want)
+		}
+	}
+}

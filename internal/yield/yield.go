@@ -7,8 +7,9 @@
 package yield
 
 import (
-	"fmt"
 	"math"
+
+	"repro/internal/cerr"
 )
 
 // Model describes one BISR'ed RAM array for yield evaluation.
@@ -27,15 +28,51 @@ type Model struct {
 	Alpha float64
 }
 
-// Validate checks model sanity.
+// Validate checks model sanity. Non-finite numeric fields are
+// rejected with cerr.ErrNonFinite, out-of-range finite ones with
+// cerr.ErrInvalidParams, so a NaN can never leak into the integration
+// kernels below.
 func (m Model) Validate() error {
 	if m.Rows <= 0 || m.Cols <= 0 || m.Spares < 0 {
-		return fmt.Errorf("yield: bad geometry %+v", m)
+		return cerr.New(cerr.CodeInvalidParams,
+			"yield: bad geometry rows=%d cols=%d spares=%d", m.Rows, m.Cols, m.Spares)
+	}
+	if math.IsNaN(m.GrowthFactor) || math.IsInf(m.GrowthFactor, 0) {
+		return cerr.New(cerr.CodeNonFinite, "yield: non-finite growth factor")
 	}
 	if m.GrowthFactor < 1 {
-		return fmt.Errorf("yield: growth factor %.3f < 1", m.GrowthFactor)
+		return cerr.New(cerr.CodeInvalidParams, "yield: growth factor %.3f < 1", m.GrowthFactor)
+	}
+	if math.IsNaN(m.Alpha) {
+		return cerr.New(cerr.CodeNonFinite, "yield: NaN clustering alpha")
 	}
 	return nil
+}
+
+// CheckDefects validates a defect-count axis value: non-finite inputs
+// are rejected with cerr.ErrNonFinite, negative ones with
+// cerr.ErrInvalidParams. The plain evaluation methods clamp negative
+// inputs to zero; callers wanting a hard failure use this (or the
+// *Err variants) first.
+func CheckDefects(defects float64) error {
+	if math.IsNaN(defects) || math.IsInf(defects, 0) {
+		return cerr.New(cerr.CodeNonFinite, "yield: non-finite defect count %v", defects)
+	}
+	if defects < 0 {
+		return cerr.New(cerr.CodeInvalidParams, "yield: negative defect count %g", defects)
+	}
+	return nil
+}
+
+// clampDefects clamps negative finite defect counts to zero (the
+// documented clamp for slightly-below-zero numeric noise). Non-finite
+// values pass through and surface as NaN results; CheckDefects exists
+// to reject them with a typed error.
+func clampDefects(defects float64) float64 {
+	if defects < 0 {
+		return 0
+	}
+	return defects
 }
 
 // CellYield returns the Poisson single-cell yield e^-lambda for an
@@ -92,7 +129,20 @@ func (m Model) lambdaCell(defects float64) float64 {
 // expected defects: the probability of zero faults (Poisson) or the
 // Stapper equivalent under clustering.
 func (m Model) YieldNoRepair(defects float64) float64 {
-	return Stapper(defects, m.Alpha)
+	return Stapper(clampDefects(defects), m.Alpha)
+}
+
+// YieldNoRepairErr is YieldNoRepair with full input checking: the
+// model and the defect count must validate, otherwise the typed error
+// (ErrInvalidParams or ErrNonFinite) is returned instead of a NaN.
+func (m Model) YieldNoRepairErr(defects float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if err := CheckDefects(defects); err != nil {
+		return 0, err
+	}
+	return m.YieldNoRepair(defects), nil
 }
 
 // repairProbPoisson returns P_R for a fixed per-cell rate lambda:
@@ -170,7 +220,31 @@ func (m Model) YieldBISRIterated(defects float64) float64 {
 	return m.yieldBISR(defects, m.repairProbIterated)
 }
 
+// YieldBISRErr is YieldBISR with full input checking (see
+// YieldNoRepairErr).
+func (m Model) YieldBISRErr(defects float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if err := CheckDefects(defects); err != nil {
+		return 0, err
+	}
+	return m.YieldBISR(defects), nil
+}
+
+// YieldBISRIteratedErr is YieldBISRIterated with full input checking.
+func (m Model) YieldBISRIteratedErr(defects float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if err := CheckDefects(defects); err != nil {
+		return 0, err
+	}
+	return m.YieldBISRIterated(defects), nil
+}
+
 func (m Model) yieldBISR(defects float64, pr func(float64) float64) float64 {
+	defects = clampDefects(defects)
 	fixed := func(lambda float64) float64 {
 		logicOK := math.Exp(-lambda * m.logicCells())
 		return logicOK * pr(lambda)
