@@ -1,15 +1,19 @@
 # BISRAMGEN build/test entry points.
 #
-#   make ci   — everything the tree must pass before merging: vet,
-#               build, race-enabled tests, a short fuzz smoke pass on
-#               each parser, and the adversarial-input fault campaign.
+#   make check — the default pre-merge gate: vet, build, race-enabled
+#                tests, and the serve-smoke end-to-end daemon check.
+#   make ci    — everything the tree must pass before merging: check
+#                plus a short fuzz smoke pass on each parser and the
+#                adversarial-input fault campaign.
 
 GO       ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all build vet test race fuzz-smoke campaign ci
+.PHONY: all check build vet test race serve-smoke fuzz-smoke campaign serve ci
 
-all: build
+all: check
+
+check: vet build race serve-smoke
 
 build:
 	$(GO) build ./...
@@ -23,6 +27,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# End-to-end daemon check: builds the bisramgend binary, starts it on
+# a free port, POSTs the same compile twice and asserts the second is
+# a cache hit (visible in /metrics and >= 10x faster), then SIGTERMs
+# the daemon and requires a clean drain with exit 0.
+serve-smoke:
+	$(GO) test -race -run TestServeSmoke -count=1 ./cmd/bisramgend/
+
+# Run the compile daemon locally with the documented defaults.
+serve:
+	$(GO) run ./cmd/bisramgend
+
 # Brief coverage-guided pass over every fuzz target. Seed corpora are
 # checked in under each package's testdata/fuzz/; anything the fuzzer
 # minimises lands there too and should be committed.
@@ -30,10 +45,11 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseDeck -fuzztime=$(FUZZTIME) ./internal/tech/
 	$(GO) test -run='^$$' -fuzz=FuzzMarchNotation -fuzztime=$(FUZZTIME) ./internal/march/
 	$(GO) test -run='^$$' -fuzz=FuzzPLAPlanes -fuzztime=$(FUZZTIME) ./internal/bist/
+	$(GO) test -run='^$$' -fuzz=FuzzParseRequest -fuzztime=$(FUZZTIME) ./internal/canon/
 
 # Adversarial-input campaign against the full compile pipeline: exits
 # non-zero on any panic, hang or untyped error.
 campaign:
 	$(GO) run ./cmd/bisrsim faultcampaign
 
-ci: vet build race fuzz-smoke campaign
+ci: check fuzz-smoke campaign

@@ -5,6 +5,15 @@
 // TRPLA control plane files, and an extracted SPICE deck for the
 // sense amplifier leaf cell.
 //
+// Flag parsing routes through internal/canon — the same request
+// loader the bisramgend daemon uses — so validation, defaulting and
+// content keying are identical no matter how a compile is invoked.
+// -dump-request prints the daemon-compatible JSON request and its
+// content address instead of compiling, so a CLI invocation can be
+// replayed against a running service:
+//
+//	bisramgen -words 4096 -bpw 128 -dump-request | curl -sd @- localhost:8047/v1/compile
+//
 // Example:
 //
 //	bisramgen -words 4096 -bpw 128 -bpc 8 -spares 4 -strap 32 \
@@ -18,11 +27,11 @@ import (
 	"path/filepath"
 	"strings"
 
-	"repro/internal/bist"
+	"repro/internal/canon"
 	"repro/internal/cerr"
+	"repro/internal/cjson"
 	"repro/internal/compiler"
 	"repro/internal/gds"
-	"repro/internal/march"
 	"repro/internal/render"
 	"repro/internal/spice"
 	"repro/internal/tech"
@@ -34,79 +43,50 @@ func main() {
 		bpw      = flag.Int("bpw", 32, "bits per word")
 		bpc      = flag.Int("bpc", 8, "bits per column (column mux ratio, power of 2)")
 		spares   = flag.Int("spares", 4, "spare rows: 0, 4, 8 or 16")
-		bufsize  = flag.Int("bufsize", 2, "critical gate size multiplier (1..4)")
+		bufsize  = flag.Int("bufsize", canon.DefaultBufSize, "critical gate size multiplier (1..4)")
 		strap    = flag.Int("strap", 32, "cells between straps (0 = none)")
-		process  = flag.String("process", "cda07u3m1p", "process deck: "+fmt.Sprint(tech.Names()))
+		refine   = flag.Int("refine", 0, "simulated-annealing floorplan refinement moves (0 = off)")
+		process  = flag.String("process", canon.DefaultProcess, "process deck: "+fmt.Sprint(tech.Names()))
 		procFile = flag.String("process-file", "", "load a user process deck (key/value text; see internal/tech.Parse)")
-		corner   = flag.String("corner", "typ", "process corner: typ, slow, fast")
-		test     = flag.String("test", "ifa9", "march algorithm: ifa9, ifa13, mats+, marchx, marchy, marchb, marchc-")
+		corner   = flag.String("corner", canon.DefaultCorner, "process corner: typ, slow, fast")
+		test     = flag.String("test", canon.DefaultTest, "march algorithm: "+strings.Join(canon.TestNames(), ", "))
 		custom   = flag.String("march", "", `custom march notation, e.g. "b(w0); u(r0,w1); d(r1,w0)"`)
 		andFile  = flag.String("and-plane", "", "load TRPLA control code: AND plane file")
 		orFile   = flag.String("or-plane", "", "load TRPLA control code: OR plane file")
-		stBits   = flag.Int("state-bits", 5, "state register width for loaded plane files")
+		stBits   = flag.Int("state-bits", canon.DefaultStateBits, "state register width for loaded plane files")
+		reqFile  = flag.String("request", "", "load a daemon-format JSON compile request (overrides the parameter flags)")
+		dumpReq  = flag.String("dump-request", "", `print the request as daemon JSON and exit; "" compiles, "-" writes stdout, else a file path`)
 		outDir   = flag.String("out", "bisram_out", "output directory")
 		ascii    = flag.Bool("ascii", false, "print an ASCII floorplan to stdout")
 	)
+	// -dump-request doubles as a boolean-ish flag: plain
+	// `-dump-request` with no value is awkward in the flag package, so
+	// "-" means stdout.
 	flag.Parse()
 
-	var proc *tech.Process
-	var err error
-	if *procFile != "" {
-		f, ferr := os.Open(*procFile)
-		if ferr != nil {
-			fatal(ferr)
-		}
-		proc, err = tech.Parse(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		tech.Register(proc)
-	} else {
-		proc, err = tech.ByName(*process)
-		if err != nil {
-			fatal(err)
-		}
-	}
-	alg, err := testByName(*test)
+	req, err := requestFromFlags(
+		*reqFile, *words, *bpw, *bpc, *spares, *bufsize, *strap, *refine,
+		*process, *procFile, *corner, *test, *custom, *andFile, *orFile, *stBits)
 	if err != nil {
 		fatal(err)
 	}
-	if *custom != "" {
-		alg, err = march.Parse("custom", *custom)
-		if err != nil {
+
+	if *dumpReq != "" {
+		if err := writeRequest(req, *dumpReq); err != nil {
 			fatal(err)
 		}
+		return
 	}
-	proc, err = proc.Corner(*corner)
+
+	// One shared loader resolves deck/corner/march/planes and validates
+	// the envelope; the CLI no longer has its own resolution path.
+	p, err := req.Params()
 	if err != nil {
 		fatal(err)
 	}
-	p := compiler.Params{
-		Words: *words, BPW: *bpw, BPC: *bpc, Spares: *spares,
-		BufSize: *bufsize, StrapCells: *strap, Process: proc, Test: alg,
-	}
-	// The paper's runtime control-code path: user-edited plane files
-	// replace the built-in microprogram.
-	if *andFile != "" || *orFile != "" {
-		if *andFile == "" || *orFile == "" {
-			fatal(cerr.New(cerr.CodeInvalidParams, "both -and-plane and -or-plane are required"))
-		}
-		af, err := os.Open(*andFile)
-		if err != nil {
-			fatal(err)
-		}
-		defer af.Close()
-		of, err := os.Open(*orFile)
-		if err != nil {
-			fatal(err)
-		}
-		defer of.Close()
-		prog, err := bist.ReadPlanes("custom", *stBits, af, of)
-		if err != nil {
-			fatal(err)
-		}
-		p.Program = prog
+	key, err := canon.KeyOfParams(p)
+	if err != nil {
+		fatal(err)
 	}
 	d, err := compiler.Compile(p)
 	if err != nil {
@@ -157,11 +137,11 @@ func main() {
 
 	// Extracted SPICE deck for the sense amplifier leaf cell.
 	ckt := spice.New()
-	ckt.V("vdd", "xvdd", spice.DC(proc.VDD))
+	ckt.V("vdd", "xvdd", spice.DC(p.Process.VDD))
 	d.Lib.SenseAmp.Extract(ckt, "x")
 	write("senseamp.sp", ckt.Deck("extracted current-mode sense amplifier"))
 
-	fmt.Println()
+	fmt.Printf("\ncontent address: %s\n\n", key)
 	fmt.Print(d.Datasheet())
 	if *ascii && d.Top != nil {
 		fmt.Println()
@@ -169,24 +149,71 @@ func main() {
 	}
 }
 
-func testByName(name string) (march.Test, error) {
-	switch name {
-	case "ifa9":
-		return march.IFA9(), nil
-	case "ifa13":
-		return march.IFA13(), nil
-	case "mats+":
-		return march.MATSPlus(), nil
-	case "marchx":
-		return march.MarchX(), nil
-	case "marchy":
-		return march.MarchY(), nil
-	case "marchb":
-		return march.MarchB(), nil
-	case "marchc-":
-		return march.MarchCMinus(), nil
+// requestFromFlags assembles the daemon-format compile request from
+// the CLI flags, inlining any referenced files (process deck, TRPLA
+// planes) so the result is self-contained. When reqFile is set the
+// request is loaded from it verbatim instead.
+func requestFromFlags(reqFile string, words, bpw, bpc, spares, bufsize, strap, refine int,
+	process, procFile, corner, test, custom, andFile, orFile string, stBits int) (canon.Request, error) {
+	if reqFile != "" {
+		data, err := os.ReadFile(reqFile)
+		if err != nil {
+			return canon.Request{}, cerr.Wrap(cerr.CodeInvalidParams, err, "bisramgen: reading -request")
+		}
+		return canon.ParseRequest(data)
 	}
-	return march.Test{}, cerr.New(cerr.CodeInvalidParams, "unknown test %q", name)
+	req := canon.Request{
+		Words: words, BPW: bpw, BPC: bpc, Spares: spares,
+		BufSize: bufsize, StrapCells: strap, RefineIterations: refine,
+		Process: process, Corner: corner,
+		Test: test, March: custom,
+	}
+	if procFile != "" {
+		deck, err := os.ReadFile(procFile)
+		if err != nil {
+			return canon.Request{}, cerr.Wrap(cerr.CodeDeckParse, err, "bisramgen: reading -process-file")
+		}
+		req.Deck = string(deck)
+		req.Process = ""
+	}
+	// The paper's runtime control-code path: user-edited plane files
+	// replace the built-in microprogram.
+	if andFile != "" || orFile != "" {
+		if andFile == "" || orFile == "" {
+			return canon.Request{}, cerr.New(cerr.CodeInvalidParams, "both -and-plane and -or-plane are required")
+		}
+		and, err := os.ReadFile(andFile)
+		if err != nil {
+			return canon.Request{}, cerr.Wrap(cerr.CodePlaneParse, err, "bisramgen: reading -and-plane")
+		}
+		or, err := os.ReadFile(orFile)
+		if err != nil {
+			return canon.Request{}, cerr.Wrap(cerr.CodePlaneParse, err, "bisramgen: reading -or-plane")
+		}
+		req.ANDPlane, req.ORPlane = string(and), string(or)
+		req.StateBits = stBits
+	}
+	return req, nil
+}
+
+// writeRequest renders the normalized request as canonical JSON plus
+// its content address (on stderr), writing to stdout when dst is "-".
+func writeRequest(req canon.Request, dst string) error {
+	key, err := req.Key() // also fully validates the request
+	if err != nil {
+		return err
+	}
+	doc, err := cjson.MarshalIndent(req.Normalized())
+	if err != nil {
+		return err
+	}
+	if dst == "-" {
+		os.Stdout.Write(doc)
+	} else if err := os.WriteFile(dst, doc, 0o644); err != nil {
+		return cerr.Wrap(cerr.CodeInvalidParams, err, "bisramgen: writing -dump-request")
+	}
+	fmt.Fprintf(os.Stderr, "bisramgen: content address %s\n", key)
+	return nil
 }
 
 // fatal reports a pipeline error, leading with its stable ERR_* code

@@ -1,0 +1,118 @@
+// Command bisramgend is the BISRAMGEN compile service: an HTTP/JSON
+// daemon that accepts compile requests (circuit parameters + optional
+// inline technology deck + march/test specification), runs them on a
+// bounded worker pool with per-job deadlines wired into the compile
+// pipeline's context-bounded kernels, and serves results from a
+// content-addressed cache keyed by the canonical SHA-256 of the
+// fully-validated inputs. Identical requests in flight are
+// deduplicated (singleflight); identical requests over time are cache
+// hits.
+//
+// Example:
+//
+//	bisramgend -addr :8047 -workers 4 -cache-mb 256 -deadline 2m
+//	curl -s localhost:8047/v1/compile -d '{"words":4096,"bpw":32,"bpc":8,"spares":4}'
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains queued and
+// running jobs (bounded by -drain-timeout), and exits 0 on a clean
+// drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8047", "listen address")
+		workers      = flag.Int("workers", runtime.NumCPU(), "compile worker pool size")
+		queueDepth   = flag.Int("queue", 256, "max queued (not yet running) jobs; overload returns 429")
+		cacheMB      = flag.Int64("cache-mb", 256, "artifact cache budget in MiB (0 disables caching)")
+		deadline     = flag.Duration("deadline", 2*time.Minute, "per-job compile deadline")
+		syncWait     = flag.Duration("sync-wait", 0, "max synchronous POST wait before returning a job handle (0 = wait for the job deadline)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM/SIGINT")
+		quiet        = flag.Bool("quiet", false, "suppress per-request log lines")
+	)
+	flag.Parse()
+
+	q := jobs.New(jobs.Config{
+		Workers:  *workers,
+		Capacity: *queueDepth,
+		Deadline: *deadline,
+	})
+	c := cache.New(*cacheMB << 20)
+	var logW = os.Stderr
+	srv := server.New(server.Config{
+		Queue:     q,
+		Cache:     c,
+		LogWriter: logWriter(*quiet, logW),
+		SyncWait:  *syncWait,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until a termination signal arrives.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "bisramgend: listening on %s (%d workers, %d MiB cache, %v deadline)\n",
+			*addr, *workers, *cacheMB, *deadline)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		// Listener failed before any signal (port in use, etc.).
+		fmt.Fprintf(os.Stderr, "bisramgend: serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(os.Stderr, "bisramgend: signal received; draining (budget %v)\n", *drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+
+	// Stop accepting connections and finish in-flight HTTP exchanges,
+	// then drain the compile queue.
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	drainErr := q.Shutdown(drainCtx)
+	<-errCh // join the serve goroutine (returns ErrServerClosed)
+
+	switch {
+	case drainErr != nil:
+		fmt.Fprintf(os.Stderr, "bisramgend: drain incomplete: %v\n", drainErr)
+		os.Exit(1)
+	case shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed):
+		fmt.Fprintf(os.Stderr, "bisramgend: http shutdown: %v\n", shutdownErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "bisramgend: drained cleanly")
+}
+
+// logWriter selects the request-log destination.
+func logWriter(quiet bool, w *os.File) *os.File {
+	if quiet {
+		return nil
+	}
+	return w
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end service check behind `make
+// serve-smoke`: build the real binary, start it on a free port, POST
+// the same compile twice (the second must be a cache hit at least 10×
+// faster), confirm the hit is visible in /metrics, then SIGTERM the
+// daemon and require a clean drain (exit 0, "drained cleanly").
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve smoke builds and runs the daemon binary")
+	}
+
+	bin := filepath.Join(t.TempDir(), "bisramgend")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	addr := freeAddr(t)
+	var stderr bytes.Buffer
+	daemon := exec.Command(bin, "-addr", addr, "-workers", "2", "-drain-timeout", "20s")
+	daemon.Stderr = &stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatalf("start daemon: %v", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- daemon.Wait() }()
+	defer daemon.Process.Kill() //nolint:errcheck // backstop for early t.Fatal paths
+
+	base := "http://" + addr
+	waitHealthy(t, base, exited)
+
+	const req = `{"words":256,"bpw":8,"bpc":4,"spares":4}`
+	first := postCompile(t, base, req)
+	if first.Cached {
+		t.Fatal("first compile reported cached=true")
+	}
+	second := postCompile(t, base, req)
+	if !second.Cached {
+		t.Fatal("second identical compile was not served from cache")
+	}
+	if first.Key == "" || first.Key != second.Key {
+		t.Fatalf("content addresses disagree: %q vs %q", first.Key, second.Key)
+	}
+	// The acceptance bar: a cache hit collapses to lookup cost. The
+	// compile takes >100ms on any hardware; the hit is a map lookup.
+	if second.ElapsedMs*10 > first.ElapsedMs {
+		t.Errorf("cache hit not ≥10× faster: first %.3fms, second %.3fms", first.ElapsedMs, second.ElapsedMs)
+	}
+
+	var metrics struct {
+		Cache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"cache"`
+	}
+	getJSON(t, base+"/metrics", &metrics)
+	if metrics.Cache.Hits < 1 {
+		t.Errorf("metrics cache.hits = %d, want >= 1 (misses %d)", metrics.Cache.Hits, metrics.Cache.Misses)
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit within 30s of SIGTERM\nstderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Errorf("stderr missing clean-drain line:\n%s", stderr.String())
+	}
+}
+
+// freeAddr reserves an ephemeral localhost port and releases it for
+// the daemon to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitHealthy polls /healthz until the daemon answers 200, failing
+// fast if the process dies first.
+func waitHealthy(t *testing.T, base string, exited <-chan error) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-exited:
+			t.Fatalf("daemon exited before becoming healthy: %v", err)
+		default:
+		}
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}
+
+type smokeResponse struct {
+	Key       string  `json:"key"`
+	State     string  `json:"state"`
+	Cached    bool    `json:"cached"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+func postCompile(t *testing.T, base, body string) smokeResponse {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/compile", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out smokeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/compile: status %d (%+v)", resp.StatusCode, out)
+	}
+	if out.State != "done" {
+		t.Fatalf("unexpected terminal state %q", out.State)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/bisr"
 	"repro/internal/bist"
+	"repro/internal/canon"
 	"repro/internal/cerr"
 	"repro/internal/faultcampaign"
 	"repro/internal/logicsim"
@@ -63,9 +64,17 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := sram.Config{Words: *words, BPW: *bpw, BPC: *bpc, SpareRows: *spares}
-	if err := cfg.Validate(); err != nil {
+	// Geometry validation routes through the shared canon loader: the
+	// simulator accepts exactly the envelope the compiler (CLI and
+	// daemon) accepts, rather than keeping a looser private check.
+	req := canon.Request{Words: *words, BPW: *bpw, BPC: *bpc, Spares: *spares}
+	p, err := req.Params()
+	if err != nil {
 		fail(err)
+	}
+	cfg := sram.Config{Words: p.Words, BPW: p.BPW, BPC: p.BPC, SpareRows: p.Spares}
+	if err := cfg.Validate(); err != nil {
+		fail(err) // behavioural-model limits (e.g. bpw <= 64) on top of the envelope
 	}
 	if *gate {
 		runGateLevel(cfg, *faults, *seed, *vcd)

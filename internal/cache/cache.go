@@ -1,0 +1,188 @@
+// Package cache is the serving layer's content-addressed artifact
+// store: an LRU bounded by a byte-size budget, keyed by the canonical
+// SHA-256 content address computed in internal/canon. Entries hold the
+// rendered compile artifacts (canonical datasheet.json, datasheet.txt,
+// TRPLA plane files, layout SVG) rather than live *Design graphs, so
+// the resident size of every entry is exactly the sum of its byte
+// slices and eviction accounting is precise.
+//
+// Because keys address the fully-validated, canonicalized inputs, a
+// hit is always semantically correct to serve: two requests with the
+// same key are the same compile. The cache is safe for concurrent use.
+package cache
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+)
+
+// Entry is one cached compile result.
+type Entry struct {
+	// Key is the canonical content address (SHA-256 hex).
+	Key string
+	// Report is the canonical datasheet.json document.
+	Report []byte
+	// Artifacts maps artifact name (datasheet.txt, trpla_and.plane,
+	// layout.svg, ...) to rendered bytes.
+	Artifacts map[string][]byte
+	// Degraded records whether the compile descended the degradation
+	// ladder (mirrors Report's degradations list, denormalised so the
+	// serving layer can annotate responses without re-parsing JSON).
+	Degraded bool
+}
+
+// Size returns the resident byte size of the entry: report plus all
+// artifact bodies plus key and name overhead.
+func (e *Entry) Size() int64 {
+	n := int64(len(e.Key)) + int64(len(e.Report))
+	for name, body := range e.Artifacts {
+		n += int64(len(name)) + int64(len(body))
+	}
+	return n
+}
+
+// ArtifactNames lists the entry's artifact names, sorted.
+func (e *Entry) ArtifactNames() []string {
+	names := make([]string, 0, len(e.Artifacts))
+	for n := range e.Artifacts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	// Rejected counts entries refused because a single entry exceeded
+	// the whole budget.
+	Rejected    uint64 `json:"rejected"`
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	BudgetBytes int64  `json:"budget_bytes"`
+}
+
+// Cache is the LRU. The zero value is unusable; construct with New.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	size   int64
+	ll     *list.List // front = most recently used; values are *Entry
+	items  map[string]*list.Element
+
+	hits, misses, puts, evictions, rejected uint64
+}
+
+// New builds a cache with the given byte budget. A non-positive
+// budget yields a cache that stores nothing (every Put is rejected) —
+// useful for disabling caching without branching at call sites.
+func New(budgetBytes int64) *Cache {
+	return &Cache{
+		budget: budgetBytes,
+		ll:     list.New(),
+		items:  map[string]*list.Element{},
+	}
+}
+
+// Get returns the entry for key and promotes it to most-recently-used.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*Entry), true
+}
+
+// Contains reports whether key is resident without promoting it or
+// touching the hit/miss counters.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts (or replaces) the entry, then evicts least-recently-used
+// entries until the byte budget is respected. An entry larger than the
+// whole budget is rejected rather than flushing everything else.
+func (c *Cache) Put(e *Entry) {
+	size := e.Size()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		c.rejected++
+		return
+	}
+	if el, ok := c.items[e.Key]; ok {
+		old := el.Value.(*Entry)
+		c.size -= old.Size()
+		el.Value = e
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[e.Key] = c.ll.PushFront(e)
+	}
+	c.size += size
+	c.puts++
+	for c.size > c.budget {
+		c.evictOldest()
+	}
+}
+
+// evictOldest drops the LRU entry. Caller holds c.mu.
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*Entry)
+	c.ll.Remove(el)
+	delete(c.items, e.Key)
+	c.size -= e.Size()
+	c.evictions++
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Puts: c.puts,
+		Evictions: c.evictions, Rejected: c.rejected,
+		Entries: c.ll.Len(), Bytes: c.size, BudgetBytes: c.budget,
+	}
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the resident byte size.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Keys returns resident keys from most- to least-recently used —
+// observability for the /metrics handler and tests.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Entry).Key)
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package canon
+
+import (
+	"testing"
+
+	"repro/internal/cerr"
+)
+
+// FuzzParseRequest drives the strict request decoder plus the full
+// resolve-and-key path with arbitrary bytes. The invariants are the
+// service's front door: no panic, every rejection typed, and a request
+// that resolves at all must produce a stable 64-hex content address.
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte(`{"words":256,"bpw":8,"bpc":4,"spares":4}`))
+	f.Add([]byte(`{"words":1024,"bpw":8,"bpc":4,"spares":4,"test":"marchc-","corner":"slow"}`))
+	f.Add([]byte(`{"words":512,"bpw":8,"bpc":4,"spares":4,"march":"b(w0); u(r0,w1); d(r1,w0)"}`))
+	f.Add([]byte(`{"words":0}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`{"words":256,"bpw":8,"bpc":4,"spares":4,"deck":"name x\nfeature_nm 500\n"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{}{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			if !cerr.IsTyped(err) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		key, err := req.Key()
+		if err != nil {
+			if !cerr.IsTyped(err) {
+				t.Fatalf("untyped resolve error: %v", err)
+			}
+			return
+		}
+		if len(key) != 64 {
+			t.Fatalf("content address %q is not 64 hex chars", key)
+		}
+		// Keying must be deterministic across calls.
+		again, err := req.Key()
+		if err != nil || again != key {
+			t.Fatalf("unstable key: %q vs %q (err %v)", key, again, err)
+		}
+	})
+}

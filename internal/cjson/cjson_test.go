@@ -1,0 +1,134 @@
+package cjson
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMapKeysSorted(t *testing.T) {
+	v := map[string]any{"zeta": 1, "alpha": 2, "mid": map[string]int{"b": 1, "a": 2}}
+	got, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"alpha":2,"mid":{"a":2,"b":1},"zeta":1}`
+	if string(got) != want {
+		t.Fatalf("got %s want %s", got, want)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	v := map[string]any{
+		"pi": 3.141592653589793, "e": math.E, "neg": -0.000125,
+		"big": 1e300, "small": 5e-324, "int": 42, "list": []any{1.5, "x"},
+	}
+	first, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		again, err := Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(first) {
+			t.Fatalf("iteration %d differs:\n%s\n%s", i, again, first)
+		}
+	}
+}
+
+func TestFloatFixedForm(t *testing.T) {
+	got, err := Canonicalize([]byte(`{"a": 1.50, "b": 1.5e0, "c": 0.15e1, "d": 2.0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"a":1.5,"b":1.5,"c":1.5,"d":2}`
+	if string(got) != want {
+		t.Fatalf("got %s want %s", got, want)
+	}
+}
+
+func TestNonFiniteRejected(t *testing.T) {
+	if _, err := Marshal(map[string]float64{"x": math.NaN()}); err == nil {
+		t.Fatal("NaN must be rejected")
+	}
+	if _, err := Marshal(math.Inf(1)); err == nil {
+		t.Fatal("Inf must be rejected")
+	}
+}
+
+func TestStructTagsRespected(t *testing.T) {
+	type inner struct {
+		B int `json:"b"`
+		A int `json:"a"`
+	}
+	type outer struct {
+		Z     inner  `json:"z"`
+		Omit  string `json:"omit,omitempty"`
+		Named int    `json:"renamed"`
+	}
+	got, err := Marshal(outer{Z: inner{B: 2, A: 1}, Named: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"renamed":7,"z":{"a":1,"b":2}}`
+	if string(got) != want {
+		t.Fatalf("got %s want %s", got, want)
+	}
+}
+
+func TestIndentFormAndTrailingNewline(t *testing.T) {
+	got, err := MarshalIndent(map[string]any{"b": []int{1, 2}, "a": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ]\n}\n"
+	if string(got) != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestNoHTMLEscaping(t *testing.T) {
+	got, err := Marshal("a<b>&c ⇑(r0,w1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(got), `\u00`) {
+		t.Fatalf("HTML-escaped output %s", got)
+	}
+	if string(got) != `"a<b>&c ⇑(r0,w1)"` {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestCanonicalizeRejectsTrailingData(t *testing.T) {
+	if _, err := Canonicalize([]byte(`{"a":1} {"b":2}`)); err == nil {
+		t.Fatal("trailing data must be rejected")
+	}
+}
+
+func TestControlCharsEscaped(t *testing.T) {
+	got, err := Marshal("a\x01b\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `"a\u0001b\nc"` {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	in := []byte(`{"z": [3, 2.50, {"k":"v","a":null}], "a": true}`)
+	once, err := Canonicalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Canonicalize(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(once) != string(twice) {
+		t.Fatalf("not idempotent: %s vs %s", once, twice)
+	}
+}

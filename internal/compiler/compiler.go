@@ -9,6 +9,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"strings"
@@ -181,13 +182,35 @@ func (d *Design) degrade(format string, args ...any) {
 // crashing the process. Floorplanning follows a degradation ladder —
 // abutment placer, then the stacked fallback placer, then an
 // area-estimate-only datasheet — with every fallback recorded in
-// Design.Degradations and in the report.
+// Design.Degradations and in the report. Compile is CompileCtx with a
+// background context.
 func Compile(p Params) (*Design, error) {
+	return CompileCtx(context.Background(), p)
+}
+
+// CompileCtx is Compile under a context deadline — the entry point a
+// serving process uses to give every job a hard budget. The context is
+// checked at each stage boundary and threaded into the context-bounded
+// kernels (the floorplan refiner); expiry surfaces as a typed
+// cerr.ErrBudgetExceeded with the stage that was about to run, except
+// inside the refiner where the degradation ladder keeps the
+// best-so-far placement and records the budget stop instead of
+// failing the compile.
+func CompileCtx(ctx context.Context, p Params) (*Design, error) {
 	if p.Test.Name == "" {
 		p.Test = march.IFA9()
 	}
 	if err := p.Validate(); err != nil {
 		return nil, cerr.WithStage("params", err)
+	}
+	checkpoint := func(stage string) error {
+		if err := ctx.Err(); err != nil {
+			return budgetErr(stage, err)
+		}
+		return nil
+	}
+	if err := checkpoint("leafcells"); err != nil {
+		return nil, err
 	}
 	var lib *leafcell.Library
 	err := func() (err error) {
@@ -212,6 +235,9 @@ func Compile(p Params) (*Design, error) {
 		Name:   fmt.Sprintf("bisram_%dx%d", p.Words, p.BPW),
 	}
 
+	if err := checkpoint("macros"); err != nil {
+		return nil, err
+	}
 	var macros []floorplan.Macro
 	var nets []floorplan.Net
 	err = func() (err error) {
@@ -223,14 +249,20 @@ func Compile(p Params) (*Design, error) {
 		return nil, err
 	}
 
+	if err := checkpoint("floorplan"); err != nil {
+		return nil, err
+	}
 	err = func() (err error) {
 		defer cerr.Recover("floorplan", &err)
-		return d.floorplanLadder(macros, nets)
+		return d.floorplanLadder(ctx, macros, nets)
 	}()
 	if err != nil {
 		return nil, err
 	}
 
+	if err := checkpoint("analysis"); err != nil {
+		return nil, err
+	}
 	err = func() (err error) {
 		defer cerr.Recover("analysis", &err)
 		d.computeArea()
@@ -240,6 +272,13 @@ func Compile(p Params) (*Design, error) {
 		return nil, err
 	}
 	return d, nil
+}
+
+// budgetErr classifies a context expiry as the pipeline's typed
+// budget violation, attributed to the stage that was about to run.
+func budgetErr(stage string, cause error) error {
+	return cerr.WithStage(stage,
+		cerr.Wrap(cerr.CodeBudgetExceeded, cause, "compiler: compile budget exhausted before stage %q", stage))
 }
 
 // buildMacros elaborates every macrocell and assembles the floorplan
@@ -296,8 +335,10 @@ func (d *Design) buildMacros() ([]floorplan.Macro, []floorplan.Net) {
 // A refine budget that expires keeps the best-so-far placement. Each
 // fallback taken is recorded in d.Degradations; only rung 3 leaves the
 // design without geometry, and even that returns nil error so the
-// caller still gets a report.
-func (d *Design) floorplanLadder(macros []floorplan.Macro, nets []floorplan.Net) error {
+// caller still gets a report. The context bounds the annealing
+// refiner (floorplan.RefineCtx); an expiry there is a degradation,
+// not a failure.
+func (d *Design) floorplanLadder(ctx context.Context, macros []floorplan.Macro, nets []floorplan.Net) error {
 	p := d.Params
 	plan, err := floorplan.Place(p.Process, macros, nets)
 	if err != nil {
@@ -310,7 +351,7 @@ func (d *Design) floorplanLadder(macros []floorplan.Macro, nets []floorplan.Net)
 		d.degrade("abutment floorplan failed (%v): using stacked fallback placement", err)
 	}
 	if p.RefineIterations > 0 {
-		refined, rerr := floorplan.Refine(p.Process, macros, nets, plan, p.RefineIterations, 1)
+		refined, rerr := floorplan.RefineCtx(ctx, p.Process, macros, nets, plan, p.RefineIterations, 1)
 		switch {
 		case rerr != nil && refined != nil:
 			d.degrade("floorplan refinement stopped early (%v): keeping best-so-far placement", rerr)

@@ -1,0 +1,119 @@
+package compiler
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cerr"
+	"repro/internal/march"
+	"repro/internal/tech"
+)
+
+// TestCompileConcurrent drives the full pipeline from many goroutines
+// over a table of distinct configurations. The compile service runs
+// Compile on a worker pool, so the pipeline must be free of shared
+// mutable state; this test exists to fail under -race if any leaks in.
+func TestCompileConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent compile table is slow")
+	}
+	slow, err := tech.CDA07.Corner("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []Params{
+		{Words: 256, BPW: 8, BPC: 4, Spares: 4, BufSize: 2, StrapCells: 32, Process: tech.CDA07},
+		{Words: 512, BPW: 8, BPC: 4, Spares: 4, BufSize: 2, Process: tech.CDA07, Test: march.MarchCMinus()},
+		{Words: 1024, BPW: 8, BPC: 8, Spares: 8, BufSize: 3, StrapCells: 16, Process: tech.CDA07},
+		{Words: 1024, BPW: 16, BPC: 4, Spares: 0, BufSize: 1, Process: slow},
+		{Words: 2048, BPW: 8, BPC: 8, Spares: 4, BufSize: 2, Process: tech.CDA07, Test: march.MATSPlus()},
+		{Words: 256, BPW: 8, BPC: 4, Spares: 4, BufSize: 2, Process: tech.CDA07, RefineIterations: 50},
+	}
+	// Each config compiled twice concurrently: same-input races are
+	// exactly what the daemon's singleflight window exposes.
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(cases))
+	for rep := 0; rep < 2; rep++ {
+		for i, p := range cases {
+			wg.Add(1)
+			go func(i int, p Params) {
+				defer wg.Done()
+				d, err := Compile(p)
+				if err != nil {
+					errs <- fmt.Errorf("case %d: %v", i, err)
+					return
+				}
+				if d.Name == "" || d.Area.Total <= 0 {
+					errs <- fmt.Errorf("case %d: implausible design %q area %g", i, d.Name, d.Area.Total)
+				}
+			}(i, p)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestJSONByteDeterminism compiles the same parameters twice and
+// requires byte-identical reports: the serving layer content-addresses
+// artifacts, so two compiles of one key must not differ by map order
+// or float formatting.
+func TestJSONByteDeterminism(t *testing.T) {
+	p := smallParams()
+	var out [2]string
+	for i := range out {
+		d, err := Compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := d.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = js
+	}
+	if out[0] != out[1] {
+		t.Fatalf("report JSON not byte-deterministic:\n--- first ---\n%s\n--- second ---\n%s", out[0], out[1])
+	}
+	if out[0][len(out[0])-1] != '\n' {
+		t.Fatal("report JSON missing trailing newline")
+	}
+}
+
+// TestCompileCtxCancelled verifies the stage-boundary checkpoints: an
+// already-expired context fails fast with the typed budget code and a
+// stage annotation, never a partial design.
+func TestCompileCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d, err := CompileCtx(ctx, smallParams())
+	if d != nil {
+		t.Fatal("cancelled compile returned a design")
+	}
+	if cerr.CodeOf(err) != cerr.CodeBudgetExceeded {
+		t.Fatalf("want ERR_BUDGET_EXCEEDED, got %v (%v)", cerr.CodeOf(err), err)
+	}
+}
+
+// TestCompileCtxDeadline runs a compile under a deadline long enough
+// to finish: the context plumbing must not perturb the result.
+func TestCompileCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	d, err := CompileCtx(ctx, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Compile(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != want.Name || d.Area.Total != want.Area.Total {
+		t.Fatalf("deadline compile diverged: %q/%g vs %q/%g", d.Name, d.Area.Total, want.Name, want.Area.Total)
+	}
+}

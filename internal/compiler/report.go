@@ -1,8 +1,9 @@
 package compiler
 
 import (
-	"encoding/json"
 	"fmt"
+
+	"repro/internal/cjson"
 )
 
 // Report is the machine-readable datasheet — the structured
@@ -88,11 +89,17 @@ func (d *Design) Report() Report {
 	return r
 }
 
-// JSON renders the structured datasheet.
+// JSON renders the structured datasheet as canonical JSON
+// (internal/cjson): sorted keys at every level, fixed shortest
+// round-trip float formatting, two-space indentation and a trailing
+// newline. The output is byte-deterministic — compiling the same
+// validated inputs always yields the same bytes — which is what lets
+// the serving layer cache and content-compare datasheets, and keeps
+// golden tests stable across runs and platforms.
 func (d *Design) JSON() (string, error) {
-	b, err := json.MarshalIndent(d.Report(), "", "  ")
+	b, err := cjson.MarshalIndent(d.Report())
 	if err != nil {
 		return "", fmt.Errorf("compiler: %w", err)
 	}
-	return string(b) + "\n", nil
+	return string(b), nil
 }

@@ -1,0 +1,422 @@
+// Package jobs runs compile requests on a bounded worker pool with
+// priorities, per-job deadlines, in-flight deduplication and graceful
+// drain — the execution substrate of the bisramgend service.
+//
+//   - Priorities: interactive submissions outrank batch sweeps; within
+//     a priority the queue is FIFO (a sequence number breaks ties, so
+//     starvation within a class is impossible).
+//   - Deadlines: every job runs under context.WithTimeout wired into
+//     the compile pipeline's context-bounded kernels, so a pathological
+//     request costs at most the configured deadline, never a worker.
+//   - Dedup (singleflight): a submission whose key matches a queued or
+//     running job attaches to that job instead of enqueueing a copy —
+//     N identical concurrent requests cost one compile.
+//   - Drain: Shutdown stops intake, lets queued+running jobs finish
+//     (until the drain context expires, at which point the base context
+//     is cancelled and the deadline kernels unwind), then joins every
+//     worker. No goroutine outlives Shutdown.
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cerr"
+)
+
+// Priority orders jobs; lower values run first.
+type Priority int
+
+// Priority classes.
+const (
+	// Interactive is for latency-sensitive submissions (the default
+	// for HTTP compile requests).
+	Interactive Priority = iota
+	// Normal is the middle class.
+	Normal
+	// Batch is for sweeps and campaigns that should yield to
+	// interactive traffic.
+	Batch
+)
+
+// String names the priority class.
+func (p Priority) String() string {
+	switch p {
+	case Interactive:
+		return "interactive"
+	case Normal:
+		return "normal"
+	case Batch:
+		return "batch"
+	}
+	return fmt.Sprintf("priority%d", int(p))
+}
+
+// ParsePriority maps a wire name to a class; empty means Interactive.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "interactive":
+		return Interactive, nil
+	case "normal":
+		return Normal, nil
+	case "batch":
+		return Batch, nil
+	}
+	return 0, cerr.New(cerr.CodeInvalidParams, "jobs: unknown priority %q (interactive, normal, batch)", s)
+}
+
+// State is a job's lifecycle position.
+type State int32
+
+// Job states.
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateFailed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("state%d", int32(s))
+}
+
+// Func is the unit of work: it must honour ctx and return its result.
+type Func func(ctx context.Context) (any, error)
+
+// Job is one tracked unit of work. Fields set at submission are
+// immutable; mutable state is accessed through the methods.
+type Job struct {
+	ID       string
+	Key      string
+	Priority Priority
+
+	fn   Func
+	seq  uint64
+	done chan struct{}
+
+	state     atomic.Int32
+	attached  atomic.Int64 // dedup attach count (first submitter included)
+	mu        sync.Mutex   // guards result fields and times
+	value     any
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State { return State(j.state.Load()) }
+
+// Attached returns how many submissions share this job (1 = no dedup).
+func (j *Job) Attached() int64 { return j.attached.Load() }
+
+// Result returns the outcome. It blocks until the job is terminal or
+// ctx expires (in which case the job keeps running and ctx.Err is
+// returned — abandoning a wait never cancels work other submitters
+// may be attached to).
+func (j *Job) Result(ctx context.Context) (any, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, cerr.Wrap(cerr.CodeBudgetExceeded, ctx.Err(), "jobs: wait for %s abandoned", j.ID)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.value, j.err
+}
+
+// Peek returns the outcome without blocking; ok is false while the
+// job is still queued or running.
+func (j *Job) Peek() (value any, err error, ok bool) {
+	select {
+	case <-j.done:
+	default:
+		return nil, nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.value, j.err, true
+}
+
+// Times returns the submission, start and finish timestamps (zero
+// until reached).
+func (j *Job) Times() (submitted, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.submitted, j.started, j.finished
+}
+
+// Config sizes a queue.
+type Config struct {
+	// Workers is the pool size; <= 0 means 1.
+	Workers int
+	// Capacity bounds the queued (not yet running) job count; <= 0
+	// means unbounded. A full queue rejects instead of blocking, so
+	// overload back-pressures to the client immediately.
+	Capacity int
+	// Deadline bounds each job's run; <= 0 means no per-job deadline.
+	Deadline time.Duration
+}
+
+// Stats is a point-in-time snapshot of queue counters.
+type Stats struct {
+	Workers   int           `json:"workers"`
+	Queued    int           `json:"queued"`
+	Running   int           `json:"running"`
+	Submitted uint64        `json:"submitted"`
+	Deduped   uint64        `json:"deduped"`
+	Completed uint64        `json:"completed"`
+	Failed    uint64        `json:"failed"`
+	Rejected  uint64        `json:"rejected"`
+	Draining  bool          `json:"draining"`
+	Deadline  time.Duration `json:"-"`
+}
+
+// Queue is the worker pool. Construct with New.
+type Queue struct {
+	cfg      Config
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	mu       sync.Mutex
+	cond     *sync.Cond
+	heap     jobHeap
+	inflight map[string]*Job // queued or running, by key (dedup)
+	running  int
+	draining bool
+	seq      uint64
+	nextID   uint64
+	wg       sync.WaitGroup
+
+	submitted, deduped, completed, failed, rejected uint64
+}
+
+// New starts a queue with cfg.Workers workers.
+func New(cfg Config) *Queue {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		cfg:      cfg,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		inflight: map[string]*Job{},
+	}
+	q.cond = sync.NewCond(&q.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues fn under key. If a job with the same key is already
+// queued or running, the submission attaches to it (deduped=true) and
+// fn is discarded. A draining queue or a full queue rejects with
+// ERR_BUDGET_EXCEEDED.
+func (q *Queue) Submit(key string, pri Priority, fn Func) (job *Job, deduped bool, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		q.rejected++
+		return nil, false, cerr.New(cerr.CodeBudgetExceeded, "jobs: queue is draining")
+	}
+	if j, ok := q.inflight[key]; ok {
+		j.attached.Add(1)
+		q.deduped++
+		return j, true, nil
+	}
+	if q.cfg.Capacity > 0 && q.heap.Len() >= q.cfg.Capacity {
+		q.rejected++
+		return nil, false, cerr.New(cerr.CodeBudgetExceeded,
+			"jobs: queue full (%d queued)", q.heap.Len())
+	}
+	q.seq++
+	q.nextID++
+	j := &Job{
+		ID:       fmt.Sprintf("job-%06d", q.nextID),
+		Key:      key,
+		Priority: pri,
+		fn:       fn,
+		seq:      q.seq,
+		done:     make(chan struct{}),
+	}
+	j.attached.Store(1)
+	j.mu.Lock()
+	j.submitted = time.Now()
+	j.mu.Unlock()
+	q.inflight[key] = j
+	heap.Push(&q.heap, j)
+	q.submitted++
+	q.cond.Signal()
+	return j, false, nil
+}
+
+// worker pops and runs jobs until the queue drains and closes.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for q.heap.Len() == 0 && !q.draining {
+			q.cond.Wait()
+		}
+		if q.heap.Len() == 0 && q.draining {
+			q.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&q.heap).(*Job)
+		q.running++
+		q.mu.Unlock()
+
+		q.run(j)
+
+		q.mu.Lock()
+		q.running--
+		delete(q.inflight, j.Key)
+		if j.State() == StateDone {
+			q.completed++
+		} else {
+			q.failed++
+		}
+		// Wake the drain waiter (and idle workers) when the pool
+		// empties.
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}
+}
+
+// run executes one job under the per-job deadline, converting panics
+// and deadline expiry into typed errors.
+func (q *Queue) run(j *Job) {
+	j.state.Store(int32(StateRunning))
+	j.mu.Lock()
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	ctx := q.baseCtx
+	var cancel context.CancelFunc
+	if q.cfg.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, q.cfg.Deadline)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	var value any
+	err := func() (err error) {
+		defer cerr.Recover("job", &err)
+		value, err = j.fn(ctx)
+		return err
+	}()
+	if err == nil && ctx.Err() != nil {
+		// The kernel returned a value despite an expired context;
+		// surface the budget violation rather than a silently-partial
+		// result.
+		err = cerr.Wrap(cerr.CodeBudgetExceeded, ctx.Err(), "jobs: %s deadline", j.ID)
+	}
+
+	j.mu.Lock()
+	j.value, j.err = value, err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	if err != nil {
+		j.state.Store(int32(StateFailed))
+	} else {
+		j.state.Store(int32(StateDone))
+	}
+	close(j.done)
+}
+
+// Shutdown gracefully drains the queue: intake stops immediately,
+// queued and running jobs are given until ctx expires to finish, then
+// the base context is cancelled (unwinding the deadline kernels) and
+// the workers are joined. It returns nil on a clean drain or the drain
+// context's error when work had to be cancelled.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	if q.draining {
+		q.mu.Unlock()
+		// Already draining: just wait for the workers.
+		q.wg.Wait()
+		return nil
+	}
+	q.draining = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.mu.Lock()
+		for q.heap.Len() > 0 || q.running > 0 {
+			q.cond.Wait()
+		}
+		q.mu.Unlock()
+		close(done)
+	}()
+
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		// Hard-cancel in-flight work; the drain waiter goroutine exits
+		// once the workers observe cancellation and finish.
+		q.cancel()
+		<-done
+	}
+	q.cancel()
+	q.wg.Wait()
+	return err
+}
+
+// Stats snapshots the counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		Workers: q.cfg.Workers, Queued: q.heap.Len(), Running: q.running,
+		Submitted: q.submitted, Deduped: q.deduped,
+		Completed: q.completed, Failed: q.failed, Rejected: q.rejected,
+		Draining: q.draining, Deadline: q.cfg.Deadline,
+	}
+}
+
+// jobHeap orders by (priority, seq): lower priority value first, FIFO
+// within a class.
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority < h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}

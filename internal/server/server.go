@@ -1,0 +1,589 @@
+// Package server implements the bisramgend HTTP/JSON API: compile
+// submission with content-addressed caching, job status/result/
+// artifact retrieval, health and metrics. It glues the three service
+// substrates together — internal/canon (canonical keying and the
+// shared Params loader), internal/jobs (bounded worker pool with
+// priorities, dedup and drain) and internal/cache (byte-budgeted LRU
+// over rendered artifacts) — in front of the existing compile
+// pipeline, whose typed cerr taxonomy maps 1:1 onto HTTP statuses.
+//
+// Endpoints:
+//
+//	POST /v1/compile                    submit (sync by default, ?async=1 for a job handle)
+//	GET  /v1/jobs/{id}                  job status
+//	GET  /v1/jobs/{id}/result           compile report (canonical JSON)
+//	GET  /v1/jobs/{id}/artifact/{name}  rendered artifact (datasheet, planes, SVG)
+//	GET  /v1/processes                  built-in process decks
+//	GET  /v1/tests                      built-in march algorithms
+//	GET  /healthz                       liveness
+//	GET  /metrics                       counters (expvar-backed JSON)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/canon"
+	"repro/internal/cerr"
+	"repro/internal/cjson"
+	"repro/internal/compiler"
+	"repro/internal/gds"
+	"repro/internal/jobs"
+	"repro/internal/render"
+	"repro/internal/tech"
+)
+
+// MaxRequestBody bounds a compile request body (inline decks and
+// plane files included).
+const MaxRequestBody = 8 << 20
+
+// Config wires a server.
+type Config struct {
+	Queue *jobs.Queue
+	Cache *cache.Cache
+	// LogWriter receives one JSON line per request; nil disables
+	// request logging.
+	LogWriter io.Writer
+	// SyncWait bounds how long a synchronous POST /v1/compile waits
+	// before falling back to a 202 + job handle; <= 0 means wait for
+	// the job's own deadline.
+	SyncWait time.Duration
+}
+
+// Server is the HTTP layer. Construct with New; serve s.Handler().
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	start time.Time
+	logMu sync.Mutex
+
+	jobMu    sync.Mutex
+	jobsByID map[string]*jobs.Job
+	keyByID  map[string]string
+
+	// expvar-backed counters (unpublished maps so multiple servers can
+	// coexist in one process, e.g. under test).
+	metrics  *expvar.Map
+	byStatus *expvar.Map
+	byCode   *expvar.Map
+}
+
+// New builds the server and its routing table.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		jobsByID: map[string]*jobs.Job{},
+		keyByID:  map[string]string{},
+		metrics:  new(expvar.Map).Init(),
+		byStatus: new(expvar.Map).Init(),
+		byCode:   new(expvar.Map).Init(),
+	}
+	s.metrics.Set("responses_by_status", s.byStatus)
+	s.metrics.Set("errors_by_code", s.byCode)
+
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/artifact/{name}", s.handleJobArtifact)
+	s.mux.HandleFunc("GET /v1/processes", s.handleProcesses)
+	s.mux.HandleFunc("GET /v1/tests", s.handleTests)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the root handler with request logging and counting
+// wrapped around the routing table.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		startT := time.Now()
+		rw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(rw, r)
+		s.metrics.Add("requests_total", 1)
+		s.byStatus.Add(fmt.Sprintf("%d", rw.status), 1)
+		s.logRequest(r, rw, time.Since(startT))
+	})
+}
+
+// statusWriter captures the response status and size for logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	// meta carries handler-set annotations (cache hit, key, code) into
+	// the request log.
+	meta struct {
+		key, cacheState, errCode string
+	}
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// logRequest emits one structured JSON line per request.
+func (s *Server) logRequest(r *http.Request, rw *statusWriter, dur time.Duration) {
+	if s.cfg.LogWriter == nil {
+		return
+	}
+	line := map[string]any{
+		"ts":     time.Now().UTC().Format(time.RFC3339Nano),
+		"method": r.Method,
+		"path":   r.URL.Path,
+		"status": rw.status,
+		"dur_ms": float64(dur.Microseconds()) / 1000,
+		"bytes":  rw.bytes,
+		"remote": r.RemoteAddr,
+	}
+	if rw.meta.key != "" {
+		line["key"] = rw.meta.key
+	}
+	if rw.meta.cacheState != "" {
+		line["cache"] = rw.meta.cacheState
+	}
+	if rw.meta.errCode != "" {
+		line["code"] = rw.meta.errCode
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	s.cfg.LogWriter.Write(append(b, '\n'))
+}
+
+// HTTPStatus maps the cerr taxonomy onto HTTP statuses. The mapping
+// is part of the service contract and documented in the README:
+//
+//	ERR_INVALID_PARAMS, ERR_DECK_PARSE,
+//	ERR_MARCH_PARSE, ERR_PLANE_PARSE       -> 400 Bad Request
+//	ERR_GEOMETRY, ERR_NETLIST, ERR_FLOORPLAN,
+//	ERR_SIM_DIVERGED, ERR_NON_FINITE,
+//	ERR_REPAIR_FAILED                      -> 422 Unprocessable Entity
+//	ERR_BUDGET_EXCEEDED                    -> 504 Gateway Timeout
+//	ERR_INTERNAL, ERR_UNKNOWN              -> 500 Internal Server Error
+//
+// (Queue overload is reported by the submit handler as 429 before any
+// pipeline error exists.)
+func HTTPStatus(err error) int {
+	switch cerr.CodeOf(err) {
+	case cerr.CodeInvalidParams, cerr.CodeDeckParse, cerr.CodeMarchParse, cerr.CodePlaneParse:
+		return http.StatusBadRequest
+	case cerr.CodeGeometry, cerr.CodeNetlist, cerr.CodeFloorplan,
+		cerr.CodeSimDiverged, cerr.CodeNonFinite, cerr.CodeRepairFailed:
+		return http.StatusUnprocessableEntity
+	case cerr.CodeBudgetExceeded:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Stage   string `json:"stage,omitempty"`
+		Message string `json:"message"`
+		HTTP    int    `json:"http"`
+	} `json:"error"`
+}
+
+// writeError renders err with its mapped (or overridden) status.
+func (s *Server) writeError(w http.ResponseWriter, err error, statusOverride int) {
+	status := statusOverride
+	if status == 0 {
+		status = HTTPStatus(err)
+	}
+	var body errorBody
+	body.Error.Code = cerr.CodeOf(err).String()
+	body.Error.Stage = cerr.StageOf(err)
+	body.Error.Message = err.Error()
+	body.Error.HTTP = status
+	s.byCode.Add(body.Error.Code, 1)
+	if rw, ok := w.(*statusWriter); ok {
+		rw.meta.errCode = body.Error.Code
+	}
+	s.writeJSON(w, status, body)
+}
+
+// writeJSON renders v as canonical JSON.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := cjson.MarshalIndent(v)
+	if err != nil {
+		http.Error(w, `{"error":{"code":"ERR_INTERNAL","message":"response encoding failed"}}`,
+			http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	w.Write(b)
+}
+
+// compileResponse is the submit/result envelope.
+type compileResponse struct {
+	Key      string `json:"key"`
+	JobID    string `json:"job_id,omitempty"`
+	State    string `json:"state"`
+	Cached   bool   `json:"cached"`
+	Deduped  bool   `json:"deduped,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
+	// ElapsedMs is the server-side handling time for this request —
+	// on a cache hit it collapses to lookup cost.
+	ElapsedMs float64         `json:"elapsed_ms"`
+	Artifacts map[string]int  `json:"artifacts,omitempty"` // name -> byte size
+	Report    json.RawMessage `json:"report,omitempty"`
+}
+
+// handleCompile is POST /v1/compile.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	startT := time.Now()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBody))
+	if err != nil {
+		s.writeError(w, cerr.Wrap(cerr.CodeInvalidParams, err, "server: request body"), http.StatusRequestEntityTooLarge)
+		return
+	}
+	req, err := canon.ParseRequest(body)
+	if err != nil {
+		s.writeError(w, err, 0)
+		return
+	}
+	params, err := req.Params()
+	if err != nil {
+		s.writeError(w, err, 0)
+		return
+	}
+	key, err := canon.KeyOfParams(params)
+	if err != nil {
+		s.writeError(w, err, 0)
+		return
+	}
+	if rw, ok := w.(*statusWriter); ok {
+		rw.meta.key = key
+	}
+	pri, err := jobs.ParsePriority(r.URL.Query().Get("priority"))
+	if err != nil {
+		s.writeError(w, err, 0)
+		return
+	}
+
+	// Content-addressed fast path: an identical fully-validated input
+	// has already been compiled.
+	if entry, ok := s.cfg.Cache.Get(key); ok {
+		s.metrics.Add("compile_cache_hits", 1)
+		s.annotateCache(w, "hit")
+		s.writeJSON(w, http.StatusOK, s.entryResponse(entry, "", false, startT, true))
+		return
+	}
+	s.annotateCache(w, "miss")
+	s.metrics.Add("compile_cache_misses", 1)
+
+	job, deduped, err := s.cfg.Queue.Submit(key, pri, func(ctx context.Context) (any, error) {
+		return s.runCompile(ctx, key, params)
+	})
+	if err != nil {
+		// Overload (full or draining queue) back-pressures as 429.
+		s.writeError(w, err, http.StatusTooManyRequests)
+		return
+	}
+	s.trackJob(job, key)
+	if deduped {
+		s.metrics.Add("compile_deduped", 1)
+	}
+
+	if r.URL.Query().Get("async") != "" {
+		s.writeJSON(w, http.StatusAccepted, compileResponse{
+			Key: key, JobID: job.ID, State: job.State().String(),
+			Deduped: deduped, ElapsedMs: msSince(startT),
+		})
+		return
+	}
+
+	waitCtx := r.Context()
+	if s.cfg.SyncWait > 0 {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithTimeout(waitCtx, s.cfg.SyncWait)
+		defer cancel()
+	}
+	value, jerr := job.Result(waitCtx)
+	if jerr != nil {
+		if waitCtx.Err() != nil && job.State() != jobs.StateFailed {
+			// The wait budget expired but the job lives on: hand back a
+			// handle instead of an error.
+			s.writeJSON(w, http.StatusAccepted, compileResponse{
+				Key: key, JobID: job.ID, State: job.State().String(),
+				Deduped: deduped, ElapsedMs: msSince(startT),
+			})
+			return
+		}
+		s.writeError(w, jerr, 0)
+		return
+	}
+	entry := value.(*cache.Entry)
+	resp := s.entryResponse(entry, job.ID, deduped, startT, false)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// runCompile executes the pipeline under the job context and renders
+// the cacheable artifact set.
+func (s *Server) runCompile(ctx context.Context, key string, params compiler.Params) (*cache.Entry, error) {
+	d, err := compiler.CompileCtx(ctx, params)
+	if err != nil {
+		return nil, err
+	}
+	js, err := d.JSON()
+	if err != nil {
+		return nil, cerr.Wrap(cerr.CodeInternal, err, "server: report rendering")
+	}
+	entry := &cache.Entry{
+		Key:       key,
+		Report:    []byte(js),
+		Artifacts: map[string][]byte{},
+		Degraded:  len(d.Degradations) > 0,
+	}
+	entry.Artifacts["datasheet.json"] = []byte(js)
+	entry.Artifacts["datasheet.txt"] = []byte(d.Datasheet())
+	var and, or strings.Builder
+	if err := d.Prog.WritePlanes(&and, &or); err == nil {
+		entry.Artifacts["trpla_and.plane"] = []byte(and.String())
+		entry.Artifacts["trpla_or.plane"] = []byte(or.String())
+	}
+	if d.Top != nil {
+		entry.Artifacts["layout.svg"] = []byte(render.SVG(d.Top, render.Options{Depth: 0}))
+		var g strings.Builder
+		if err := gds.Write(&g, d.Top, d.Top.Name); err == nil {
+			entry.Artifacts["layout.gds"] = []byte(g.String())
+		}
+	}
+	s.cfg.Cache.Put(entry)
+	s.metrics.Add("compiles_total", 1)
+	return entry, nil
+}
+
+// entryResponse builds the envelope for a completed entry.
+func (s *Server) entryResponse(e *cache.Entry, jobID string, deduped bool, startT time.Time, cached bool) compileResponse {
+	sizes := make(map[string]int, len(e.Artifacts))
+	for name, b := range e.Artifacts {
+		sizes[name] = len(b)
+	}
+	return compileResponse{
+		Key: e.Key, JobID: jobID, State: jobs.StateDone.String(),
+		Cached: cached, Deduped: deduped, Degraded: e.Degraded,
+		ElapsedMs: msSince(startT),
+		Artifacts: sizes,
+		Report:    json.RawMessage(e.Report),
+	}
+}
+
+func (s *Server) annotateCache(w http.ResponseWriter, state string) {
+	if rw, ok := w.(*statusWriter); ok {
+		rw.meta.cacheState = state
+	}
+}
+
+// trackJob registers a job for the status endpoints.
+func (s *Server) trackJob(j *jobs.Job, key string) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	s.jobsByID[j.ID] = j
+	s.keyByID[j.ID] = key
+}
+
+// lookupJob resolves a tracked job by id.
+func (s *Server) lookupJob(id string) (*jobs.Job, string, bool) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	j, ok := s.jobsByID[id]
+	return j, s.keyByID[id], ok
+}
+
+// jobStatusBody is the GET /v1/jobs/{id} envelope.
+type jobStatusBody struct {
+	JobID     string  `json:"job_id"`
+	Key       string  `json:"key"`
+	State     string  `json:"state"`
+	Priority  string  `json:"priority"`
+	Attached  int64   `json:"attached"`
+	QueuedMs  float64 `json:"queued_ms"`
+	RunMs     float64 `json:"run_ms,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	ErrorCode string  `json:"error_code,omitempty"`
+}
+
+// handleJobStatus is GET /v1/jobs/{id}.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, key, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, cerr.New(cerr.CodeInvalidParams, "server: unknown job %q", r.PathValue("id")), http.StatusNotFound)
+		return
+	}
+	submitted, started, finished := j.Times()
+	body := jobStatusBody{
+		JobID: j.ID, Key: key, State: j.State().String(),
+		Priority: j.Priority.String(), Attached: j.Attached(),
+	}
+	switch {
+	case started.IsZero():
+		body.QueuedMs = msSince(submitted)
+	default:
+		body.QueuedMs = float64(started.Sub(submitted).Microseconds()) / 1000
+	}
+	if !started.IsZero() {
+		end := finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		body.RunMs = float64(end.Sub(started).Microseconds()) / 1000
+	}
+	if _, jerr, done := j.Peek(); done && jerr != nil {
+		body.Error = jerr.Error()
+		body.ErrorCode = cerr.CodeOf(jerr).String()
+	}
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+// handleJobResult is GET /v1/jobs/{id}/result.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, _, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, cerr.New(cerr.CodeInvalidParams, "server: unknown job %q", r.PathValue("id")), http.StatusNotFound)
+		return
+	}
+	value, jerr, done := j.Peek()
+	if !done {
+		s.writeJSON(w, http.StatusAccepted, map[string]string{
+			"job_id": j.ID, "state": j.State().String(),
+		})
+		return
+	}
+	if jerr != nil {
+		s.writeError(w, jerr, 0)
+		return
+	}
+	entry := value.(*cache.Entry)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(entry.Report)
+}
+
+// handleJobArtifact is GET /v1/jobs/{id}/artifact/{name}.
+func (s *Server) handleJobArtifact(w http.ResponseWriter, r *http.Request) {
+	j, key, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, cerr.New(cerr.CodeInvalidParams, "server: unknown job %q", r.PathValue("id")), http.StatusNotFound)
+		return
+	}
+	name := r.PathValue("name")
+	value, jerr, done := j.Peek()
+	if !done {
+		s.writeJSON(w, http.StatusAccepted, map[string]string{"job_id": j.ID, "state": j.State().String()})
+		return
+	}
+	if jerr != nil {
+		s.writeError(w, jerr, 0)
+		return
+	}
+	entry := value.(*cache.Entry)
+	body, ok := entry.Artifacts[name]
+	if !ok {
+		// The job's entry may also have been evicted and refetched;
+		// consult the cache as a second chance.
+		if cached, hit := s.cfg.Cache.Get(key); hit {
+			if b, ok2 := cached.Artifacts[name]; ok2 {
+				writeArtifact(w, name, b)
+				return
+			}
+		}
+		s.writeError(w, cerr.New(cerr.CodeInvalidParams,
+			"server: no artifact %q (have %v)", name, entry.ArtifactNames()), http.StatusNotFound)
+		return
+	}
+	writeArtifact(w, name, body)
+}
+
+// writeArtifact renders an artifact with a sensible content type.
+func writeArtifact(w http.ResponseWriter, name string, body []byte) {
+	switch {
+	case strings.HasSuffix(name, ".json"):
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	case strings.HasSuffix(name, ".svg"):
+		w.Header().Set("Content-Type", "image/svg+xml")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// handleProcesses is GET /v1/processes.
+func (s *Server) handleProcesses(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"processes": tech.Names()})
+}
+
+// handleTests is GET /v1/tests.
+func (s *Server) handleTests(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"tests": canon.TestNames()})
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	qs := s.cfg.Queue.Stats()
+	status := http.StatusOK
+	state := "ok"
+	if qs.Draining {
+		// Shedding state: load balancers should stop routing here.
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	s.writeJSON(w, status, map[string]any{
+		"status":   state,
+		"uptime_s": time.Since(s.start).Seconds(),
+		"workers":  qs.Workers,
+	})
+}
+
+// metricsBody is the /metrics document.
+type metricsBody struct {
+	Server  json.RawMessage `json:"server"`
+	Cache   cache.Stats     `json:"cache"`
+	Queue   jobs.Stats      `json:"queue"`
+	UptimeS float64         `json:"uptime_s"`
+}
+
+// handleMetrics is GET /metrics: the expvar-backed counter map plus
+// cache and queue snapshots in one JSON document.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body := metricsBody{
+		Server:  json.RawMessage(s.metrics.String()),
+		Cache:   s.cfg.Cache.Stats(),
+		Queue:   s.cfg.Queue.Stats(),
+		UptimeS: time.Since(s.start).Seconds(),
+	}
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+// Log is a convenience constructor for the structured request logger.
+func Log(w io.Writer) *log.Logger { return log.New(w, "", 0) }
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1000
+}

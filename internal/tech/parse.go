@@ -188,5 +188,5 @@ func Parse(r io.Reader) (*Process, error) {
 }
 
 // Register adds a parsed process to the ByName registry, replacing
-// any same-named deck.
-func Register(p *Process) { processes[p.Name] = p }
+// any same-named deck. Safe for concurrent use.
+func Register(p *Process) { register(p) }

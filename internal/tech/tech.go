@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/cerr"
 	"repro/internal/geom"
@@ -182,9 +183,17 @@ func newProcess(name string, featureNm int, vdd float64, kpN, kpP float64) *Proc
 	return p
 }
 
-var processes = map[string]*Process{}
+// processes is the ByName registry. procMu makes lookup and
+// registration safe from concurrent server goroutines; the built-in
+// decks register during package init, before any concurrency exists.
+var (
+	procMu    sync.RWMutex
+	processes = map[string]*Process{}
+)
 
 func register(p *Process) *Process {
+	procMu.Lock()
+	defer procMu.Unlock()
 	processes[p.Name] = p
 	return p
 }
@@ -228,21 +237,26 @@ func (p *Process) Corner(name string) (*Process, error) {
 	return &q, nil
 }
 
-// ByName looks up a built-in process deck.
+// ByName looks up a built-in process deck. Safe for concurrent use.
 func ByName(name string) (*Process, error) {
+	procMu.RLock()
 	p, ok := processes[name]
+	procMu.RUnlock()
 	if !ok {
 		return nil, cerr.New(cerr.CodeInvalidParams, "tech: unknown process %q (have %v)", name, Names())
 	}
 	return p, nil
 }
 
-// Names lists the registered process names, sorted.
+// Names lists the registered process names, sorted. Safe for
+// concurrent use.
 func Names() []string {
+	procMu.RLock()
 	out := make([]string, 0, len(processes))
 	for n := range processes {
 		out = append(out, n)
 	}
+	procMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
