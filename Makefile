@@ -9,7 +9,7 @@
 GO       ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all check build vet test race serve-smoke fuzz-smoke campaign serve ci
+.PHONY: all check build vet test race serve-smoke obs-smoke fuzz-smoke campaign serve ci
 
 all: check
 
@@ -33,6 +33,15 @@ race:
 # the daemon and requires a clean drain with exit 0.
 serve-smoke:
 	$(GO) test -race -run TestServeSmoke -count=1 ./cmd/bisramgend/
+
+# End-to-end observability check: boots the daemon with -pprof and a
+# 1ns slow-compile threshold, POSTs one compile, asserts the
+# Prometheus exposition parses with nonzero
+# compile_stage_duration_seconds buckets, fetches the job's Chrome
+# trace JSON from /debug/trace/{id}, and requires the slow-compile
+# span tree on stderr.
+obs-smoke:
+	$(GO) test -race -run TestObsSmoke -count=1 -v ./cmd/bisramgend/
 
 # Run the compile daemon locally with the documented defaults.
 serve:

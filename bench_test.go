@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/leafcell"
 	"repro/internal/march"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/spice"
 	"repro/internal/sram"
@@ -166,6 +168,50 @@ func BenchmarkCompile64kbyte(b *testing.B) {
 		if _, err := compiler.Compile(p); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCompileUntraced / BenchmarkCompileTraced measure the span
+// overhead contract of internal/obs: run both and compare —
+//
+//	go test -bench='BenchmarkCompile(Un)?[Tt]raced' -count=5
+//
+// the traced run records every pipeline stage and kernel span into a
+// live *obs.Trace and must stay within ~2% of the untraced baseline
+// (the untraced path costs one context lookup per instrumentation
+// site; the traced path a few time reads and one short append per
+// span, against a compile that runs whole SPICE transients).
+func BenchmarkCompileUntraced(b *testing.B) {
+	p := smallBenchParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := compiler.CompileCtx(context.Background(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileTraced(b *testing.B) {
+	p := smallBenchParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := obs.NewTrace("bench")
+		ctx := obs.WithTrace(context.Background(), tr)
+		if _, err := compiler.CompileCtx(ctx, p); err != nil {
+			b.Fatal(err)
+		}
+		if tr.Len() == 0 {
+			b.Fatal("traced compile recorded no spans")
+		}
+	}
+}
+
+// smallBenchParams is a fast-compiling configuration so the traced/
+// untraced comparison gets enough iterations to be stable.
+func smallBenchParams() compiler.Params {
+	return compiler.Params{
+		Words: 256, BPW: 8, BPC: 4, Spares: 4,
+		BufSize: 1, StrapCells: 32, Process: tech.CDA07,
 	}
 }
 

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/cjson"
 	"repro/internal/compiler"
 	"repro/internal/gds"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/spice"
 	"repro/internal/tech"
@@ -58,6 +60,7 @@ func main() {
 		dumpReq  = flag.String("dump-request", "", `print the request as daemon JSON and exit; "" compiles, "-" writes stdout, else a file path`)
 		outDir   = flag.String("out", "bisram_out", "output directory")
 		ascii    = flag.Bool("ascii", false, "print an ASCII floorplan to stdout")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the compile to this file (load in chrome://tracing)")
 	)
 	// -dump-request doubles as a boolean-ish flag: plain
 	// `-dump-request` with no value is awkward in the flag package, so
@@ -88,9 +91,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	d, err := compiler.Compile(p)
+	// -trace attaches a span collector to the compile context; the
+	// recorded stage/kernel spans are written as Chrome trace-event JSON
+	// after the run (even a failed one would have been, but fatal exits).
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace("")
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	d, err := compiler.CompileCtx(ctx, p)
 	if err != nil {
 		fatal(err)
+	}
+	if tr != nil {
+		doc, terr := tr.ChromeJSON()
+		if terr != nil {
+			fatal(terr)
+		}
+		if err := os.WriteFile(*traceOut, doc, 0o644); err != nil {
+			fatal(cerr.Wrap(cerr.CodeInvalidParams, err, "bisramgen: writing -trace"))
+		}
+		fmt.Fprintf(os.Stderr, "bisramgen: wrote %s (%d spans; open in chrome://tracing)\n", *traceOut, tr.Len())
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -45,21 +46,32 @@ func main() {
 		syncWait     = flag.Duration("sync-wait", 0, "max synchronous POST wait before returning a job handle (0 = wait for the job deadline)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 		quiet        = flag.Bool("quiet", false, "suppress per-request log lines")
+		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		slowCompile  = flag.Duration("slow-compile", 0, "dump the span tree of any compile slower than this (0 = off)")
 	)
 	flag.Parse()
 
+	// One shared telemetry registry: the queue's wait histograms and the
+	// server's stage/cache/http instruments land in the same /metrics
+	// exposition.
+	reg := obs.NewRegistry()
 	q := jobs.New(jobs.Config{
 		Workers:  *workers,
 		Capacity: *queueDepth,
 		Deadline: *deadline,
+		Registry: reg,
 	})
 	c := cache.New(*cacheMB << 20)
 	var logW = os.Stderr
 	srv := server.New(server.Config{
-		Queue:     q,
-		Cache:     c,
-		LogWriter: logWriter(*quiet, logW),
-		SyncWait:  *syncWait,
+		Queue:         q,
+		Cache:         c,
+		LogWriter:     logWriter(*quiet, logW),
+		SyncWait:      *syncWait,
+		Metrics:       reg,
+		EnablePprof:   *enablePprof,
+		SlowCompile:   *slowCompile,
+		SlowLogWriter: os.Stderr,
 	})
 
 	httpSrv := &http.Server{

@@ -29,6 +29,7 @@ import (
 	"repro/internal/faultcampaign"
 	"repro/internal/logicsim"
 	"repro/internal/march"
+	"repro/internal/obs"
 	"repro/internal/sram"
 )
 
@@ -172,14 +173,29 @@ func runGateLevel(cfg sram.Config, faults int, seed int64, vcdPath string) {
 func runFaultCampaign(args []string) {
 	fs := flag.NewFlagSet("faultcampaign", flag.ExitOnError)
 	var (
-		verbose = fs.Bool("v", false, "print every case, not just failures")
-		timeout = fs.Duration("timeout", faultcampaign.DefaultTimeout, "per-case deadline")
+		verbose  = fs.Bool("v", false, "print every case, not just failures")
+		timeout  = fs.Duration("timeout", faultcampaign.DefaultTimeout, "per-case deadline")
+		traceOut = fs.String("trace", "", "write a Chrome trace-event JSON of the campaign (one span per case, pipeline stages nested)")
 	)
 	_ = fs.Parse(args)
 
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace("faultcampaign")
+	}
 	cases := faultcampaign.Cases()
 	fmt.Printf("fault campaign: %d adversarial inputs, %v per-case deadline\n", len(cases), *timeout)
-	rep := faultcampaign.Run(cases, *timeout)
+	rep := faultcampaign.RunTraced(cases, *timeout, tr)
+	if tr != nil {
+		doc, err := tr.ChromeJSON()
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*traceOut, doc, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d spans; open in chrome://tracing)\n", *traceOut, tr.Len())
+	}
 	for _, res := range rep.Results {
 		bad := !res.Outcome.Acceptable()
 		if !*verbose && !bad {

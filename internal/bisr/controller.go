@@ -7,6 +7,7 @@ import (
 	"repro/internal/bist"
 	"repro/internal/cerr"
 	"repro/internal/march"
+	"repro/internal/obs"
 )
 
 // Outcome summarises a self-test-and-repair session.
@@ -62,6 +63,14 @@ func (c *Controller) Run() (*Outcome, error) {
 // cerr.ErrBudgetExceeded, so callers can still report how far the
 // iterated repair got.
 func (c *Controller) RunCtx(ctx context.Context) (*Outcome, error) {
+	out := &Outcome{}
+	var endSpan func(...obs.Attr)
+	ctx, endSpan = obs.Start(ctx, "bisr.run")
+	defer func() {
+		endSpan(obs.Int("iterations", out.Iterations),
+			obs.Int("captures", out.Captures),
+			obs.Bool("repaired", out.Repaired))
+	}()
 	iters := c.MaxIterations
 	if iters <= 0 {
 		iters = 1
@@ -71,7 +80,6 @@ func (c *Controller) RunCtx(ctx context.Context) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Outcome{}
 	// colRows[c] is the set of rows whose captures implicated physical
 	// column c, accumulated across iterations for the column-failure
 	// diagnosis.

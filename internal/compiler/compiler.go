@@ -21,6 +21,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/leafcell"
 	"repro/internal/march"
+	"repro/internal/obs"
 	"repro/internal/sram"
 	"repro/internal/tech"
 )
@@ -196,12 +197,25 @@ func Compile(p Params) (*Design, error) {
 // inside the refiner where the degradation ladder keeps the
 // best-so-far placement and records the budget stop instead of
 // failing the compile.
+//
+// When the context carries an obs.Trace, every stage — params,
+// leafcells, microcode, macros, floorplan, analysis — records a span,
+// and the context-bounded kernels underneath (floorplan.RefineCtx,
+// the spice transients in timing analysis) nest their own spans under
+// the stage that invoked them. An untraced context pays one context
+// lookup per stage.
 func CompileCtx(ctx context.Context, p Params) (*Design, error) {
+	ctx, endCompile := obs.Start(ctx, "compile")
+	defer endCompile()
+
 	if p.Test.Name == "" {
 		p.Test = march.IFA9()
 	}
-	if err := p.Validate(); err != nil {
-		return nil, cerr.WithStage("params", err)
+	_, endParams := obs.Start(ctx, "compile.params")
+	verr := p.Validate()
+	endParams()
+	if verr != nil {
+		return nil, cerr.WithStage("params", verr)
 	}
 	checkpoint := func(stage string) error {
 		if err := ctx.Err(); err != nil {
@@ -215,6 +229,8 @@ func CompileCtx(ctx context.Context, p Params) (*Design, error) {
 	var lib *leafcell.Library
 	err := func() (err error) {
 		defer cerr.Recover("leafcells", &err)
+		_, end := obs.Start(ctx, "compile.leafcells")
+		defer end()
 		lib, err = leafcell.NewLibrary(p.Process, p.BufSize)
 		return cerr.WithStage("leafcells", err)
 	}()
@@ -223,8 +239,10 @@ func CompileCtx(ctx context.Context, p Params) (*Design, error) {
 	}
 	prog := p.Program
 	if prog == nil {
+		_, end := obs.Start(ctx, "compile.microcode")
 		var aerr error
 		prog, aerr = bist.Assemble(p.Test)
+		end()
 		if aerr != nil {
 			return nil, cerr.WithStage("microcode", aerr)
 		}
@@ -242,6 +260,8 @@ func CompileCtx(ctx context.Context, p Params) (*Design, error) {
 	var nets []floorplan.Net
 	err = func() (err error) {
 		defer cerr.Recover("macros", &err)
+		_, end := obs.Start(ctx, "compile.macros")
+		defer end()
 		macros, nets = d.buildMacros()
 		return nil
 	}()
@@ -254,7 +274,10 @@ func CompileCtx(ctx context.Context, p Params) (*Design, error) {
 	}
 	err = func() (err error) {
 		defer cerr.Recover("floorplan", &err)
-		return d.floorplanLadder(ctx, macros, nets)
+		fpCtx, end := obs.Start(ctx, "compile.floorplan")
+		ferr := d.floorplanLadder(fpCtx, macros, nets)
+		end(obs.Int("degradations", len(d.Degradations)))
+		return ferr
 	}()
 	if err != nil {
 		return nil, err
@@ -265,8 +288,10 @@ func CompileCtx(ctx context.Context, p Params) (*Design, error) {
 	}
 	err = func() (err error) {
 		defer cerr.Recover("analysis", &err)
+		anCtx, end := obs.Start(ctx, "compile.analysis")
+		defer end()
 		d.computeArea()
-		return cerr.WithStage("timing", d.computeTiming())
+		return cerr.WithStage("timing", d.computeTiming(anCtx))
 	}()
 	if err != nil {
 		return nil, err

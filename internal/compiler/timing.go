@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -45,8 +46,10 @@ type TimingReport struct {
 
 // computeTiming extracts the critical paths with the built-in SPICE
 // utility plus Elmore wire models (wordline and bitline are strapped
-// in metal2 per the array template).
-func (d *Design) computeTiming() error {
+// in metal2 per the array template). The context threads the caller's
+// trace into the SPICE transients, so a traced compile attributes the
+// analysis-stage latency to the individual simulations.
+func (d *Design) computeTiming(ctx context.Context) error {
 	p := d.Params
 	proc := p.Process
 	lm := float64(proc.Feature) * 1e-9
@@ -63,7 +66,7 @@ func (d *Design) computeTiming() error {
 	decLoad := float64(p.Rows()) * cg(4) / float64(predecode)
 	wn := float64(proc.L(3*p.BufSize)) * 1e-9
 	wp := wn * proc.BetaRatio()
-	rise, fall, err := spice.InverterDelays(proc, wn, wp, lm, decLoad+20e-15)
+	rise, fall, err := spice.InverterDelaysCtx(ctx, proc, wn, wp, lm, decLoad+20e-15)
 	if err != nil {
 		return fmt.Errorf("decode timing: %w", err)
 	}
@@ -134,7 +137,7 @@ func (d *Design) computeTiming() error {
 	// address bits; a mismatch discharges it through the two-series
 	// compare stack; the match buffer and spare wordline driver follow.
 	if p.Spares > 0 {
-		tlbNs, err := d.tlbMatchDelay()
+		tlbNs, err := d.tlbMatchDelay(ctx)
 		if err != nil {
 			return fmt.Errorf("tlb timing: %w", err)
 		}
@@ -151,7 +154,7 @@ func (d *Design) computeTiming() error {
 // and simulates the worst-case discharge: the line is precharged high
 // and a single bit mismatch must pull it low through the series
 // compare stack, after which the match inverter switches.
-func (d *Design) tlbMatchDelay() (float64, error) {
+func (d *Design) tlbMatchDelay(ctx context.Context) (float64, error) {
 	p := d.Params
 	proc := p.Process
 	lm := float64(proc.Feature) * 1e-9
@@ -188,7 +191,7 @@ func (d *Design) tlbMatchDelay() (float64, error) {
 		(2*nmos.CjPerW*float64(proc.L(3*p.BufSize))*1e-9+5e-15)
 	ckt.C("mlb", "0", busLoad)
 
-	res, err := ckt.Transient(8e-9, 5e-12)
+	res, err := ckt.TransientCtx(ctx, 8e-9, 5e-12)
 	if err != nil {
 		return 0, err
 	}

@@ -2,6 +2,7 @@ package faultcampaign
 
 import (
 	"bytes"
+	"context"
 	"strings"
 
 	"repro/internal/bist"
@@ -32,12 +33,12 @@ func smallParams(p *tech.Process) compiler.Params {
 // small RAM on it — corrupt decks must die in Parse or Validate with a
 // typed error, never downstream.
 func deckCase(name, deck string) Case {
-	return Case{Name: name, Kind: "deck", Run: func() error {
+	return Case{Name: name, Kind: "deck", Run: func(ctx context.Context) error {
 		p, err := tech.Parse(strings.NewReader(deck))
 		if err != nil {
 			return err
 		}
-		_, err = compiler.Compile(smallParams(p))
+		_, err = compiler.CompileCtx(ctx, smallParams(p))
 		return err
 	}}
 }
@@ -45,14 +46,14 @@ func deckCase(name, deck string) Case {
 // marchCase parses an adversarial march string and, if it parses,
 // compiles with it microprogrammed into the TRPLA.
 func marchCase(name, notation string) Case {
-	return Case{Name: name, Kind: "march", Run: func() error {
+	return Case{Name: name, Kind: "march", Run: func(ctx context.Context) error {
 		t, err := march.Parse(name, notation)
 		if err != nil {
 			return err
 		}
 		pp := smallParams(tech.CDA07)
 		pp.Test = t
-		_, err = compiler.Compile(pp)
+		_, err = compiler.CompileCtx(ctx, pp)
 		return err
 	}}
 }
@@ -60,14 +61,14 @@ func marchCase(name, notation string) Case {
 // planesCase reads adversarial TRPLA plane files and, if they parse,
 // compiles with the loaded control program.
 func planesCase(name string, stateBits int, andPlane, orPlane string) Case {
-	return Case{Name: name, Kind: "planes", Run: func() error {
+	return Case{Name: name, Kind: "planes", Run: func(ctx context.Context) error {
 		prog, err := bist.ReadPlanes(name, stateBits, strings.NewReader(andPlane), strings.NewReader(orPlane))
 		if err != nil {
 			return err
 		}
 		pp := smallParams(tech.CDA07)
 		pp.Program = prog
-		_, err = compiler.Compile(pp)
+		_, err = compiler.CompileCtx(ctx, pp)
 		return err
 	}}
 }
@@ -75,10 +76,10 @@ func planesCase(name string, stateBits int, andPlane, orPlane string) Case {
 // paramsCase compiles degenerate geometry/sizing parameters against a
 // known-good process.
 func paramsCase(name string, mut func(*compiler.Params)) Case {
-	return Case{Name: name, Kind: "params", Run: func() error {
+	return Case{Name: name, Kind: "params", Run: func(ctx context.Context) error {
 		pp := smallParams(tech.CDA07)
 		mut(&pp)
-		_, err := compiler.Compile(pp)
+		_, err := compiler.CompileCtx(ctx, pp)
 		return err
 	}}
 }
@@ -110,7 +111,7 @@ func Cases() []Case {
 	cs = append(cs,
 		deckCase("control: valid deck", goodDeck),
 		marchCase("control: valid march", "{b(w0); u(r0,w1); d(r1,w0)}"),
-		Case{Name: "control: round-trip planes", Kind: "planes", Run: func() error {
+		Case{Name: "control: round-trip planes", Kind: "planes", Run: func(ctx context.Context) error {
 			prog, err := bist.Assemble(march.IFA9())
 			if err != nil {
 				return err
@@ -125,7 +126,7 @@ func Cases() []Case {
 			}
 			pp := smallParams(tech.CDA07)
 			pp.Program = reread
-			_, err = compiler.Compile(pp)
+			_, err = compiler.CompileCtx(ctx, pp)
 			return err
 		}},
 		paramsCase("control: valid params", func(p *compiler.Params) {}),

@@ -10,10 +10,12 @@
 package faultcampaign
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/cerr"
+	"repro/internal/obs"
 )
 
 // Outcome classifies what one adversarial input did to the pipeline.
@@ -63,9 +65,10 @@ type Case struct {
 	// Kind groups cases in the report: "deck", "march", "planes",
 	// "params", "planes+compile", ...
 	Kind string
-	// Run executes the case. It must be safe to call from a fresh
-	// goroutine.
-	Run func() error
+	// Run executes the case under ctx (which may carry an obs.Trace, so
+	// pipeline stage spans land in the campaign trace). It must be safe
+	// to call from a fresh goroutine.
+	Run func(ctx context.Context) error
 }
 
 // Result is the classified outcome of one case.
@@ -83,6 +86,9 @@ type Result struct {
 // Report aggregates a campaign run.
 type Report struct {
 	Results []Result
+	// Trace collects one span per case (plus nested pipeline stage
+	// spans) when the campaign was started with RunTraced.
+	Trace *obs.Trace
 }
 
 // Clean reports whether every case ended acceptably.
@@ -115,30 +121,43 @@ const DefaultTimeout = 30 * time.Second
 // A timed-out case's goroutine is abandoned, not killed — acceptable
 // for a diagnostic harness.
 func Run(cases []Case, timeout time.Duration) *Report {
+	return RunTraced(cases, timeout, nil)
+}
+
+// RunTraced is Run with an optional span collector: each case records
+// one span (annotated with kind and outcome) and the pipeline's own
+// stage spans nest underneath, so a campaign trace shows exactly where
+// each adversarial input spent its time. A nil trace is Run.
+func RunTraced(cases []Case, timeout time.Duration, tr *obs.Trace) *Report {
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	rep := &Report{}
+	rep := &Report{Trace: tr}
 	for _, c := range cases {
-		rep.Results = append(rep.Results, runOne(c, timeout))
+		rep.Results = append(rep.Results, runOne(c, timeout, tr))
 	}
 	return rep
 }
 
-func runOne(c Case, timeout time.Duration) Result {
+func runOne(c Case, timeout time.Duration, tr *obs.Trace) Result {
 	res := Result{Name: c.Name, Kind: c.Kind}
 	done := make(chan Result, 1)
+	ctx := obs.WithTrace(context.Background(), tr)
 	start := time.Now()
 	go func() {
 		r := res
+		cctx, endSpan := obs.Start(ctx, c.Name)
 		defer func() {
 			if p := recover(); p != nil {
 				r.Outcome = Panicked
 				r.Detail = fmt.Sprintf("panic: %v", p)
 			}
+			// A timed-out case's abandoned goroutine still completes its
+			// span when (if) it returns, which is the honest record.
+			endSpan(obs.String("kind", c.Kind), obs.String("outcome", r.Outcome.String()))
 			done <- r
 		}()
-		err := c.Run()
+		err := c.Run(cctx)
 		switch {
 		case err == nil:
 			r.Outcome = OK

@@ -1,6 +1,7 @@
 package faultcampaign
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -64,7 +65,7 @@ func TestAdversarialCasesRejected(t *testing.T) {
 // TestRunnerClassifiesPanics: the harness itself must convert an
 // escaped panic into a Panicked verdict, not die.
 func TestRunnerClassifiesPanics(t *testing.T) {
-	rep := Run([]Case{{Name: "boom", Kind: "meta", Run: func() error { panic("boom") }}}, 0)
+	rep := Run([]Case{{Name: "boom", Kind: "meta", Run: func(context.Context) error { panic("boom") }}}, 0)
 	if got := rep.Results[0].Outcome; got != Panicked {
 		t.Fatalf("want Panicked, got %v", got)
 	}

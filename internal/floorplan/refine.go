@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cerr"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/tech"
 )
 
@@ -45,6 +46,12 @@ func RefineCtx(ctx context.Context, p *tech.Process, macros []Macro, nets []Net,
 		return initial, cerr.New(cerr.CodeInvalidParams,
 			"floorplan: refine budget %d exceeds cap %d", iterations, maxRefineIterations)
 	}
+	moves := 0
+	var endSpan func(...obs.Attr)
+	ctx, endSpan = obs.Start(ctx, "floorplan.refine")
+	defer func() {
+		endSpan(obs.Int("moves", moves), obs.Int("budget", iterations))
+	}()
 	byName := map[string]*Macro{}
 	for i := range macros {
 		byName[macros[i].Name] = &macros[i]
@@ -108,8 +115,10 @@ func RefineCtx(ctx context.Context, p *tech.Process, macros []Macro, nets []Net,
 
 	var budgetErr error
 	for it := 0; it < iterations; it++ {
+		moves = it + 1
 		if it%ctxCheckMoves == 0 {
 			if err := ctx.Err(); err != nil {
+				moves = it
 				budgetErr = cerr.Wrap(cerr.CodeBudgetExceeded, err,
 					"floorplan: refine cancelled after %d of %d iterations", it, iterations)
 				break

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/cerr"
+	"repro/internal/obs"
 )
 
 // Priority orders jobs; lower values run first.
@@ -105,9 +106,10 @@ type Job struct {
 	Key      string
 	Priority Priority
 
-	fn   Func
-	seq  uint64
-	done chan struct{}
+	fn    Func
+	seq   uint64
+	done  chan struct{}
+	trace *obs.Trace
 
 	state     atomic.Int32
 	attached  atomic.Int64 // dedup attach count (first submitter included)
@@ -121,6 +123,10 @@ type Job struct {
 
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Trace returns the job's trace (nil when the submitter attached
+// none). Deduped submissions share the first submitter's trace.
+func (j *Job) Trace() *obs.Trace { return j.trace }
 
 // State returns the current lifecycle state.
 func (j *Job) State() State { return State(j.state.Load()) }
@@ -174,38 +180,55 @@ type Config struct {
 	Capacity int
 	// Deadline bounds each job's run; <= 0 means no per-job deadline.
 	Deadline time.Duration
+	// Registry, when non-nil, receives the queue's telemetry: the
+	// jobs_queue_wait_seconds histogram (observed for every job,
+	// including jobs cancelled before execution during a hard drain),
+	// queue-depth/running gauges, and lifecycle counters.
+	Registry *obs.Registry
 }
 
 // Stats is a point-in-time snapshot of queue counters.
 type Stats struct {
-	Workers   int           `json:"workers"`
-	Queued    int           `json:"queued"`
-	Running   int           `json:"running"`
-	Submitted uint64        `json:"submitted"`
-	Deduped   uint64        `json:"deduped"`
-	Completed uint64        `json:"completed"`
-	Failed    uint64        `json:"failed"`
-	Rejected  uint64        `json:"rejected"`
-	Draining  bool          `json:"draining"`
-	Deadline  time.Duration `json:"-"`
+	Workers   int    `json:"workers"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	Submitted uint64 `json:"submitted"`
+	Deduped   uint64 `json:"deduped"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Rejected  uint64 `json:"rejected"`
+	// Cancelled counts jobs failed on the drain path before their
+	// function ever ran (hard drain). Their queue-wait time is still
+	// accounted in QueueWaitMsTotal and the queue-wait histogram, so
+	// abandoned jobs never appear as zero-cost.
+	Cancelled uint64 `json:"cancelled"`
+	// QueueWaitMsTotal is the cumulative submit→pickup wait across
+	// every job, including cancelled ones.
+	QueueWaitMsTotal float64       `json:"queue_wait_ms_total"`
+	Draining         bool          `json:"draining"`
+	Deadline         time.Duration `json:"-"`
 }
 
 // Queue is the worker pool. Construct with New.
 type Queue struct {
-	cfg      Config
-	baseCtx  context.Context
-	cancel   context.CancelFunc
-	mu       sync.Mutex
-	cond     *sync.Cond
-	heap     jobHeap
-	inflight map[string]*Job // queued or running, by key (dedup)
-	running  int
-	draining bool
-	seq      uint64
-	nextID   uint64
-	wg       sync.WaitGroup
+	cfg       Config
+	baseCtx   context.Context
+	cancel    context.CancelFunc
+	mu        sync.Mutex
+	cond      *sync.Cond
+	heap      jobHeap
+	inflight  map[string]*Job // queued or running, by key (dedup)
+	running   int
+	draining  bool
+	hardDrain bool // drain budget expired: fail queued jobs without running them
+	seq       uint64
+	nextID    uint64
+	wg        sync.WaitGroup
 
-	submitted, deduped, completed, failed, rejected uint64
+	queueWait *obs.Histogram // nil when no registry is configured
+	waitNanos atomic.Int64   // cumulative queue wait, all jobs incl. cancelled
+
+	submitted, deduped, completed, failed, rejected, cancelledJobs uint64
 }
 
 // New starts a queue with cfg.Workers workers.
@@ -221,6 +244,27 @@ func New(cfg Config) *Queue {
 		inflight: map[string]*Job{},
 	}
 	q.cond = sync.NewCond(&q.mu)
+	// All Registry methods are nil-receiver safe, so the instruments
+	// degrade to no-ops when telemetry is disabled.
+	r := cfg.Registry
+	q.queueWait = r.Histogram("jobs_queue_wait_seconds",
+		"Time jobs spend queued before a worker picks them up (or before drain cancellation).", nil)
+	r.GaugeFunc("jobs_queue_depth", "Jobs queued and not yet running.",
+		func() float64 { return float64(q.Stats().Queued) })
+	r.GaugeFunc("jobs_running", "Jobs currently executing on workers.",
+		func() float64 { return float64(q.Stats().Running) })
+	r.CounterFunc("jobs_submitted_total", "Jobs accepted into the queue.",
+		func() float64 { return float64(q.Stats().Submitted) })
+	r.CounterFunc("jobs_deduped_total", "Submissions that attached to an identical in-flight job.",
+		func() float64 { return float64(q.Stats().Deduped) })
+	r.CounterFunc("jobs_completed_total", "Jobs that finished successfully.",
+		func() float64 { return float64(q.Stats().Completed) })
+	r.CounterFunc("jobs_failed_total", "Jobs that finished with an error (cancelled jobs included).",
+		func() float64 { return float64(q.Stats().Failed) })
+	r.CounterFunc("jobs_rejected_total", "Submissions rejected by a full or draining queue.",
+		func() float64 { return float64(q.Stats().Rejected) })
+	r.CounterFunc("jobs_cancelled_total", "Jobs failed on the drain path before execution.",
+		func() float64 { return float64(q.Stats().Cancelled) })
 	for i := 0; i < cfg.Workers; i++ {
 		q.wg.Add(1)
 		go q.worker()
@@ -231,8 +275,18 @@ func New(cfg Config) *Queue {
 // Submit enqueues fn under key. If a job with the same key is already
 // queued or running, the submission attaches to it (deduped=true) and
 // fn is discarded. A draining queue or a full queue rejects with
-// ERR_BUDGET_EXCEEDED.
+// ERR_BUDGET_EXCEEDED. Submit is SubmitTraced without a trace.
 func (q *Queue) Submit(key string, pri Priority, fn Func) (job *Job, deduped bool, err error) {
+	return q.SubmitTraced(key, pri, nil, fn)
+}
+
+// SubmitTraced is Submit with a request-scoped trace attached to the
+// job: the queue records a "queue.wait" span covering submission →
+// worker pickup (or drain cancellation), and fn runs under a context
+// carrying the trace so the pipeline's stage spans land in it. A
+// deduped submission attaches to the existing job and its trace; tr
+// is discarded in that case (the job keeps the first submitter's).
+func (q *Queue) SubmitTraced(key string, pri Priority, tr *obs.Trace, fn Func) (job *Job, deduped bool, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.draining {
@@ -258,6 +312,7 @@ func (q *Queue) Submit(key string, pri Priority, fn Func) (job *Job, deduped boo
 		fn:       fn,
 		seq:      q.seq,
 		done:     make(chan struct{}),
+		trace:    tr,
 	}
 	j.attached.Store(1)
 	j.mu.Lock()
@@ -284,9 +339,18 @@ func (q *Queue) worker() {
 		}
 		j := heap.Pop(&q.heap).(*Job)
 		q.running++
+		fastFail := q.hardDrain
 		q.mu.Unlock()
 
-		q.run(j)
+		if fastFail {
+			// The drain budget expired: the base context is dead, so
+			// running fn would only burn time unwinding. Fail the job
+			// immediately — but still account its queue wait, so
+			// abandoned jobs never appear as zero-cost in the counters.
+			q.failFast(j)
+		} else {
+			q.run(j)
+		}
 
 		q.mu.Lock()
 		q.running--
@@ -296,6 +360,9 @@ func (q *Queue) worker() {
 		} else {
 			q.failed++
 		}
+		if fastFail {
+			q.cancelledJobs++
+		}
 		// Wake the drain waiter (and idle workers) when the pool
 		// empties.
 		q.cond.Broadcast()
@@ -303,13 +370,51 @@ func (q *Queue) worker() {
 	}
 }
 
+// observeQueueWait accounts the submit→pickup interval for j into the
+// histogram, the cumulative counter and (when the job carries a
+// trace) a "queue.wait" span. It runs for every job that leaves the
+// queue: executed AND drain-cancelled.
+func (q *Queue) observeQueueWait(j *Job, submitted, pickup time.Time, cancelled bool) {
+	wait := pickup.Sub(submitted)
+	if wait < 0 {
+		wait = 0
+	}
+	q.waitNanos.Add(int64(wait))
+	q.queueWait.ObserveDuration(wait)
+	attrs := []obs.Attr{obs.String("priority", j.Priority.String())}
+	if cancelled {
+		attrs = append(attrs, obs.Bool("cancelled", true))
+	}
+	j.trace.Record("queue.wait", submitted, pickup, attrs...)
+}
+
+// failFast terminates a queued job on the hard-drain path without
+// invoking its function: typed budget error, queue wait recorded,
+// started left zero (it never ran).
+func (q *Queue) failFast(j *Job) {
+	now := time.Now()
+	j.mu.Lock()
+	submitted := j.submitted
+	j.finished = now
+	j.value = nil
+	j.err = cerr.New(cerr.CodeBudgetExceeded,
+		"jobs: %s cancelled before execution (drain budget expired)", j.ID)
+	j.mu.Unlock()
+	q.observeQueueWait(j, submitted, now, true)
+	j.state.Store(int32(StateFailed))
+	close(j.done)
+}
+
 // run executes one job under the per-job deadline, converting panics
 // and deadline expiry into typed errors.
 func (q *Queue) run(j *Job) {
 	j.state.Store(int32(StateRunning))
+	now := time.Now()
 	j.mu.Lock()
-	j.started = time.Now()
+	j.started = now
+	submitted := j.submitted
 	j.mu.Unlock()
+	q.observeQueueWait(j, submitted, now, false)
 
 	ctx := q.baseCtx
 	var cancel context.CancelFunc
@@ -319,6 +424,9 @@ func (q *Queue) run(j *Job) {
 		ctx, cancel = context.WithCancel(ctx)
 	}
 	defer cancel()
+	if j.trace != nil {
+		ctx = obs.WithTrace(ctx, j.trace)
+	}
 
 	var value any
 	err := func() (err error) {
@@ -377,8 +485,14 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		err = ctx.Err()
-		// Hard-cancel in-flight work; the drain waiter goroutine exits
-		// once the workers observe cancellation and finish.
+		// Hard-cancel in-flight work; still-queued jobs are failed
+		// fast (with their queue wait recorded) rather than run
+		// against the dead base context. The drain waiter goroutine
+		// exits once the workers observe cancellation and finish.
+		q.mu.Lock()
+		q.hardDrain = true
+		q.cond.Broadcast()
+		q.mu.Unlock()
 		q.cancel()
 		<-done
 	}
@@ -395,7 +509,9 @@ func (q *Queue) Stats() Stats {
 		Workers: q.cfg.Workers, Queued: q.heap.Len(), Running: q.running,
 		Submitted: q.submitted, Deduped: q.deduped,
 		Completed: q.completed, Failed: q.failed, Rejected: q.rejected,
-		Draining: q.draining, Deadline: q.cfg.Deadline,
+		Cancelled:        q.cancelledJobs,
+		QueueWaitMsTotal: float64(q.waitNanos.Load()) / 1e6,
+		Draining:         q.draining, Deadline: q.cfg.Deadline,
 	}
 }
 

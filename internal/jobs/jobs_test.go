@@ -9,7 +9,10 @@ import (
 	"testing"
 	"time"
 
+	"strings"
+
 	"repro/internal/cerr"
+	"repro/internal/obs"
 )
 
 func TestRunsAndReturnsValue(t *testing.T) {
@@ -334,5 +337,126 @@ func TestConcurrentSubmitStress(t *testing.T) {
 	}
 	if s.Completed != s.Submitted {
 		t.Fatalf("completed %d != submitted %d", s.Completed, s.Submitted)
+	}
+}
+
+// TestTracePropagation: a traced submission records the queue.wait
+// span and hands fn a context carrying the trace, so pipeline spans
+// land in the same collection.
+func TestTracePropagation(t *testing.T) {
+	q := New(Config{Workers: 1})
+	defer q.Shutdown(context.Background())
+	tr := obs.NewTrace("job-trace")
+	j, deduped, err := q.SubmitTraced("k", Interactive, tr, func(ctx context.Context) (any, error) {
+		if obs.FromContext(ctx) != tr {
+			t.Error("fn context does not carry the submitted trace")
+		}
+		_, end := obs.Start(ctx, "work")
+		end()
+		return nil, nil
+	})
+	if err != nil || deduped {
+		t.Fatal(err, deduped)
+	}
+	if j.Trace() != tr {
+		t.Fatal("job lost its trace")
+	}
+	if _, err := j.Result(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, s := range tr.Spans() {
+		names[s.Name] = true
+	}
+	if !names["queue.wait"] || !names["work"] {
+		t.Fatalf("trace missing spans: %v", names)
+	}
+}
+
+// TestCancelledJobAccountsQueueWait is the drain-path accounting
+// contract: a job failed fast during a hard drain (never executed)
+// still contributes its queue wait to the histogram, the cumulative
+// counter and its trace — abandoned jobs are never zero-cost.
+func TestCancelledJobAccountsQueueWait(t *testing.T) {
+	reg := obs.NewRegistry()
+	q := New(Config{Workers: 1, Registry: reg})
+	block := make(chan struct{})
+	// Occupy the single worker so the second job stays queued.
+	blocker, _, err := q.Submit("blocker", Interactive, func(ctx context.Context) (any, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace("victim")
+	victim, _, err := q.SubmitTraced("victim", Interactive, tr, func(ctx context.Context) (any, error) {
+		t.Error("cancelled job's fn must not run")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the victim accrue queue wait
+
+	// Expire the drain budget immediately: the blocker is hard-cancelled
+	// and the victim is failed fast off the queue.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := q.Shutdown(ctx); err == nil {
+		t.Fatal("shutdown should report the forced cancellation")
+	}
+	close(block)
+
+	if _, verr, ok := victim.Peek(); !ok || cerr.CodeOf(verr) != cerr.CodeBudgetExceeded {
+		t.Fatalf("victim outcome: ok=%v err=%v", ok, verr)
+	}
+	_ = blocker
+	s := q.Stats()
+	if s.Cancelled < 1 {
+		t.Fatalf("cancelled = %d, want >= 1", s.Cancelled)
+	}
+	if s.QueueWaitMsTotal < 20 {
+		t.Fatalf("queue wait total %.3f ms: cancelled job's wait not accounted", s.QueueWaitMsTotal)
+	}
+	submitted, started, finished := victim.Times()
+	if !started.IsZero() {
+		t.Fatal("cancelled job must never have started")
+	}
+	if finished.Before(submitted) || finished.IsZero() {
+		t.Fatalf("cancelled job times: submitted=%v finished=%v", submitted, finished)
+	}
+	// The trace carries the cancelled queue.wait span.
+	var waitSpan bool
+	for _, sp := range tr.Spans() {
+		if sp.Name == "queue.wait" {
+			waitSpan = true
+			var cancelledAttr bool
+			for _, a := range sp.Attrs {
+				if a.Key == "cancelled" && a.Value == "true" {
+					cancelledAttr = true
+				}
+			}
+			if !cancelledAttr {
+				t.Fatalf("queue.wait span missing cancelled attr: %v", sp.Attrs)
+			}
+			if sp.Dur < 20*time.Millisecond {
+				t.Fatalf("queue.wait span too short: %v", sp.Dur)
+			}
+		}
+	}
+	if !waitSpan {
+		t.Fatal("cancelled job recorded no queue.wait span")
+	}
+	// And the registry histogram saw both jobs' waits.
+	var expo strings.Builder
+	if err := reg.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expo.String(), "jobs_queue_wait_seconds_count 2") {
+		t.Fatalf("queue wait histogram count wrong:\n%s", expo.String())
 	}
 }

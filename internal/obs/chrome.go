@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// ("Trace Event Format", ph="X" complete events): timestamps and
+// durations are microseconds, pid/tid pick the row. chrome://tracing
+// and Perfetto load the document directly.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeJSON renders the trace as a Chrome trace-event JSON document.
+// Span timestamps are relative to the trace epoch; every span lands
+// on pid 1 / tid 1, which is correct for the strictly nested span
+// trees the pipeline produces (the viewer stacks nested slices).
+func (t *Trace) ChromeJSON() ([]byte, error) {
+	if t == nil {
+		return json.Marshal(chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"})
+	}
+	spans := t.Spans()
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(spans)+1)}
+	// Metadata event: names the process row after the trace ID.
+	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
+		Args: map[string]string{"name": "trace " + t.ID},
+	})
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  "compile",
+			Ph:   "X",
+			Ts:   usSince(t.start, s.Start),
+			Dur:  float64(s.Dur.Microseconds()),
+			Pid:  1,
+			Tid:  1,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	return json.MarshalIndent(doc, "", " ")
+}
+
+// usSince returns the microseconds from epoch to ts, clamped at 0 so
+// synthesized spans recorded slightly before the trace epoch (e.g. a
+// queue wait that began before NewTrace returned) stay renderable.
+func usSince(epoch, ts time.Time) float64 {
+	us := float64(ts.Sub(epoch).Microseconds())
+	if us < 0 {
+		return 0
+	}
+	return us
+}

@@ -1,0 +1,491 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBuckets are the fixed latency buckets (seconds) used by the
+// pipeline's duration histograms: 100 µs to 60 s, roughly log-spaced.
+// Fixed buckets keep Observe lock-free (one binary search + two
+// atomic adds) and make the Prometheus exposition byte-deterministic.
+var DefaultBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// Counter is a monotonically increasing uint64. The nil Counter is a
+// no-op, so callers can hold instruments from a nil Registry.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64. The nil Gauge is a no-op.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments by delta (CAS loop; gauges are low-frequency).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket latency histogram: per-bucket atomic
+// counters (non-cumulative internally, cumulative at exposition),
+// an atomic observation count and an atomic float64-bits sum. Observe
+// never takes a lock. The nil Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64 // upper bounds, strictly increasing; +Inf implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a standalone histogram (outside a registry) —
+// mostly for tests; production code obtains histograms from a
+// Registry. Nil or empty buckets select DefaultBuckets.
+func NewHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefaultBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value. Bucket upper bounds are inclusive
+// (Prometheus `le` semantics): a value equal to a bound lands in that
+// bound's bucket.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bound >= v: with inclusive-le semantics that is v's bucket;
+	// values above every bound land in the +Inf overflow slot.
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a consistent-enough point-in-time view
+// (buckets are read individually; under concurrent writes the view
+// may straddle an Observe, which is the standard Prometheus trade).
+type HistogramSnapshot struct {
+	Bounds     []float64 // upper bounds (excluding +Inf)
+	Cumulative []uint64  // cumulative counts per bound, then +Inf last
+	Count      uint64
+	Sum        float64
+}
+
+// Snapshot captures the histogram state with cumulative bucket
+// counts, +Inf last.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.buckets)),
+		Count:      h.count.Load(),
+		Sum:        math.Float64frombits(h.sumBits.Load()),
+	}
+	var run uint64
+	for i := range h.buckets {
+		run += h.buckets[i].Load()
+		s.Cumulative[i] = run
+	}
+	return s
+}
+
+// HistogramVec is a histogram family split by one label (e.g.
+// compile_stage_duration_seconds by stage). Children are created on
+// first use; the read path is a shared-lock map hit.
+type HistogramVec struct {
+	buckets []float64
+	mu      sync.RWMutex
+	m       map[string]*Histogram
+}
+
+// With returns the child histogram for the label value.
+func (v *HistogramVec) With(label string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h, ok := v.m[label]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.m[label]; ok {
+		return h
+	}
+	h = NewHistogram(v.buckets)
+	v.m[label] = h
+	return h
+}
+
+// labels returns the known label values, sorted.
+func (v *HistogramVec) labels() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, 0, len(v.m))
+	for k := range v.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// registry -----------------------------------------------------------
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered instrument (or callback).
+type metric struct {
+	name, help  string
+	kind        metricKind
+	constLabels string // pre-rendered `{k="v",...}` or ""
+	labelKey    string // vec label name
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+	vec     *HistogramVec
+}
+
+// Registry holds named instruments and renders them as Prometheus
+// text exposition or a JSON-able snapshot. Registration is idempotent
+// by (name, constLabels): re-registering returns the existing
+// instrument, so packages can lazily grab their metrics without
+// coordinating construction order. All methods are nil-receiver safe
+// — a nil *Registry hands out nil (no-op) instruments, which is how
+// telemetry is disabled wholesale.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]*metric
+	order []*metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: map[string]*metric{}}
+}
+
+// register inserts or returns the existing metric under name+labels.
+func (r *Registry) register(m *metric) *metric {
+	key := m.name + m.constLabels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byKey[key]; ok {
+		return prev
+	}
+	r.byKey[key] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter registers (or fetches) a monotonic counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.register(&metric{name: name, help: help, kind: kindCounter, counter: &Counter{}})
+	return m.counter
+}
+
+// Gauge registers (or fetches) a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.register(&metric{name: name, help: help, kind: kindGauge, gauge: &Gauge{}})
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at exposition
+// time — queue depth, cache bytes, goroutine count.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{name: name, help: help, kind: kindGauge, fn: fn})
+}
+
+// CounterFunc registers a counter whose value lives elsewhere (e.g. a
+// stats struct maintained by another package) and is read at
+// exposition time.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{name: name, help: help, kind: kindCounter, fn: fn})
+}
+
+// Info registers a constant-1 gauge carrying its payload in labels —
+// the Prometheus build-info idiom.
+func (r *Registry) Info(name, help string, labels map[string]string) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{
+		name: name, help: help, kind: kindGauge,
+		constLabels: renderLabels(labels),
+		fn:          func() float64 { return 1 },
+	})
+}
+
+// Histogram registers (or fetches) a fixed-bucket histogram. Nil
+// buckets select DefaultBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.register(&metric{name: name, help: help, kind: kindHistogram, hist: NewHistogram(buckets)})
+	return m.hist
+}
+
+// HistogramVec registers (or fetches) a one-label histogram family.
+func (r *Registry) HistogramVec(name, help, labelKey string, buckets []float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = DefaultBuckets
+	}
+	m := r.register(&metric{
+		name: name, help: help, kind: kindHistogram, labelKey: labelKey,
+		vec: &HistogramVec{buckets: buckets, m: map[string]*Histogram{}},
+	})
+	return m.vec
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4), metrics sorted by name for deterministic
+// output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := make([]*metric, len(r.order))
+	copy(ms, r.order)
+	r.mu.Unlock()
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].name != ms[j].name {
+			return ms[i].name < ms[j].name
+		}
+		return ms[i].constLabels < ms[j].constLabels
+	})
+	var b strings.Builder
+	lastHeader := ""
+	for _, m := range ms {
+		if m.name != lastHeader {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, sanitizeHelp(m.help))
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+			lastHeader = m.name
+		}
+		switch {
+		case m.vec != nil:
+			for _, label := range m.vec.labels() {
+				writeHistogram(&b, m.name, m.labelKey, label, m.vec.With(label).Snapshot())
+			}
+		case m.hist != nil:
+			writeHistogram(&b, m.name, "", "", m.hist.Snapshot())
+		case m.fn != nil:
+			fmt.Fprintf(&b, "%s%s %s\n", m.name, m.constLabels, formatFloat(m.fn()))
+		case m.counter != nil:
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, m.constLabels, m.counter.Value())
+		case m.gauge != nil:
+			fmt.Fprintf(&b, "%s%s %s\n", m.name, m.constLabels, formatFloat(m.gauge.Value()))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram child in exposition format.
+func writeHistogram(b *strings.Builder, name, labelKey, labelVal string, s HistogramSnapshot) {
+	pair := ""
+	sep := ""
+	if labelKey != "" {
+		pair = labelKey + `="` + escapeLabel(labelVal) + `"`
+		sep = ","
+	}
+	for i, bound := range s.Bounds {
+		fmt.Fprintf(b, "%s_bucket{%s%sle=\"%s\"} %d\n", name, pair, sep, formatFloat(bound), s.Cumulative[i])
+	}
+	inf := uint64(0)
+	if n := len(s.Cumulative); n > 0 {
+		inf = s.Cumulative[n-1]
+	}
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, pair, sep, inf)
+	suffix := ""
+	if pair != "" {
+		suffix = "{" + pair + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, formatFloat(s.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, s.Count)
+}
+
+// Snapshot renders every instrument as a JSON-able map — the expvar
+// half of the dual exposition. Histograms become
+// {count, sum, buckets:{"le" -> cumulative}}; vecs nest by label.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	ms := make([]*metric, len(r.order))
+	copy(ms, r.order)
+	r.mu.Unlock()
+	for _, m := range ms {
+		name := m.name + m.constLabels
+		switch {
+		case m.vec != nil:
+			family := map[string]any{}
+			for _, label := range m.vec.labels() {
+				family[label] = histJSON(m.vec.With(label).Snapshot())
+			}
+			out[name] = family
+		case m.hist != nil:
+			out[name] = histJSON(m.hist.Snapshot())
+		case m.fn != nil:
+			out[name] = m.fn()
+		case m.counter != nil:
+			out[name] = m.counter.Value()
+		case m.gauge != nil:
+			out[name] = m.gauge.Value()
+		}
+	}
+	return out
+}
+
+func histJSON(s HistogramSnapshot) map[string]any {
+	buckets := map[string]uint64{}
+	for i, bound := range s.Bounds {
+		buckets[formatFloat(bound)] = s.Cumulative[i]
+	}
+	if n := len(s.Cumulative); n > 0 {
+		buckets["+Inf"] = s.Cumulative[n-1]
+	}
+	return map[string]any{"count": s.Count, "sum": s.Sum, "buckets": buckets}
+}
+
+// formatFloat renders v in the shortest round-trip form.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// renderLabels renders a sorted, escaped `{k="v",...}` block.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the exposition-format label escapes.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// sanitizeHelp keeps HELP lines single-line.
+func sanitizeHelp(h string) string { return strings.ReplaceAll(h, "\n", " ") }

@@ -1,0 +1,244 @@
+// Package obs is the pipeline's dependency-free telemetry kernel:
+// request-scoped traces (spans carried via context, exportable as
+// Chrome trace-event JSON), lock-cheap fixed-bucket latency
+// histograms, gauges and counters with dual expvar-JSON/Prometheus
+// exposition. It is stdlib-only and imports nothing else from this
+// repository, so every layer — the compiler stages, the bounded
+// kernels (floorplan refine, spice transient, bisr repair), the job
+// queue, the HTTP server and the CLIs — can instrument itself without
+// dependency cycles.
+//
+// The tracing contract is deliberately cheap when disabled: Start
+// returns immediately with a no-op end function when the context
+// carries no *Trace, so instrumented hot paths cost one context
+// lookup. With a trace attached, each span costs two time reads, one
+// atomic increment and one short critical section at end.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+)
+
+// Attr is one key/value annotation on a span (iteration counts,
+// degradation notes, cache states, ...).
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string-valued attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer-valued attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: fmt.Sprintf("%d", v)} }
+
+// Bool builds a boolean-valued attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: fmt.Sprintf("%t", v)} }
+
+// Span is one completed timed operation inside a trace. Parent is the
+// span ID of the enclosing operation (0 = root).
+type Span struct {
+	ID     uint64
+	Parent uint64
+	Name   string
+	Start  time.Time
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// Trace is a request-scoped span collection, safe for concurrent
+// recording. It accumulates completed spans only — in-flight spans
+// live on the stack of the code holding the end function — so a
+// snapshot is always consistent.
+type Trace struct {
+	// ID is the trace identity (the service uses the job ID, the CLIs
+	// mint a random one).
+	ID string
+
+	start  time.Time
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace builds a trace; an empty id mints a random one.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewID()
+	}
+	return &Trace{ID: id, start: time.Now()}
+}
+
+// NewID mints a 64-bit random hex trace ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Degraded but unique-enough fallback: the clock.
+		return fmt.Sprintf("t%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Epoch returns the trace's zero time (construction instant); Chrome
+// export timestamps are relative to it.
+func (t *Trace) Epoch() time.Time { return t.start }
+
+// add appends a completed span.
+func (t *Trace) add(s Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Record appends a synthesized span covering [start, end] — used for
+// intervals measured outside the Start/end discipline, like the queue
+// wait between job submission and worker pickup.
+func (t *Trace) Record(name string, start, end time.Time, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	if end.Before(start) {
+		end = start
+	}
+	t.add(Span{
+		ID:    t.nextID.Add(1),
+		Name:  name,
+		Start: start,
+		Dur:   end.Sub(start),
+		Attrs: attrs,
+	})
+}
+
+// Spans returns a copy of the completed spans sorted by start time
+// (ties broken by span ID, so the order is deterministic).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the completed span count.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// context plumbing ---------------------------------------------------
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	spanKey
+)
+
+// WithTrace returns a context carrying tr; spans started under it are
+// recorded there.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, tr)
+}
+
+// FromContext returns the context's trace, or nil when untraced.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey).(*Trace)
+	return tr
+}
+
+// Start opens a span named name under ctx's trace and returns a
+// derived context (carrying the new span as parent for nested Starts)
+// plus the end function that completes the span. On an untraced
+// context both returns are no-ops, so instrumentation sites never
+// need to branch. The end function is idempotent: only the first call
+// records.
+func Start(ctx context.Context, name string) (context.Context, func(attrs ...Attr)) {
+	tr := FromContext(ctx)
+	if tr == nil {
+		return ctx, noopEnd
+	}
+	parent, _ := ctx.Value(spanKey).(uint64)
+	id := tr.nextID.Add(1)
+	start := time.Now()
+	ctx = context.WithValue(ctx, spanKey, id)
+	var done atomic.Bool
+	return ctx, func(attrs ...Attr) {
+		if !done.CompareAndSwap(false, true) {
+			return
+		}
+		tr.add(Span{
+			ID: id, Parent: parent, Name: name,
+			Start: start, Dur: time.Since(start), Attrs: attrs,
+		})
+	}
+}
+
+func noopEnd(...Attr) {}
+
+// Tree renders the span hierarchy as indented text with durations —
+// the slow-compile forensics format. Roots (and spans whose parent
+// was never completed) are ordered by start time.
+func (t *Trace) Tree() string {
+	if t == nil {
+		return ""
+	}
+	spans := t.Spans()
+	byParent := map[uint64][]Span{}
+	ids := map[uint64]bool{}
+	for _, s := range spans {
+		ids[s.ID] = true
+	}
+	var total time.Duration
+	for _, s := range spans {
+		parent := s.Parent
+		if parent != 0 && !ids[parent] {
+			parent = 0 // orphan: promote to root
+		}
+		byParent[parent] = append(byParent[parent], s)
+		if s.Parent == 0 || !ids[s.Parent] {
+			total += s.Dur
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s: %d spans, %s root time\n", t.ID, len(spans), total.Round(time.Microsecond))
+	var walk func(parent uint64, depth int)
+	walk = func(parent uint64, depth int) {
+		for _, s := range byParent[parent] {
+			fmt.Fprintf(&b, "%s%-*s %12s", strings.Repeat("  ", depth+1), 28-2*depth, s.Name,
+				s.Dur.Round(time.Microsecond))
+			for _, a := range s.Attrs {
+				fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+			}
+			b.WriteByte('\n')
+			walk(s.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	return b.String()
+}

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+)
+
+// TestDebugTraceEndpoint: a compiled job's trace is retrievable as
+// Chrome trace-event JSON (default) and as an indented tree, and an
+// unknown id is a 404.
+func TestDebugTraceEndpoint(t *testing.T) {
+	ts, _, _, _ := testServer(t, jobs.Config{}, 1<<20)
+	code, m := postCompile(t, ts, smallReq, "")
+	if code != 200 {
+		t.Fatalf("compile %d: %v", code, m)
+	}
+	jobID, _ := m["job_id"].(string)
+	if jobID == "" {
+		t.Fatalf("no job_id in response: %v", m)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/trace/" + jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v\n%s", err, raw)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"queue.wait", "compile", "compile.params", "compile.floorplan", "compile.analysis"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+
+	// Tree format.
+	resp2, err := http.Get(ts.URL + "/debug/trace/" + jobID + "?format=tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 || !bytes.Contains(tree, []byte("compile")) {
+		t.Fatalf("tree %d: %s", resp2.StatusCode, tree)
+	}
+
+	// Unknown id.
+	resp3, err := http.Get(ts.URL + "/debug/trace/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != 404 {
+		t.Fatalf("unknown trace id: %d", resp3.StatusCode)
+	}
+}
+
+// TestMetricsPrometheusExposition: after one compile the text
+// exposition carries nonzero stage histograms plus the runtime gauges
+// (uptime, goroutines, build info) of satellite 2.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	ts, _, _, _ := testServer(t, jobs.Config{}, 1<<20)
+	if code, _ := postCompile(t, ts, smallReq, ""); code != 200 {
+		t.Fatal("compile failed")
+	}
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE compile_stage_duration_seconds histogram",
+		`compile_stage_duration_seconds_bucket{stage="compile"`,
+		"# TYPE compile_duration_seconds histogram",
+		"# TYPE http_requests_total counter",
+		"# TYPE uptime_seconds gauge",
+		"# TYPE go_goroutines gauge",
+		"build_info{",
+		"go_version=",
+		"compile_cache_misses_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The compile stage histogram must have counted at least one
+	// observation (nonzero +Inf bucket).
+	re := regexp.MustCompile(`compile_stage_duration_seconds_bucket\{stage="compile",le="\+Inf"\} (\d+)`)
+	match := re.FindStringSubmatch(body)
+	if match == nil {
+		t.Fatalf("no +Inf bucket for stage=compile:\n%s", body)
+	}
+	if n, _ := strconv.Atoi(match[1]); n < 1 {
+		t.Fatalf("stage=compile bucket count %d, want >= 1", n)
+	}
+}
+
+// TestMetricsJSONCarriesObs: the default JSON document folds in the
+// obs registry snapshot next to the legacy expvar map.
+func TestMetricsJSONCarriesObs(t *testing.T) {
+	ts, _, _, _ := testServer(t, jobs.Config{}, 1<<20)
+	postCompile(t, ts, smallReq, "")
+	code, m := getJSON(t, ts.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics %d", code)
+	}
+	obsDoc, ok := m["obs"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing obs snapshot: %v", m)
+	}
+	for _, k := range []string{"http_requests_total", "compile_duration_seconds", "uptime_seconds"} {
+		if _, ok := obsDoc[k]; !ok {
+			t.Errorf("obs snapshot missing %q", k)
+		}
+	}
+}
+
+// TestPprofGated: /debug/pprof/ is a 404 unless EnablePprof is set.
+func TestPprofGated(t *testing.T) {
+	ts, _, _, _ := testServer(t, jobs.Config{}, 1<<20)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("pprof without flag: %d, want 404", resp.StatusCode)
+	}
+
+	q := jobs.New(jobs.Config{Workers: 1, Deadline: time.Minute})
+	defer q.Shutdown(nil2())
+	s := New(Config{Queue: q, Cache: cache.New(1 << 20), EnablePprof: true})
+	ts2 := newHTTPServer(t, s)
+	resp2, err := http.Get(ts2 + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("pprof with flag: %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestSlowCompileLog: a compile slower than the threshold dumps its
+// span tree to the slow log and bumps the counter.
+func TestSlowCompileLog(t *testing.T) {
+	q := jobs.New(jobs.Config{Workers: 1, Deadline: time.Minute})
+	defer q.Shutdown(nil2())
+	var slow bytes.Buffer
+	reg := obs.NewRegistry()
+	s := New(Config{
+		Queue: q, Cache: cache.New(1 << 20), Metrics: reg,
+		SlowCompile:   time.Nanosecond, // everything is slow
+		SlowLogWriter: &syncWriter{buf: &slow},
+	})
+	ts := newHTTPServer(t, s)
+	resp, err := http.Post(ts+"/v1/compile", "application/json", strings.NewReader(smallReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("compile %d", resp.StatusCode)
+	}
+	out := slow.String()
+	if !strings.Contains(out, "SLOW COMPILE") || !strings.Contains(out, "compile.floorplan") {
+		t.Fatalf("slow log missing span tree:\n%s", out)
+	}
+	var expo strings.Builder
+	reg.WritePrometheus(&expo)
+	if !strings.Contains(expo.String(), "compile_slow_total 1") {
+		t.Fatalf("slow counter not bumped:\n%s", expo.String())
+	}
+}
+
+// TestTraceBudgetEviction: the trace store is FIFO-bounded.
+func TestTraceBudgetEviction(t *testing.T) {
+	q := jobs.New(jobs.Config{Workers: 1, Deadline: time.Minute})
+	defer q.Shutdown(nil2())
+	s := New(Config{Queue: q, Cache: cache.New(0), TraceBudget: 2})
+	ids := []string{}
+	for i := 0; i < 3; i++ {
+		j, _, err := q.SubmitTraced("k"+strconv.Itoa(i), jobs.Interactive, obs.NewTrace(""),
+			func(ctx context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+		s.trackJob(j, j.Key)
+	}
+	s.jobMu.Lock()
+	n := len(s.traceByID)
+	_, oldest := s.traceByID[ids[0]]
+	_, newest := s.traceByID[ids[2]]
+	s.jobMu.Unlock()
+	if n != 2 {
+		t.Fatalf("trace store holds %d, want 2", n)
+	}
+	if oldest {
+		t.Fatal("oldest trace not evicted")
+	}
+	if !newest {
+		t.Fatal("newest trace missing")
+	}
+}
+
+// nil2 returns a background context for queue shutdown in tests.
+func nil2() context.Context { return context.Background() }
+
+// newHTTPServer wires a Server onto a test listener with cleanup.
+func newHTTPServer(t *testing.T, s *Server) string {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}

@@ -16,7 +16,9 @@
 //	GET  /v1/processes                  built-in process decks
 //	GET  /v1/tests                      built-in march algorithms
 //	GET  /healthz                       liveness
-//	GET  /metrics                       counters (expvar-backed JSON)
+//	GET  /metrics                       counters (expvar JSON; ?format=prometheus for text exposition)
+//	GET  /debug/trace/{id}              per-job Chrome trace-event JSON (?format=tree for text)
+//	GET  /debug/pprof/*                 runtime profiles (only with Config.EnablePprof)
 package server
 
 import (
@@ -27,6 +29,9 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -38,6 +43,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/gds"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/tech"
 )
@@ -45,6 +51,10 @@ import (
 // MaxRequestBody bounds a compile request body (inline decks and
 // plane files included).
 const MaxRequestBody = 8 << 20
+
+// DefaultTraceBudget bounds how many completed job traces the server
+// retains for GET /debug/trace/{id} (FIFO eviction).
+const DefaultTraceBudget = 512
 
 // Config wires a server.
 type Config struct {
@@ -57,6 +67,22 @@ type Config struct {
 	// before falling back to a 202 + job handle; <= 0 means wait for
 	// the job's own deadline.
 	SyncWait time.Duration
+	// Metrics is the telemetry registry exposed on /metrics. Share it
+	// with jobs.Config.Registry so the queue's histograms appear in
+	// the same exposition. Nil constructs a private registry.
+	Metrics *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// SlowCompile is the forensics threshold: any compile whose
+	// execution exceeds it has its span tree dumped to SlowLogWriter.
+	// <= 0 disables the slow-compile log.
+	SlowCompile time.Duration
+	// SlowLogWriter receives slow-compile span trees; nil falls back
+	// to LogWriter.
+	SlowLogWriter io.Writer
+	// TraceBudget bounds retained per-job traces; <= 0 means
+	// DefaultTraceBudget.
+	TraceBudget int
 }
 
 // Server is the HTTP layer. Construct with New; serve s.Handler().
@@ -66,31 +92,56 @@ type Server struct {
 	start time.Time
 	logMu sync.Mutex
 
-	jobMu    sync.Mutex
-	jobsByID map[string]*jobs.Job
-	keyByID  map[string]string
+	jobMu      sync.Mutex
+	jobsByID   map[string]*jobs.Job
+	keyByID    map[string]string
+	traceByID  map[string]*obs.Trace
+	traceOrder []string // FIFO eviction order for traceByID
 
 	// expvar-backed counters (unpublished maps so multiple servers can
 	// coexist in one process, e.g. under test).
 	metrics  *expvar.Map
 	byStatus *expvar.Map
 	byCode   *expvar.Map
+
+	// obs registry instruments (dual exposition on /metrics).
+	obsReg       *obs.Registry
+	httpRequests *obs.Counter
+	httpDur      *obs.Histogram
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	dedupes      *obs.Counter
+	compileDur   *obs.Histogram
+	stageDur     *obs.HistogramVec
+	slowCompiles *obs.Counter
 }
 
 // New builds the server and its routing table.
 func New(cfg Config) *Server {
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.SlowLogWriter == nil {
+		cfg.SlowLogWriter = cfg.LogWriter
+	}
+	if cfg.TraceBudget <= 0 {
+		cfg.TraceBudget = DefaultTraceBudget
+	}
 	s := &Server{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
-		jobsByID: map[string]*jobs.Job{},
-		keyByID:  map[string]string{},
-		metrics:  new(expvar.Map).Init(),
-		byStatus: new(expvar.Map).Init(),
-		byCode:   new(expvar.Map).Init(),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		jobsByID:  map[string]*jobs.Job{},
+		keyByID:   map[string]string{},
+		traceByID: map[string]*obs.Trace{},
+		metrics:   new(expvar.Map).Init(),
+		byStatus:  new(expvar.Map).Init(),
+		byCode:    new(expvar.Map).Init(),
+		obsReg:    cfg.Metrics,
 	}
 	s.metrics.Set("responses_by_status", s.byStatus)
 	s.metrics.Set("errors_by_code", s.byCode)
+	s.registerMetrics()
 
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
@@ -100,7 +151,69 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/tests", s.handleTests)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// registerMetrics wires the server's instruments plus the runtime
+// gauges (uptime, goroutines, build info) and the cache gauges into
+// the obs registry.
+func (s *Server) registerMetrics() {
+	r := s.obsReg
+	s.httpRequests = r.Counter("http_requests_total", "HTTP requests served.")
+	s.httpDur = r.Histogram("http_request_duration_seconds", "HTTP request handling latency.", nil)
+	s.cacheHits = r.Counter("compile_cache_hits_total", "Compile submissions served from the artifact cache.")
+	s.cacheMisses = r.Counter("compile_cache_misses_total", "Compile submissions that missed the artifact cache.")
+	s.dedupes = r.Counter("compile_deduped_total", "Compile submissions coalesced onto an identical in-flight job.")
+	s.compileDur = r.Histogram("compile_duration_seconds", "End-to-end compile execution time on a worker.", nil)
+	s.stageDur = r.HistogramVec("compile_stage_duration_seconds",
+		"Per-span pipeline stage latency (queue wait, compiler stages, bounded kernels).", "stage", nil)
+	s.slowCompiles = r.Counter("compile_slow_total", "Compiles that exceeded the slow-compile threshold.")
+
+	r.GaugeFunc("uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	r.GaugeFunc("go_goroutines", "Live goroutine count.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.Info("build_info", "Build metadata from debug.ReadBuildInfo.", buildInfoLabels())
+	if c := s.cfg.Cache; c != nil {
+		r.GaugeFunc("cache_bytes", "Resident artifact cache size in bytes.",
+			func() float64 { return float64(c.Stats().Bytes) })
+		r.GaugeFunc("cache_entries", "Resident artifact cache entry count.",
+			func() float64 { return float64(c.Stats().Entries) })
+	}
+	if q := s.cfg.Queue; q != nil {
+		r.GaugeFunc("compiles_inflight", "Compiles currently executing on workers.",
+			func() float64 { return float64(q.Stats().Running) })
+		r.GaugeFunc("queue_depth", "Compile jobs queued and not yet running.",
+			func() float64 { return float64(q.Stats().Queued) })
+	}
+}
+
+// buildInfoLabels extracts the build-info idiom labels: Go toolchain
+// version, module version and VCS revision when stamped.
+func buildInfoLabels() map[string]string {
+	labels := map[string]string{"go_version": runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			labels["version"] = bi.Main.Version
+		}
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				labels["revision"] = kv.Value
+			case "vcs.modified":
+				labels["modified"] = kv.Value
+			}
+		}
+	}
+	return labels
 }
 
 // Handler returns the root handler with request logging and counting
@@ -110,9 +223,12 @@ func (s *Server) Handler() http.Handler {
 		startT := time.Now()
 		rw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		s.mux.ServeHTTP(rw, r)
+		dur := time.Since(startT)
 		s.metrics.Add("requests_total", 1)
 		s.byStatus.Add(fmt.Sprintf("%d", rw.status), 1)
-		s.logRequest(r, rw, time.Since(startT))
+		s.httpRequests.Inc()
+		s.httpDur.ObserveDuration(dur)
+		s.logRequest(r, rw, dur)
 	})
 }
 
@@ -290,15 +406,28 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	// has already been compiled.
 	if entry, ok := s.cfg.Cache.Get(key); ok {
 		s.metrics.Add("compile_cache_hits", 1)
+		s.cacheHits.Inc()
 		s.annotateCache(w, "hit")
 		s.writeJSON(w, http.StatusOK, s.entryResponse(entry, "", false, startT, true))
 		return
 	}
 	s.annotateCache(w, "miss")
 	s.metrics.Add("compile_cache_misses", 1)
+	s.cacheMisses.Inc()
 
-	job, deduped, err := s.cfg.Queue.Submit(key, pri, func(ctx context.Context) (any, error) {
-		return s.runCompile(ctx, key, params)
+	// Every submission carries a trace: the queue records the wait span,
+	// the pipeline records its stage spans, and the completed tree is
+	// retrievable via GET /debug/trace/{job_id}. Deduped submissions
+	// share the first submitter's trace.
+	tr := obs.NewTrace("")
+	job, deduped, err := s.cfg.Queue.SubmitTraced(key, pri, tr, func(ctx context.Context) (any, error) {
+		runStart := time.Now()
+		entry, cmpErr := s.runCompile(ctx, key, params)
+		s.observeCompile(obs.FromContext(ctx), time.Since(runStart), key, cmpErr)
+		if cmpErr != nil {
+			return nil, cmpErr
+		}
+		return entry, nil
 	})
 	if err != nil {
 		// Overload (full or draining queue) back-pressures as 429.
@@ -308,6 +437,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.trackJob(job, key)
 	if deduped {
 		s.metrics.Add("compile_deduped", 1)
+		s.dedupes.Inc()
 	}
 
 	if r.URL.Query().Get("async") != "" {
@@ -379,6 +509,36 @@ func (s *Server) runCompile(ctx context.Context, key string, params compiler.Par
 	return entry, nil
 }
 
+// observeCompile folds one finished compile into the telemetry: the
+// end-to-end duration histogram, every recorded span (queue wait,
+// compiler stages, bounded kernels) into the per-stage histogram vec,
+// and — when the execution exceeded the slow-compile threshold — the
+// span tree into the forensics log.
+func (s *Server) observeCompile(tr *obs.Trace, dur time.Duration, key string, err error) {
+	s.compileDur.ObserveDuration(dur)
+	for _, sp := range tr.Spans() {
+		s.stageDur.With(sp.Name).ObserveDuration(sp.Dur)
+	}
+	if s.cfg.SlowCompile <= 0 || dur < s.cfg.SlowCompile {
+		return
+	}
+	s.slowCompiles.Inc()
+	w := s.cfg.SlowLogWriter
+	if w == nil {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "SLOW COMPILE key=%s dur=%s threshold=%s", key, dur.Round(time.Microsecond), s.cfg.SlowCompile)
+	if err != nil {
+		fmt.Fprintf(&b, " err=%s", cerr.CodeOf(err))
+	}
+	b.WriteByte('\n')
+	b.WriteString(tr.Tree())
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	io.WriteString(w, b.String())
+}
+
 // entryResponse builds the envelope for a completed entry.
 func (s *Server) entryResponse(e *cache.Entry, jobID string, deduped bool, startT time.Time, cached bool) compileResponse {
 	sizes := make(map[string]int, len(e.Artifacts))
@@ -400,12 +560,35 @@ func (s *Server) annotateCache(w http.ResponseWriter, state string) {
 	}
 }
 
-// trackJob registers a job for the status endpoints.
+// trackJob registers a job for the status endpoints and retains its
+// trace for GET /debug/trace/{id}, evicting the oldest trace beyond
+// the configured budget (FIFO — forensics favour recent jobs).
 func (s *Server) trackJob(j *jobs.Job, key string) {
 	s.jobMu.Lock()
 	defer s.jobMu.Unlock()
 	s.jobsByID[j.ID] = j
 	s.keyByID[j.ID] = key
+	tr := j.Trace()
+	if tr == nil {
+		return
+	}
+	if _, seen := s.traceByID[j.ID]; seen {
+		return
+	}
+	s.traceByID[j.ID] = tr
+	s.traceOrder = append(s.traceOrder, j.ID)
+	for len(s.traceOrder) > s.cfg.TraceBudget {
+		delete(s.traceByID, s.traceOrder[0])
+		s.traceOrder = s.traceOrder[1:]
+	}
+}
+
+// lookupTrace resolves a retained trace by job id.
+func (s *Server) lookupTrace(id string) (*obs.Trace, bool) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	tr, ok := s.traceByID[id]
+	return tr, ok
 }
 
 // lookupJob resolves a tracked job by id.
@@ -442,6 +625,10 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		Priority: j.Priority.String(), Attached: j.Attached(),
 	}
 	switch {
+	case started.IsZero() && !finished.IsZero():
+		// Cancelled before execution (drain fast-fail): the queue wait
+		// ended when the job was failed, not now.
+		body.QueuedMs = float64(finished.Sub(submitted).Microseconds()) / 1000
 	case started.IsZero():
 		body.QueuedMs = msSince(submitted)
 	default:
@@ -566,19 +753,56 @@ type metricsBody struct {
 	Server  json.RawMessage `json:"server"`
 	Cache   cache.Stats     `json:"cache"`
 	Queue   jobs.Stats      `json:"queue"`
+	Obs     map[string]any  `json:"obs"`
 	UptimeS float64         `json:"uptime_s"`
 }
 
-// handleMetrics is GET /metrics: the expvar-backed counter map plus
-// cache and queue snapshots in one JSON document.
+// handleMetrics is GET /metrics: dual exposition. The default is the
+// expvar-backed counter map plus cache, queue and obs-registry
+// snapshots in one JSON document; ?format=prometheus renders the obs
+// registry as text exposition format 0.0.4 for scrapers.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		s.obsReg.WritePrometheus(w)
+		return
+	}
 	body := metricsBody{
 		Server:  json.RawMessage(s.metrics.String()),
 		Cache:   s.cfg.Cache.Stats(),
 		Queue:   s.cfg.Queue.Stats(),
+		Obs:     s.obsReg.Snapshot(),
 		UptimeS: time.Since(s.start).Seconds(),
 	}
 	s.writeJSON(w, http.StatusOK, body)
+}
+
+// handleTrace is GET /debug/trace/{id}: the retained span set of a
+// completed (or in-flight) job, as Chrome trace-event JSON by default
+// — load it in chrome://tracing or Perfetto — or as an indented text
+// tree with ?format=tree.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.lookupTrace(id)
+	if !ok {
+		s.writeError(w, cerr.New(cerr.CodeInvalidParams, "server: no trace for job %q", id), http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "tree" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, tr.Tree())
+		return
+	}
+	b, err := tr.ChromeJSON()
+	if err != nil {
+		s.writeError(w, cerr.Wrap(cerr.CodeInternal, err, "server: trace rendering"), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
 }
 
 // Log is a convenience constructor for the structured request logger.

@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -60,7 +61,15 @@ func inverterSkew(p *tech.Process, wn, wp, l, cload float64) (float64, error) {
 
 // InverterDelays measures the output-rising and output-falling 50/50
 // propagation delays of a CMOS inverter under a fast input step.
+// InverterDelays is InverterDelaysCtx with a background context.
 func InverterDelays(p *tech.Process, wn, wp, l, cload float64) (rise, fall float64, err error) {
+	return InverterDelaysCtx(context.Background(), p, wn, wp, l, cload)
+}
+
+// InverterDelaysCtx is InverterDelays under a context: the two
+// transient simulations run on the caller's context, so deadlines
+// bound them and an attached obs.Trace records their spans.
+func InverterDelaysCtx(ctx context.Context, p *tech.Process, wn, wp, l, cload float64) (rise, fall float64, err error) {
 	tstop := 8e-9
 	edge := 2e-9
 	slew := 50e-12
@@ -80,7 +89,7 @@ func InverterDelays(p *tech.Process, wn, wp, l, cload float64) (rise, fall float
 		return c
 	}
 	// Input rising -> output falls.
-	res, err := build(true).Transient(tstop, 5e-12)
+	res, err := build(true).TransientCtx(ctx, tstop, 5e-12)
 	if err != nil {
 		return 0, 0, fmt.Errorf("fall sim: %w", err)
 	}
@@ -89,7 +98,7 @@ func InverterDelays(p *tech.Process, wn, wp, l, cload float64) (rise, fall float
 		return 0, 0, fmt.Errorf("fall measure: %w", err)
 	}
 	// Input falling -> output rises.
-	res, err = build(false).Transient(tstop, 5e-12)
+	res, err = build(false).TransientCtx(ctx, tstop, 5e-12)
 	if err != nil {
 		return 0, 0, fmt.Errorf("rise sim: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/cerr"
+	"repro/internal/obs"
 )
 
 // Solver parameters.
@@ -316,6 +317,10 @@ func (c *Circuit) TransientCtx(ctx context.Context, tstop, h float64) (*Result, 
 	if c.err != nil {
 		return nil, c.err
 	}
+	step := 0
+	var endSpan func(...obs.Attr)
+	ctx, endSpan = obs.Start(ctx, "spice.transient")
+	defer func() { endSpan(obs.Int("steps", step)) }()
 	if !(h > 0) || !(tstop > 0) || math.IsInf(h, 0) || math.IsInf(tstop, 0) {
 		// The negated comparisons also reject NaN.
 		return nil, cerr.New(cerr.CodeInvalidParams, "spice: bad transient params tstop=%g h=%g", tstop, h)
@@ -350,7 +355,6 @@ func (c *Circuit) TransientCtx(ctx context.Context, tstop, h float64) (*Result, 
 	}
 	record(0)
 	vPrev := append([]float64(nil), v...)
-	step := 0
 	for t := h; t <= tstop+h/2; t += h {
 		if step%ctxCheckSteps == 0 {
 			if err := ctx.Err(); err != nil {
