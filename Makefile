@@ -1,7 +1,8 @@
 # BISRAMGEN build/test entry points.
 #
 #   make check — the default pre-merge gate: vet, build, race-enabled
-#                tests, and the serve-smoke end-to-end daemon check.
+#                tests, and the serve-smoke + sweep-smoke end-to-end
+#                daemon checks.
 #   make ci    — everything the tree must pass before merging: check
 #                plus a short fuzz smoke pass on each parser and the
 #                adversarial-input fault campaign.
@@ -9,11 +10,11 @@
 GO       ?= go
 FUZZTIME ?= 5s
 
-.PHONY: all check build vet test race serve-smoke obs-smoke fuzz-smoke campaign serve ci
+.PHONY: all check build vet test race serve-smoke obs-smoke sweep-smoke fuzz-smoke campaign serve ci
 
 all: check
 
-check: vet build race serve-smoke
+check: vet build race serve-smoke sweep-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +43,17 @@ serve-smoke:
 # span tree on stderr.
 obs-smoke:
 	$(GO) test -race -run TestObsSmoke -count=1 -v ./cmd/bisramgend/
+
+# End-to-end persistence + batch check: a daemon over -store-dir
+# compiles, drains, restarts and serves the same request from the disk
+# store (cache_tier "hit-disk", >= 10x faster, counters say warm); a
+# truncated object is quarantined and recompiled, never served. Then
+# the sweep API: a spares x defects sweep expands/dedups/completes, an
+# identical repeat sweep runs zero new compiles, and the experiments
+# growth-factor tables built from service-fetched factors are
+# byte-identical to locally compiled ones.
+sweep-smoke:
+	$(GO) test -race -run 'TestStoreRestartSmoke|TestSweepSmoke' -count=1 ./cmd/bisramgend/
 
 # Run the compile daemon locally with the documented defaults.
 serve:

@@ -34,6 +34,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -48,6 +49,8 @@ func main() {
 		quiet        = flag.Bool("quiet", false, "suppress per-request log lines")
 		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		slowCompile  = flag.Duration("slow-compile", 0, "dump the span tree of any compile slower than this (0 = off)")
+		storeDir     = flag.String("store-dir", "", "disk artifact store directory (empty disables persistence; restarts over the same directory stay warm)")
+		storeMB      = flag.Int64("store-mb", 0, "disk store byte budget in MiB (0 = unbounded; LRU GC above the budget)")
 	)
 	flag.Parse()
 
@@ -62,10 +65,22 @@ func main() {
 		Registry: reg,
 	})
 	c := cache.New(*cacheMB << 20)
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Config{Dir: *storeDir, BudgetBytes: *storeMB << 20})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bisramgend: opening store %s: %v\n", *storeDir, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bisramgend: disk store %s warm with %d objects\n",
+			*storeDir, st.Stats().ScannedAtStartup)
+	}
 	var logW = os.Stderr
 	srv := server.New(server.Config{
 		Queue:         q,
 		Cache:         c,
+		Store:         st,
 		LogWriter:     logWriter(*quiet, logW),
 		SyncWait:      *syncWait,
 		Metrics:       reg,

@@ -60,14 +60,17 @@ func TestObsSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var compiled struct {
-		JobID string `json:"job_id"`
-		State string `json:"state"`
+	var env struct {
+		Job struct {
+			JobID string `json:"job_id"`
+			State string `json:"state"`
+		} `json:"job"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&compiled); err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	compiled := env.Job
 	if resp.StatusCode != http.StatusOK || compiled.State != "done" || compiled.JobID == "" {
 		t.Fatalf("compile: status %d %+v", resp.StatusCode, compiled)
 	}

@@ -131,6 +131,7 @@ type smokeResponse struct {
 	Key       string  `json:"key"`
 	State     string  `json:"state"`
 	Cached    bool    `json:"cached"`
+	CacheTier string  `json:"cache_tier"`
 	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
@@ -141,17 +142,22 @@ func postCompile(t *testing.T, base, body string) smokeResponse {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out smokeResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	// Responses arrive in the uniform /v1 envelope with the compile
+	// payload under "job".
+	var env struct {
+		Job   smokeResponse   `json:"job"`
+		Error json.RawMessage `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatalf("decode response: %v", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("POST /v1/compile: status %d (%+v)", resp.StatusCode, out)
+		t.Fatalf("POST /v1/compile: status %d (error %s)", resp.StatusCode, env.Error)
 	}
-	if out.State != "done" {
-		t.Fatalf("unexpected terminal state %q", out.State)
+	if env.Job.State != "done" {
+		t.Fatalf("unexpected terminal state %q", env.Job.State)
 	}
-	return out
+	return env.Job
 }
 
 func getJSON(t *testing.T, url string, v any) {

@@ -2,10 +2,19 @@
 // paper's evaluation (see DESIGN.md's per-experiment index) and
 // writes text, CSV and SVG artefacts.
 //
+// The growth-factor-driven experiments (FIG4, TAB2, TAB3, WAFER)
+// depend on compiled layouts only through the spare-count →
+// growth-factor map, so they can source it either from local compiles
+// (the default, and what -local forces) or from a running bisramgend
+// instance via the sweep API (-server). Compiles are deterministic,
+// so both paths emit byte-identical artefacts — the smoke suite
+// asserts exactly that.
+//
 // Example:
 //
-//	experiments -out results          # everything
-//	experiments -only FIG4,TAB1      # a subset
+//	experiments -out results                      # everything, local compiles
+//	experiments -only FIG4,TAB1                   # a subset
+//	experiments -server http://127.0.0.1:8047     # growth factors via the service
 package main
 
 import (
@@ -14,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -25,21 +35,58 @@ type runner struct {
 
 func main() {
 	var (
-		outDir = flag.String("out", "results", "output directory")
-		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		trials = flag.Int("trials", 40, "Monte-Carlo trials for MC/BASE experiments")
+		outDir  = flag.String("out", "results", "output directory")
+		only    = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		trials  = flag.Int("trials", 40, "Monte-Carlo trials for MC/BASE experiments")
+		server  = flag.String("server", "", "bisramgend base URL; growth-factor experiments run as sweep-API clients")
+		local   = flag.Bool("local", false, "force local compiles even when -server is set")
+		svcWait = flag.Duration("server-timeout", 2*time.Minute, "sweep completion budget when -server is set")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
 
+	// growthFactors fetches the Fig. 4 spare-count → growth-factor map
+	// once and shares it across every runner that needs it: one sweep
+	// (or one compile trio) feeds FIG4, TAB2, TAB3 and WAFER.
+	var gfCache map[int]float64
+	growthFactors := func() (map[int]float64, error) {
+		if gfCache != nil {
+			return gfCache, nil
+		}
+		var (
+			gf  map[int]float64
+			err error
+		)
+		if *server != "" && !*local {
+			fmt.Printf("fetching growth factors from %s...\n", *server)
+			gf, err = experiments.GrowthFactorsService(*server, *svcWait)
+		} else {
+			gf, err = experiments.GrowthFactors()
+		}
+		if err != nil {
+			return nil, err
+		}
+		gfCache = gf
+		return gf, nil
+	}
+	withGF := func(f func(map[int]float64) (*experiments.Table, error)) func(string) (*experiments.Table, error) {
+		return func(string) (*experiments.Table, error) {
+			gf, err := growthFactors()
+			if err != nil {
+				return nil, err
+			}
+			return f(gf)
+		}
+	}
+
 	runners := []runner{
-		{"FIG4", func(string) (*experiments.Table, error) { return experiments.Fig4(50, 2) }},
+		{"FIG4", withGF(func(gf map[int]float64) (*experiments.Table, error) { return experiments.Fig4With(gf, 50, 2) })},
 		{"FIG5", func(string) (*experiments.Table, error) { return experiments.Fig5(30, 1) }},
 		{"TAB1", func(string) (*experiments.Table, error) { return experiments.Table1() }},
-		{"TAB2", func(string) (*experiments.Table, error) { return experiments.Table2() }},
-		{"TAB3", func(string) (*experiments.Table, error) { return experiments.Table3() }},
+		{"TAB2", withGF(experiments.Table2With)},
+		{"TAB3", withGF(experiments.Table3With)},
 		{"FIG6", func(dir string) (*experiments.Table, error) { return layout(dir, "fig6", experiments.Fig6) }},
 		{"FIG7", func(dir string) (*experiments.Table, error) { return layout(dir, "fig7", experiments.Fig7) }},
 		{"TLBD", func(string) (*experiments.Table, error) { return experiments.TLBDelay() }},
@@ -55,7 +102,11 @@ func main() {
 		{"GATE", func(string) (*experiments.Table, error) { return experiments.GateLevel(6, 3) }},
 		{"CLUSTER", func(string) (*experiments.Table, error) { return experiments.Clustering(*trials, 5) }},
 		{"WAFER", func(dir string) (*experiments.Table, error) {
-			tb, art, err := experiments.WaferStudy()
+			gf, err := growthFactors()
+			if err != nil {
+				return nil, err
+			}
+			tb, art, err := experiments.WaferStudyWith(gf)
 			if err != nil {
 				return nil, err
 			}

@@ -35,11 +35,23 @@ import (
 // aliasing them.
 const KeyVersion = 1
 
+// WireVersion is the current compile-request wire-format version. A
+// request may omit the field (it defaults to WireVersion); any other
+// value is rejected with ERR_BAD_REQUEST at parse time. The wire
+// version is deliberately NOT part of the content key: a version-1
+// request with and without the explicit field resolves to the same
+// key (the key schema has its own independent KeyVersion).
+const WireVersion = 1
+
 // Request is the JSON wire form of one compile request — the inputs
 // of the paper's Fig. 1 plus the test-algorithm selection, exactly
 // mirroring the bisramgen CLI flags. The zero value of each optional
 // field selects the CLI's default.
 type Request struct {
+	// Version is the wire-format version; 0 (absent) defaults to
+	// WireVersion, anything else must equal WireVersion.
+	Version int `json:"version,omitempty"`
+
 	// Geometry (required; validated by compiler.Params.Validate).
 	Words  int `json:"words"`
 	BPW    int `json:"bpw"`
@@ -90,6 +102,9 @@ const (
 // with its documented default, so canonicalization never depends on
 // whether a default was spelled out or omitted.
 func (r Request) Normalized() Request {
+	if r.Version == 0 {
+		r.Version = WireVersion
+	}
 	if r.Deck == "" && r.Process == "" {
 		r.Process = DefaultProcess
 	}
@@ -112,9 +127,23 @@ func (r Request) Normalized() Request {
 // parameters: deck lookup or inline parse, corner derivation, march
 // resolution, optional TRPLA plane loading, and the compiler's own
 // envelope validation. Every failure carries a cerr code.
+// CheckVersion validates the wire-format version: absent (0) and
+// WireVersion are accepted, anything else is ERR_BAD_REQUEST.
+func (r Request) CheckVersion() error {
+	if r.Version != 0 && r.Version != WireVersion {
+		return cerr.New(cerr.CodeBadRequest,
+			"canon: unsupported request version %d (this server speaks version %d)",
+			r.Version, WireVersion)
+	}
+	return nil
+}
+
 func (r Request) Params() (compiler.Params, error) {
-	r = r.Normalized()
 	var zero compiler.Params
+	if err := r.CheckVersion(); err != nil {
+		return zero, err
+	}
+	r = r.Normalized()
 
 	var proc *tech.Process
 	var err error
@@ -273,6 +302,9 @@ func ParseRequest(data []byte) (Request, error) {
 	}
 	if dec.More() {
 		return Request{}, cerr.New(cerr.CodeInvalidParams, "canon: trailing data after request JSON")
+	}
+	if err := r.CheckVersion(); err != nil {
+		return Request{}, err
 	}
 	return r, nil
 }

@@ -1,0 +1,98 @@
+package canon
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cerr"
+)
+
+// goldenKey pins the content address of the canonical small request
+// ({words:256,bpw:8,bpc:4,spares:4}, all defaults). If this test
+// fails, the canonicalization changed and every persisted store entry
+// is invalidated — bump KeyVersion deliberately, never by accident.
+const goldenKey = "ae0f0d969af6e1b4a5c1bbc178180d39ccdcbffa219e2a999ff9c90329505693"
+
+func TestGoldenKeyStable(t *testing.T) {
+	r := Request{Words: 256, BPW: 8, BPC: 4, Spares: 4}
+	k, err := r.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != goldenKey {
+		t.Fatalf("content key drifted:\n got  %s\n want %s\n(bump canon.KeyVersion if this is intentional)", k, goldenKey)
+	}
+}
+
+func TestVersionFieldDoesNotChangeKey(t *testing.T) {
+	implicit := Request{Words: 256, BPW: 8, BPC: 4, Spares: 4}
+	explicit := implicit
+	explicit.Version = WireVersion
+
+	ki, err := implicit.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ke, err := explicit.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ki != ke {
+		t.Fatalf("explicit version %d changed the key: %s vs %s", WireVersion, ki, ke)
+	}
+	if ki != goldenKey {
+		t.Fatalf("key %s != golden %s", ki, goldenKey)
+	}
+}
+
+func TestVersionWireAcceptance(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		code cerr.Code // CodeUnknown means accept
+	}{
+		{"absent", `{"words":256,"bpw":8,"bpc":4,"spares":4}`, cerr.CodeUnknown},
+		{"explicit-1", `{"version":1,"words":256,"bpw":8,"bpc":4,"spares":4}`, cerr.CodeUnknown},
+		{"unknown-2", `{"version":2,"words":256,"bpw":8,"bpc":4,"spares":4}`, cerr.CodeBadRequest},
+		{"negative", `{"version":-1,"words":256,"bpw":8,"bpc":4,"spares":4}`, cerr.CodeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := ParseRequest([]byte(tc.body))
+			if tc.code == cerr.CodeUnknown {
+				if err != nil {
+					t.Fatalf("accept case rejected: %v", err)
+				}
+				if k, err := r.Key(); err != nil || k != goldenKey {
+					t.Fatalf("key %q err %v, want golden", k, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("unknown version accepted")
+			}
+			if cerr.CodeOf(err) != tc.code {
+				t.Fatalf("code %v, want %v (%v)", cerr.CodeOf(err), tc.code, err)
+			}
+			if !strings.Contains(err.Error(), "version") {
+				t.Fatalf("error does not mention version: %v", err)
+			}
+		})
+	}
+}
+
+func TestNormalizedFillsVersion(t *testing.T) {
+	n := Request{Words: 256, BPW: 8, BPC: 4, Spares: 4}.Normalized()
+	if n.Version != WireVersion {
+		t.Fatalf("Normalized version = %d, want %d", n.Version, WireVersion)
+	}
+}
+
+// Params() must also gate the version for requests constructed in Go
+// (e.g. a sweep base built programmatically).
+func TestParamsRejectsUnknownVersion(t *testing.T) {
+	r := Request{Version: 7, Words: 256, BPW: 8, BPC: 4, Spares: 4}
+	if _, err := r.Params(); cerr.CodeOf(err) != cerr.CodeBadRequest {
+		t.Fatalf("Params accepted version 7 (err=%v)", err)
+	}
+}

@@ -86,6 +86,11 @@ const (
 	// stage guard converted into an error instead of crashing the
 	// process.
 	CodeInternal
+	// CodeBadRequest: a service wire-format violation that is not a
+	// parameter problem — an unknown request schema version, a
+	// malformed sweep specification, or an HTTP method the route does
+	// not accept. Maps to 400 at the HTTP boundary.
+	CodeBadRequest
 )
 
 var codeNames = [...]string{
@@ -102,6 +107,7 @@ var codeNames = [...]string{
 	CodeBudgetExceeded: "ERR_BUDGET_EXCEEDED",
 	CodeNonFinite:      "ERR_NON_FINITE",
 	CodeInternal:       "ERR_INTERNAL",
+	CodeBadRequest:     "ERR_BAD_REQUEST",
 }
 
 // String returns the stable machine-readable name (ERR_*).

@@ -74,6 +74,7 @@ func TestCodeNamesStable(t *testing.T) {
 		CodeBudgetExceeded: "ERR_BUDGET_EXCEEDED",
 		CodeNonFinite:      "ERR_NON_FINITE",
 		CodeInternal:       "ERR_INTERNAL",
+		CodeBadRequest:     "ERR_BAD_REQUEST",
 	}
 	for c, name := range want {
 		if c.String() != name {

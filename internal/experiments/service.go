@@ -1,0 +1,78 @@
+// Service-backed growth factors: the Fig. 4/5 and Table II/III
+// machinery depends on compiled layouts only through the spare-count →
+// area-growth-factor map, so the experiments runner can source that
+// map either from local compiles (GrowthFactors) or from a bisramgend
+// sweep over the spares axis (GrowthFactorsService). The downstream
+// tables are pure functions of the map; because compiles are
+// deterministic, both sources produce byte-identical reports.
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/cerr"
+	"repro/internal/sweep"
+)
+
+// Fig45Base is the wire form of the Fig. 4/5 array (1024 rows, bpc=4,
+// bpw=4): canonicalisation fills in the defaults (buffer size 2,
+// process cda07u3m1p, IFA-9 test), so this request resolves to
+// exactly fig45Params and hits the same content keys a local compile
+// would mint.
+func Fig45Base() canon.Request {
+	return canon.Request{
+		Words:      fig45Rows * fig45BPC,
+		BPW:        fig45BPW,
+		BPC:        fig45BPC,
+		Spares:     4,
+		StrapCells: 32,
+	}
+}
+
+// GrowthFactorsService measures the Fig. 4 growth factors by running a
+// spares-axis sweep on a bisramgend instance at baseURL instead of
+// compiling locally. The returned map has the same keys as
+// GrowthFactors (0 implicit at 1.0, plus 4, 8, 16), so Fig4With /
+// Table2With / Table3With / WaferStudyWith produce byte-identical
+// tables from either source.
+func GrowthFactorsService(baseURL string, timeout time.Duration) (map[int]float64, error) {
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	c := sweep.NewClient(baseURL)
+	st, err := c.CreateSweep(sweep.Spec{
+		Base: Fig45Base(),
+		Axes: sweep.Axes{Spares: []int{4, 8, 16}},
+	})
+	if err != nil {
+		return nil, cerr.Wrap(cerr.CodeInternal, err, "experiments: creating growth-factor sweep on %s", baseURL)
+	}
+	id := st.ID
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	st, err = c.WaitSweep(ctx, id, 50*time.Millisecond)
+	if err != nil {
+		return nil, cerr.Wrap(cerr.CodeInternal, err, "experiments: waiting for sweep %s", id)
+	}
+	if st.State != "done" {
+		return nil, cerr.New(cerr.CodeInternal,
+			"experiments: sweep %s finished in state %q (%d failed)", id, st.State, st.Failed)
+	}
+	res, err := c.SweepResults(id)
+	if err != nil {
+		return nil, cerr.Wrap(cerr.CodeInternal, err, "experiments: fetching results of sweep %s", id)
+	}
+	out := map[int]float64{0: 1.0}
+	for _, row := range res.Rows {
+		out[row.Spares] = row.GrowthFactor
+	}
+	for _, s := range []int{4, 8, 16} {
+		if _, ok := out[s]; !ok {
+			return nil, cerr.New(cerr.CodeInternal,
+				"experiments: sweep %s returned no row for %d spares", id, s)
+		}
+	}
+	return out, nil
+}

@@ -74,6 +74,12 @@ func Table2() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return Table2With(gf)
+}
+
+// Table2With builds Table II from pre-measured growth factors (see
+// Fig4With).
+func Table2With(gf map[int]float64) (*Table, error) {
 	t := &Table{
 		ID:    "TAB2",
 		Title: "Cost per good die with and without RAM BISR",
@@ -105,6 +111,12 @@ func Table3() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return Table3With(gf)
+}
+
+// Table3With builds Table III from pre-measured growth factors (see
+// Fig4With).
+func Table3With(gf map[int]float64) (*Table, error) {
 	t := &Table{
 		ID:    "TAB3",
 		Title: "Total manufacturing cost per packaged chip with and without RAM BISR",
@@ -139,6 +151,12 @@ func WaferStudy() (*Table, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
+	return WaferStudyWith(gf)
+}
+
+// WaferStudyWith builds the wafer study from pre-measured growth
+// factors (see Fig4With).
+func WaferStudyWith(gf map[int]float64) (*Table, string, error) {
 	var chip cost.Chip
 	for _, c := range cost.Chips() {
 		if c.Name == "TI SuperSPARC" {

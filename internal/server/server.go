@@ -1,18 +1,33 @@
 // Package server implements the bisramgend HTTP/JSON API: compile
-// submission with content-addressed caching, job status/result/
-// artifact retrieval, health and metrics. It glues the three service
-// substrates together — internal/canon (canonical keying and the
-// shared Params loader), internal/jobs (bounded worker pool with
-// priorities, dedup and drain) and internal/cache (byte-budgeted LRU
-// over rendered artifacts) — in front of the existing compile
-// pipeline, whose typed cerr taxonomy maps 1:1 onto HTTP statuses.
+// submission with content-addressed caching, batch sweeps, job
+// status/result/artifact retrieval, health and metrics. It glues the
+// service substrates together — internal/canon (canonical keying and
+// the shared Params loader), internal/jobs (bounded worker pool with
+// priorities, dedup and drain), internal/cache (byte-budgeted LRU
+// over rendered artifacts), internal/store (the disk tier under the
+// LRU, so restarts stay warm) and internal/sweep (cross-product batch
+// evaluation) — in front of the existing compile pipeline, whose
+// typed cerr taxonomy maps 1:1 onto HTTP statuses.
+//
+// Envelope: every /v1/* JSON response is one uniform document with
+// exactly one payload member and an explicit error slot,
+//
+//	{ "job" | "sweep" | "data": ..., "error": {code, stage, message} | null }
+//
+// (artifact bodies stream raw with their own Content-Type; /healthz,
+// /metrics and /debug/* keep their documented shapes). A request with
+// a method the route does not accept is answered 405 with an Allow
+// header and the same envelope.
 //
 // Endpoints:
 //
 //	POST /v1/compile                    submit (sync by default, ?async=1 for a job handle)
 //	GET  /v1/jobs/{id}                  job status
-//	GET  /v1/jobs/{id}/result           compile report (canonical JSON)
-//	GET  /v1/jobs/{id}/artifact/{name}  rendered artifact (datasheet, planes, SVG)
+//	GET  /v1/jobs/{id}/result           compile report (canonical JSON, under "data")
+//	GET  /v1/jobs/{id}/artifact/{name}  rendered artifact (datasheet, planes, SVG, GDS)
+//	POST /v1/sweeps                     submit a batch sweep (base request + axes)
+//	GET  /v1/sweeps/{id}                sweep progress (aggregate + per-point)
+//	GET  /v1/sweeps/{id}/results        sweep evaluation rows (Fig. 4/5, Tables II/III)
 //	GET  /v1/processes                  built-in process decks
 //	GET  /v1/tests                      built-in march algorithms
 //	GET  /healthz                       liveness
@@ -32,6 +47,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -45,6 +61,8 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/render"
+	"repro/internal/store"
+	"repro/internal/sweep"
 	"repro/internal/tech"
 )
 
@@ -60,6 +78,11 @@ const DefaultTraceBudget = 512
 type Config struct {
 	Queue *jobs.Queue
 	Cache *cache.Cache
+	// Store is the optional disk tier under the in-memory cache.
+	// Memory misses probe the store (promoting hits), compiles persist
+	// to it, and daemon restarts over the same directory stay warm.
+	// Nil disables the tier.
+	Store *store.Store
 	// LogWriter receives one JSON line per request; nil disables
 	// request logging.
 	LogWriter io.Writer
@@ -83,14 +106,21 @@ type Config struct {
 	// TraceBudget bounds retained per-job traces; <= 0 means
 	// DefaultTraceBudget.
 	TraceBudget int
+	// SweepMaxPoints caps one sweep's expanded cross product; <= 0
+	// means sweep.DefaultMaxPoints.
+	SweepMaxPoints int
+	// SweepRetain caps remembered sweeps; <= 0 means
+	// sweep.DefaultRetain.
+	SweepRetain int
 }
 
 // Server is the HTTP layer. Construct with New; serve s.Handler().
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	start time.Time
-	logMu sync.Mutex
+	cfg    Config
+	mux    *http.ServeMux
+	start  time.Time
+	logMu  sync.Mutex
+	sweeps *sweep.Manager
 
 	jobMu      sync.Mutex
 	jobsByID   map[string]*jobs.Job
@@ -109,6 +139,7 @@ type Server struct {
 	httpRequests *obs.Counter
 	httpDur      *obs.Histogram
 	cacheHits    *obs.Counter
+	storeHits    *obs.Counter
 	cacheMisses  *obs.Counter
 	dedupes      *obs.Counter
 	compileDur   *obs.Histogram
@@ -143,12 +174,36 @@ func New(cfg Config) *Server {
 	s.metrics.Set("errors_by_code", s.byCode)
 	s.registerMetrics()
 
-	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/artifact/{name}", s.handleJobArtifact)
-	s.mux.HandleFunc("GET /v1/processes", s.handleProcesses)
-	s.mux.HandleFunc("GET /v1/tests", s.handleTests)
+	// The sweep manager shares the server's queue, two-tier lookup and
+	// compile pipeline, so sweep points dedup against interactive
+	// traffic and fill the same caches.
+	s.sweeps = sweep.NewManager(sweep.Config{
+		Queue: cfg.Queue,
+		Lookup: func(key string) (*cache.Entry, bool) {
+			e, _, ok := s.lookupEntry(key)
+			return e, ok
+		},
+		Run: func(ctx context.Context, key string, p compiler.Params) (*cache.Entry, error) {
+			runStart := time.Now()
+			entry, err := s.runCompile(ctx, key, p)
+			s.observeCompile(obs.FromContext(ctx), time.Since(runStart), key, err)
+			return entry, err
+		},
+		OnJob:     s.trackJob,
+		Registry:  cfg.Metrics,
+		MaxPoints: cfg.SweepMaxPoints,
+		Retain:    cfg.SweepRetain,
+	})
+
+	s.route("POST", "/v1/compile", s.handleCompile)
+	s.route("GET", "/v1/jobs/{id}", s.handleJobStatus)
+	s.route("GET", "/v1/jobs/{id}/result", s.handleJobResult)
+	s.route("GET", "/v1/jobs/{id}/artifact/{name}", s.handleJobArtifact)
+	s.route("POST", "/v1/sweeps", s.handleSweepCreate)
+	s.route("GET", "/v1/sweeps/{id}", s.handleSweepStatus)
+	s.route("GET", "/v1/sweeps/{id}/results", s.handleSweepResults)
+	s.route("GET", "/v1/processes", s.handleProcesses)
+	s.route("GET", "/v1/tests", s.handleTests)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
@@ -162,15 +217,31 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// route registers a method-specific handler plus a bare-path fallback
+// that answers any other method with an enveloped 405 carrying the
+// Allow header. (Go 1.22 mux method patterns are more specific than
+// the bare pattern, so the fallback only fires on method mismatch;
+// without it the mux's built-in 405 would bypass the envelope.)
+func (s *Server) route(method, pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(method+" "+pattern, h)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", method)
+		s.writeError(w, cerr.New(cerr.CodeBadRequest,
+			"server: method %s not allowed on %s", r.Method, pattern),
+			http.StatusMethodNotAllowed)
+	})
+}
+
 // registerMetrics wires the server's instruments plus the runtime
-// gauges (uptime, goroutines, build info) and the cache gauges into
-// the obs registry.
+// gauges (uptime, goroutines, build info) and the cache/store gauges
+// into the obs registry.
 func (s *Server) registerMetrics() {
 	r := s.obsReg
 	s.httpRequests = r.Counter("http_requests_total", "HTTP requests served.")
 	s.httpDur = r.Histogram("http_request_duration_seconds", "HTTP request handling latency.", nil)
-	s.cacheHits = r.Counter("compile_cache_hits_total", "Compile submissions served from the artifact cache.")
-	s.cacheMisses = r.Counter("compile_cache_misses_total", "Compile submissions that missed the artifact cache.")
+	s.cacheHits = r.Counter("compile_cache_hits_total", "Compile submissions served from the artifact cache (either tier).")
+	s.storeHits = r.Counter("compile_store_hits_total", "Compile submissions served from the disk store tier (memory miss, disk hit).")
+	s.cacheMisses = r.Counter("compile_cache_misses_total", "Compile submissions that missed both cache tiers.")
 	s.dedupes = r.Counter("compile_deduped_total", "Compile submissions coalesced onto an identical in-flight job.")
 	s.compileDur = r.Histogram("compile_duration_seconds", "End-to-end compile execution time on a worker.", nil)
 	s.stageDur = r.HistogramVec("compile_stage_duration_seconds",
@@ -187,6 +258,22 @@ func (s *Server) registerMetrics() {
 			func() float64 { return float64(c.Stats().Bytes) })
 		r.GaugeFunc("cache_entries", "Resident artifact cache entry count.",
 			func() float64 { return float64(c.Stats().Entries) })
+	}
+	if st := s.cfg.Store; st != nil {
+		r.GaugeFunc("store_bytes", "Resident disk store size in bytes.",
+			func() float64 { return float64(st.Stats().Bytes) })
+		r.GaugeFunc("store_entries", "Disk store object count.",
+			func() float64 { return float64(st.Stats().Entries) })
+		r.GaugeFunc("store_hits", "Disk store read hits (verified objects served).",
+			func() float64 { return float64(st.Stats().Hits) })
+		r.GaugeFunc("store_misses", "Disk store read misses.",
+			func() float64 { return float64(st.Stats().Misses) })
+		r.GaugeFunc("store_evictions", "Disk store objects removed by the byte-budget GC.",
+			func() float64 { return float64(st.Stats().Evictions) })
+		r.GaugeFunc("store_corrupt", "Disk store objects that failed verification and were quarantined.",
+			func() float64 { return float64(st.Stats().Corrupt) })
+		r.GaugeFunc("store_scanned_at_startup", "Objects the opening index scan found (restart warmness).",
+			func() float64 { return float64(st.Stats().ScannedAtStartup) })
 	}
 	if q := s.cfg.Queue; q != nil {
 		r.GaugeFunc("compiles_inflight", "Compiles currently executing on workers.",
@@ -290,8 +377,9 @@ func (s *Server) logRequest(r *http.Request, rw *statusWriter, dur time.Duration
 // HTTPStatus maps the cerr taxonomy onto HTTP statuses. The mapping
 // is part of the service contract and documented in the README:
 //
-//	ERR_INVALID_PARAMS, ERR_DECK_PARSE,
-//	ERR_MARCH_PARSE, ERR_PLANE_PARSE       -> 400 Bad Request
+//	ERR_BAD_REQUEST, ERR_INVALID_PARAMS,
+//	ERR_DECK_PARSE, ERR_MARCH_PARSE,
+//	ERR_PLANE_PARSE                        -> 400 Bad Request
 //	ERR_GEOMETRY, ERR_NETLIST, ERR_FLOORPLAN,
 //	ERR_SIM_DIVERGED, ERR_NON_FINITE,
 //	ERR_REPAIR_FAILED                      -> 422 Unprocessable Entity
@@ -302,7 +390,7 @@ func (s *Server) logRequest(r *http.Request, rw *statusWriter, dur time.Duration
 // pipeline error exists.)
 func HTTPStatus(err error) int {
 	switch cerr.CodeOf(err) {
-	case cerr.CodeInvalidParams, cerr.CodeDeckParse, cerr.CodeMarchParse, cerr.CodePlaneParse:
+	case cerr.CodeBadRequest, cerr.CodeInvalidParams, cerr.CodeDeckParse, cerr.CodeMarchParse, cerr.CodePlaneParse:
 		return http.StatusBadRequest
 	case cerr.CodeGeometry, cerr.CodeNetlist, cerr.CodeFloorplan,
 		cerr.CodeSimDiverged, cerr.CodeNonFinite, cerr.CodeRepairFailed:
@@ -314,32 +402,54 @@ func HTTPStatus(err error) int {
 	}
 }
 
-// errorBody is the JSON error envelope.
-type errorBody struct {
-	Error struct {
-		Code    string `json:"code"`
-		Stage   string `json:"stage,omitempty"`
-		Message string `json:"message"`
-		HTTP    int    `json:"http"`
-	} `json:"error"`
+// wireError is the envelope's error member.
+type wireError struct {
+	Code    string `json:"code"`
+	Stage   string `json:"stage,omitempty"`
+	Message string `json:"message"`
 }
 
-// writeError renders err with its mapped (or overridden) status.
+// envelope is the uniform /v1 response document: exactly one payload
+// member (job, sweep or data) plus an explicit error slot that is
+// null on success.
+type envelope struct {
+	Job   any        `json:"job,omitempty"`
+	Sweep any        `json:"sweep,omitempty"`
+	Data  any        `json:"data,omitempty"`
+	Error *wireError `json:"error"`
+}
+
+// writeError renders err in the envelope with its mapped (or
+// overridden) status.
 func (s *Server) writeError(w http.ResponseWriter, err error, statusOverride int) {
 	status := statusOverride
 	if status == 0 {
 		status = HTTPStatus(err)
 	}
-	var body errorBody
-	body.Error.Code = cerr.CodeOf(err).String()
-	body.Error.Stage = cerr.StageOf(err)
-	body.Error.Message = err.Error()
-	body.Error.HTTP = status
-	s.byCode.Add(body.Error.Code, 1)
-	if rw, ok := w.(*statusWriter); ok {
-		rw.meta.errCode = body.Error.Code
+	we := &wireError{
+		Code:    cerr.CodeOf(err).String(),
+		Stage:   cerr.StageOf(err),
+		Message: err.Error(),
 	}
-	s.writeJSON(w, status, body)
+	s.byCode.Add(we.Code, 1)
+	if rw, ok := w.(*statusWriter); ok {
+		rw.meta.errCode = we.Code
+	}
+	s.writeJSON(w, status, envelope{Error: we})
+}
+
+// writeJob / writeSweep / writeData render a success envelope with
+// the given payload member.
+func (s *Server) writeJob(w http.ResponseWriter, status int, v any) {
+	s.writeJSON(w, status, envelope{Job: v})
+}
+
+func (s *Server) writeSweep(w http.ResponseWriter, status int, v any) {
+	s.writeJSON(w, status, envelope{Sweep: v})
+}
+
+func (s *Server) writeData(w http.ResponseWriter, status int, v any) {
+	s.writeJSON(w, status, envelope{Data: v})
 }
 
 // writeJSON renders v as canonical JSON.
@@ -355,7 +465,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(b)
 }
 
-// compileResponse is the submit/result envelope.
+// compileResponse is the "job" payload of submit/result responses.
 type compileResponse struct {
 	Key      string `json:"key"`
 	JobID    string `json:"job_id,omitempty"`
@@ -363,11 +473,30 @@ type compileResponse struct {
 	Cached   bool   `json:"cached"`
 	Deduped  bool   `json:"deduped,omitempty"`
 	Degraded bool   `json:"degraded,omitempty"`
+	// CacheTier names the tier a cached response was served from:
+	// "hit" (memory) or "hit-disk" (store, promoted to memory).
+	CacheTier string `json:"cache_tier,omitempty"`
 	// ElapsedMs is the server-side handling time for this request —
 	// on a cache hit it collapses to lookup cost.
 	ElapsedMs float64         `json:"elapsed_ms"`
 	Artifacts map[string]int  `json:"artifacts,omitempty"` // name -> byte size
 	Report    json.RawMessage `json:"report,omitempty"`
+}
+
+// lookupEntry probes the two-tier artifact cache: the in-memory LRU
+// first, then the disk store, promoting disk hits into memory. The
+// returned tier is "hit", "hit-disk" or "miss".
+func (s *Server) lookupEntry(key string) (*cache.Entry, string, bool) {
+	if e, ok := s.cfg.Cache.Get(key); ok {
+		return e, "hit", true
+	}
+	if st := s.cfg.Store; st != nil {
+		if e, ok := st.Get(key); ok {
+			s.cfg.Cache.Put(e)
+			return e, "hit-disk", true
+		}
+	}
+	return nil, "miss", false
 }
 
 // handleCompile is POST /v1/compile.
@@ -403,12 +532,19 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Content-addressed fast path: an identical fully-validated input
-	// has already been compiled.
-	if entry, ok := s.cfg.Cache.Get(key); ok {
+	// has already been compiled, in this process (memory tier) or a
+	// previous one (disk tier).
+	if entry, tier, ok := s.lookupEntry(key); ok {
 		s.metrics.Add("compile_cache_hits", 1)
 		s.cacheHits.Inc()
-		s.annotateCache(w, "hit")
-		s.writeJSON(w, http.StatusOK, s.entryResponse(entry, "", false, startT, true))
+		if tier == "hit-disk" {
+			s.metrics.Add("compile_store_hits", 1)
+			s.storeHits.Inc()
+		}
+		s.annotateCache(w, tier)
+		resp := s.entryResponse(entry, "", false, startT, true)
+		resp.CacheTier = tier
+		s.writeJob(w, http.StatusOK, resp)
 		return
 	}
 	s.annotateCache(w, "miss")
@@ -441,7 +577,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if r.URL.Query().Get("async") != "" {
-		s.writeJSON(w, http.StatusAccepted, compileResponse{
+		s.writeJob(w, http.StatusAccepted, compileResponse{
 			Key: key, JobID: job.ID, State: job.State().String(),
 			Deduped: deduped, ElapsedMs: msSince(startT),
 		})
@@ -459,7 +595,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		if waitCtx.Err() != nil && job.State() != jobs.StateFailed {
 			// The wait budget expired but the job lives on: hand back a
 			// handle instead of an error.
-			s.writeJSON(w, http.StatusAccepted, compileResponse{
+			s.writeJob(w, http.StatusAccepted, compileResponse{
 				Key: key, JobID: job.ID, State: job.State().String(),
 				Deduped: deduped, ElapsedMs: msSince(startT),
 			})
@@ -470,11 +606,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	entry := value.(*cache.Entry)
 	resp := s.entryResponse(entry, job.ID, deduped, startT, false)
-	s.writeJSON(w, http.StatusOK, resp)
+	s.writeJob(w, http.StatusOK, resp)
 }
 
-// runCompile executes the pipeline under the job context and renders
-// the cacheable artifact set.
+// runCompile executes the pipeline under the job context, renders the
+// cacheable artifact set and fills both cache tiers.
 func (s *Server) runCompile(ctx context.Context, key string, params compiler.Params) (*cache.Entry, error) {
 	d, err := compiler.CompileCtx(ctx, params)
 	if err != nil {
@@ -505,6 +641,13 @@ func (s *Server) runCompile(ctx context.Context, key string, params compiler.Par
 		}
 	}
 	s.cfg.Cache.Put(entry)
+	if st := s.cfg.Store; st != nil {
+		// Disk persistence is best-effort: a full disk or an over-budget
+		// object must not fail the compile that produced the entry.
+		if perr := st.Put(entry); perr != nil {
+			s.metrics.Add("store_put_errors", 1)
+		}
+	}
 	s.metrics.Add("compiles_total", 1)
 	return entry, nil
 }
@@ -539,7 +682,7 @@ func (s *Server) observeCompile(tr *obs.Trace, dur time.Duration, key string, er
 	io.WriteString(w, b.String())
 }
 
-// entryResponse builds the envelope for a completed entry.
+// entryResponse builds the "job" payload for a completed entry.
 func (s *Server) entryResponse(e *cache.Entry, jobID string, deduped bool, startT time.Time, cached bool) compileResponse {
 	sizes := make(map[string]int, len(e.Artifacts))
 	for name, b := range e.Artifacts {
@@ -599,7 +742,7 @@ func (s *Server) lookupJob(id string) (*jobs.Job, string, bool) {
 	return j, s.keyByID[id], ok
 }
 
-// jobStatusBody is the GET /v1/jobs/{id} envelope.
+// jobStatusBody is the "job" payload of GET /v1/jobs/{id}.
 type jobStatusBody struct {
 	JobID     string  `json:"job_id"`
 	Key       string  `json:"key"`
@@ -645,10 +788,11 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		body.Error = jerr.Error()
 		body.ErrorCode = cerr.CodeOf(jerr).String()
 	}
-	s.writeJSON(w, http.StatusOK, body)
+	s.writeJob(w, http.StatusOK, body)
 }
 
-// handleJobResult is GET /v1/jobs/{id}/result.
+// handleJobResult is GET /v1/jobs/{id}/result: the canonical compile
+// report under the envelope's "data" member.
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	j, _, ok := s.lookupJob(r.PathValue("id"))
 	if !ok {
@@ -657,7 +801,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	}
 	value, jerr, done := j.Peek()
 	if !done {
-		s.writeJSON(w, http.StatusAccepted, map[string]string{
+		s.writeJob(w, http.StatusAccepted, map[string]string{
 			"job_id": j.ID, "state": j.State().String(),
 		})
 		return
@@ -667,12 +811,12 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entry := value.(*cache.Entry)
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	w.Write(entry.Report)
+	s.writeData(w, http.StatusOK, json.RawMessage(entry.Report))
 }
 
-// handleJobArtifact is GET /v1/jobs/{id}/artifact/{name}.
+// handleJobArtifact is GET /v1/jobs/{id}/artifact/{name}: a raw
+// artifact stream (no envelope) with Content-Length and a per-kind
+// Content-Type.
 func (s *Server) handleJobArtifact(w http.ResponseWriter, r *http.Request) {
 	j, key, ok := s.lookupJob(r.PathValue("id"))
 	if !ok {
@@ -682,7 +826,7 @@ func (s *Server) handleJobArtifact(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	value, jerr, done := j.Peek()
 	if !done {
-		s.writeJSON(w, http.StatusAccepted, map[string]string{"job_id": j.ID, "state": j.State().String()})
+		s.writeJob(w, http.StatusAccepted, map[string]string{"job_id": j.ID, "state": j.State().String()})
 		return
 	}
 	if jerr != nil {
@@ -693,8 +837,8 @@ func (s *Server) handleJobArtifact(w http.ResponseWriter, r *http.Request) {
 	body, ok := entry.Artifacts[name]
 	if !ok {
 		// The job's entry may also have been evicted and refetched;
-		// consult the cache as a second chance.
-		if cached, hit := s.cfg.Cache.Get(key); hit {
+		// consult the two-tier cache as a second chance.
+		if cached, _, hit := s.lookupEntry(key); hit {
 			if b, ok2 := cached.Artifacts[name]; ok2 {
 				writeArtifact(w, name, b)
 				return
@@ -707,28 +851,79 @@ func (s *Server) handleJobArtifact(w http.ResponseWriter, r *http.Request) {
 	writeArtifact(w, name, body)
 }
 
-// writeArtifact renders an artifact with a sensible content type.
+// writeArtifact streams an artifact with its per-kind content type
+// and an explicit Content-Length, so clients can size progress bars
+// and proxies never have to buffer for chunking.
 func writeArtifact(w http.ResponseWriter, name string, body []byte) {
-	switch {
-	case strings.HasSuffix(name, ".json"):
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	case strings.HasSuffix(name, ".svg"):
-		w.Header().Set("Content-Type", "image/svg+xml")
-	default:
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	}
+	w.Header().Set("Content-Type", artifactContentType(name))
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
 }
 
+// artifactContentType maps an artifact name to its media type.
+func artifactContentType(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".json"):
+		return "application/json; charset=utf-8"
+	case strings.HasSuffix(name, ".svg"):
+		return "image/svg+xml"
+	case strings.HasSuffix(name, ".gds"):
+		return "application/octet-stream"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// handleSweepCreate is POST /v1/sweeps.
+func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBody))
+	if err != nil {
+		s.writeError(w, cerr.Wrap(cerr.CodeBadRequest, err, "server: sweep body"), http.StatusRequestEntityTooLarge)
+		return
+	}
+	spec, err := sweep.ParseSpec(body)
+	if err != nil {
+		s.writeError(w, err, 0)
+		return
+	}
+	sw, err := s.sweeps.Create(spec)
+	if err != nil {
+		s.writeError(w, err, 0)
+		return
+	}
+	s.metrics.Add("sweeps_total", 1)
+	s.writeSweep(w, http.StatusAccepted, sw.Status())
+}
+
+// handleSweepStatus is GET /v1/sweeps/{id}.
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweeps.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, cerr.New(cerr.CodeInvalidParams, "server: unknown sweep %q", r.PathValue("id")), http.StatusNotFound)
+		return
+	}
+	s.writeSweep(w, http.StatusOK, sw.Status())
+}
+
+// handleSweepResults is GET /v1/sweeps/{id}/results.
+func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweeps.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, cerr.New(cerr.CodeInvalidParams, "server: unknown sweep %q", r.PathValue("id")), http.StatusNotFound)
+		return
+	}
+	s.writeData(w, http.StatusOK, sw.Results())
+}
+
 // handleProcesses is GET /v1/processes.
 func (s *Server) handleProcesses(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{"processes": tech.Names()})
+	s.writeData(w, http.StatusOK, map[string]any{"processes": tech.Names()})
 }
 
 // handleTests is GET /v1/tests.
 func (s *Server) handleTests(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{"tests": canon.TestNames()})
+	s.writeData(w, http.StatusOK, map[string]any{"tests": canon.TestNames()})
 }
 
 // handleHealthz is GET /healthz.
@@ -752,13 +947,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type metricsBody struct {
 	Server  json.RawMessage `json:"server"`
 	Cache   cache.Stats     `json:"cache"`
+	Store   *store.Stats    `json:"store,omitempty"`
 	Queue   jobs.Stats      `json:"queue"`
 	Obs     map[string]any  `json:"obs"`
 	UptimeS float64         `json:"uptime_s"`
 }
 
 // handleMetrics is GET /metrics: dual exposition. The default is the
-// expvar-backed counter map plus cache, queue and obs-registry
+// expvar-backed counter map plus cache, store, queue and obs-registry
 // snapshots in one JSON document; ?format=prometheus renders the obs
 // registry as text exposition format 0.0.4 for scrapers.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -774,6 +970,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Queue:   s.cfg.Queue.Stats(),
 		Obs:     s.obsReg.Snapshot(),
 		UptimeS: time.Since(s.start).Seconds(),
+	}
+	if st := s.cfg.Store; st != nil {
+		stats := st.Stats()
+		body.Store = &stats
 	}
 	s.writeJSON(w, http.StatusOK, body)
 }

@@ -69,7 +69,19 @@ func postCompile(t *testing.T, ts *httptest.Server, body string, query string) (
 	if err := json.Unmarshal(raw, &m); err != nil {
 		t.Fatalf("bad JSON (%d): %s", resp.StatusCode, raw)
 	}
-	return resp.StatusCode, m
+	return resp.StatusCode, unwrap(m)
+}
+
+// unwrap peels the uniform /v1 envelope: a "job", "sweep" or "data"
+// payload is returned directly; error envelopes (and non-enveloped
+// documents like /healthz and /metrics) pass through whole.
+func unwrap(m map[string]any) map[string]any {
+	for _, member := range []string{"job", "sweep", "data"} {
+		if p, ok := m[member].(map[string]any); ok {
+			return p
+		}
+	}
+	return m
 }
 
 func getJSON(t *testing.T, url string) (int, map[string]any) {
@@ -87,7 +99,7 @@ func getJSON(t *testing.T, url string) (int, map[string]any) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		t.Fatalf("bad JSON (%d): %s", resp.StatusCode, raw)
 	}
-	return resp.StatusCode, m
+	return resp.StatusCode, unwrap(m)
 }
 
 func TestCompileSyncAndCacheHit(t *testing.T) {
@@ -408,6 +420,7 @@ func TestHTTPStatusTableTotal(t *testing.T) {
 	// Every taxonomy code must map to a non-500 class except
 	// internal/unknown — pinning the README table.
 	want := map[string]int{
+		"ERR_BAD_REQUEST":     400,
 		"ERR_INVALID_PARAMS":  400,
 		"ERR_DECK_PARSE":      400,
 		"ERR_MARCH_PARSE":     400,

@@ -1,0 +1,524 @@
+// Package store is the disk tier of the service's two-tier artifact
+// cache: a content-addressed object store with one file per content
+// key, layered under the in-memory internal/cache LRU so a daemon
+// restart keeps the working set warm.
+//
+// Guarantees:
+//
+//   - Atomic writes: every object is written to a temp file in the
+//     store directory and renamed into place, so a crash mid-write can
+//     never leave a half-object under a valid name.
+//   - Verified reads: each object file carries a SHA-256 of its
+//     payload; a mismatch (truncation, bit rot, manual edit) is
+//     detected on read, the file is moved into quarantine/ — never
+//     deleted, an operator may want the evidence — and the read
+//     reports a miss so the caller recompiles.
+//   - Byte-budget GC: when the resident size exceeds the configured
+//     budget the least-recently-accessed objects are removed first.
+//     Access times survive restarts (Get touches the file mtime), so
+//     LRU ordering is continuous across process bounces.
+//   - Startup index scan: Open walks the directory once, recording
+//     sizes and access times without reading object payloads;
+//     verification is deferred to first read.
+//
+// The key is internal/canon's content address of the fully-validated
+// compile inputs, so — exactly like the memory tier — a hit is always
+// semantically correct to serve.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cerr"
+)
+
+const (
+	// objectExt is the suffix of committed object files.
+	objectExt = ".entry"
+	// objectsDir, quarantineDir and tmpDir are the store's
+	// subdirectories.
+	objectsDir    = "objects"
+	quarantineDir = "quarantine"
+	tmpDir        = "tmp"
+	// headerMagic leads every object file; the version digit is bumped
+	// when the on-disk format changes (old files then quarantine on
+	// read and are recompiled, never misread). Version 2 frames the
+	// report and artifacts as raw byte sections behind a one-line JSON
+	// manifest, so a verified read costs one SHA-256 pass plus slicing
+	// — no base64, no multi-megabyte JSON decode. That keeps the
+	// disk-hit latency an order of magnitude under compile cost even
+	// for layout-bearing entries.
+	headerMagic = "bisramstore2"
+)
+
+// Config sizes a store.
+type Config struct {
+	// Dir is the store root; created if absent.
+	Dir string
+	// BudgetBytes bounds the resident object bytes; <= 0 means
+	// unbounded (no GC).
+	BudgetBytes int64
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Puts   uint64 `json:"puts"`
+	// Evictions counts objects removed by the byte-budget GC.
+	Evictions uint64 `json:"evictions"`
+	// Corrupt counts objects that failed SHA-256 (or envelope)
+	// verification on read and were quarantined.
+	Corrupt uint64 `json:"corrupt"`
+	// Rejected counts puts refused because a single object exceeded
+	// the whole budget.
+	Rejected    uint64 `json:"rejected"`
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	BudgetBytes int64  `json:"budget_bytes"`
+	// ScannedAtStartup is how many committed objects the opening index
+	// scan found — the restart-warmness headline number.
+	ScannedAtStartup int `json:"scanned_at_startup"`
+}
+
+// meta is the in-memory index record for one committed object.
+type meta struct {
+	size  int64
+	atime time.Time
+}
+
+// Store is the disk tier. Construct with Open; safe for concurrent
+// use.
+type Store struct {
+	dir    string
+	budget int64
+
+	mu      sync.Mutex
+	index   map[string]*meta
+	bytes   int64
+	scanned int
+
+	hits, misses, puts, evictions, corrupt, rejected uint64
+}
+
+// manifest is the first payload line of an object file: entry
+// metadata plus the byte layout of the raw sections that follow.
+// Section order matches the manifest order; sizes partition the
+// remaining payload exactly.
+type manifest struct {
+	Key      string `json:"key"`
+	Degraded bool   `json:"degraded,omitempty"`
+	// SavedAt is informational (forensics on quarantined files).
+	SavedAt  string    `json:"saved_at"`
+	Sections []section `json:"sections"`
+}
+
+// section names one raw byte range: "report" for the entry's report
+// document, "artifact:<name>" for each artifact.
+type section struct {
+	Name string `json:"name"`
+	Size int    `json:"size"`
+}
+
+// Open creates the directory layout, scans committed objects into the
+// index (sizes and mtimes only — payloads are verified lazily on
+// read) and clears any abandoned temp files from a previous crash.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, cerr.New(cerr.CodeInvalidParams, "store: empty directory")
+	}
+	s := &Store{
+		dir:    cfg.Dir,
+		budget: cfg.BudgetBytes,
+		index:  map[string]*meta{},
+	}
+	for _, sub := range []string{objectsDir, quarantineDir, tmpDir} {
+		if err := os.MkdirAll(filepath.Join(cfg.Dir, sub), 0o755); err != nil {
+			return nil, cerr.Wrap(cerr.CodeInternal, err, "store: creating %s", sub)
+		}
+	}
+	// Abandoned temp files are garbage by construction (the rename
+	// never happened); sweep them so they cannot accumulate.
+	if tmps, err := os.ReadDir(filepath.Join(cfg.Dir, tmpDir)); err == nil {
+		for _, e := range tmps {
+			os.Remove(filepath.Join(cfg.Dir, tmpDir, e.Name()))
+		}
+	}
+	ents, err := os.ReadDir(filepath.Join(cfg.Dir, objectsDir))
+	if err != nil {
+		return nil, cerr.Wrap(cerr.CodeInternal, err, "store: scanning objects")
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, objectExt) {
+			continue
+		}
+		key := strings.TrimSuffix(name, objectExt)
+		if !validKey(key) {
+			continue
+		}
+		info, ierr := e.Info()
+		if ierr != nil {
+			continue
+		}
+		s.index[key] = &meta{size: info.Size(), atime: info.ModTime()}
+		s.bytes += info.Size()
+	}
+	s.scanned = len(s.index)
+	// A budget smaller than what survived on disk is honoured
+	// immediately, oldest first.
+	s.mu.Lock()
+	s.gcLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Dir returns the store root.
+func (s *Store) Dir() string { return s.dir }
+
+// validKey accepts only 64-hex-digit content addresses, keeping path
+// construction injection-proof.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) objectPath(key string) string {
+	return filepath.Join(s.dir, objectsDir, key+objectExt)
+}
+
+// Put persists the entry under its content key: a one-line JSON
+// manifest plus raw byte sections behind a header line carrying the
+// payload's SHA-256, written to a temp file and renamed into place.
+// Oversized entries (larger than the whole budget) are rejected;
+// after a successful put the byte-budget GC runs.
+func (s *Store) Put(e *cache.Entry) error {
+	if !validKey(e.Key) {
+		return cerr.New(cerr.CodeInvalidParams, "store: invalid content key %q", e.Key)
+	}
+	payload, err := encodePayload(e)
+	if err != nil {
+		return cerr.Wrap(cerr.CodeInternal, err, "store: encoding %s", e.Key)
+	}
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %s\n", headerMagic, hex.EncodeToString(sum[:]))
+	size := int64(len(header) + len(payload))
+
+	s.mu.Lock()
+	if s.budget > 0 && size > s.budget {
+		s.rejected++
+		s.mu.Unlock()
+		return cerr.New(cerr.CodeInvalidParams,
+			"store: object %s (%d bytes) exceeds the whole budget (%d)", e.Key, size, s.budget)
+	}
+	s.mu.Unlock()
+
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, tmpDir), "put-*")
+	if err != nil {
+		return cerr.Wrap(cerr.CodeInternal, err, "store: temp file")
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.WriteString(header)
+	if werr == nil {
+		_, werr = tmp.Write(payload)
+	}
+	cerr2 := tmp.Close()
+	if werr != nil || cerr2 != nil {
+		os.Remove(tmpName)
+		if werr == nil {
+			werr = cerr2
+		}
+		return cerr.Wrap(cerr.CodeInternal, werr, "store: writing %s", e.Key)
+	}
+	if err := os.Rename(tmpName, s.objectPath(e.Key)); err != nil {
+		os.Remove(tmpName)
+		return cerr.Wrap(cerr.CodeInternal, err, "store: committing %s", e.Key)
+	}
+
+	now := time.Now()
+	s.mu.Lock()
+	if old, ok := s.index[e.Key]; ok {
+		s.bytes -= old.size
+	}
+	s.index[e.Key] = &meta{size: size, atime: now}
+	s.bytes += size
+	s.puts++
+	s.gcLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// Get reads and verifies the object for key. A verification failure
+// quarantines the file and reports a miss. On a hit the object's
+// access time is refreshed in the index and on disk (os.Chtimes), so
+// LRU ordering survives restarts.
+func (s *Store) Get(key string) (*cache.Entry, bool) {
+	if !validKey(key) {
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	_, known := s.index[key]
+	s.mu.Unlock()
+	if !known {
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+
+	path := s.objectPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		// Index said present but the file is gone (external deletion):
+		// treat as a miss and drop the index record.
+		s.dropIndex(key)
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	entry, verr := decodeObject(key, raw)
+	if verr != nil {
+		s.quarantine(key, path)
+		return nil, false
+	}
+
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort: LRU continuity across restarts
+	s.mu.Lock()
+	if m, ok := s.index[key]; ok {
+		m.atime = now
+	}
+	s.hits++
+	s.mu.Unlock()
+	return entry, true
+}
+
+// encodePayload renders the object payload: the JSON manifest line
+// followed by the raw sections in manifest order (report first, then
+// artifacts sorted by name for deterministic bytes).
+func encodePayload(e *cache.Entry) ([]byte, error) {
+	names := make([]string, 0, len(e.Artifacts))
+	for name := range e.Artifacts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	m := manifest{
+		Key:      e.Key,
+		Degraded: e.Degraded,
+		SavedAt:  time.Now().UTC().Format(time.RFC3339),
+		Sections: []section{{Name: "report", Size: len(e.Report)}},
+	}
+	total := len(e.Report)
+	for _, name := range names {
+		if strings.ContainsAny(name, "\n") {
+			return nil, fmt.Errorf("artifact name %q contains a newline", name)
+		}
+		m.Sections = append(m.Sections, section{Name: "artifact:" + name, Size: len(e.Artifacts[name])})
+		total += len(e.Artifacts[name])
+	}
+	line, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, 0, len(line)+1+total)
+	payload = append(payload, line...)
+	payload = append(payload, '\n')
+	payload = append(payload, e.Report...)
+	for _, name := range names {
+		payload = append(payload, e.Artifacts[name]...)
+	}
+	return payload, nil
+}
+
+// decodeObject verifies the header SHA-256 against the payload and
+// unpacks the entry by slicing the raw sections out of the verified
+// buffer — no per-byte decoding, so a disk hit costs one hash pass.
+// Every failure mode returns a distinct error for the quarantine log.
+func decodeObject(key string, raw []byte) (*cache.Entry, error) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("no header line")
+	}
+	header := string(raw[:nl])
+	payload := raw[nl+1:]
+	var magic, wantSum string
+	if _, err := fmt.Sscanf(header, "%s %s", &magic, &wantSum); err != nil || magic != headerMagic {
+		return nil, fmt.Errorf("bad header %q", header)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != wantSum {
+		return nil, fmt.Errorf("payload SHA-256 mismatch")
+	}
+	mnl := bytes.IndexByte(payload, '\n')
+	if mnl < 0 {
+		return nil, fmt.Errorf("no manifest line")
+	}
+	var m manifest
+	if err := json.Unmarshal(payload[:mnl], &m); err != nil {
+		return nil, fmt.Errorf("manifest JSON: %w", err)
+	}
+	if m.Key != key {
+		return nil, fmt.Errorf("object claims key %s", m.Key)
+	}
+	body := payload[mnl+1:]
+	entry := &cache.Entry{Key: m.Key, Degraded: m.Degraded}
+	off := 0
+	for _, sec := range m.Sections {
+		if sec.Size < 0 || off+sec.Size > len(body) {
+			return nil, fmt.Errorf("section %q overruns payload (%d+%d > %d)", sec.Name, off, sec.Size, len(body))
+		}
+		data := body[off : off+sec.Size : off+sec.Size]
+		off += sec.Size
+		switch {
+		case sec.Name == "report":
+			entry.Report = data
+		case strings.HasPrefix(sec.Name, "artifact:"):
+			if entry.Artifacts == nil {
+				entry.Artifacts = map[string][]byte{}
+			}
+			entry.Artifacts[strings.TrimPrefix(sec.Name, "artifact:")] = data
+		default:
+			// Unknown sections are skipped: a future same-version writer
+			// may add informational sections without breaking readers.
+		}
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("trailing %d bytes after sections", len(body)-off)
+	}
+	if entry.Report == nil {
+		return nil, fmt.Errorf("no report section")
+	}
+	return entry, nil
+}
+
+// quarantine moves a corrupt object out of the serving path (into
+// quarantine/, timestamped so repeated corruption of the same key
+// never collides) and removes it from the index.
+func (s *Store) quarantine(key, path string) {
+	dest := filepath.Join(s.dir, quarantineDir,
+		fmt.Sprintf("%s.%d%s", key, time.Now().UnixNano(), objectExt))
+	if err := os.Rename(path, dest); err != nil {
+		// Rename failed (e.g. the file vanished): remove so the corrupt
+		// bytes can never be served.
+		os.Remove(path)
+	}
+	s.dropIndex(key)
+	s.mu.Lock()
+	s.corrupt++
+	s.misses++
+	s.mu.Unlock()
+}
+
+// dropIndex removes key from the index, adjusting the byte total.
+func (s *Store) dropIndex(key string) {
+	s.mu.Lock()
+	if m, ok := s.index[key]; ok {
+		s.bytes -= m.size
+		delete(s.index, key)
+	}
+	s.mu.Unlock()
+}
+
+// Contains reports residency without touching counters, access times
+// or the payload.
+func (s *Store) Contains(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// gcLocked evicts least-recently-accessed objects until the byte
+// budget is respected. Caller holds s.mu.
+func (s *Store) gcLocked() {
+	if s.budget <= 0 {
+		return
+	}
+	for s.bytes > s.budget && len(s.index) > 0 {
+		oldestKey := ""
+		var oldest time.Time
+		for k, m := range s.index {
+			if oldestKey == "" || m.atime.Before(oldest) {
+				oldestKey, oldest = k, m.atime
+			}
+		}
+		m := s.index[oldestKey]
+		delete(s.index, oldestKey)
+		s.bytes -= m.size
+		s.evictions++
+		os.Remove(s.objectPath(oldestKey))
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits: s.hits, Misses: s.misses, Puts: s.puts,
+		Evictions: s.evictions, Corrupt: s.corrupt, Rejected: s.rejected,
+		Entries: len(s.index), Bytes: s.bytes, BudgetBytes: s.budget,
+		ScannedAtStartup: s.scanned,
+	}
+}
+
+// Keys returns resident keys sorted by access time, most recent
+// first — observability and test support.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type ka struct {
+		k string
+		t time.Time
+	}
+	out := make([]ka, 0, len(s.index))
+	for k, m := range s.index {
+		out = append(out, ka{k, m.atime})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].t.After(out[j].t) })
+	keys := make([]string, len(out))
+	for i, e := range out {
+		keys[i] = e.k
+	}
+	return keys
+}
+
+// QuarantinedCount reports how many files sit in quarantine/ on disk
+// (not just this process's corrupt counter) — restart-spanning
+// observability.
+func (s *Store) QuarantinedCount() int {
+	ents, err := os.ReadDir(filepath.Join(s.dir, quarantineDir))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,318 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+)
+
+func testKey(seed string) string {
+	sum := sha256.Sum256([]byte(seed))
+	return hex.EncodeToString(sum[:])
+}
+
+func testEntry(seed string, payloadBytes int) *cache.Entry {
+	return &cache.Entry{
+		Key:    testKey(seed),
+		Report: []byte(`{"name":"` + seed + `"}`),
+		Artifacts: map[string][]byte{
+			"datasheet.txt": []byte(strings.Repeat(seed[:1], payloadBytes)),
+		},
+	}
+}
+
+func open(t *testing.T, dir string, budget int64) *Store {
+	t.Helper()
+	s, err := Open(Config{Dir: dir, BudgetBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	e := testEntry("alpha", 100)
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(e.Key)
+	if !ok {
+		t.Fatal("put then get missed")
+	}
+	if string(got.Report) != string(e.Report) {
+		t.Fatalf("report %q != %q", got.Report, e.Report)
+	}
+	if string(got.Artifacts["datasheet.txt"]) != string(e.Artifacts["datasheet.txt"]) {
+		t.Fatal("artifact bytes drifted through the disk round trip")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMissAndInvalidKey(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	if _, ok := s.Get(testKey("nothing")); ok {
+		t.Fatal("hit on empty store")
+	}
+	if _, ok := s.Get("../../etc/passwd"); ok {
+		t.Fatal("path-shaped key must miss")
+	}
+	if err := s.Put(&cache.Entry{Key: "short"}); err == nil {
+		t.Fatal("invalid key accepted by Put")
+	}
+	if s.Stats().Misses < 2 {
+		t.Fatalf("misses %d", s.Stats().Misses)
+	}
+}
+
+func TestRestartWarmIndexScan(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	for _, seed := range []string{"a", "b", "c"} {
+		if err := s.Put(testEntry(seed, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "Restart": a brand-new store over the same directory.
+	s2 := open(t, dir, 0)
+	if got := s2.Stats().ScannedAtStartup; got != 3 {
+		t.Fatalf("startup scan found %d objects, want 3", got)
+	}
+	for _, seed := range []string{"a", "b", "c"} {
+		e, ok := s2.Get(testKey(seed))
+		if !ok {
+			t.Fatalf("object %s lost across restart", seed)
+		}
+		if !strings.Contains(string(e.Report), seed) {
+			t.Fatalf("object %s content wrong: %s", seed, e.Report)
+		}
+	}
+	if s2.Stats().Hits != 3 {
+		t.Fatalf("hits %d", s2.Stats().Hits)
+	}
+}
+
+func TestCorruptionQuarantinedNotServed(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	e := testEntry("victim", 200)
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the committed object mid-payload.
+	path := filepath.Join(dir, "objects", e.Key+".entry")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(e.Key); ok {
+		t.Fatal("corrupt object served")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 {
+		t.Fatalf("corrupt counter %d, want 1", st.Corrupt)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("corrupt object still indexed: %+v", st)
+	}
+	if s.QuarantinedCount() != 1 {
+		t.Fatalf("quarantine dir holds %d files, want 1", s.QuarantinedCount())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt object still under its serving name")
+	}
+	// The key is re-puttable after quarantine (recompile path).
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(e.Key); !ok {
+		t.Fatal("recompiled object not served")
+	}
+}
+
+func TestCorruptionVariants(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(raw []byte) []byte
+	}{
+		{"flipped-byte", func(raw []byte) []byte {
+			out := append([]byte(nil), raw...)
+			out[len(out)-3] ^= 0xff
+			return out
+		}},
+		{"bad-magic", func(raw []byte) []byte {
+			return append([]byte("wrongmagic deadbeef\n"), raw...)
+		}},
+		{"empty", func([]byte) []byte { return nil }},
+		{"no-newline", func([]byte) []byte { return []byte("bisramstore1 abc") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := open(t, dir, 0)
+			e := testEntry("x", 64)
+			if err := s.Put(e); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, "objects", e.Key+".entry")
+			raw, _ := os.ReadFile(path)
+			if err := os.WriteFile(path, tc.mutate(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get(e.Key); ok {
+				t.Fatal("corrupt variant served")
+			}
+			if s.Stats().Corrupt != 1 {
+				t.Fatalf("corrupt counter %d", s.Stats().Corrupt)
+			}
+		})
+	}
+}
+
+func TestWrongKeyObjectQuarantined(t *testing.T) {
+	// An object whose payload claims a different key than its filename
+	// (e.g. a manually renamed file) must not be served.
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	e := testEntry("real", 32)
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(dir, "objects", e.Key+".entry")
+	dst := filepath.Join(dir, "objects", testKey("imposter")+".entry")
+	raw, _ := os.ReadFile(src)
+	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := open(t, dir, 0)
+	if _, ok := s2.Get(testKey("imposter")); ok {
+		t.Fatal("renamed object served under the wrong key")
+	}
+	if s2.Stats().Corrupt != 1 {
+		t.Fatalf("corrupt %d", s2.Stats().Corrupt)
+	}
+}
+
+func TestByteBudgetGCEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	// Budget sized for roughly two of the three objects.
+	e1, e2, e3 := testEntry("1", 400), testEntry("2", 400), testEntry("3", 400)
+	s := open(t, dir, 1600)
+	if err := s.Put(e1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := s.Put(e2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	// Touch e1 so e2 becomes the LRU.
+	if _, ok := s.Get(e1.Key); !ok {
+		t.Fatal("e1 missing")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := s.Put(e3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(e2.Key) {
+		t.Fatal("LRU object e2 survived GC")
+	}
+	if !s.Contains(e1.Key) || !s.Contains(e3.Key) {
+		t.Fatalf("recently-used objects evicted: e1=%v e3=%v", s.Contains(e1.Key), s.Contains(e3.Key))
+	}
+	st := s.Stats()
+	if st.Evictions < 1 {
+		t.Fatalf("evictions %d", st.Evictions)
+	}
+	if st.Bytes > st.BudgetBytes {
+		t.Fatalf("resident %d exceeds budget %d", st.Bytes, st.BudgetBytes)
+	}
+	// The evicted file is really gone from disk.
+	if _, err := os.Stat(filepath.Join(dir, "objects", e2.Key+".entry")); !os.IsNotExist(err) {
+		t.Fatal("evicted object still on disk")
+	}
+}
+
+func TestOversizedObjectRejected(t *testing.T) {
+	s := open(t, t.TempDir(), 128)
+	if err := s.Put(testEntry("big", 4096)); err == nil {
+		t.Fatal("object larger than the whole budget accepted")
+	}
+	if s.Stats().Rejected != 1 {
+		t.Fatalf("rejected %d", s.Stats().Rejected)
+	}
+}
+
+func TestOpenHonoursShrunkBudget(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(testEntry(fmt.Sprintf("obj%d", i), 500)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	total := s.Stats().Bytes
+	s2 := open(t, dir, total/2)
+	st := s2.Stats()
+	if st.Bytes > total/2 {
+		t.Fatalf("reopened store over budget: %d > %d", st.Bytes, total/2)
+	}
+	if st.Entries >= 5 {
+		t.Fatalf("no objects evicted on shrunk reopen: %+v", st)
+	}
+}
+
+func TestTempFilesSweptOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	open(t, dir, 0) // create layout
+	junk := filepath.Join(dir, "tmp", "put-crashed")
+	if err := os.WriteFile(junk, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	open(t, dir, 0)
+	if _, err := os.Stat(junk); !os.IsNotExist(err) {
+		t.Fatal("abandoned temp file survived reopen")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := open(t, t.TempDir(), 1<<20)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				seed := fmt.Sprintf("w%d-%d", i, j%5)
+				if err := s.Put(testEntry(seed, 64)); err != nil {
+					t.Error(err)
+					return
+				}
+				if e, ok := s.Get(testKey(seed)); ok && e.Key != testKey(seed) {
+					t.Errorf("wrong entry under %s", seed)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Stats().Bytes < 0 {
+		t.Fatalf("negative resident size: %+v", s.Stats())
+	}
+}

@@ -1,0 +1,160 @@
+// Client-side bindings for the sweep API. cmd/experiments uses them
+// to run the paper's evaluation as a service client; the end-to-end
+// smoke tests use them to drive a real daemon.
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cerr"
+)
+
+// WireError is the service error envelope member.
+type WireError struct {
+	Code    string `json:"code"`
+	Stage   string `json:"stage,omitempty"`
+	Message string `json:"message"`
+}
+
+// Error renders the wire error in the CLI convention (code first).
+func (e *WireError) Error() string {
+	if e.Stage != "" {
+		return fmt.Sprintf("%s[%s]: %s", e.Code, e.Stage, e.Message)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// envelope mirrors the service's uniform /v1 response envelope.
+type envelope struct {
+	Sweep *Status         `json:"sweep"`
+	Data  json.RawMessage `json:"data"`
+	Error *WireError      `json:"error"`
+}
+
+// Client talks to a bisramgend instance.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:8047".
+	Base string
+	// HTTP is the underlying client; nil means a 30 s-timeout default.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the given base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// do runs one exchange and decodes the envelope, converting wire
+// errors into typed errors.
+func (c *Client) do(method, path string, body []byte) (*envelope, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return nil, cerr.Wrap(cerr.CodeInvalidParams, err, "sweep client: bad request")
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, cerr.Wrap(cerr.CodeInternal, err, "sweep client: %s %s", method, path)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, cerr.Wrap(cerr.CodeInternal, err, "sweep client: reading %s", path)
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, cerr.Wrap(cerr.CodeInternal, err,
+			"sweep client: %s %s returned non-envelope JSON (status %d)", method, path, resp.StatusCode)
+	}
+	if env.Error != nil {
+		return nil, env.Error
+	}
+	if resp.StatusCode >= 400 {
+		return nil, cerr.New(cerr.CodeInternal,
+			"sweep client: %s %s: status %d with null error", method, path, resp.StatusCode)
+	}
+	return &env, nil
+}
+
+// CreateSweep posts the spec and returns the initial status.
+func (c *Client) CreateSweep(s Spec) (*Status, error) {
+	body, err := json.Marshal(s)
+	if err != nil {
+		return nil, cerr.Wrap(cerr.CodeInvalidParams, err, "sweep client: encoding spec")
+	}
+	env, err := c.do(http.MethodPost, "/v1/sweeps", body)
+	if err != nil {
+		return nil, err
+	}
+	if env.Sweep == nil {
+		return nil, cerr.New(cerr.CodeInternal, "sweep client: create response missing sweep")
+	}
+	return env.Sweep, nil
+}
+
+// SweepStatus fetches the aggregate + per-point status.
+func (c *Client) SweepStatus(id string) (*Status, error) {
+	env, err := c.do(http.MethodGet, "/v1/sweeps/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	if env.Sweep == nil {
+		return nil, cerr.New(cerr.CodeInternal, "sweep client: status response missing sweep")
+	}
+	return env.Sweep, nil
+}
+
+// SweepResults fetches the evaluation rows.
+func (c *Client) SweepResults(id string) (*Results, error) {
+	env, err := c.do(http.MethodGet, "/v1/sweeps/"+id+"/results", nil)
+	if err != nil {
+		return nil, err
+	}
+	var res Results
+	if err := json.Unmarshal(env.Data, &res); err != nil {
+		return nil, cerr.Wrap(cerr.CodeInternal, err, "sweep client: results decode")
+	}
+	return &res, nil
+}
+
+// WaitSweep polls until the sweep leaves the running state or ctx
+// expires.
+func (c *Client) WaitSweep(ctx context.Context, id string, poll time.Duration) (*Status, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.SweepStatus(id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State != "running" {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, cerr.Wrap(cerr.CodeBudgetExceeded, ctx.Err(), "sweep client: waiting for %s", id)
+		case <-time.After(poll):
+		}
+	}
+}

@@ -1,0 +1,670 @@
+// Package sweep is the batch subsystem of the bisramgend service: it
+// expands a base compile request plus per-axis value lists (process,
+// words, bits per word, spare rows, defect density, march test) into
+// the cross product of concrete sweep points, runs each unique
+// compile through the shared jobs queue exactly once (points that
+// differ only in analysis parameters — defect density — share one
+// compile; points already resident in the two-tier artifact store
+// cost zero compiles), and aggregates per-point yield/area/timing
+// rows suitable for reproducing the paper's Fig. 4/5 and
+// Tables II/III.
+//
+// The paper's evaluation is exactly this shape — yield vs defect
+// density across spare-row counts, cost across processor
+// configurations — which is why cmd/experiments runs as a client of
+// this API.
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/canon"
+	"repro/internal/cerr"
+	"repro/internal/compiler"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/yield"
+)
+
+// DefaultMaxPoints bounds the expanded cross product of one sweep.
+const DefaultMaxPoints = 4096
+
+// DefaultRetain bounds how many sweeps the manager remembers
+// (oldest finished sweeps are forgotten first).
+const DefaultRetain = 256
+
+// Axes lists the swept dimensions. An empty axis means "the base
+// request's value". Defects is an analysis axis: it selects the
+// defect counts the yield model is evaluated at and never affects the
+// compile (points differing only in defects share one compile).
+type Axes struct {
+	Process []string  `json:"process,omitempty"`
+	Words   []int     `json:"words,omitempty"`
+	Bits    []int     `json:"bits,omitempty"` // bits per word (bpw)
+	Spares  []int     `json:"spares,omitempty"`
+	Defects []float64 `json:"defects,omitempty"`
+	Tests   []string  `json:"test,omitempty"`
+}
+
+// Spec is the POST /v1/sweeps wire form.
+type Spec struct {
+	// Version is the sweep wire-format version; 0 defaults to
+	// canon.WireVersion, anything else must equal it.
+	Version int `json:"version,omitempty"`
+	// Base is the compile request every point starts from.
+	Base canon.Request `json:"base"`
+	// Axes are the swept dimensions.
+	Axes Axes `json:"axes"`
+	// Priority is the jobs queue class for the sweep's compiles;
+	// empty defaults to "batch" so sweeps yield to interactive
+	// traffic.
+	Priority string `json:"priority,omitempty"`
+}
+
+// ParseSpec decodes the sweep wire form strictly (unknown fields and
+// trailing garbage rejected) and validates the version.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, cerr.Wrap(cerr.CodeBadRequest, err, "sweep: bad spec JSON")
+	}
+	if dec.More() {
+		return Spec{}, cerr.New(cerr.CodeBadRequest, "sweep: trailing data after spec JSON")
+	}
+	if s.Version != 0 && s.Version != canon.WireVersion {
+		return Spec{}, cerr.New(cerr.CodeBadRequest,
+			"sweep: unsupported spec version %d (this server speaks version %d)",
+			s.Version, canon.WireVersion)
+	}
+	return s, nil
+}
+
+// Point is one expanded sweep coordinate: a concrete compile request
+// plus the analysis defect count.
+type Point struct {
+	Req     canon.Request
+	Defects float64
+}
+
+// Expand returns the cross product of the spec's axes over its base
+// request, bounded by maxPoints. Axis order (process, words, bits,
+// spares, test, defects) fixes the point indexing, so identical specs
+// always enumerate identically.
+func (s Spec) Expand(maxPoints int) ([]Point, error) {
+	if maxPoints <= 0 {
+		maxPoints = DefaultMaxPoints
+	}
+	procs := s.Axes.Process
+	if len(procs) == 0 {
+		procs = []string{s.Base.Process} // "" keeps the base/default deck
+	}
+	words := s.Axes.Words
+	if len(words) == 0 {
+		words = []int{s.Base.Words}
+	}
+	bits := s.Axes.Bits
+	if len(bits) == 0 {
+		bits = []int{s.Base.BPW}
+	}
+	spares := s.Axes.Spares
+	if len(spares) == 0 {
+		spares = []int{s.Base.Spares}
+	}
+	tests := s.Axes.Tests
+	if len(tests) == 0 {
+		tests = []string{s.Base.Test} // "" keeps the base march/test
+	}
+	defects := s.Axes.Defects
+	if len(defects) == 0 {
+		defects = []float64{0}
+	}
+
+	n := len(procs) * len(words) * len(bits) * len(spares) * len(tests) * len(defects)
+	if n == 0 {
+		return nil, cerr.New(cerr.CodeBadRequest, "sweep: empty cross product")
+	}
+	if n > maxPoints {
+		return nil, cerr.New(cerr.CodeBadRequest,
+			"sweep: %d points exceed the per-sweep cap of %d", n, maxPoints)
+	}
+	out := make([]Point, 0, n)
+	for _, pr := range procs {
+		for _, w := range words {
+			for _, b := range bits {
+				for _, sp := range spares {
+					for _, ts := range tests {
+						for _, df := range defects {
+							req := s.Base
+							if pr != "" {
+								req.Process, req.Deck = pr, ""
+							}
+							if w != 0 {
+								req.Words = w
+							}
+							if b != 0 {
+								req.BPW = b
+							}
+							req.Spares = sp
+							if ts != "" {
+								req.Test, req.March = ts, ""
+							}
+							out = append(out, Point{Req: req, Defects: df})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// pointState is a point's lifecycle position.
+type pointState int32
+
+const (
+	pointPending pointState = iota
+	pointDone
+	pointFailed
+)
+
+// Metrics are the per-compile figures a sweep row derives from the
+// cached datasheet report.
+type Metrics struct {
+	Rows         int
+	Cols         int
+	GrowthFactor float64
+	AreaTotalMm2 float64
+	OverheadPct  float64
+	AccessNs     float64
+	Degraded     bool
+}
+
+// MetricsFromEntry extracts the sweep metrics from a cached compile
+// entry's canonical report.
+func MetricsFromEntry(e *cache.Entry) (Metrics, error) {
+	var r compiler.Report
+	if err := json.Unmarshal(e.Report, &r); err != nil {
+		return Metrics{}, cerr.Wrap(cerr.CodeInternal, err, "sweep: report parse")
+	}
+	return Metrics{
+		Rows:         r.Organisation.Rows,
+		Cols:         r.Organisation.Columns,
+		GrowthFactor: r.Area.GrowthFactor,
+		AreaTotalMm2: r.Area.Total / 1e6,
+		OverheadPct:  r.Area.OverheadPct,
+		AccessNs:     r.Timing.AccessNs,
+		Degraded:     len(r.Degradations) > 0,
+	}, nil
+}
+
+// point is the manager's per-point record.
+type point struct {
+	index   int
+	req     canon.Request // normalized
+	defects float64
+	key     string
+	spares  int
+
+	state   pointState
+	cached  bool
+	err     error
+	metrics Metrics
+}
+
+// group is one unique compile shared by 1..n points.
+type group struct {
+	key    string
+	params compiler.Params
+	points []*point
+	job    *jobs.Job // nil when served from the store
+}
+
+// Sweep is one tracked batch. Fields set at creation are immutable;
+// mutable state is guarded by mu.
+type Sweep struct {
+	ID      string
+	created time.Time
+	spec    Spec
+
+	mu      sync.Mutex
+	points  []*point
+	groups  []*group
+	pending int // points not yet terminal
+	done    chan struct{}
+}
+
+// Done is closed when every point is terminal.
+func (sw *Sweep) Done() <-chan struct{} { return sw.done }
+
+// PointStatus is one point's slot in the status document.
+type PointStatus struct {
+	Index     int     `json:"index"`
+	Key       string  `json:"key"`
+	JobID     string  `json:"job_id,omitempty"`
+	Status    string  `json:"status"` // pending | queued | running | done | failed
+	Cached    bool    `json:"cached,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	ErrorCode string  `json:"error_code,omitempty"`
+	Words     int     `json:"words"`
+	BPW       int     `json:"bpw"`
+	BPC       int     `json:"bpc"`
+	Spares    int     `json:"spares"`
+	Process   string  `json:"process"`
+	Test      string  `json:"test"`
+	Defects   float64 `json:"defects"`
+}
+
+// Status is the GET /v1/sweeps/{id} document: aggregate progress plus
+// per-point status.
+type Status struct {
+	ID             string        `json:"id"`
+	State          string        `json:"state"` // running | done | failed
+	Total          int           `json:"total"`
+	Pending        int           `json:"pending"`
+	Done           int           `json:"done"`
+	Failed         int           `json:"failed"`
+	Cached         int           `json:"cached"`
+	UniqueCompiles int           `json:"unique_compiles"`
+	CreatedAt      string        `json:"created_at"`
+	Points         []PointStatus `json:"points"`
+}
+
+// Row is one results row — the columns Fig. 4/5 and Tables II/III
+// derive from: the compiled array's measured growth factor, area and
+// access time, plus the yield model evaluated at the point's defect
+// count (no-repair baseline and BISR, as the paper plots them).
+type Row struct {
+	Index         int     `json:"index"`
+	Words         int     `json:"words"`
+	BPW           int     `json:"bpw"`
+	BPC           int     `json:"bpc"`
+	Spares        int     `json:"spares"`
+	Process       string  `json:"process"`
+	Test          string  `json:"test"`
+	Defects       float64 `json:"defects"`
+	GrowthFactor  float64 `json:"growth_factor"`
+	AreaTotalMm2  float64 `json:"area_total_mm2"`
+	OverheadPct   float64 `json:"overhead_pct"`
+	AccessNs      float64 `json:"access_ns"`
+	YieldNoRepair float64 `json:"yield_no_repair"`
+	YieldBISR     float64 `json:"yield_bisr"`
+	Improvement   float64 `json:"improvement"`
+	Cached        bool    `json:"cached"`
+	Degraded      bool    `json:"degraded,omitempty"`
+}
+
+// Results is the GET /v1/sweeps/{id}/results document. Rows cover
+// terminal successful points only; Complete is true once every point
+// is terminal.
+type Results struct {
+	SweepID  string `json:"sweep_id"`
+	Complete bool   `json:"complete"`
+	Total    int    `json:"total"`
+	Failed   int    `json:"failed"`
+	Rows     []Row  `json:"rows"`
+}
+
+// Config wires a Manager. Lookup and Run are the seams to the serving
+// layer: Lookup probes the two-tier artifact cache without compiling;
+// Run executes one compile (the server's pipeline + render + cache
+// fill) under the jobs queue.
+type Config struct {
+	Queue  *jobs.Queue
+	Lookup func(key string) (*cache.Entry, bool)
+	Run    func(ctx context.Context, key string, p compiler.Params) (*cache.Entry, error)
+	// OnJob, when non-nil, observes every job the manager submits
+	// (the server uses it to make sweep jobs visible on /v1/jobs).
+	OnJob func(j *jobs.Job, key string)
+	// Registry receives the sweep counters; nil disables telemetry.
+	Registry *obs.Registry
+	// MaxPoints caps one sweep's cross product; <= 0 means
+	// DefaultMaxPoints.
+	MaxPoints int
+	// Retain caps remembered sweeps; <= 0 means DefaultRetain.
+	Retain int
+}
+
+// Manager owns the sweep registry and drives point execution.
+type Manager struct {
+	cfg Config
+
+	mu     sync.Mutex
+	sweeps map[string]*Sweep
+	order  []string // creation order, for retention
+	nextID uint64
+
+	created      *obs.Counter
+	pointsTotal  *obs.Counter
+	pointsCached *obs.Counter
+	pointsFailed *obs.Counter
+}
+
+// NewManager builds a manager.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxPoints <= 0 {
+		cfg.MaxPoints = DefaultMaxPoints
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = DefaultRetain
+	}
+	m := &Manager{cfg: cfg, sweeps: map[string]*Sweep{}}
+	r := cfg.Registry
+	m.created = r.Counter("sweeps_created_total", "Sweeps accepted by POST /v1/sweeps.")
+	m.pointsTotal = r.Counter("sweep_points_total", "Sweep points expanded across all sweeps.")
+	m.pointsCached = r.Counter("sweep_points_cached_total",
+		"Sweep points satisfied from the artifact store without a compile.")
+	m.pointsFailed = r.Counter("sweep_points_failed_total", "Sweep points whose compile failed.")
+	return m
+}
+
+// Create expands, validates and launches a sweep: every point is
+// resolved to its content key, points sharing a key form one group,
+// groups already resident in the artifact store finish immediately
+// (zero compiles), and the rest are submitted to the jobs queue —
+// which itself dedups against identical in-flight compiles from any
+// other submitter.
+func (m *Manager) Create(spec Spec) (*Sweep, error) {
+	if spec.Version != 0 && spec.Version != canon.WireVersion {
+		return nil, cerr.New(cerr.CodeBadRequest,
+			"sweep: unsupported spec version %d", spec.Version)
+	}
+	pri, err := parsePriority(spec.Priority)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := spec.Expand(m.cfg.MaxPoints)
+	if err != nil {
+		return nil, err
+	}
+
+	sw := &Sweep{
+		created: time.Now(),
+		spec:    spec,
+		done:    make(chan struct{}),
+	}
+	byKey := map[string]*group{}
+	for i, rp := range raw {
+		params, perr := rp.Req.Params()
+		if perr != nil {
+			return nil, cerr.Wrap(cerr.CodeOf(perr), perr, "sweep: point %d invalid", i)
+		}
+		key, kerr := canon.KeyOfParams(params)
+		if kerr != nil {
+			return nil, kerr
+		}
+		pt := &point{
+			index:   i,
+			req:     rp.Req.Normalized(),
+			defects: rp.Defects,
+			key:     key,
+			spares:  rp.Req.Spares,
+		}
+		sw.points = append(sw.points, pt)
+		g, ok := byKey[key]
+		if !ok {
+			g = &group{key: key, params: params}
+			byKey[key] = g
+			sw.groups = append(sw.groups, g)
+		}
+		g.points = append(g.points, pt)
+	}
+	sw.pending = len(sw.points)
+
+	m.mu.Lock()
+	m.nextID++
+	sw.ID = fmt.Sprintf("sweep-%06d", m.nextID)
+	m.sweeps[sw.ID] = sw
+	m.order = append(m.order, sw.ID)
+	m.retainLocked()
+	m.mu.Unlock()
+	m.created.Inc()
+	m.pointsTotal.Add(uint64(len(sw.points)))
+
+	// Launch the groups. Store hits finish synchronously; misses go
+	// through the queue with one waiter goroutine per group.
+	for _, g := range sw.groups {
+		if entry, ok := m.cfg.Lookup(g.key); ok {
+			m.finishGroup(sw, g, entry, nil, true)
+			continue
+		}
+		g := g
+		params := g.params
+		key := g.key
+		job, _, serr := m.cfg.Queue.Submit(key, pri, func(ctx context.Context) (any, error) {
+			return m.cfg.Run(ctx, key, params)
+		})
+		if serr != nil {
+			// Queue full or draining: the whole group fails (the sweep
+			// as a unit stays useful — other groups proceed).
+			m.finishGroup(sw, g, nil, serr, false)
+			continue
+		}
+		sw.mu.Lock()
+		g.job = job
+		sw.mu.Unlock()
+		if m.cfg.OnJob != nil {
+			m.cfg.OnJob(job, key)
+		}
+		go func() {
+			v, jerr := job.Result(context.Background())
+			if jerr != nil {
+				m.finishGroup(sw, g, nil, jerr, false)
+				return
+			}
+			m.finishGroup(sw, g, v.(*cache.Entry), nil, false)
+		}()
+	}
+	return sw, nil
+}
+
+// parsePriority maps the sweep wire priority (default batch) onto the
+// jobs classes.
+func parsePriority(s string) (jobs.Priority, error) {
+	if s == "" {
+		return jobs.Batch, nil
+	}
+	return jobs.ParsePriority(s)
+}
+
+// finishGroup marks every point of g terminal with the given outcome.
+func (m *Manager) finishGroup(sw *Sweep, g *group, entry *cache.Entry, err error, cached bool) {
+	var met Metrics
+	if err == nil {
+		met, err = MetricsFromEntry(entry)
+	}
+	sw.mu.Lock()
+	for _, pt := range g.points {
+		if pt.state != pointPending {
+			continue
+		}
+		if err != nil {
+			pt.state = pointFailed
+			pt.err = err
+			m.pointsFailed.Inc()
+		} else {
+			pt.state = pointDone
+			pt.cached = cached
+			pt.metrics = met
+			if cached {
+				m.pointsCached.Inc()
+			}
+		}
+		sw.pending--
+	}
+	finished := sw.pending == 0
+	sw.mu.Unlock()
+	if finished {
+		close(sw.done)
+	}
+}
+
+// retainLocked forgets the oldest finished sweeps beyond the
+// retention cap. Caller holds m.mu.
+func (m *Manager) retainLocked() {
+	for len(m.order) > m.cfg.Retain {
+		evicted := false
+		for i, id := range m.order {
+			sw := m.sweeps[id]
+			sw.mu.Lock()
+			fin := sw.pending == 0
+			sw.mu.Unlock()
+			if fin {
+				delete(m.sweeps, id)
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything retained is still running
+		}
+	}
+}
+
+// Get resolves a sweep by id.
+func (m *Manager) Get(id string) (*Sweep, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sw, ok := m.sweeps[id]
+	return sw, ok
+}
+
+// Count returns how many sweeps the manager currently retains.
+func (m *Manager) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sweeps)
+}
+
+// Status snapshots the sweep.
+func (sw *Sweep) Status() Status {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	st := Status{
+		ID:             sw.ID,
+		Total:          len(sw.points),
+		UniqueCompiles: len(sw.groups),
+		CreatedAt:      sw.created.UTC().Format(time.RFC3339Nano),
+	}
+	jobByKey := map[string]*jobs.Job{}
+	for _, g := range sw.groups {
+		if g.job != nil {
+			jobByKey[g.key] = g.job
+		}
+	}
+	for _, pt := range sw.points {
+		ps := PointStatus{
+			Index: pt.index, Key: pt.key,
+			Words: pt.req.Words, BPW: pt.req.BPW, BPC: pt.req.BPC,
+			Spares: pt.spares, Process: describeProcess(pt.req),
+			Test: describeTest(pt.req), Defects: pt.defects,
+			Cached: pt.cached,
+		}
+		if j := jobByKey[pt.key]; j != nil {
+			ps.JobID = j.ID
+		}
+		switch pt.state {
+		case pointDone:
+			ps.Status = "done"
+			st.Done++
+			if pt.cached {
+				st.Cached++
+			}
+		case pointFailed:
+			ps.Status = "failed"
+			ps.Error = pt.err.Error()
+			ps.ErrorCode = cerr.CodeOf(pt.err).String()
+			st.Failed++
+		default:
+			st.Pending++
+			ps.Status = "queued"
+			if j := jobByKey[pt.key]; j != nil && j.State() == jobs.StateRunning {
+				ps.Status = "running"
+			}
+		}
+		st.Points = append(st.Points, ps)
+	}
+	switch {
+	case st.Pending > 0:
+		st.State = "running"
+	case st.Failed == st.Total:
+		st.State = "failed"
+	default:
+		st.State = "done"
+	}
+	return st
+}
+
+// describeProcess names the point's process for status/result rows.
+func describeProcess(r canon.Request) string {
+	if r.Deck != "" {
+		return "inline-deck"
+	}
+	return r.Process
+}
+
+// describeTest names the point's march test.
+func describeTest(r canon.Request) string {
+	if r.March != "" {
+		return "custom"
+	}
+	return r.Test
+}
+
+// Results derives the evaluation rows from the terminal points: the
+// measured growth factor feeds the yield model at the point's defect
+// count, exactly as Fig. 4 builds its curves from compiled layouts.
+func (sw *Sweep) Results() Results {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	res := Results{
+		SweepID:  sw.ID,
+		Complete: sw.pending == 0,
+		Total:    len(sw.points),
+	}
+	for _, pt := range sw.points {
+		switch pt.state {
+		case pointFailed:
+			res.Failed++
+			continue
+		case pointPending:
+			continue
+		}
+		met := pt.metrics
+		row := Row{
+			Index: pt.index,
+			Words: pt.req.Words, BPW: pt.req.BPW, BPC: pt.req.BPC,
+			Spares: pt.spares, Process: describeProcess(pt.req),
+			Test: describeTest(pt.req), Defects: pt.defects,
+			GrowthFactor: met.GrowthFactor,
+			AreaTotalMm2: met.AreaTotalMm2,
+			OverheadPct:  met.OverheadPct,
+			AccessNs:     met.AccessNs,
+			Cached:       pt.cached,
+			Degraded:     met.Degraded,
+		}
+		base := yield.Model{Rows: met.Rows, Cols: met.Cols, GrowthFactor: 1}
+		row.YieldNoRepair = base.YieldNoRepair(pt.defects)
+		if pt.spares > 0 {
+			m := yield.Model{
+				Rows: met.Rows, Cols: met.Cols,
+				Spares: pt.spares, GrowthFactor: met.GrowthFactor,
+			}
+			row.YieldBISR = m.YieldBISR(pt.defects)
+			row.Improvement = m.ImprovementFactor(pt.defects)
+		} else {
+			row.YieldBISR = row.YieldNoRepair
+			row.Improvement = 1
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
