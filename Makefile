@@ -9,12 +9,16 @@
 
 GO       ?= go
 FUZZTIME ?= 5s
+# BENCH_OUT names the checked-in benchmark evidence file; bump the
+# numeral with the PR that re-measures (schema in EXPERIMENTS.md).
+BENCH_OUT  ?= results/BENCH_5.json
+BENCHCOUNT ?= 3
 
-.PHONY: all check build vet test race serve-smoke obs-smoke sweep-smoke fuzz-smoke campaign serve ci
+.PHONY: all check build vet test race serve-smoke obs-smoke sweep-smoke fuzz-smoke campaign serve ci bench bench-smoke
 
 all: check
 
-check: vet build race serve-smoke sweep-smoke
+check: vet build race serve-smoke sweep-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -54,6 +58,23 @@ obs-smoke:
 # byte-identical to locally compiled ones.
 sweep-smoke:
 	$(GO) test -race -run 'TestStoreRestartSmoke|TestSweepSmoke' -count=1 ./cmd/bisramgend/
+
+# Full benchmark sweep: every Fig/Table experiment benchmark plus the
+# substrate micro-benchmarks, -count=$(BENCHCOUNT) with -benchmem, the
+# averaged results rendered to $(BENCH_OUT) by cmd/benchjson (schema
+# documented in EXPERIMENTS.md). Compare BenchmarkCompile64kbyte vs
+# BenchmarkCompileParallel for the parallel-compile speedup, and
+# either against an older results/BENCH_*.json for the memoization +
+# extraction wins.
+bench:
+	@mkdir -p results
+	$(GO) test -run '^$$' -bench . -benchmem -count=$(BENCHCOUNT) . | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+# One-iteration pass over the compile benchmarks: a fast gate that the
+# benchmark harness itself still compiles and runs (wired into
+# `make check`; it measures nothing).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkCompile(64kbyte|Parallel|Untraced|Traced)' -benchtime=1x -count=1 .
 
 # Run the compile daemon locally with the documented defaults.
 serve:

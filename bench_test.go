@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -171,6 +172,27 @@ func BenchmarkCompile64kbyte(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileParallel is BenchmarkCompile64kbyte with the
+// concurrency knob wide open: same parameters, same output bytes
+// (the byte-determinism contract), different wall clock. Compare the
+// two in results/BENCH_*.json for the parallel-speedup evidence; on a
+// single-core host the two converge (the DAG cannot beat one CPU),
+// while the memoized leaf-cell library and bucketed extraction show
+// up in both.
+func BenchmarkCompileParallel(b *testing.B) {
+	p := compiler.Params{
+		Words: 4096, BPW: 128, BPC: 8, Spares: 4,
+		BufSize: 2, StrapCells: 32, Process: tech.CDA07,
+		Parallelism: runtime.GOMAXPROCS(0),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := compiler.Compile(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCompileUntraced / BenchmarkCompileTraced measure the span
 // overhead contract of internal/obs: run both and compare —
 //
@@ -269,6 +291,7 @@ func BenchmarkTLBLookup(b *testing.B) {
 func BenchmarkSpiceInverterTransient(b *testing.B) {
 	p := tech.CDA07
 	l := float64(p.Feature) * 1e-9
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := spice.InverterDelays(p, 2e-6, 4e-6, l, 50e-15); err != nil {
 			b.Fatal(err)
@@ -312,6 +335,7 @@ func BenchmarkExtract6TArray(b *testing.B) {
 			tile.Place("x", lib.SRAM.Cell, geom.R0, geom.Point{X: c * cw, Y: r * ch})
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		extract.Extract(tile)
@@ -330,6 +354,7 @@ func BenchmarkChannelRoute(b *testing.B) {
 			},
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := route.Route(nets); err != nil {
@@ -402,6 +427,7 @@ func BenchmarkFloorplan16(b *testing.B) {
 		c.Abut = geom.R(0, 0, 200+rng.Intn(2000), 200+rng.Intn(2000))
 		macros = append(macros, floorplan.Macro{Name: c.Name, Cell: c})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := floorplan.Place(tech.CDA07, macros, nil); err != nil {

@@ -1,0 +1,169 @@
+// Command benchjson converts `go test -bench -benchmem` text output
+// into the stable machine-readable form checked in under results/
+// (BENCH_<pr>.json): a JSON object mapping benchmark name to its
+// measured ns/op, bytes/op and allocs/op. With -count > 1 the
+// repeated lines for one benchmark are averaged and the run count is
+// recorded, so noisy single runs do not dominate the checked-in
+// numbers.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -count=3 . | go run ./cmd/benchjson -o results/BENCH_5.json
+//
+// The output schema (documented in EXPERIMENTS.md) is:
+//
+//	{
+//	  "go_version": "go1.24.0",
+//	  "goos": "linux", "goarch": "amd64", "cpu": "...",
+//	  "gomaxprocs": 1,
+//	  "benchmarks": {
+//	    "BenchmarkCompile64kbyte": {
+//	      "ns_op": 9720000.0, "bytes_op": 6250787.0,
+//	      "allocs_op": 83757.0, "runs": 3
+//	    }, ...
+//	  }
+//	}
+//
+// Benchmark names are stripped of the -N GOMAXPROCS suffix Go appends
+// under parallelism, so keys stay stable across machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Stat accumulates the averaged measurements of one benchmark.
+type Stat struct {
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  float64 `json:"bytes_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	Runs     int     `json:"runs"`
+}
+
+// Doc is the output schema.
+type Doc struct {
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	CPU        string          `json:"cpu,omitempty"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Benchmarks map[string]Stat `json:"benchmarks"`
+}
+
+// benchLine matches one result row, e.g.
+//
+//	BenchmarkExtract6TArray-8   100   11300000 ns/op   524288 B/op   1024 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	type acc struct {
+		ns, by, al float64
+		runs       int
+	}
+	sums := map[string]*acc{}
+	var cpu string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "cpu:") {
+			cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		a := sums[m[1]]
+		if a == nil {
+			a = &acc{}
+			sums[m[1]] = a
+		}
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		a.ns += ns
+		if m[4] != "" {
+			by, _ := strconv.ParseFloat(m[4], 64)
+			a.by += by
+		}
+		if m[5] != "" {
+			al, _ := strconv.ParseFloat(m[5], 64)
+			a.al += al
+		}
+		a.runs++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(sums) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	doc := Doc{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPU:        cpu,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: make(map[string]Stat, len(sums)),
+	}
+	for name, a := range sums {
+		n := float64(a.runs)
+		doc.Benchmarks[name] = Stat{
+			NsOp:     round1(a.ns / n),
+			BytesOp:  round1(a.by / n),
+			AllocsOp: round1(a.al / n),
+			Runs:     a.runs,
+		}
+	}
+
+	// encoding/json sorts map keys, so the document is reproducible up
+	// to measurement noise; keep a deterministic trailing newline.
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(sums))
+	for n := range sums {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s (%s)\n",
+		len(names), *out, strings.Join(names[:min(len(names), 5)], ", "))
+}
+
+func round1(v float64) float64 {
+	return float64(int64(v*10+0.5)) / 10
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/canon"
@@ -61,6 +62,7 @@ func main() {
 		outDir   = flag.String("out", "bisram_out", "output directory")
 		ascii    = flag.Bool("ascii", false, "print an ASCII floorplan to stdout")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the compile to this file (load in chrome://tracing)")
+		par      = flag.Int("compile-par", runtime.GOMAXPROCS(0), "per-compile goroutine fan-out (output is byte-identical at any value; 1 = serial)")
 	)
 	// -dump-request doubles as a boolean-ish flag: plain
 	// `-dump-request` with no value is awkward in the flag package, so
@@ -86,6 +88,13 @@ func main() {
 	p, err := req.Params()
 	if err != nil {
 		fatal(err)
+	}
+	// Local concurrency default, applied after keying material is
+	// fixed: parallelism never reaches the canonical key or the dumped
+	// request, it only bounds this process's goroutine fan-out. A
+	// request file naming an explicit parallelism wins.
+	if p.Parallelism == 0 && *par > 0 {
+		p.Parallelism = *par
 	}
 	key, err := canon.KeyOfParams(p)
 	if err != nil {

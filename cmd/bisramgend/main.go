@@ -51,6 +51,7 @@ func main() {
 		slowCompile  = flag.Duration("slow-compile", 0, "dump the span tree of any compile slower than this (0 = off)")
 		storeDir     = flag.String("store-dir", "", "disk artifact store directory (empty disables persistence; restarts over the same directory stay warm)")
 		storeMB      = flag.Int64("store-mb", 0, "disk store byte budget in MiB (0 = unbounded; LRU GC above the budget)")
+		compilePar   = flag.Int("compile-par", runtime.GOMAXPROCS(0), "per-compile goroutine fan-out for requests that don't name one (output is byte-identical at any value; 1 = serial)")
 	)
 	flag.Parse()
 
@@ -87,6 +88,8 @@ func main() {
 		EnablePprof:   *enablePprof,
 		SlowCompile:   *slowCompile,
 		SlowLogWriter: os.Stderr,
+
+		CompileParallelism: *compilePar,
 	})
 
 	httpSrv := &http.Server{

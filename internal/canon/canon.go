@@ -87,6 +87,15 @@ type Request struct {
 	ANDPlane  string `json:"and_plane,omitempty"`
 	ORPlane   string `json:"or_plane,omitempty"`
 	StateBits int    `json:"state_bits,omitempty"`
+
+	// Parallelism bounds the goroutine fan-out of the compile's
+	// independent stages (0 lets the server pick its configured
+	// default). It is an execution knob, not a design input: the
+	// compiler guarantees byte-identical output for every value, so
+	// Parallelism is deliberately EXCLUDED from the canonical key form
+	// — a parallel compile must hit the cache entry a serial compile
+	// wrote, and vice versa (see keyForm and the golden-key test).
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Defaults, shared with the CLI flag definitions.
@@ -180,6 +189,7 @@ func (r Request) Params() (compiler.Params, error) {
 		Words: r.Words, BPW: r.BPW, BPC: r.BPC, Spares: r.Spares,
 		BufSize: r.BufSize, StrapCells: r.StrapCells,
 		RefineIterations: r.RefineIterations,
+		Parallelism:      r.Parallelism,
 		Process:          proc, Test: alg,
 	}
 
@@ -205,6 +215,11 @@ func (r Request) Params() (compiler.Params, error) {
 // keyForm is the canonical document that gets hashed: the resolved,
 // validated inputs, never the raw request. Field names are part of the
 // key schema; bump KeyVersion when changing them.
+//
+// Parallelism is deliberately NOT a field here: it is an execution
+// knob with no influence on the output bytes (the compiler's
+// byte-determinism contract), so requests differing only in
+// parallelism must alias to one cache entry.
 type keyForm struct {
 	V          int           `json:"v"`
 	Words      int           `json:"words"`

@@ -1,0 +1,135 @@
+package canon
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/tech"
+)
+
+// TestParallelismExcludedFromKey pins the cache-aliasing contract:
+// requests and params that differ only in the concurrency knob hash
+// to the same content address, because the compiler guarantees the
+// output bytes do not depend on it.
+func TestParallelismExcludedFromKey(t *testing.T) {
+	base := Request{Words: 256, BPW: 8, BPC: 4, Spares: 4}
+	k0, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Parallelism = 16
+	k16, err := par.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 != k16 {
+		t.Fatalf("parallelism leaked into the content key: %s vs %s", k0, k16)
+	}
+
+	p, err := base.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := p
+	pp.Parallelism = 64
+	kp0, err := KeyOfParams(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp64, err := KeyOfParams(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp0 != kp64 {
+		t.Fatalf("KeyOfParams depends on parallelism: %s vs %s", kp0, kp64)
+	}
+}
+
+// TestSerialParallelCompileSameKeyAndBytes is the end-to-end
+// determinism check the serving layer relies on: resolve one request
+// twice — serial and with the knob wide open — compile both, and
+// require identical content keys AND identical datasheet bytes. Under
+// `go test -race` (make race) this also proves the concurrent stage
+// DAG is race-free.
+func TestSerialParallelCompileSameKeyAndBytes(t *testing.T) {
+	req := Request{Words: 256, BPW: 8, BPC: 4, Spares: 4,
+		RefineIterations: 1500}
+
+	serialReq := req
+	serialReq.Parallelism = 1
+	parReq := req
+	parReq.Parallelism = 16
+
+	ks, err := serialReq.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := parReq.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks != kp {
+		t.Fatalf("content keys diverged: %s vs %s", ks, kp)
+	}
+
+	ps, err := serialReq.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := parReq.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Parallelism != 1 || pp.Parallelism != 16 {
+		t.Fatalf("parallelism not threaded through Params: %d / %d",
+			ps.Parallelism, pp.Parallelism)
+	}
+	ds, err := compiler.Compile(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := compiler.Compile(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := ds.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp, err := dp.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js != jp {
+		t.Fatalf("serial and parallel datasheets diverged under key %s", ks)
+	}
+}
+
+// TestCornerDecksShareLeafLibrary guards the memo keying: the daemon
+// re-derives corner decks per request, so two resolutions of the same
+// corner must produce content-identical decks (the leafcell memo keys
+// by deck content, not pointer).
+func TestCornerDecksShareLeafLibrary(t *testing.T) {
+	a, err := tech.CDA07.Corner("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tech.CDA07.Corner("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, err := KeyOfParams(compiler.Params{Words: 256, BPW: 8, BPC: 4,
+		Spares: 4, BufSize: 2, Process: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := KeyOfParams(compiler.Params{Words: 256, BPW: 8, BPC: 4,
+		Spares: 4, BufSize: 2, Process: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatal("same corner resolved twice must alias to one key")
+	}
+}

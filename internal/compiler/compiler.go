@@ -48,8 +48,39 @@ type Params struct {
 	Program *bist.Program
 	// RefineIterations, when positive, runs the simulated-annealing
 	// floorplan refiner for that many moves after the constructive
-	// place-and-route (seeded deterministically).
+	// place-and-route. The budget is split over refineStarts
+	// independent deterministic annealing starts; the winner is picked
+	// by (cost, seed), so the result is a pure function of the budget.
 	RefineIterations int
+	// Parallelism bounds how many goroutines the compile may use for
+	// its independent stages: leaf-cell library and microcode assembly
+	// run concurrently, the floorplan's annealing starts fan out, and
+	// the analysis-stage SPICE transients (decode inverter, TLB match)
+	// run side by side. 0 or 1 means fully serial. Parallelism is an
+	// execution knob only — the output bytes are identical for every
+	// value, which is why the canonical compile key (internal/canon)
+	// deliberately excludes it: a parallel compile must hit the cache
+	// entry a serial compile wrote, and vice versa.
+	Parallelism int
+}
+
+// maxParallelism caps the concurrency knob so an adversarial request
+// cannot demand an absurd goroutine fan-out.
+const maxParallelism = 256
+
+// refineStarts is the fixed multi-start fan-out of the floorplan
+// refiner. It is a constant — never derived from Parallelism — so the
+// start/seed/budget structure, and therefore the winning floorplan,
+// depends only on Params; Parallelism merely bounds how many starts
+// run at once.
+const refineStarts = 4
+
+// par returns the effective concurrency bound (>= 1).
+func (p Params) par() int {
+	if p.Parallelism < 1 {
+		return 1
+	}
+	return p.Parallelism
 }
 
 // Parameter envelope caps. They bound the resources a single compile
@@ -112,6 +143,10 @@ func (p Params) Validate() error {
 	}
 	if p.RefineIterations < 0 {
 		return cerr.New(cerr.CodeInvalidParams, "compiler: negative refine budget %d", p.RefineIterations)
+	}
+	if p.Parallelism < 0 || p.Parallelism > maxParallelism {
+		return cerr.New(cerr.CodeInvalidParams,
+			"compiler: parallelism %d out of range 0..%d", p.Parallelism, maxParallelism)
 	}
 	return nil
 }
@@ -200,13 +235,29 @@ func Compile(p Params) (*Design, error) {
 //
 // When the context carries an obs.Trace, every stage — params,
 // leafcells, microcode, macros, floorplan, analysis — records a span,
-// and the context-bounded kernels underneath (floorplan.RefineCtx,
+// and the context-bounded kernels underneath (floorplan.RefineMultiCtx,
 // the spice transients in timing analysis) nest their own spans under
 // the stage that invoked them. An untraced context pays one context
 // lookup per stage.
+//
+// Concurrency: when p.Parallelism > 1, independent stages of the
+// pipeline DAG run concurrently — leafcells ∥ microcode (both are
+// inputs of buildMacros but not of each other), the floorplan's
+// annealing starts, and the analysis transients. Every concurrent
+// branch runs behind its own cerr.Recover guard (panics cannot cross
+// goroutines), errors are surfaced in fixed pipeline order (leafcells
+// before microcode, access path before TLB) regardless of which
+// goroutine finished first, and the output is byte-identical to a
+// serial compile — see TestCompileParallelDeterminism. The compile
+// span records parallelism and parallel_stages attrs so the serving
+// layer can count concurrent compiles.
 func CompileCtx(ctx context.Context, p Params) (*Design, error) {
+	par := p.par()
+	parallelStages := 0
 	ctx, endCompile := obs.Start(ctx, "compile")
-	defer endCompile()
+	defer func() {
+		endCompile(obs.Int("parallelism", par), obs.Int("parallel_stages", parallelStages))
+	}()
 
 	if p.Test.Name == "" {
 		p.Test = march.IFA9()
@@ -226,26 +277,53 @@ func CompileCtx(ctx context.Context, p Params) (*Design, error) {
 	if err := checkpoint("leafcells"); err != nil {
 		return nil, err
 	}
+
+	// Stage DAG, level 1: the leaf-cell library and the TRPLA
+	// microcode have no data dependency on each other (both feed
+	// buildMacros), so with Parallelism > 1 they run concurrently.
+	// Each branch carries its own Recover guard; the error check below
+	// is in fixed pipeline order, so a microcode failure never
+	// pre-empts a leafcells failure just because its goroutine lost
+	// the race.
 	var lib *leafcell.Library
-	err := func() (err error) {
+	prog := p.Program
+	buildLib := func() (err error) {
 		defer cerr.Recover("leafcells", &err)
 		_, end := obs.Start(ctx, "compile.leafcells")
 		defer end()
-		lib, err = leafcell.NewLibrary(p.Process, p.BufSize)
+		lib, err = leafcell.Shared(p.Process, p.BufSize)
 		return cerr.WithStage("leafcells", err)
-	}()
-	if err != nil {
-		return nil, err
 	}
-	prog := p.Program
-	if prog == nil {
+	buildProg := func() (err error) {
+		if prog != nil {
+			return nil
+		}
+		defer cerr.Recover("microcode", &err)
 		_, end := obs.Start(ctx, "compile.microcode")
+		defer end()
 		var aerr error
 		prog, aerr = bist.Assemble(p.Test)
-		end()
-		if aerr != nil {
-			return nil, cerr.WithStage("microcode", aerr)
-		}
+		return cerr.WithStage("microcode", aerr)
+	}
+	var libErr, progErr error
+	if par > 1 {
+		parallelStages++
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			progErr = buildProg()
+		}()
+		libErr = buildLib()
+		<-done
+	} else {
+		libErr = buildLib()
+		progErr = buildProg()
+	}
+	if libErr != nil {
+		return nil, libErr
+	}
+	if progErr != nil {
+		return nil, progErr
 	}
 	d := &Design{
 		Params: p, Lib: lib, Prog: prog,
@@ -258,7 +336,7 @@ func CompileCtx(ctx context.Context, p Params) (*Design, error) {
 	}
 	var macros []floorplan.Macro
 	var nets []floorplan.Net
-	err = func() (err error) {
+	err := func() (err error) {
 		defer cerr.Recover("macros", &err)
 		_, end := obs.Start(ctx, "compile.macros")
 		defer end()
@@ -271,6 +349,9 @@ func CompileCtx(ctx context.Context, p Params) (*Design, error) {
 
 	if err := checkpoint("floorplan"); err != nil {
 		return nil, err
+	}
+	if par > 1 && p.RefineIterations > 1 {
+		parallelStages++ // annealing starts fan out inside RefineMultiCtx
 	}
 	err = func() (err error) {
 		defer cerr.Recover("floorplan", &err)
@@ -285,6 +366,9 @@ func CompileCtx(ctx context.Context, p Params) (*Design, error) {
 
 	if err := checkpoint("analysis"); err != nil {
 		return nil, err
+	}
+	if par > 1 && p.Spares > 0 {
+		parallelStages++ // decode transient ∥ TLB match simulation
 	}
 	err = func() (err error) {
 		defer cerr.Recover("analysis", &err)
@@ -361,8 +445,14 @@ func (d *Design) buildMacros() ([]floorplan.Macro, []floorplan.Net) {
 // fallback taken is recorded in d.Degradations; only rung 3 leaves the
 // design without geometry, and even that returns nil error so the
 // caller still gets a report. The context bounds the annealing
-// refiner (floorplan.RefineCtx); an expiry there is a degradation,
-// not a failure.
+// refiner (floorplan.RefineMultiCtx); an expiry there is a
+// degradation, not a failure.
+//
+// The refine budget fans out over refineStarts deterministic
+// annealing starts (seeds 1..refineStarts, budget split evenly); the
+// winner is chosen by (cost, seed), so the placement is a pure
+// function of Params — p.Parallelism only bounds how many starts run
+// concurrently.
 func (d *Design) floorplanLadder(ctx context.Context, macros []floorplan.Macro, nets []floorplan.Net) error {
 	p := d.Params
 	plan, err := floorplan.Place(p.Process, macros, nets)
@@ -376,7 +466,8 @@ func (d *Design) floorplanLadder(ctx context.Context, macros []floorplan.Macro, 
 		d.degrade("abutment floorplan failed (%v): using stacked fallback placement", err)
 	}
 	if p.RefineIterations > 0 {
-		refined, rerr := floorplan.RefineCtx(ctx, p.Process, macros, nets, plan, p.RefineIterations, 1)
+		refined, rerr := floorplan.RefineMultiCtx(ctx, p.Process, macros, nets, plan,
+			p.RefineIterations, 1, refineStarts, p.par())
 		switch {
 		case rerr != nil && refined != nil:
 			d.degrade("floorplan refinement stopped early (%v): keeping best-so-far placement", rerr)

@@ -6,6 +6,8 @@ import (
 	"math"
 
 	"repro/internal/bist"
+	"repro/internal/cerr"
+	"repro/internal/obs"
 	"repro/internal/spice"
 	"repro/internal/tech"
 )
@@ -49,7 +51,79 @@ type TimingReport struct {
 // in metal2 per the array template). The context threads the caller's
 // trace into the SPICE transients, so a traced compile attributes the
 // analysis-stage latency to the individual simulations.
+//
+// The two transients — the decode inverter of the access path and the
+// TLB match-line discharge — are independent, so with Parallelism > 1
+// they run on separate goroutines, each under its own "timing.*" span
+// (obs.Trace is concurrency-safe, so the spans still nest under the
+// caller's analysis stage). The formulas, evaluation order within
+// each task, and the fixed error precedence (access path before TLB)
+// are identical in both modes, so the report bytes cannot depend on
+// the schedule. TLBMaskable compares the TLB delay against the access
+// time, so it is derived after both tasks join.
 func (d *Design) computeTiming(ctx context.Context) error {
+	p := d.Params
+	runTLB := p.Spares > 0
+
+	accessPath := func() error {
+		actx, end := obs.Start(ctx, "timing.access")
+		defer end()
+		return d.accessTiming(actx)
+	}
+	var tlbNs float64
+	tlbPath := func() (err error) {
+		tctx, end := obs.Start(ctx, "timing.tlb")
+		defer end()
+		ns, terr := d.tlbMatchDelay(tctx)
+		if terr != nil {
+			return fmt.Errorf("tlb timing: %w", terr)
+		}
+		tlbNs = ns
+		return nil
+	}
+
+	var accessErr, tlbErr error
+	if runTLB && p.par() > 1 {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			// The analysis stage's Recover guard lives on the caller's
+			// goroutine; panics cannot cross goroutines, so this branch
+			// carries its own.
+			defer cerr.Recover("timing", &tlbErr)
+			tlbErr = tlbPath()
+		}()
+		accessErr = accessPath()
+		<-done
+	} else {
+		accessErr = accessPath()
+		if runTLB {
+			tlbErr = tlbPath()
+		}
+	}
+	// Fixed pipeline-order precedence: the access path reports first
+	// even when the TLB goroutine failed earlier in wall-clock time.
+	if accessErr != nil {
+		return accessErr
+	}
+	if tlbErr != nil {
+		return tlbErr
+	}
+	if runTLB {
+		d.Timing.TLBNs = tlbNs
+		// Maskable when it fits inside the precharge/address phase
+		// (roughly half the access), the criterion behind the paper's
+		// "1-4 spares keep the TLB fast" guidance.
+		d.Timing.TLBMaskable = tlbNs < d.Timing.AccessNs/2
+	}
+	return nil
+}
+
+// accessTiming evaluates the read access path (decode -> wordline ->
+// bitline -> sense) and the power report. It touches only the access
+// and power fields, never the TLB fields, so it may run concurrently
+// with tlbMatchDelay.
+func (d *Design) accessTiming(ctx context.Context) error {
 	p := d.Params
 	proc := p.Process
 	lm := float64(proc.Feature) * 1e-9
@@ -133,20 +207,6 @@ func (d *Design) computeTiming(ctx context.Context) error {
 		d.Power.PLAStaticMw = 0.5 * lines * ipu * proc.VDD * 1e3
 	}
 
-	// --- TLB: parallel CAM match. The match line spans the row
-	// address bits; a mismatch discharges it through the two-series
-	// compare stack; the match buffer and spare wordline driver follow.
-	if p.Spares > 0 {
-		tlbNs, err := d.tlbMatchDelay(ctx)
-		if err != nil {
-			return fmt.Errorf("tlb timing: %w", err)
-		}
-		d.Timing.TLBNs = tlbNs
-		// Maskable when it fits inside the precharge/address phase
-		// (roughly half the access), the criterion behind the paper's
-		// "1-4 spares keep the TLB fast" guidance.
-		d.Timing.TLBMaskable = tlbNs < d.Timing.AccessNs/2
-	}
 	return nil
 }
 

@@ -97,23 +97,35 @@ func Extract(c *geom.Cell) *Netlist {
 	}
 	d := newDSU(len(shapes))
 
-	// Same-layer connectivity: touching or overlapping shapes merge.
-	// Sweep per layer over x-sorted shapes.
+	// Per-layer spatial buckets: built once, used by both the
+	// same-layer merge and the cut-resolution pass. This replaces the
+	// old x-sorted sweep, which degenerated to O(n²) on bit-cell
+	// arrays (every row repeats the same x-spans), and the
+	// O(cuts × shapes) linear cut scan — together the hot loop behind
+	// BenchmarkExtract6TArray and every timing analysis.
+	rects := make([]geom.Rect, len(shapes))
+	for i, s := range shapes {
+		rects[i] = s.Rect
+	}
 	byLayer := map[geom.Layer][]int{}
 	for i, s := range shapes {
 		byLayer[s.Layer] = append(byLayer[s.Layer], i)
 	}
-	for _, idx := range byLayer {
-		sort.Slice(idx, func(a, b int) bool { return shapes[idx[a]].Rect.X0 < shapes[idx[b]].Rect.X0 })
-		for a := 0; a < len(idx); a++ {
-			ra := shapes[idx[a]].Rect
-			for b := a + 1; b < len(idx); b++ {
-				rb := shapes[idx[b]].Rect
-				if rb.X0 > ra.X1 {
-					break
-				}
-				if touches(ra, rb) {
-					d.union(idx[a], idx[b])
+	grids := map[geom.Layer]*bucketGrid{}
+	for layer, idx := range byLayer {
+		grids[layer] = newBucketGrid(rects, idx)
+	}
+
+	// Same-layer connectivity: touching or overlapping shapes merge.
+	// Each shape queries its layer's grid neighbourhood; the j > i
+	// guard visits every unordered pair exactly once.
+	for layer, idx := range byLayer {
+		g := grids[layer]
+		for _, i := range idx {
+			ri := rects[i]
+			for _, j := range g.query(ri) {
+				if j > i && touches(ri, rects[j]) {
+					d.union(i, j)
 				}
 			}
 		}
@@ -122,17 +134,28 @@ func Extract(c *geom.Cell) *Netlist {
 	// Cross-layer connectivity through cuts: a cut joins every
 	// conducting shape (of the two layers it connects) that it
 	// overlaps. Contacts additionally connect active <-> metal1
-	// (diffusion contacts).
+	// (diffusion contacts). The candidate set comes from the bucket
+	// grids of just the connected layers; the geometric test is
+	// unchanged (expansion by one dbu keeps edge-abutting cuts
+	// connected, matching touches() semantics).
+	var hit []int
 	for _, cut := range cuts {
 		pair := cutLayers[cut.Layer]
-		var hit []int
-		for i, s := range shapes {
-			ok := s.Layer == pair[0] || s.Layer == pair[1]
-			if cut.Layer == tech.Contact && s.Layer == tech.Active {
-				ok = true
+		layers := []geom.Layer{pair[0], pair[1]}
+		if cut.Layer == tech.Contact {
+			layers = append(layers, tech.Active)
+		}
+		q := cut.Rect.Expand(1)
+		hit = hit[:0]
+		for _, layer := range layers {
+			g, ok := grids[layer]
+			if !ok {
+				continue
 			}
-			if ok && s.Rect.Expand(1).Overlaps(cut.Rect) {
-				hit = append(hit, i)
+			for _, i := range g.query(q) {
+				if rects[i].Expand(1).Overlaps(cut.Rect) {
+					hit = append(hit, i)
+				}
 			}
 		}
 		for i := 1; i < len(hit); i++ {

@@ -1,0 +1,126 @@
+package extract
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// bucketGrid is a uniform spatial hash over a fixed set of
+// rectangles. It replaces the extractor's former O(n²)-worst-case
+// same-layer pair scan (an x-sweep that degenerated on bit-cell
+// arrays, where thousands of shapes share x-spans) and the
+// O(cuts × shapes) cut-resolution loop with neighbourhood lookups:
+// build once per layer, then query the handful of cells a rectangle
+// covers.
+//
+// Determinism note: the union-find partition the extractor derives
+// from these candidate sets is independent of the order pairs are
+// discovered in, and net ids are compacted in shape-index order
+// afterwards — so bucketing changes the visit order freely without
+// changing a single output byte (the property the content-addressed
+// cache depends on).
+type bucketGrid struct {
+	x0, y0 int // bbox origin
+	cw, ch int // cell size (>= 1)
+	nx, ny int
+	// cells[cy*nx+cx] lists member indices (positions in members).
+	cells [][]int32
+	// members are the shape indices (caller's ids) in insertion order.
+	members []int
+	rects   []geom.Rect
+	// stamp deduplicates query results without allocation; stampGen is
+	// bumped per query.
+	stamp    []int32
+	stampGen int32
+	// scratch is the reusable query result buffer.
+	scratch []int
+}
+
+// newBucketGrid indexes rects[ids[i]] for every i. The grid targets
+// about one member per cell: cell count ~ n with square cells scaled
+// to the population bounding box.
+func newBucketGrid(rects []geom.Rect, ids []int) *bucketGrid {
+	g := &bucketGrid{members: ids, rects: rects}
+	if len(ids) == 0 {
+		g.nx, g.ny, g.cw, g.ch = 1, 1, 1, 1
+		g.cells = make([][]int32, 1)
+		return g
+	}
+	bbox := rects[ids[0]]
+	for _, id := range ids[1:] {
+		bbox = bbox.Union(rects[id])
+	}
+	side := int(math.Ceil(math.Sqrt(float64(len(ids)))))
+	if side < 1 {
+		side = 1
+	}
+	g.x0, g.y0 = bbox.X0, bbox.Y0
+	g.nx, g.ny = side, side
+	g.cw = (bbox.W() + side - 1) / side
+	g.ch = (bbox.H() + side - 1) / side
+	if g.cw < 1 {
+		g.cw = 1
+	}
+	if g.ch < 1 {
+		g.ch = 1
+	}
+	g.cells = make([][]int32, g.nx*g.ny)
+	g.stamp = make([]int32, len(ids))
+	for m, id := range ids {
+		cx0, cy0, cx1, cy1 := g.cellRange(rects[id])
+		for cy := cy0; cy <= cy1; cy++ {
+			for cx := cx0; cx <= cx1; cx++ {
+				k := cy*g.nx + cx
+				g.cells[k] = append(g.cells[k], int32(m))
+			}
+		}
+	}
+	return g
+}
+
+// cellRange returns the inclusive cell span covered by r, clamped to
+// the grid. Spans are computed on inclusive coordinates so two
+// abutting rectangles (sharing an edge coordinate) always share at
+// least one cell — abutment counts as connectivity.
+func (g *bucketGrid) cellRange(r geom.Rect) (cx0, cy0, cx1, cy1 int) {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	cx0 = clamp((r.X0-g.x0)/g.cw, 0, g.nx-1)
+	cx1 = clamp((r.X1-g.x0)/g.cw, 0, g.nx-1)
+	cy0 = clamp((r.Y0-g.y0)/g.ch, 0, g.ny-1)
+	cy1 = clamp((r.Y1-g.y0)/g.ch, 0, g.ny-1)
+	return
+}
+
+// query returns the shape indices of every member whose cell
+// neighbourhood intersects r (a superset of the members actually
+// touching r; callers re-check geometry). The returned slice is
+// reused by the next query — do not retain it.
+func (g *bucketGrid) query(r geom.Rect) []int {
+	g.scratch = g.scratch[:0]
+	if len(g.members) == 0 {
+		return g.scratch
+	}
+	g.stampGen++
+	cx0, cy0, cx1, cy1 := g.cellRange(r)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, m := range g.cells[cy*g.nx+cx] {
+				if g.stamp[m] == g.stampGen {
+					continue
+				}
+				g.stamp[m] = g.stampGen
+				g.scratch = append(g.scratch, g.members[m])
+			}
+		}
+	}
+	return g.scratch
+}

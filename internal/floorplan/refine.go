@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/cerr"
 	"repro/internal/geom"
@@ -20,6 +21,9 @@ const ctxCheckMoves = 256
 // generous: production compiles use a few thousand iterations.
 const maxRefineIterations = 10_000_000
 
+// maxRefineStarts caps the multi-start fan-out.
+const maxRefineStarts = 64
+
 // Refine improves a greedy floorplan by simulated annealing over
 // macro placements: random re-orientation, relocation against another
 // macro's edge, and pairwise position swaps, accepted under a
@@ -31,14 +35,39 @@ func Refine(p *tech.Process, macros []Macro, nets []Net, initial *Result, iterat
 	return RefineCtx(context.Background(), p, macros, nets, initial, iterations, seed)
 }
 
-// RefineCtx is Refine under a context deadline. The annealing loop
-// checks ctx every ctxCheckMoves moves; on expiry it rebuilds the
-// floorplan from the best placements found so far and returns that
-// partial result together with a cerr.ErrBudgetExceeded error, so
-// callers keep a legal (if less optimised) floorplan as a diagnostic.
-// An iteration budget above maxRefineIterations is rejected with
-// cerr.ErrInvalidParams before any work runs.
+// RefineCtx is Refine under a context deadline: a single annealing
+// start. The loop checks ctx every ctxCheckMoves moves; on expiry it
+// rebuilds the floorplan from the best placements found so far and
+// returns that partial result together with a
+// cerr.ErrBudgetExceeded error, so callers keep a legal (if less
+// optimised) floorplan as a diagnostic. An iteration budget above
+// maxRefineIterations is rejected with cerr.ErrInvalidParams before
+// any work runs. RefineCtx is RefineMultiCtx with one start.
 func RefineCtx(ctx context.Context, p *tech.Process, macros []Macro, nets []Net, initial *Result, iterations int, seed int64) (*Result, error) {
+	return RefineMultiCtx(ctx, p, macros, nets, initial, iterations, seed, 1, 1)
+}
+
+// RefineMultiCtx runs `starts` independent annealing starts with the
+// deterministic seed sequence seed, seed+1, …, seed+starts-1, the
+// total move budget split evenly across starts (earlier starts absorb
+// the remainder), and returns the floorplan of the winning start.
+//
+// The winner is chosen by (cost, seed): lowest annealing cost first,
+// ties broken by the lowest seed. Every start is deterministic given
+// its seed and budget share, and the tiebreak is scheduling-blind, so
+// the result is byte-identical whether the starts run sequentially or
+// concurrently — `par` (clamped to [1, starts]) only bounds how many
+// run at once and never influences the outcome. Each start records
+// its own "floorplan.refine" span (attrs: seed, moves, budget), so
+// traces nest correctly under the caller's floorplan stage span even
+// when starts interleave.
+//
+// On context expiry the in-flight starts return their best-so-far
+// placements with a cerr.ErrBudgetExceeded; the winner among the
+// partial results is still returned alongside the budget error, so
+// callers keep a legal floorplan as a diagnostic (the compiler's
+// degradation ladder records the stop instead of failing).
+func RefineMultiCtx(ctx context.Context, p *tech.Process, macros []Macro, nets []Net, initial *Result, iterations int, seed int64, starts, par int) (*Result, error) {
 	if iterations <= 0 {
 		return initial, nil
 	}
@@ -46,16 +75,112 @@ func RefineCtx(ctx context.Context, p *tech.Process, macros []Macro, nets []Net,
 		return initial, cerr.New(cerr.CodeInvalidParams,
 			"floorplan: refine budget %d exceeds cap %d", iterations, maxRefineIterations)
 	}
+	if starts < 1 {
+		starts = 1
+	}
+	if starts > maxRefineStarts {
+		return initial, cerr.New(cerr.CodeInvalidParams,
+			"floorplan: %d refine starts exceed cap %d", starts, maxRefineStarts)
+	}
+	if starts > iterations {
+		starts = iterations // every start must get at least one move
+	}
+	if par < 1 {
+		par = 1
+	}
+	if par > starts {
+		par = starts
+	}
+
+	type outcome struct {
+		best map[string]Placement
+		cost float64
+		err  error
+	}
+	outs := make([]outcome, starts)
+	share := iterations / starts
+	extra := iterations % starts
+
+	runStart := func(i int) {
+		budget := share
+		if i < extra {
+			budget++
+		}
+		best, cost, err := refineOne(ctx, macros, nets, initial, budget, seed+int64(i))
+		outs[i] = outcome{best: best, cost: cost, err: err}
+	}
+
+	if par == 1 {
+		for i := 0; i < starts; i++ {
+			runStart(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, par)
+		for i := 0; i < starts; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				runStart(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	// Winner by (cost, seed): strictly-lower cost wins; equal cost
+	// keeps the earlier seed. Scheduling order cannot influence this.
+	win := 0
+	var budgetErr error
+	for i := 0; i < starts; i++ {
+		if outs[i].err != nil && budgetErr == nil {
+			budgetErr = outs[i].err
+		}
+		if outs[i].cost < outs[win].cost {
+			win = i
+		}
+	}
+
+	// Rebuild the final result from the winning placements (on budget
+	// expiry this is the best-so-far partial answer).
+	byName := macrosByName(macros)
+	st := &state{p: p, placed: outs[win].best, byName: byName, nets: nets}
+	for i := range macros {
+		st.boxes = append(st.boxes, placedBounds(byName[macros[i].Name], outs[win].best[macros[i].Name]))
+		st.bbox = st.bbox.Union(st.boxes[len(st.boxes)-1])
+	}
+	res, err := st.finish(macros)
+	if err != nil {
+		return res, err
+	}
+	return res, budgetErr
+}
+
+// macrosByName indexes a macro slice; the map values point into the
+// slice, which callers must treat as read-only for the map's life.
+func macrosByName(macros []Macro) map[string]*Macro {
+	byName := make(map[string]*Macro, len(macros))
+	for i := range macros {
+		byName[macros[i].Name] = &macros[i]
+	}
+	return byName
+}
+
+// refineOne is one deterministic annealing start: it owns its RNG and
+// placement clones and shares only read-only inputs (macros, nets,
+// initial), so any number of starts may run concurrently. It returns
+// the best placements found, their annealing cost, and a typed budget
+// error when ctx expired mid-run.
+func refineOne(ctx context.Context, macros []Macro, nets []Net, initial *Result, iterations int, seed int64) (map[string]Placement, float64, error) {
 	moves := 0
 	var endSpan func(...obs.Attr)
 	ctx, endSpan = obs.Start(ctx, "floorplan.refine")
 	defer func() {
-		endSpan(obs.Int("moves", moves), obs.Int("budget", iterations))
+		endSpan(obs.Int("moves", moves), obs.Int("budget", iterations),
+			obs.Int("seed", int(seed)))
 	}()
-	byName := map[string]*Macro{}
-	for i := range macros {
-		byName[macros[i].Name] = &macros[i]
-	}
+	byName := macrosByName(macros)
 	names := make([]string, 0, len(macros))
 	for i := range macros {
 		names = append(names, macros[i].Name)
@@ -185,18 +310,7 @@ func RefineCtx(ctx context.Context, p *tech.Process, macros []Macro, nets []Net,
 		temp *= cool
 	}
 
-	// Rebuild the final result from the best placements (on budget
-	// expiry this is the best-so-far partial answer).
-	st := &state{p: p, placed: best, byName: byName, nets: nets}
-	for _, n := range names {
-		st.boxes = append(st.boxes, placedBounds(byName[n], best[n]))
-		st.bbox = st.bbox.Union(st.boxes[len(st.boxes)-1])
-	}
-	res, err := st.finish(macros)
-	if err != nil {
-		return res, err
-	}
-	return res, budgetErr
+	return best, bestCost, budgetErr
 }
 
 func clonePlacements(in map[string]Placement) map[string]Placement {

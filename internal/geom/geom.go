@@ -236,20 +236,53 @@ type Cell struct {
 	Abut Rect
 
 	portIdx map[string]int
+	frozen  bool
 }
 
 // NewCell returns an empty cell with the given name.
 func NewCell(name string) *Cell { return &Cell{Name: name} }
 
+// Freeze marks the cell subtree immutable: any later AddShape,
+// AddPort or Place panics. Freezing also pre-builds every port index,
+// so Port lookups on a frozen cell are pure reads — the property that
+// makes one frozen cell safe to share across concurrent compiles
+// (the memoized leaf-cell library relies on it). Freeze is idempotent
+// and recurses into instanced children. Like MustPort, the mutation
+// panic is a documented invariant site of the cerr panic policy:
+// generators run behind compile-stage Recover guards, so a violation
+// surfaces to callers as a typed ErrInternal, never a crash.
+func (c *Cell) Freeze() {
+	if c.frozen {
+		return
+	}
+	c.Port("") // force-build portIdx before publication
+	c.frozen = true
+	for i := range c.Instances {
+		c.Instances[i].Cell.Freeze()
+	}
+}
+
+// Frozen reports whether the cell has been frozen.
+func (c *Cell) Frozen() bool { return c.frozen }
+
+// mutcheck panics when a mutating method runs on a frozen cell.
+func (c *Cell) mutcheck(op string) {
+	if c.frozen {
+		panic(fmt.Sprintf("geom: %s on frozen cell %q (shared library cells are immutable)", op, c.Name))
+	}
+}
+
 // AddShape appends a rectangle on a layer, labelled with net (may be
 // empty for anonymous wiring).
 func (c *Cell) AddShape(l Layer, r Rect, net string) {
+	c.mutcheck("AddShape")
 	c.Shapes = append(c.Shapes, Shape{Layer: l, Rect: r.Canon(), Net: net})
 }
 
 // AddPort registers a named port. Re-adding a name replaces the
 // earlier port.
 func (c *Cell) AddPort(name string, l Layer, r Rect, dir PortDir) {
+	c.mutcheck("AddPort")
 	if c.portIdx == nil {
 		c.portIdx = make(map[string]int)
 	}
@@ -305,6 +338,7 @@ func (c *Cell) MustPort(name string) Port {
 
 // Place adds an instance of child at the given point with orientation o.
 func (c *Cell) Place(name string, child *Cell, o Orient, at Point) *Instance {
+	c.mutcheck("Place")
 	c.Instances = append(c.Instances, Instance{Name: name, Cell: child, Orient: o, At: at})
 	return &c.Instances[len(c.Instances)-1]
 }

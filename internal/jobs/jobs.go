@@ -21,6 +21,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -172,7 +173,11 @@ func (j *Job) Times() (submitted, started, finished time.Time) {
 
 // Config sizes a queue.
 type Config struct {
-	// Workers is the pool size; <= 0 means 1.
+	// Workers is the pool size; <= 0 selects runtime.GOMAXPROCS(0) —
+	// one worker per schedulable CPU — so an unconfigured queue
+	// saturates the machine instead of silently serializing behind a
+	// single worker. Set Workers: 1 explicitly to force serial
+	// execution (tests that need deterministic pickup order do).
 	Workers int
 	// Capacity bounds the queued (not yet running) job count; <= 0
 	// means unbounded. A full queue rejects instead of blocking, so
@@ -231,10 +236,11 @@ type Queue struct {
 	submitted, deduped, completed, failed, rejected, cancelledJobs uint64
 }
 
-// New starts a queue with cfg.Workers workers.
+// New starts a queue with cfg.Workers workers (defaulting to one per
+// schedulable CPU; see Config.Workers).
 func New(cfg Config) *Queue {
 	if cfg.Workers <= 0 {
-		cfg.Workers = 1
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{

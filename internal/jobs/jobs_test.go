@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -458,5 +459,21 @@ func TestCancelledJobAccountsQueueWait(t *testing.T) {
 	}
 	if !strings.Contains(expo.String(), "jobs_queue_wait_seconds_count 2") {
 		t.Fatalf("queue wait histogram count wrong:\n%s", expo.String())
+	}
+}
+
+// TestDefaultWorkersUsesAllCPUs pins the Config.Workers default:
+// leaving the pool size unset (or negative) sizes it to
+// runtime.GOMAXPROCS(0), not to a single worker.
+func TestDefaultWorkersUsesAllCPUs(t *testing.T) {
+	q := New(Config{})
+	defer q.Shutdown(context.Background())
+	if got, want := q.Stats().Workers, runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("default workers = %d, want GOMAXPROCS = %d", got, want)
+	}
+	q2 := New(Config{Workers: -3})
+	defer q2.Shutdown(context.Background())
+	if got, want := q2.Stats().Workers, runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("negative workers = %d, want GOMAXPROCS = %d", got, want)
 	}
 }

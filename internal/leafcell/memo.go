@@ -1,0 +1,114 @@
+package leafcell
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"repro/internal/cjson"
+	"repro/internal/tech"
+)
+
+// The shared-library memo. A leaf-cell library is a pure function of
+// the technology deck and the buffer-size knob, yet the compiler used
+// to regenerate it from scratch on every compile — for small arrays
+// the rebuild dominated the whole run. Shared caches one immutable
+// library per (deck fingerprint, bufSize) for the life of the
+// process.
+//
+// Keying is by deck *content* (the canonical cjson serialization of
+// the Process, hashed), not by pointer: the daemon re-derives corner
+// decks per request, so pointer identity would miss on every call and
+// leak one entry per request. Content keying means the three built-in
+// decks, their corners, and any inline deck each memoize exactly once.
+//
+// Each cached library is frozen (geom.Cell.Freeze) before
+// publication: every port index is pre-built, and any attempt to
+// mutate a shared cell panics at the mutation site instead of
+// corrupting a concurrent compile. memoCap bounds the table against
+// an adversarial stream of distinct inline decks; overflow falls back
+// to an unshared build, which is correct, merely slower.
+const memoCap = 128
+
+type memoEntry struct {
+	once sync.Once
+	lib  *Library
+	err  error
+}
+
+var (
+	memoMu sync.Mutex
+	memo   = map[string]*memoEntry{}
+)
+
+// fingerprint returns the content key of (process, bufSize). The
+// canonical JSON form is the same serialization the content-addressed
+// compile cache hashes (internal/cjson), so two decks that alias to
+// one compile key also alias to one shared library.
+func fingerprint(p *tech.Process, bufSize int) (string, error) {
+	doc, err := cjson.Marshal(p)
+	if err != nil {
+		return "", fmt.Errorf("leafcell: deck fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(doc)
+	return fmt.Sprintf("%x:%d", sum[:8], bufSize), nil
+}
+
+// Shared returns the process-wide memoized, frozen leaf-cell library
+// for (p, bufSize), building it at most once per process per deck
+// content. Concurrent callers for the same deck share one build (the
+// losers block on the winner's sync.Once). The returned library and
+// every cell in it are immutable; callers needing a private mutable
+// library must use NewLibrary.
+func Shared(p *tech.Process, bufSize int) (*Library, error) {
+	key, err := fingerprint(p, bufSize)
+	if err != nil {
+		return nil, err
+	}
+
+	memoMu.Lock()
+	e, ok := memo[key]
+	if !ok {
+		if len(memo) >= memoCap {
+			// Table full (adversarial stream of distinct inline decks):
+			// degrade to an unshared build rather than grow unboundedly.
+			memoMu.Unlock()
+			return newFrozenLibrary(p, bufSize)
+		}
+		e = &memoEntry{}
+		memo[key] = e
+	}
+	memoMu.Unlock()
+
+	e.once.Do(func() {
+		e.lib, e.err = newFrozenLibrary(p, bufSize)
+	})
+	return e.lib, e.err
+}
+
+// newFrozenLibrary builds a library and freezes every cell, making it
+// safe to share across goroutines.
+func newFrozenLibrary(p *tech.Process, bufSize int) (*Library, error) {
+	lib, err := NewLibrary(p, bufSize)
+	if err != nil {
+		return nil, err
+	}
+	lib.Freeze()
+	return lib, nil
+}
+
+// Freeze marks every cell of the library immutable (see
+// geom.Cell.Freeze). Derived cells built later by Library.RowDecoder
+// are fresh per call and stay mutable.
+func (l *Library) Freeze() {
+	for _, c := range l.All() {
+		c.Cell.Freeze()
+	}
+}
+
+// memoSize reports the number of memoized libraries (tests).
+func memoSize() int {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	return len(memo)
+}

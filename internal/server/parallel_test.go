@@ -1,0 +1,104 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/jobs"
+)
+
+// parallelTestServer is testServer with the compile-parallelism
+// default configured (the -compile-par knob of bisramgend).
+func parallelTestServer(t *testing.T, par int) *httptest.Server {
+	t.Helper()
+	q := jobs.New(jobs.Config{Workers: 2, Deadline: time.Minute})
+	var logBuf bytes.Buffer
+	s := New(Config{
+		Queue: q, Cache: cache.New(1 << 20),
+		LogWriter:          &syncWriter{buf: &logBuf},
+		CompileParallelism: par,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		q.Shutdown(ctx)
+	})
+	return ts
+}
+
+// TestParallelCompileMetrics: a compile under a configured
+// parallelism default surfaces the compile_parallel_stages_total
+// counter and the compile_parallelism histogram on /metrics.
+func TestParallelCompileMetrics(t *testing.T) {
+	ts := parallelTestServer(t, 8)
+	req := `{"words":256,"bpw":8,"bpc":4,"spares":4,"refine_iterations":500}`
+	if code, m := postCompile(t, ts, req, ""); code != 200 {
+		t.Fatalf("compile %d: %v", code, m)
+	}
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE compile_parallel_stages_total counter",
+		"# TYPE compile_parallelism histogram",
+		`compile_parallelism_bucket{le="8"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// RefineIterations>1 and Spares>0 with par>1: both the floorplan
+	// fan-out, the leafcells∥microcode pair and the analysis transients
+	// ran concurrently — three stage groups.
+	if !strings.Contains(body, "compile_parallel_stages_total 3") {
+		t.Errorf("want 3 parallel stage groups, exposition:\n%s",
+			grepLines(body, "compile_parallel"))
+	}
+}
+
+// TestParallelismAliasesToOneCacheEntry: the same design requested
+// with different parallelism knobs must share one content key, so the
+// second request is a cache hit, not a second compile.
+func TestParallelismAliasesToOneCacheEntry(t *testing.T) {
+	ts := parallelTestServer(t, 0) // no server default; knob from requests
+	serial := `{"words":256,"bpw":8,"bpc":4,"spares":4,"parallelism":1}`
+	par := `{"words":256,"bpw":8,"bpc":4,"spares":4,"parallelism":16}`
+	code, first := postCompile(t, ts, serial, "")
+	if code != 200 {
+		t.Fatalf("serial compile %d: %v", code, first)
+	}
+	code, second := postCompile(t, ts, par, "")
+	if code != 200 {
+		t.Fatalf("parallel compile %d: %v", code, second)
+	}
+	if first["key"] != second["key"] {
+		t.Fatalf("keys diverged: %v vs %v", first["key"], second["key"])
+	}
+	if cached, _ := second["cached"].(bool); !cached {
+		t.Fatalf("parallel request should hit the serial compile's cache entry: %v", second)
+	}
+}
+
+// grepLines filters lines containing sub (test-failure forensics).
+func grepLines(s, sub string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, sub) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

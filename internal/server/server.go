@@ -112,6 +112,13 @@ type Config struct {
 	// SweepRetain caps remembered sweeps; <= 0 means
 	// sweep.DefaultRetain.
 	SweepRetain int
+	// CompileParallelism is the per-compile goroutine fan-out applied
+	// to requests that leave the knob at 0 (requests naming an
+	// explicit parallelism keep it). Because the compiler's output is
+	// byte-identical at every parallelism, this default is invisible
+	// to the content-addressed cache — it only changes wall-clock
+	// time. <= 0 leaves compiles serial.
+	CompileParallelism int
 }
 
 // Server is the HTTP layer. Construct with New; serve s.Handler().
@@ -145,6 +152,8 @@ type Server struct {
 	compileDur   *obs.Histogram
 	stageDur     *obs.HistogramVec
 	slowCompiles *obs.Counter
+	parStages    *obs.Counter
+	parDegree    *obs.Histogram
 }
 
 // New builds the server and its routing table.
@@ -247,6 +256,11 @@ func (s *Server) registerMetrics() {
 	s.stageDur = r.HistogramVec("compile_stage_duration_seconds",
 		"Per-span pipeline stage latency (queue wait, compiler stages, bounded kernels).", "stage", nil)
 	s.slowCompiles = r.Counter("compile_slow_total", "Compiles that exceeded the slow-compile threshold.")
+	s.parStages = r.Counter("compile_parallel_stages_total",
+		"Concurrent stage fan-outs executed across all compiles (leafcells∥microcode, multi-start floorplan, analysis transients).")
+	s.parDegree = r.Histogram("compile_parallelism",
+		"Per-compile goroutine fan-out bound (the parallelism knob after server defaulting).",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
 
 	r.GaugeFunc("uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -522,6 +536,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err, 0)
 		return
 	}
+	// Server-side concurrency default. Applied strictly AFTER keying:
+	// parallelism is an execution knob the canonical key excludes, so
+	// a request compiled serially elsewhere still hits this entry.
+	if params.Parallelism == 0 && s.cfg.CompileParallelism > 0 {
+		params.Parallelism = s.cfg.CompileParallelism
+	}
 	if rw, ok := w.(*statusWriter); ok {
 		rw.meta.key = key
 	}
@@ -661,6 +681,23 @@ func (s *Server) observeCompile(tr *obs.Trace, dur time.Duration, key string, er
 	s.compileDur.ObserveDuration(dur)
 	for _, sp := range tr.Spans() {
 		s.stageDur.With(sp.Name).ObserveDuration(sp.Dur)
+		// The compiler annotates its root span with the effective
+		// concurrency: fold the fan-out degree into a histogram and
+		// count the concurrent stage groups that actually ran.
+		if sp.Name == "compile" {
+			for _, a := range sp.Attrs {
+				switch a.Key {
+				case "parallelism":
+					if v, perr := strconv.Atoi(a.Value); perr == nil {
+						s.parDegree.Observe(float64(v))
+					}
+				case "parallel_stages":
+					if v, perr := strconv.Atoi(a.Value); perr == nil && v > 0 {
+						s.parStages.Add(uint64(v))
+					}
+				}
+			}
+		}
 	}
 	if s.cfg.SlowCompile <= 0 || dur < s.cfg.SlowCompile {
 		return
