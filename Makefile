@@ -1,8 +1,8 @@
 # BISRAMGEN build/test entry points.
 #
 #   make check — the default pre-merge gate: vet, build, race-enabled
-#                tests, and the serve-smoke + sweep-smoke end-to-end
-#                daemon checks.
+#                tests, and the serve-smoke + sweep-smoke + chaos-smoke
+#                end-to-end daemon checks.
 #   make ci    — everything the tree must pass before merging: check
 #                plus a short fuzz smoke pass on each parser and the
 #                adversarial-input fault campaign.
@@ -14,11 +14,11 @@ FUZZTIME ?= 5s
 BENCH_OUT  ?= results/BENCH_5.json
 BENCHCOUNT ?= 3
 
-.PHONY: all check build vet test race serve-smoke obs-smoke sweep-smoke fuzz-smoke campaign serve ci bench bench-smoke
+.PHONY: all check build vet test race serve-smoke obs-smoke sweep-smoke chaos-smoke fuzz-smoke campaign serve ci bench bench-smoke
 
 all: check
 
-check: vet build race serve-smoke sweep-smoke bench-smoke
+check: vet build race serve-smoke sweep-smoke chaos-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,17 @@ obs-smoke:
 sweep-smoke:
 	$(GO) test -race -run 'TestStoreRestartSmoke|TestSweepSmoke' -count=1 ./cmd/bisramgend/
 
+# End-to-end resilience drill, three staged failures against the real
+# binary: (1) kill -9 a daemon mid-sweep and require the restart to
+# resume the sweep from its write-ahead journal with byte-identical
+# rows and zero recompiles of finished points; (2) inject a store.read
+# bit-flip via -chaos-spec and require quarantine + recompile, never a
+# corrupt response; (3) stall a one-worker daemon and require the
+# overload burst to shed with 429 + Retry-After while the retrying
+# client completes.
+chaos-smoke:
+	$(GO) test -race -run TestChaosSmoke -count=1 ./cmd/bisramgend/
+
 # Full benchmark sweep: every Fig/Table experiment benchmark plus the
 # substrate micro-benchmarks, -count=$(BENCHCOUNT) with -benchmem, the
 # averaged results rendered to $(BENCH_OUT) by cmd/benchjson (schema
@@ -88,6 +99,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzMarchNotation -fuzztime=$(FUZZTIME) ./internal/march/
 	$(GO) test -run='^$$' -fuzz=FuzzPLAPlanes -fuzztime=$(FUZZTIME) ./internal/bist/
 	$(GO) test -run='^$$' -fuzz=FuzzParseRequest -fuzztime=$(FUZZTIME) ./internal/canon/
+	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/sweep/
 
 # Adversarial-input campaign against the full compile pipeline: exits
 # non-zero on any panic, hang or untyped error.

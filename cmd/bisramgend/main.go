@@ -26,15 +26,19 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/chaos"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -52,8 +56,26 @@ func main() {
 		storeDir     = flag.String("store-dir", "", "disk artifact store directory (empty disables persistence; restarts over the same directory stay warm)")
 		storeMB      = flag.Int64("store-mb", 0, "disk store byte budget in MiB (0 = unbounded; LRU GC above the budget)")
 		compilePar   = flag.Int("compile-par", runtime.GOMAXPROCS(0), "per-compile goroutine fan-out for requests that don't name one (output is byte-identical at any value; 1 = serial)")
+		journalDir   = flag.String("sweep-journal-dir", "", "sweep write-ahead journal directory; restarts resume in-flight sweeps (default <store-dir>/sweeps, empty store-dir disables)")
+		chaosSpec    = flag.String("chaos-spec", "", "TESTING ONLY: fault-injection spec, inline JSON or a file path; enables deterministic chaos drills")
+		debugStacks  = flag.Bool("debug-stacks", false, "mount GET /debug/stacks (full goroutine dump; also mounted by -pprof)")
 	)
 	flag.Parse()
+
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		var err error
+		if strings.HasPrefix(strings.TrimSpace(*chaosSpec), "{") {
+			inj, err = chaos.Parse([]byte(*chaosSpec))
+		} else {
+			inj, err = chaos.Load(*chaosSpec)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bisramgend: chaos spec: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "bisramgend: CHAOS INJECTION ENABLED — not for production use")
+	}
 
 	// One shared telemetry registry: the queue's wait histograms and the
 	// server's stage/cache/http instruments land in the same /metrics
@@ -64,18 +86,32 @@ func main() {
 		Capacity: *queueDepth,
 		Deadline: *deadline,
 		Registry: reg,
+		Chaos:    inj,
 	})
 	c := cache.New(*cacheMB << 20)
+	c.SetChaos(inj)
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
-		st, err = store.Open(store.Config{Dir: *storeDir, BudgetBytes: *storeMB << 20})
+		st, err = store.Open(store.Config{Dir: *storeDir, BudgetBytes: *storeMB << 20, Chaos: inj})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bisramgend: opening store %s: %v\n", *storeDir, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "bisramgend: disk store %s warm with %d objects\n",
 			*storeDir, st.Stats().ScannedAtStartup)
+	}
+	var journal *sweep.Journal
+	if jd := *journalDir; jd != "" || *storeDir != "" {
+		if jd == "" {
+			jd = filepath.Join(*storeDir, "sweeps")
+		}
+		var err error
+		journal, err = sweep.OpenJournal(jd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bisramgend: opening sweep journal %s: %v\n", jd, err)
+			os.Exit(1)
+		}
 	}
 	var logW = os.Stderr
 	srv := server.New(server.Config{
@@ -86,11 +122,21 @@ func main() {
 		SyncWait:      *syncWait,
 		Metrics:       reg,
 		EnablePprof:   *enablePprof,
+		EnableStacks:  *debugStacks || *enablePprof,
 		SlowCompile:   *slowCompile,
 		SlowLogWriter: os.Stderr,
+		SweepJournal:  journal,
+		Chaos:         inj,
 
 		CompileParallelism: *compilePar,
 	})
+	if journal != nil {
+		if n, err := srv.ResumeSweeps(); err != nil {
+			fmt.Fprintf(os.Stderr, "bisramgend: sweep resume: %v\n", err)
+		} else if n > 0 {
+			fmt.Fprintf(os.Stderr, "bisramgend: resumed %d interrupted sweep(s) from %s\n", n, journal.Dir())
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -14,11 +15,31 @@ import (
 	"repro/internal/sweep"
 )
 
+// syncBuf is a bytes.Buffer safe to read while the daemon's stderr
+// copier is still writing (the chaos drills inspect logs of a live
+// process).
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
 // daemonProc wraps one running daemon generation for the multi-restart
 // smoke tests.
 type daemonProc struct {
 	cmd    *exec.Cmd
-	stderr *bytes.Buffer
+	stderr *syncBuf
 	base   string
 	exited chan error
 }
@@ -29,7 +50,7 @@ func startDaemon(t *testing.T, bin string, extra ...string) *daemonProc {
 	t.Helper()
 	addr := freeAddr(t)
 	args := append([]string{"-addr", addr, "-workers", "2", "-drain-timeout", "20s", "-quiet"}, extra...)
-	var stderr bytes.Buffer
+	var stderr syncBuf
 	cmd := exec.Command(bin, args...)
 	cmd.Stderr = &stderr
 	if err := cmd.Start(); err != nil {

@@ -15,6 +15,8 @@ import (
 	"container/list"
 	"sort"
 	"sync"
+
+	"repro/internal/chaos"
 )
 
 // Entry is one cached compile result.
@@ -73,8 +75,17 @@ type Cache struct {
 	size   int64
 	ll     *list.List // front = most recently used; values are *Entry
 	items  map[string]*list.Element
+	chaos  *chaos.Injector
 
 	hits, misses, puts, evictions, rejected uint64
+}
+
+// SetChaos installs a fault injector (cache.put drops inserts,
+// simulating memory pressure). Call before serving; nil disables.
+func (c *Cache) SetChaos(in *chaos.Injector) {
+	c.mu.Lock()
+	c.chaos = in
+	c.mu.Unlock()
 }
 
 // New builds a cache with the given byte budget. A non-positive
@@ -118,6 +129,12 @@ func (c *Cache) Put(e *Entry) {
 	size := e.Size()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.chaos.Fail(chaos.PointCachePut) != nil {
+		// Injected memory pressure: the insert is dropped; the entry
+		// stays servable from the disk tier.
+		c.rejected++
+		return
+	}
 	if size > c.budget {
 		c.rejected++
 		return

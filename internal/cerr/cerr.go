@@ -91,6 +91,11 @@ const (
 	// malformed sweep specification, or an HTTP method the route does
 	// not accept. Maps to 400 at the HTTP boundary.
 	CodeBadRequest
+	// CodeOverloaded: the service shed the request because its bounded
+	// queue is full or draining — a transient, retryable condition, not
+	// a problem with the request. Maps to 429 + Retry-After at the HTTP
+	// boundary; well-behaved clients back off and retry.
+	CodeOverloaded
 )
 
 var codeNames = [...]string{
@@ -108,6 +113,7 @@ var codeNames = [...]string{
 	CodeNonFinite:      "ERR_NON_FINITE",
 	CodeInternal:       "ERR_INTERNAL",
 	CodeBadRequest:     "ERR_BAD_REQUEST",
+	CodeOverloaded:     "ERR_OVERLOADED",
 }
 
 // String returns the stable machine-readable name (ERR_*).
@@ -199,6 +205,7 @@ var (
 	ErrBudgetExceeded = &Error{Code: CodeBudgetExceeded}
 	ErrNonFinite      = &Error{Code: CodeNonFinite}
 	ErrInternal       = &Error{Code: CodeInternal}
+	ErrOverloaded     = &Error{Code: CodeOverloaded}
 )
 
 // New builds a typed error with a formatted message.

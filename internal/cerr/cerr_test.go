@@ -75,6 +75,7 @@ func TestCodeNamesStable(t *testing.T) {
 		CodeNonFinite:      "ERR_NON_FINITE",
 		CodeInternal:       "ERR_INTERNAL",
 		CodeBadRequest:     "ERR_BAD_REQUEST",
+		CodeOverloaded:     "ERR_OVERLOADED",
 	}
 	for c, name := range want {
 		if c.String() != name {

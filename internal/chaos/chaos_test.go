@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cerr"
+)
+
+func mustParse(t *testing.T, spec string) *Injector {
+	t.Helper()
+	in, err := Parse([]byte(spec))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return in
+}
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Fail(PointStoreWrite); err != nil {
+		t.Fatalf("nil Fail: %v", err)
+	}
+	if err := in.Point(PointStagePrefix + "macros"); err != nil {
+		t.Fatalf("nil Point: %v", err)
+	}
+	buf := []byte("payload")
+	if in.Corrupt(PointStoreRead, buf) {
+		t.Fatal("nil Corrupt fired")
+	}
+	in.Delay(PointQueueStall) // must not sleep or panic
+	if in.Fired() != 0 {
+		t.Fatal("nil Fired nonzero")
+	}
+}
+
+func TestSkipAndMaxBoundFirings(t *testing.T) {
+	in := mustParse(t, `{"rules":[{"point":"store.write","mode":"error","skip":1,"max":2}]}`)
+	var outcomes []bool
+	for i := 0; i < 5; i++ {
+		outcomes = append(outcomes, in.Fail(PointStoreWrite) != nil)
+	}
+	want := []bool{false, true, true, false, false}
+	for i := range want {
+		if outcomes[i] != want[i] {
+			t.Fatalf("hit %d fired=%v want %v (all %v)", i, outcomes[i], want[i], outcomes)
+		}
+	}
+	if in.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", in.Fired())
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	spec := `{"seed":7,"rules":[{"point":"store.read","mode":"error","prob":0.5}]}`
+	run := func() []bool {
+		in := mustParse(t, spec)
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = in.Fail(PointStoreRead) != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at hit %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times — seeded draw not applied", fired, len(a))
+	}
+}
+
+func TestCorruptFlipsOneBit(t *testing.T) {
+	in := mustParse(t, `{"rules":[{"point":"store.read","mode":"corrupt","max":1}]}`)
+	orig := []byte("deadbeefdeadbeef")
+	buf := append([]byte(nil), orig...)
+	if !in.Corrupt(PointStoreRead, buf) {
+		t.Fatal("corrupt rule did not fire")
+	}
+	diff := 0
+	for i := range buf {
+		if buf[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption touched %d bytes, want exactly 1", diff)
+	}
+	// max=1: the second read image stays clean.
+	buf2 := append([]byte(nil), orig...)
+	if in.Corrupt(PointStoreRead, buf2) {
+		t.Fatal("corrupt rule fired past max")
+	}
+}
+
+func TestWildcardMatchesStageFamily(t *testing.T) {
+	in := mustParse(t, `{"rules":[{"point":"compile.stage.*","mode":"error","max":1}]}`)
+	if err := in.Point("compile.stage.floorplan"); err == nil {
+		t.Fatal("wildcard stage rule did not fire")
+	} else if cerr.CodeOf(err) != cerr.CodeInternal {
+		t.Fatalf("injected error code %v", cerr.CodeOf(err))
+	}
+	if err := in.Fail(PointStoreWrite); err != nil {
+		t.Fatalf("wildcard leaked onto %s: %v", PointStoreWrite, err)
+	}
+}
+
+func TestPanicModePanics(t *testing.T) {
+	in := mustParse(t, `{"rules":[{"point":"compile.stage.macros","mode":"panic","max":1}]}`)
+	err := func() (err error) {
+		defer cerr.Recover("macros", &err)
+		return in.Point("compile.stage.macros")
+	}()
+	if cerr.CodeOf(err) != cerr.CodeInternal || !strings.Contains(err.Error(), "injected panic") {
+		t.Fatalf("recovered error: %v", err)
+	}
+}
+
+func TestDelayModeSleeps(t *testing.T) {
+	in := mustParse(t, `{"rules":[{"point":"queue.stall","mode":"delay","delay_ms":30,"max":1}]}`)
+	start := time.Now()
+	in.Delay(PointQueueStall)
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay rule slept %v, want >= 30ms", d)
+	}
+	start = time.Now()
+	in.Delay(PointQueueStall) // past max: immediate
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("exhausted delay rule slept %v", d)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, bad := range []string{
+		``,
+		`{}`,
+		`{"rules":[]}`,
+		`{"rules":[{"mode":"error"}]}`,
+		`{"rules":[{"point":"x","mode":"nope"}]}`,
+		`{"rules":[{"point":"x","mode":"error","prob":1.5}]}`,
+		`{"rules":[{"point":"x","mode":"delay"}]}`,
+		`{"rules":[{"point":"x","mode":"error","skip":-1}]}`,
+		`{"rules":[{"point":"x","mode":"error"}],"bogus":1}`,
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		} else if cerr.CodeOf(err) != cerr.CodeInvalidParams {
+			t.Errorf("Parse(%q) code %v", bad, cerr.CodeOf(err))
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context resolved an injector")
+	}
+	in := mustParse(t, `{"rules":[{"point":"x","mode":"error"}]}`)
+	ctx := WithContext(context.Background(), in)
+	if FromContext(ctx) != in {
+		t.Fatal("injector did not round-trip through context")
+	}
+	if got := WithContext(context.Background(), nil); FromContext(got) != nil {
+		t.Fatal("nil injector installed")
+	}
+}

@@ -1,0 +1,25 @@
+// Context plumbing: the serving layer installs its injector on the
+// compile context so the compiler's stage checkpoints can consult it
+// without the compiler depending on server configuration. An
+// uninstrumented context resolves to a nil injector, whose methods are
+// all no-ops — the production compile path pays one context lookup.
+package chaos
+
+import "context"
+
+type ctxKey struct{}
+
+// WithContext returns ctx carrying the injector. A nil injector
+// returns ctx unchanged.
+func WithContext(ctx context.Context, in *Injector) context.Context {
+	if in == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, in)
+}
+
+// FromContext resolves the installed injector, nil when absent.
+func FromContext(ctx context.Context) *Injector {
+	in, _ := ctx.Value(ctxKey{}).(*Injector)
+	return in
+}

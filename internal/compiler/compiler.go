@@ -17,6 +17,7 @@ import (
 	"repro/internal/bisr"
 	"repro/internal/bist"
 	"repro/internal/cerr"
+	"repro/internal/chaos"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
 	"repro/internal/leafcell"
@@ -268,9 +269,19 @@ func CompileCtx(ctx context.Context, p Params) (*Design, error) {
 	if verr != nil {
 		return nil, cerr.WithStage("params", verr)
 	}
+	inj := chaos.FromContext(ctx)
 	checkpoint := func(stage string) error {
 		if err := ctx.Err(); err != nil {
 			return budgetErr(stage, err)
+		}
+		if inj != nil {
+			// Scripted stage faults: delay rules inject latency spikes,
+			// panic rules exercise the recover guards (the jobs layer's
+			// Recover converts them to typed ERR_INTERNAL), error rules
+			// fail the stage outright.
+			if err := inj.Point(chaos.PointStagePrefix + stage); err != nil {
+				return cerr.WithStage(stage, err)
+			}
 		}
 		return nil
 	}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/cerr"
+	"repro/internal/chaos"
 	"repro/internal/obs"
 )
 
@@ -190,6 +191,10 @@ type Config struct {
 	// including jobs cancelled before execution during a hard drain),
 	// queue-depth/running gauges, and lifecycle counters.
 	Registry *obs.Registry
+	// Chaos, when non-nil, injects scripted faults at the queue.stall
+	// point (a delay rule stalls a worker's job pickup, simulating a
+	// wedged worker).
+	Chaos *chaos.Injector
 }
 
 // Stats is a point-in-time snapshot of queue counters.
@@ -281,7 +286,9 @@ func New(cfg Config) *Queue {
 // Submit enqueues fn under key. If a job with the same key is already
 // queued or running, the submission attaches to it (deduped=true) and
 // fn is discarded. A draining queue or a full queue rejects with
-// ERR_BUDGET_EXCEEDED. Submit is SubmitTraced without a trace.
+// ERR_OVERLOADED — a transient, retryable shed, distinct from the
+// ERR_BUDGET_EXCEEDED a job earns by exhausting its own deadline.
+// Submit is SubmitTraced without a trace.
 func (q *Queue) Submit(key string, pri Priority, fn Func) (job *Job, deduped bool, err error) {
 	return q.SubmitTraced(key, pri, nil, fn)
 }
@@ -297,7 +304,7 @@ func (q *Queue) SubmitTraced(key string, pri Priority, tr *obs.Trace, fn Func) (
 	defer q.mu.Unlock()
 	if q.draining {
 		q.rejected++
-		return nil, false, cerr.New(cerr.CodeBudgetExceeded, "jobs: queue is draining")
+		return nil, false, cerr.New(cerr.CodeOverloaded, "jobs: queue is draining")
 	}
 	if j, ok := q.inflight[key]; ok {
 		j.attached.Add(1)
@@ -306,7 +313,7 @@ func (q *Queue) SubmitTraced(key string, pri Priority, tr *obs.Trace, fn Func) (
 	}
 	if q.cfg.Capacity > 0 && q.heap.Len() >= q.cfg.Capacity {
 		q.rejected++
-		return nil, false, cerr.New(cerr.CodeBudgetExceeded,
+		return nil, false, cerr.New(cerr.CodeOverloaded,
 			"jobs: queue full (%d queued)", q.heap.Len())
 	}
 	q.seq++
@@ -414,6 +421,10 @@ func (q *Queue) failFast(j *Job) {
 // run executes one job under the per-job deadline, converting panics
 // and deadline expiry into typed errors.
 func (q *Queue) run(j *Job) {
+	// A scripted queue.stall delay lands between pop and execution:
+	// the worker is wedged, queue depth builds, admission control
+	// sheds — exactly the overload drill's setup.
+	q.cfg.Chaos.Delay(chaos.PointQueueStall)
 	j.state.Store(int32(StateRunning))
 	now := time.Now()
 	j.mu.Lock()

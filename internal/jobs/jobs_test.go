@@ -218,8 +218,8 @@ func TestCapacityRejects(t *testing.T) {
 		t.Fatalf("fills rejected: %v %v", err1, err2)
 	}
 	_, _, err3 := q.Submit("c", Interactive, func(ctx context.Context) (any, error) { return nil, nil })
-	if cerr.CodeOf(err3) != cerr.CodeBudgetExceeded {
-		t.Fatalf("overflow not rejected: %v", err3)
+	if cerr.CodeOf(err3) != cerr.CodeOverloaded {
+		t.Fatalf("overflow not rejected with ERR_OVERLOADED: %v", err3)
 	}
 	close(release)
 	ok1.Result(context.Background())

@@ -155,6 +155,46 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket
+// counts by linear interpolation within the holding bucket — the
+// standard Prometheus histogram_quantile estimate. An empty snapshot
+// returns 0. When the rank lands in the +Inf bucket the highest
+// finite bound is returned (the estimate is a floor, which is the
+// conservative direction for retry hints).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Cumulative) == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	idx := len(s.Cumulative) - 1
+	for i, c := range s.Cumulative {
+		if float64(c) >= rank {
+			idx = i
+			break
+		}
+	}
+	if idx >= len(s.Bounds) {
+		// +Inf bucket: no upper bound to interpolate toward.
+		if len(s.Bounds) == 0 {
+			return 0
+		}
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	lo, loCount := 0.0, uint64(0)
+	if idx > 0 {
+		lo, loCount = s.Bounds[idx-1], s.Cumulative[idx-1]
+	}
+	hi := s.Bounds[idx]
+	inBucket := s.Cumulative[idx] - loCount
+	if inBucket == 0 {
+		return hi
+	}
+	return lo + (hi-lo)*(rank-float64(loCount))/float64(inBucket)
+}
+
 // HistogramVec is a histogram family split by one label (e.g.
 // compile_stage_duration_seconds by stage). Children are created on
 // first use; the read path is a shared-lock map hit.

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("q_test_seconds", "", []float64{0.1, 0.5, 1, 5})
+	// 10 observations in (0.1, 0.5], 10 in (0.5, 1].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.3)
+		h.Observe(0.8)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	if p50 < 0.1 || p50 > 0.5 {
+		t.Fatalf("p50 = %v, want within (0.1, 0.5]", p50)
+	}
+	p95 := s.Quantile(0.95)
+	if p95 < 0.5 || p95 > 1 {
+		t.Fatalf("p95 = %v, want within (0.5, 1]", p95)
+	}
+	if got := s.Quantile(1); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("p100 = %v, want 1 (top of highest occupied bucket)", got)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty snapshot quantile %v", got)
+	}
+	h := NewRegistry().Histogram("q_inf_seconds", "", []float64{1})
+	h.Observe(100) // lands in +Inf
+	if got := h.Snapshot().Quantile(0.5); got != 1 {
+		t.Fatalf("+Inf bucket quantile %v, want highest finite bound 1", got)
+	}
+	if got := h.Snapshot().Quantile(0); got != 0 {
+		t.Fatalf("q=0 quantile %v", got)
+	}
+}

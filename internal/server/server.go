@@ -55,6 +55,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/canon"
 	"repro/internal/cerr"
+	"repro/internal/chaos"
 	"repro/internal/cjson"
 	"repro/internal/compiler"
 	"repro/internal/gds"
@@ -119,6 +120,18 @@ type Config struct {
 	// to the content-addressed cache — it only changes wall-clock
 	// time. <= 0 leaves compiles serial.
 	CompileParallelism int
+	// SweepJournal, when non-nil, checkpoints every sweep to disk so a
+	// restarted daemon resumes in-flight sweeps (see ResumeSweeps).
+	SweepJournal *sweep.Journal
+	// Chaos, when non-nil, is the scripted fault injector: the server
+	// installs it on compile contexts (stage checkpoints consult it)
+	// and exposes chaos_injections_total. Store/cache/queue injection
+	// is wired by the caller via their own configs.
+	Chaos *chaos.Injector
+	// EnableStacks mounts GET /debug/stacks: a full goroutine dump
+	// (SIGQUIT-style, without killing the process) for diagnosing
+	// stuck drains.
+	EnableStacks bool
 }
 
 // Server is the HTTP layer. Construct with New; serve s.Handler().
@@ -202,6 +215,7 @@ func New(cfg Config) *Server {
 		Registry:  cfg.Metrics,
 		MaxPoints: cfg.SweepMaxPoints,
 		Retain:    cfg.SweepRetain,
+		Journal:   cfg.SweepJournal,
 	})
 
 	s.route("POST", "/v1/compile", s.handleCompile)
@@ -223,7 +237,41 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
+	if cfg.EnableStacks {
+		s.mux.HandleFunc("GET /debug/stacks", handleStacks)
+	}
 	return s
+}
+
+// ResumeSweeps re-launches journaled in-flight sweeps from a previous
+// process over the same journal directory. Finished points replay
+// through the content-addressed store lookup (zero recompiles);
+// unfinished points re-enter the queue. Call once, after the daemon's
+// listener is up or about to be. Returns how many sweeps resumed.
+func (s *Server) ResumeSweeps() (int, error) {
+	return s.sweeps.Resume()
+}
+
+// handleStacks is GET /debug/stacks: the stack of every live
+// goroutine, the in-process equivalent of SIGQUIT for diagnosing
+// stuck drains or wedged workers.
+func handleStacks(w http.ResponseWriter, r *http.Request) {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		if len(buf) >= 64<<20 {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf)
 }
 
 // route registers a method-specific handler plus a bare-path fallback
@@ -288,6 +336,12 @@ func (s *Server) registerMetrics() {
 			func() float64 { return float64(st.Stats().Corrupt) })
 		r.GaugeFunc("store_scanned_at_startup", "Objects the opening index scan found (restart warmness).",
 			func() float64 { return float64(st.Stats().ScannedAtStartup) })
+		r.GaugeFunc("store_quarantine_objects", "Files currently held in the bounded quarantine directory.",
+			func() float64 { return float64(st.Stats().QuarantineObjects) })
+	}
+	if in := s.cfg.Chaos; in != nil {
+		r.CounterFunc("chaos_injections_total", "Scripted faults the chaos injector has fired.",
+			func() float64 { return float64(in.Fired()) })
 	}
 	if q := s.cfg.Queue; q != nil {
 		r.GaugeFunc("compiles_inflight", "Compiles currently executing on workers.",
@@ -398,10 +452,8 @@ func (s *Server) logRequest(r *http.Request, rw *statusWriter, dur time.Duration
 //	ERR_SIM_DIVERGED, ERR_NON_FINITE,
 //	ERR_REPAIR_FAILED                      -> 422 Unprocessable Entity
 //	ERR_BUDGET_EXCEEDED                    -> 504 Gateway Timeout
+//	ERR_OVERLOADED                         -> 429 Too Many Requests (+ Retry-After)
 //	ERR_INTERNAL, ERR_UNKNOWN              -> 500 Internal Server Error
-//
-// (Queue overload is reported by the submit handler as 429 before any
-// pipeline error exists.)
 func HTTPStatus(err error) int {
 	switch cerr.CodeOf(err) {
 	case cerr.CodeBadRequest, cerr.CodeInvalidParams, cerr.CodeDeckParse, cerr.CodeMarchParse, cerr.CodePlaneParse:
@@ -411,9 +463,35 @@ func HTTPStatus(err error) int {
 		return http.StatusUnprocessableEntity
 	case cerr.CodeBudgetExceeded:
 		return http.StatusGatewayTimeout
+	case cerr.CodeOverloaded:
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// retryAfterSeconds computes the Retry-After hint for shed load: the
+// observed p50 compile latency scaled by how many queue drains stand
+// between the client and a free worker, clamped to [1s, 120s]. With
+// no latency data yet (cold process) the floor applies — 1s is long
+// enough to matter, short enough to keep a burst's tail latency sane.
+func (s *Server) retryAfterSeconds() int {
+	p50 := s.compileDur.Snapshot().Quantile(0.5)
+	var backlog float64
+	if q := s.cfg.Queue; q != nil {
+		qs := q.Stats()
+		if qs.Workers > 0 {
+			backlog = float64(qs.Queued+qs.Running) / float64(qs.Workers)
+		}
+	}
+	secs := int(p50 * (1 + backlog))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 120 {
+		secs = 120
+	}
+	return secs
 }
 
 // wireError is the envelope's error member.
@@ -439,6 +517,12 @@ func (s *Server) writeError(w http.ResponseWriter, err error, statusOverride int
 	status := statusOverride
 	if status == 0 {
 		status = HTTPStatus(err)
+	}
+	if status == http.StatusTooManyRequests {
+		// Shed load carries a concrete hint: the observed p50 compile
+		// latency scaled by the queue backlog. Part of the documented
+		// retry contract.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	we := &wireError{
 		Code:    cerr.CodeOf(err).String(),
@@ -586,8 +670,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return entry, nil
 	})
 	if err != nil {
-		// Overload (full or draining queue) back-pressures as 429.
-		s.writeError(w, err, http.StatusTooManyRequests)
+		// Overload (full or draining queue) back-pressures as
+		// ERR_OVERLOADED -> 429 + Retry-After via the standard mapping.
+		s.writeError(w, err, 0)
 		return
 	}
 	s.trackJob(job, key)
@@ -632,6 +717,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 // runCompile executes the pipeline under the job context, renders the
 // cacheable artifact set and fills both cache tiers.
 func (s *Server) runCompile(ctx context.Context, key string, params compiler.Params) (*cache.Entry, error) {
+	ctx = chaos.WithContext(ctx, s.cfg.Chaos)
 	d, err := compiler.CompileCtx(ctx, params)
 	if err != nil {
 		return nil, err

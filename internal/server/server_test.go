@@ -432,6 +432,7 @@ func TestHTTPStatusTableTotal(t *testing.T) {
 		"ERR_REPAIR_FAILED":   422,
 		"ERR_NON_FINITE":      422,
 		"ERR_BUDGET_EXCEEDED": 504,
+		"ERR_OVERLOADED":      429,
 		"ERR_INTERNAL":        500,
 		"ERR_UNKNOWN":         500,
 	}

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cerr"
+	"repro/internal/chaos"
 )
 
 const (
@@ -69,7 +70,23 @@ type Config struct {
 	// BudgetBytes bounds the resident object bytes; <= 0 means
 	// unbounded (no GC).
 	BudgetBytes int64
+	// QuarantineObjects bounds how many quarantined files are kept
+	// (0 = default 32, < 0 = unbounded). Quarantine is forensic
+	// evidence, not a cache: beyond the cap the oldest files go.
+	QuarantineObjects int
+	// QuarantineBytes bounds total quarantined bytes (0 = default
+	// 64 MiB, < 0 = unbounded).
+	QuarantineBytes int64
+	// Chaos, when non-nil, injects scripted disk faults at the
+	// store.write and store.read points.
+	Chaos *chaos.Injector
 }
+
+// Default quarantine caps applied when Config leaves them zero.
+const (
+	defaultQuarantineObjects = 32
+	defaultQuarantineBytes   = 64 << 20
+)
 
 // Stats is a point-in-time counter snapshot.
 type Stats struct {
@@ -90,6 +107,12 @@ type Stats struct {
 	// ScannedAtStartup is how many committed objects the opening index
 	// scan found — the restart-warmness headline number.
 	ScannedAtStartup int `json:"scanned_at_startup"`
+	// QuarantineObjects / QuarantineBytes describe the current
+	// quarantine directory; QuarantineEvictions counts files dropped
+	// by the quarantine cap (oldest first).
+	QuarantineObjects   int    `json:"quarantine_objects"`
+	QuarantineBytes     int64  `json:"quarantine_bytes"`
+	QuarantineEvictions uint64 `json:"quarantine_evictions"`
 }
 
 // meta is the in-memory index record for one committed object.
@@ -101,13 +124,20 @@ type meta struct {
 // Store is the disk tier. Construct with Open; safe for concurrent
 // use.
 type Store struct {
-	dir    string
-	budget int64
+	dir     string
+	budget  int64
+	qMaxObj int
+	qMaxB   int64
+	chaos   *chaos.Injector
 
 	mu      sync.Mutex
 	index   map[string]*meta
 	bytes   int64
 	scanned int
+
+	qObjects   int
+	qBytes     int64
+	qEvictions uint64
 
 	hits, misses, puts, evictions, corrupt, rejected uint64
 }
@@ -139,9 +169,18 @@ func Open(cfg Config) (*Store, error) {
 		return nil, cerr.New(cerr.CodeInvalidParams, "store: empty directory")
 	}
 	s := &Store{
-		dir:    cfg.Dir,
-		budget: cfg.BudgetBytes,
-		index:  map[string]*meta{},
+		dir:     cfg.Dir,
+		budget:  cfg.BudgetBytes,
+		qMaxObj: cfg.QuarantineObjects,
+		qMaxB:   cfg.QuarantineBytes,
+		chaos:   cfg.Chaos,
+		index:   map[string]*meta{},
+	}
+	if s.qMaxObj == 0 {
+		s.qMaxObj = defaultQuarantineObjects
+	}
+	if s.qMaxB == 0 {
+		s.qMaxB = defaultQuarantineBytes
 	}
 	for _, sub := range []string{objectsDir, quarantineDir, tmpDir} {
 		if err := os.MkdirAll(filepath.Join(cfg.Dir, sub), 0o755); err != nil {
@@ -176,10 +215,25 @@ func Open(cfg Config) (*Store, error) {
 		s.bytes += info.Size()
 	}
 	s.scanned = len(s.index)
+	// Quarantined files from previous runs count against the cap too:
+	// seed the totals from disk, then enforce immediately so a lowered
+	// cap takes effect at startup.
+	if qents, err := os.ReadDir(filepath.Join(cfg.Dir, quarantineDir)); err == nil {
+		for _, e := range qents {
+			if e.IsDir() {
+				continue
+			}
+			s.qObjects++
+			if info, ierr := e.Info(); ierr == nil {
+				s.qBytes += info.Size()
+			}
+		}
+	}
 	// A budget smaller than what survived on disk is honoured
 	// immediately, oldest first.
 	s.mu.Lock()
 	s.gcLocked()
+	s.gcQuarantineLocked()
 	s.mu.Unlock()
 	return s, nil
 }
@@ -214,6 +268,9 @@ func (s *Store) objectPath(key string) string {
 func (s *Store) Put(e *cache.Entry) error {
 	if !validKey(e.Key) {
 		return cerr.New(cerr.CodeInvalidParams, "store: invalid content key %q", e.Key)
+	}
+	if err := s.chaos.Fail(chaos.PointStoreWrite); err != nil {
+		return cerr.Wrap(cerr.CodeInternal, err, "store: writing %s", e.Key)
 	}
 	payload, err := encodePayload(e)
 	if err != nil {
@@ -288,6 +345,15 @@ func (s *Store) Get(key string) (*cache.Entry, bool) {
 		return nil, false
 	}
 
+	if err := s.chaos.Fail(chaos.PointStoreRead); err != nil {
+		// Injected unreadable file: report a miss (the caller
+		// recompiles) without dropping the index — the object on disk
+		// is intact and serves normally on the next read.
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
 	path := s.objectPath(key)
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -298,6 +364,12 @@ func (s *Store) Get(key string) (*cache.Entry, bool) {
 		s.misses++
 		s.mu.Unlock()
 		return nil, false
+	}
+	// An injected bit-flip lands on the read image, exactly like disk
+	// bit rot: verification below must catch it and quarantine the
+	// (now genuinely corrupted) file.
+	if s.chaos.Corrupt(chaos.PointStoreRead, raw) {
+		os.WriteFile(path, raw, 0o644)
 	}
 	entry, verr := decodeObject(key, raw)
 	if verr != nil {
@@ -416,20 +488,82 @@ func decodeObject(key string, raw []byte) (*cache.Entry, error) {
 
 // quarantine moves a corrupt object out of the serving path (into
 // quarantine/, timestamped so repeated corruption of the same key
-// never collides) and removes it from the index.
+// never collides) and removes it from the index. The quarantine
+// directory is bounded (count and bytes, oldest first): it is
+// forensic evidence, and a flaky disk must not fill the volume with
+// it.
 func (s *Store) quarantine(key, path string) {
 	dest := filepath.Join(s.dir, quarantineDir,
 		fmt.Sprintf("%s.%d%s", key, time.Now().UnixNano(), objectExt))
+	var kept int64
 	if err := os.Rename(path, dest); err != nil {
 		// Rename failed (e.g. the file vanished): remove so the corrupt
 		// bytes can never be served.
 		os.Remove(path)
+	} else if info, ierr := os.Stat(dest); ierr == nil {
+		kept = info.Size()
 	}
 	s.dropIndex(key)
 	s.mu.Lock()
 	s.corrupt++
 	s.misses++
+	if kept > 0 {
+		s.qObjects++
+		s.qBytes += kept
+		s.gcQuarantineLocked()
+	}
 	s.mu.Unlock()
+}
+
+// gcQuarantineLocked removes the oldest quarantined files (by mtime)
+// until both the count and byte caps hold. Caller holds s.mu. A
+// negative cap disables that bound.
+func (s *Store) gcQuarantineLocked() {
+	over := func() bool {
+		return (s.qMaxObj > 0 && s.qObjects > s.qMaxObj) ||
+			(s.qMaxB > 0 && s.qBytes > s.qMaxB)
+	}
+	if !over() {
+		return
+	}
+	dir := filepath.Join(s.dir, quarantineDir)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	type qf struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	files := make([]qf, 0, len(ents))
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		info, ierr := e.Info()
+		if ierr != nil {
+			continue
+		}
+		files = append(files, qf{e.Name(), info.Size(), info.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	// Recompute from the scan: external deletions must not leave the
+	// in-memory totals drifting upward forever.
+	s.qObjects, s.qBytes = len(files), 0
+	for _, f := range files {
+		s.qBytes += f.size
+	}
+	for _, f := range files {
+		if !over() {
+			break
+		}
+		if os.Remove(filepath.Join(dir, f.name)) == nil {
+			s.qObjects--
+			s.qBytes -= f.size
+			s.qEvictions++
+		}
+	}
 }
 
 // dropIndex removes key from the index, adjusting the byte total.
@@ -481,7 +615,9 @@ func (s *Store) Stats() Stats {
 		Hits: s.hits, Misses: s.misses, Puts: s.puts,
 		Evictions: s.evictions, Corrupt: s.corrupt, Rejected: s.rejected,
 		Entries: len(s.index), Bytes: s.bytes, BudgetBytes: s.budget,
-		ScannedAtStartup: s.scanned,
+		ScannedAtStartup:  s.scanned,
+		QuarantineObjects: s.qObjects, QuarantineBytes: s.qBytes,
+		QuarantineEvictions: s.qEvictions,
 	}
 }
 

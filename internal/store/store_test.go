@@ -316,3 +316,98 @@ func TestConcurrentPutGet(t *testing.T) {
 		t.Fatalf("negative resident size: %+v", s.Stats())
 	}
 }
+
+func TestQuarantineCapEvictsOldest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, QuarantineObjects: 2, QuarantineBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptAndGet := func(seed string) {
+		t.Helper()
+		e := testEntry(seed, 100)
+		if err := s.Put(e); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "objects", e.Key+".entry")
+		if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(e.Key); ok {
+			t.Fatal("corrupt object served")
+		}
+		// Quarantine names and eviction order use mtime at nanosecond
+		// granularity; keep orderings distinct on coarse filesystems.
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, seed := range []string{"q1", "q2", "q3", "q4"} {
+		corruptAndGet(seed)
+	}
+	st := s.Stats()
+	if st.QuarantineObjects != 2 {
+		t.Fatalf("quarantine holds %d objects, want 2 (stats %+v)", st.QuarantineObjects, st)
+	}
+	if st.QuarantineEvictions != 2 {
+		t.Fatalf("quarantine evictions %d, want 2", st.QuarantineEvictions)
+	}
+	if got := s.QuarantinedCount(); got != 2 {
+		t.Fatalf("quarantine dir holds %d files, want 2", got)
+	}
+	// The survivors are the two newest quarantined files.
+	ents, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, testKey("q1")) || strings.HasPrefix(name, testKey("q2")) {
+			t.Fatalf("oldest quarantined file %s survived eviction", name)
+		}
+	}
+}
+
+func TestQuarantineByteCapAndRestartScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, QuarantineObjects: -1, QuarantineBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oneSize int64
+	for i, seed := range []string{"b1", "b2", "b3"} {
+		e := testEntry(seed, 300)
+		if err := s.Put(e); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "objects", e.Key+".entry")
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			oneSize = info.Size()
+		}
+		raw, _ := os.ReadFile(path)
+		raw[len(raw)-1] ^= 0xff
+		os.WriteFile(path, raw, 0o644)
+		if _, ok := s.Get(e.Key); ok {
+			t.Fatal("corrupt object served")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.Stats().QuarantineObjects; got != 3 {
+		t.Fatalf("unbounded quarantine holds %d, want 3", got)
+	}
+	// Restart with a byte cap that fits roughly one file: the opening
+	// scan must seed the totals from disk and enforce immediately.
+	s2, err := Open(Config{Dir: dir, QuarantineObjects: -1, QuarantineBytes: oneSize + oneSize/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.QuarantineObjects != 1 {
+		t.Fatalf("after restart with byte cap, quarantine holds %d objects, want 1 (stats %+v)", st.QuarantineObjects, st)
+	}
+	if st.QuarantineBytes > oneSize+oneSize/2 {
+		t.Fatalf("quarantine bytes %d over cap %d", st.QuarantineBytes, oneSize+oneSize/2)
+	}
+}

@@ -1,6 +1,17 @@
 // Client-side bindings for the sweep API. cmd/experiments uses them
 // to run the paper's evaluation as a service client; the end-to-end
 // smoke tests use them to drive a real daemon.
+//
+// Resilience: every exchange retries transient failures (network
+// errors, 429/502/503/504, ERR_OVERLOADED) with capped exponential
+// backoff and full jitter, honouring the server's Retry-After hint
+// when present. Retrying POST /v1/compile and POST /v1/sweeps is safe
+// because both are idempotent by construction — the request body is
+// content-addressed, so a retry lands on the cache entry (or dedups
+// onto the in-flight job) the lost response already paid for. A
+// consecutive-failure circuit breaker stops hammering a down service:
+// after BreakerThreshold transport-level failures in a row the client
+// fails fast for BreakerCooldown, then probes again.
 package sweep
 
 import (
@@ -9,8 +20,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cerr"
@@ -33,9 +47,47 @@ func (e *WireError) Error() string {
 
 // envelope mirrors the service's uniform /v1 response envelope.
 type envelope struct {
+	Job   json.RawMessage `json:"job"`
 	Sweep *Status         `json:"sweep"`
 	Data  json.RawMessage `json:"data"`
 	Error *WireError      `json:"error"`
+}
+
+// RetryPolicy shapes the client's transient-failure handling. The
+// zero value disables retries (single-shot exchanges); DefaultRetry
+// is what NewClient installs.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per exchange (first attempt included);
+	// <= 1 means no retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt n (0-based
+	// retry ordinal) waits a uniformly-random duration in
+	// [0, min(MaxDelay, BaseDelay·2ⁿ)] — "full jitter", which spreads
+	// a synchronized burst of retrying clients instead of re-bunching
+	// them.
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff sleep. A server Retry-After hint
+	// overrides the computed delay (still capped at MaxDelay).
+	MaxDelay time.Duration
+	// BreakerThreshold opens the circuit after this many consecutive
+	// transient failures across exchanges; <= 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit fails fast before
+	// probing the service again.
+	BreakerCooldown time.Duration
+}
+
+// DefaultRetry is the policy NewClient installs: 6 attempts, 100 ms
+// base, 5 s cap, breaker at 5 consecutive failures with a 10 s
+// cooldown. Six attempts put the expected cumulative backoff around
+// 1.5 s — enough to ride out a daemon restart, not enough to mask a
+// real outage.
+var DefaultRetry = RetryPolicy{
+	MaxAttempts:      6,
+	BaseDelay:        100 * time.Millisecond,
+	MaxDelay:         5 * time.Second,
+	BreakerThreshold: 5,
+	BreakerCooldown:  10 * time.Second,
 }
 
 // Client talks to a bisramgend instance.
@@ -44,11 +96,19 @@ type Client struct {
 	Base string
 	// HTTP is the underlying client; nil means a 30 s-timeout default.
 	HTTP *http.Client
+	// Retry shapes transient-failure handling; the zero value is
+	// single-shot. NewClient installs DefaultRetry.
+	Retry RetryPolicy
+
+	mu         sync.Mutex
+	consecFail int       // consecutive transient failures (breaker input)
+	openUntil  time.Time // breaker open until this instant
+	rng        *rand.Rand
 }
 
-// NewClient builds a client for the given base URL.
+// NewClient builds a client for the given base URL with DefaultRetry.
 func NewClient(base string) *Client {
-	return &Client{Base: strings.TrimRight(base, "/")}
+	return &Client{Base: strings.TrimRight(base, "/"), Retry: DefaultRetry}
 }
 
 func (c *Client) http() *http.Client {
@@ -58,42 +118,167 @@ func (c *Client) http() *http.Client {
 	return &http.Client{Timeout: 30 * time.Second}
 }
 
-// do runs one exchange and decodes the envelope, converting wire
-// errors into typed errors.
+// transientStatus reports whether an HTTP status indicates a condition
+// a retry can clear.
+func transientStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// breakerAllows consults the circuit breaker: an open circuit fails
+// fast until the cooldown elapses, then lets one probe through.
+func (c *Client) breakerAllows() error {
+	if c.Retry.BreakerThreshold <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if until := c.openUntil; time.Now().Before(until) {
+		return cerr.New(cerr.CodeOverloaded,
+			"sweep client: circuit open after %d consecutive failures (retrying at %s)",
+			c.consecFail, until.Format(time.RFC3339))
+	}
+	return nil
+}
+
+// recordOutcome feeds the breaker: a transient failure increments the
+// consecutive count (opening the circuit at the threshold), anything
+// else resets it.
+func (c *Client) recordOutcome(transientFail bool) {
+	if c.Retry.BreakerThreshold <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !transientFail {
+		c.consecFail = 0
+		return
+	}
+	c.consecFail++
+	if c.consecFail >= c.Retry.BreakerThreshold {
+		c.openUntil = time.Now().Add(c.Retry.BreakerCooldown)
+	}
+}
+
+// backoff computes the sleep before retry ordinal n: the server's
+// Retry-After hint when given, otherwise full-jitter exponential
+// backoff — both capped at MaxDelay.
+func (c *Client) backoff(n int, retryAfter time.Duration) time.Duration {
+	max := c.Retry.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if retryAfter > 0 {
+		if retryAfter > max {
+			return max
+		}
+		return retryAfter
+	}
+	d := c.Retry.BaseDelay << uint(n)
+	if d <= 0 || d > max {
+		d = max
+	}
+	c.mu.Lock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	d = time.Duration(c.rng.Int63n(int64(d) + 1))
+	c.mu.Unlock()
+	return d
+}
+
+// do runs one exchange with retries and decodes the envelope,
+// converting wire errors into typed errors. Exchanges are idempotent
+// (content-addressed bodies), so POSTs retry as safely as GETs.
 func (c *Client) do(method, path string, body []byte) (*envelope, error) {
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := c.breakerAllows(); err != nil {
+			return nil, err
+		}
+		env, retryAfter, transient, err := c.doOnce(method, path, body)
+		c.recordOutcome(err != nil && transient)
+		if err == nil {
+			return env, nil
+		}
+		lastErr = err
+		if !transient || attempt == attempts-1 {
+			return nil, err
+		}
+		time.Sleep(c.backoff(attempt, retryAfter))
+	}
+	return nil, lastErr
+}
+
+// doOnce runs a single exchange. transient reports whether the
+// failure class is retryable; retryAfter carries the server's
+// Retry-After hint (0 when absent).
+func (c *Client) doOnce(method, path string, body []byte) (env *envelope, retryAfter time.Duration, transient bool, err error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequest(method, c.Base+path, rd)
 	if err != nil {
-		return nil, cerr.Wrap(cerr.CodeInvalidParams, err, "sweep client: bad request")
+		return nil, 0, false, cerr.Wrap(cerr.CodeInvalidParams, err, "sweep client: bad request")
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return nil, cerr.Wrap(cerr.CodeInternal, err, "sweep client: %s %s", method, path)
+		// Transport failure: connection refused, reset, timeout — all
+		// worth a retry (the daemon may be restarting).
+		return nil, 0, true, cerr.Wrap(cerr.CodeInternal, err, "sweep client: %s %s", method, path)
 	}
 	defer resp.Body.Close()
+	if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
+	transient = transientStatus(resp.StatusCode)
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return nil, cerr.Wrap(cerr.CodeInternal, err, "sweep client: reading %s", path)
+		return nil, retryAfter, true, cerr.Wrap(cerr.CodeInternal, err, "sweep client: reading %s", path)
 	}
-	var env envelope
-	if err := json.Unmarshal(raw, &env); err != nil {
-		return nil, cerr.Wrap(cerr.CodeInternal, err,
+	var decoded envelope
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		return nil, retryAfter, transient, cerr.Wrap(cerr.CodeInternal, err,
 			"sweep client: %s %s returned non-envelope JSON (status %d)", method, path, resp.StatusCode)
 	}
-	if env.Error != nil {
-		return nil, env.Error
+	if decoded.Error != nil {
+		if decoded.Error.Code == cerr.CodeOverloaded.String() {
+			transient = true
+		}
+		return nil, retryAfter, transient, decoded.Error
 	}
 	if resp.StatusCode >= 400 {
-		return nil, cerr.New(cerr.CodeInternal,
+		return nil, retryAfter, transient, cerr.New(cerr.CodeInternal,
 			"sweep client: %s %s: status %d with null error", method, path, resp.StatusCode)
 	}
-	return &env, nil
+	return &decoded, retryAfter, false, nil
+}
+
+// Compile posts a raw compile request body and returns the envelope's
+// job payload. The request is content-addressed server-side, so the
+// retry loop's replays are idempotent: a replay of a compile the
+// server already finished is a cache hit.
+func (c *Client) Compile(body []byte) (json.RawMessage, error) {
+	env, err := c.do(http.MethodPost, "/v1/compile", body)
+	if err != nil {
+		return nil, err
+	}
+	if env.Job == nil {
+		return nil, cerr.New(cerr.CodeInternal, "sweep client: compile response missing job")
+	}
+	return env.Job, nil
 }
 
 // CreateSweep posts the spec and returns the initial status.

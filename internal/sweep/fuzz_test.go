@@ -1,0 +1,57 @@
+package sweep
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cerr"
+)
+
+// FuzzParseSpec drives the sweep-request decoder with arbitrary
+// bytes: ParseSpec must never panic, every rejection must be a typed
+// *cerr.Error, and any spec that parses must survive a bounded Expand
+// without panicking (rejections again typed). The seed corpus covers
+// the wire shapes the handlers actually see: the paper's Fig. 4 sweep,
+// single-point specs, version pins, and the classic decoder traps
+// (unknown fields, trailing garbage, deep nesting, huge numbers).
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		// Paper evaluation shape: yield vs defects across spare counts.
+		`{"base":{"words":4096,"bpw":32,"bpc":8,"spares":4},"axes":{"spares":[0,2,4,8],"defects":[0,5,10,20]}}`,
+		// Single point, no axes.
+		`{"base":{"words":1024,"bpw":16,"bpc":4,"spares":2},"axes":{}}`,
+		// Version pinned + priority class.
+		`{"version":2,"base":{"words":2048,"bpw":32,"bpc":8,"spares":4},"axes":{"words":[1024,2048]},"priority":"batch"}`,
+		// Process/test axes (string-valued).
+		`{"base":{"words":4096,"bpw":32,"bpc":8,"spares":4},"axes":{"process":["p0","p1"],"test":["march-c"]}}`,
+		// Decoder traps.
+		`{"base":{},"axes":{},"bogus":1}`,
+		`{"base":{},"axes":{}} trailing`,
+		`{"version":999,"base":{},"axes":{}}`,
+		`{"axes":{"defects":[1e308,-1e308,0.0]}}`,
+		`[[[[[[[[[[{}]]]]]]]]]]`,
+		`{"base":{"words":-1,"bpw":0},"axes":{"spares":[9223372036854775807]}}`,
+		``,
+		`null`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			var ce *cerr.Error
+			if !errors.As(err, &ce) {
+				t.Fatalf("ParseSpec returned untyped error %T: %v", err, err)
+			}
+			return
+		}
+		if _, err := spec.Expand(DefaultMaxPoints); err != nil {
+			var ce *cerr.Error
+			if !errors.As(err, &ce) {
+				t.Fatalf("Expand returned untyped error %T: %v", err, err)
+			}
+		}
+	})
+}

@@ -127,13 +127,19 @@ func (s Spec) Expand(maxPoints int) ([]Point, error) {
 		defects = []float64{0}
 	}
 
-	n := len(procs) * len(words) * len(bits) * len(spares) * len(tests) * len(defects)
+	// Multiply the axis lengths with the cap checked at every step: a
+	// single unchecked product could overflow int on adversarial specs
+	// and turn the cap test into a negative-capacity panic.
+	n := 1
+	for _, l := range []int{len(procs), len(words), len(bits), len(spares), len(tests), len(defects)} {
+		n *= l
+		if n > maxPoints {
+			return nil, cerr.New(cerr.CodeBadRequest,
+				"sweep: cross product exceeds the per-sweep cap of %d points", maxPoints)
+		}
+	}
 	if n == 0 {
 		return nil, cerr.New(cerr.CodeBadRequest, "sweep: empty cross product")
-	}
-	if n > maxPoints {
-		return nil, cerr.New(cerr.CodeBadRequest,
-			"sweep: %d points exceed the per-sweep cap of %d", n, maxPoints)
 	}
 	out := make([]Point, 0, n)
 	for _, pr := range procs {
@@ -238,7 +244,10 @@ type Sweep struct {
 	points  []*point
 	groups  []*group
 	pending int // points not yet terminal
-	done    chan struct{}
+	// transient marks that at least one point failed with a retryable
+	// shed/drain error: the journal record is retained for resume.
+	transient bool
+	done      chan struct{}
 }
 
 // Done is closed when every point is terminal.
@@ -330,6 +339,13 @@ type Config struct {
 	MaxPoints int
 	// Retain caps remembered sweeps; <= 0 means DefaultRetain.
 	Retain int
+	// Journal, when non-nil, checkpoints sweeps to disk: the spec is
+	// written before any group launches, each completed group leaves a
+	// done marker, and a cleanly-finished sweep removes its record. A
+	// sweep that ends with transiently-failed points (shed or drained
+	// compiles) keeps its record so Resume can finish it after a
+	// restart.
+	Journal *Journal
 }
 
 // Manager owns the sweep registry and drives point execution.
@@ -372,6 +388,43 @@ func NewManager(cfg Config) *Manager {
 // which itself dedups against identical in-flight compiles from any
 // other submitter.
 func (m *Manager) Create(spec Spec) (*Sweep, error) {
+	return m.create(spec, "")
+}
+
+// Resume re-launches every journaled sweep that never completed,
+// keeping its original ID. Finished groups replay through the
+// content-addressed Lookup (their entries are durably in the store —
+// the done marker is written only after the store put), so resumed
+// sweeps converge to byte-identical results with zero recompiles of
+// journaled points. Returns how many sweeps resumed.
+func (m *Manager) Resume() (int, error) {
+	if m.cfg.Journal == nil {
+		return 0, nil
+	}
+	recs, err := m.cfg.Journal.Pending()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, rec := range recs {
+		if _, ok := m.Get(rec.ID); ok {
+			continue // already live in this process
+		}
+		if _, cerr := m.create(rec.Spec, rec.ID); cerr != nil {
+			// The journaled spec no longer validates (e.g. a wire-version
+			// bump across the restart): it can never resume, so drop the
+			// record instead of retrying it forever.
+			m.cfg.Journal.Complete(rec.ID)
+			continue
+		}
+		n++
+	}
+	return n, nil
+}
+
+// create is Create with an optional forced ID (the resume path reuses
+// journaled IDs; fresh sweeps allocate the next one).
+func (m *Manager) create(spec Spec, forcedID string) (*Sweep, error) {
 	if spec.Version != 0 && spec.Version != canon.WireVersion {
 		return nil, cerr.New(cerr.CodeBadRequest,
 			"sweep: unsupported spec version %d", spec.Version)
@@ -419,14 +472,30 @@ func (m *Manager) Create(spec Spec) (*Sweep, error) {
 	sw.pending = len(sw.points)
 
 	m.mu.Lock()
-	m.nextID++
-	sw.ID = fmt.Sprintf("sweep-%06d", m.nextID)
+	if forcedID != "" {
+		sw.ID = forcedID
+		// Keep fresh IDs ahead of every resumed one so they never
+		// collide.
+		var seq uint64
+		if _, serr := fmt.Sscanf(forcedID, "sweep-%d", &seq); serr == nil && seq > m.nextID {
+			m.nextID = seq
+		}
+	} else {
+		m.nextID++
+		sw.ID = fmt.Sprintf("sweep-%06d", m.nextID)
+	}
 	m.sweeps[sw.ID] = sw
 	m.order = append(m.order, sw.ID)
 	m.retainLocked()
 	m.mu.Unlock()
 	m.created.Inc()
 	m.pointsTotal.Add(uint64(len(sw.points)))
+
+	// Write-ahead: the journal record lands before any group launches,
+	// so a crash at any later instant can resume the whole sweep.
+	// Journal IO failure is logged by omission (the sweep still runs,
+	// it just loses its resume guarantee) rather than failing creation.
+	m.cfg.Journal.Begin(sw.ID, spec)
 
 	// Launch the groups. Store hits finish synchronously; misses go
 	// through the queue with one waiter goroutine per group.
@@ -474,11 +543,21 @@ func parsePriority(s string) (jobs.Priority, error) {
 	return jobs.ParsePriority(s)
 }
 
-// finishGroup marks every point of g terminal with the given outcome.
+// finishGroup marks every point of g terminal with the given outcome,
+// checkpoints the completion in the journal, and — once the whole
+// sweep is terminal — either completes the journal record (clean
+// finish) or retains it for resume (a shed or drained group means the
+// sweep was cut short by overload/shutdown, not by its own inputs).
 func (m *Manager) finishGroup(sw *Sweep, g *group, entry *cache.Entry, err error, cached bool) {
 	var met Metrics
 	if err == nil {
 		met, err = MetricsFromEntry(entry)
+	}
+	if err == nil {
+		// The entry is durably in the artifact store before the job
+		// completes, so the marker's invariant (marker => store hit on
+		// resume) holds.
+		m.cfg.Journal.MarkDone(sw.ID, g.key)
 	}
 	sw.mu.Lock()
 	for _, pt := range g.points {
@@ -489,6 +568,9 @@ func (m *Manager) finishGroup(sw *Sweep, g *group, entry *cache.Entry, err error
 			pt.state = pointFailed
 			pt.err = err
 			m.pointsFailed.Inc()
+			if transientFailure(err) {
+				sw.transient = true
+			}
 		} else {
 			pt.state = pointDone
 			pt.cached = cached
@@ -500,10 +582,26 @@ func (m *Manager) finishGroup(sw *Sweep, g *group, entry *cache.Entry, err error
 		sw.pending--
 	}
 	finished := sw.pending == 0
+	transient := sw.transient
 	sw.mu.Unlock()
 	if finished {
 		close(sw.done)
+		if !transient {
+			m.cfg.Journal.Complete(sw.ID)
+		}
 	}
+}
+
+// transientFailure classifies errors that a restart (or a retry)
+// would plausibly clear: shed load and drain/deadline cancellations.
+// Deterministic input failures (bad params, repair unsuccessful,
+// diverged simulation) are final — resuming would just re-fail them.
+func transientFailure(err error) bool {
+	switch cerr.CodeOf(err) {
+	case cerr.CodeOverloaded, cerr.CodeBudgetExceeded:
+		return true
+	}
+	return false
 }
 
 // retainLocked forgets the oldest finished sweeps beyond the
