@@ -2,7 +2,7 @@
 #
 #   make check — the default pre-merge gate: vet, build, race-enabled
 #                tests, and the serve-smoke + sweep-smoke + chaos-smoke
-#                end-to-end daemon checks.
+#                + cluster-smoke end-to-end daemon checks.
 #   make ci    — everything the tree must pass before merging: check
 #                plus a short fuzz smoke pass on each parser and the
 #                adversarial-input fault campaign.
@@ -14,11 +14,11 @@ FUZZTIME ?= 5s
 BENCH_OUT  ?= results/BENCH_5.json
 BENCHCOUNT ?= 3
 
-.PHONY: all check build vet test race serve-smoke obs-smoke sweep-smoke chaos-smoke fuzz-smoke campaign serve ci bench bench-smoke
+.PHONY: all check build vet test race serve-smoke obs-smoke sweep-smoke chaos-smoke cluster-smoke fuzz-smoke campaign serve ci bench bench-smoke
 
 all: check
 
-check: vet build race serve-smoke sweep-smoke chaos-smoke bench-smoke
+check: vet build race serve-smoke sweep-smoke chaos-smoke cluster-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,18 @@ sweep-smoke:
 # client completes.
 chaos-smoke:
 	$(GO) test -race -run TestChaosSmoke -count=1 ./cmd/bisramgend/
+
+# End-to-end federation drill: a bisramgate gateway in front of three
+# federated bisramgend shards next to one standalone reference daemon.
+# Requires (1) a compile through the cluster returns the same key and
+# byte-identical artifact as the single daemon; (2) fresh and repeat
+# sweeps through the cluster return results documents byte-identical
+# to the single daemon's, with the repeat running zero compiles on any
+# shard; (3) kill -9 of one shard mid-sweep still completes the sweep
+# via ring-successor failover with byte-identical rows, and the
+# gateway marks the dead shard down.
+cluster-smoke:
+	$(GO) test -race -run TestClusterSmoke -count=1 ./cmd/bisramgate/
 
 # Full benchmark sweep: every Fig/Table experiment benchmark plus the
 # substrate micro-benchmarks, -count=$(BENCHCOUNT) with -benchmem, the

@@ -1,0 +1,144 @@
+// Command bisramgate is the BISRAMGEN federation gateway: one HTTP
+// surface speaking the daemon's /v1 contract in front of a fleet of
+// bisramgend shards. Compile submissions and key-addressed reads
+// route to the content key's consistent-hash owner (failing over to
+// ring successors while a shard is down), job reads follow the shard
+// that accepted the job, and sweeps fan their points across the fleet
+// — merged into a results document byte-identical to a single
+// daemon's, because every shard derives the same bytes from the same
+// canonical key.
+//
+// Example:
+//
+//	bisramgate -addr :8040 -shards http://localhost:8047,http://localhost:8048,http://localhost:8049
+//	curl -s localhost:8040/v1/compile -d '{"words":4096,"bpw":32,"bpc":8,"spares":4}'
+//
+// On SIGINT/SIGTERM the gateway stops accepting work, finishes
+// in-flight exchanges and sweep routing (bounded by -drain-timeout),
+// and exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8040", "listen address")
+		shards       = flag.String("shards", "", "comma-separated base URLs of the shard fleet (required)")
+		routeWorkers = flag.Int("route-workers", 4*runtime.NumCPU(), "sweep fan-out concurrency (router jobs proxying point compiles)")
+		queueDepth   = flag.Int("queue", 1024, "max queued router jobs; overload returns 429")
+		deadline     = flag.Duration("deadline", 5*time.Minute, "per-point routing deadline (shard compile + polling)")
+		probeEvery   = flag.Duration("probe-interval", 2*time.Second, "shard health probe interval")
+		sweepMax     = flag.Int("sweep-max-points", 0, "max points in one sweep's cross product (0 = sweep default)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM/SIGINT")
+		chaosSpec    = flag.String("chaos-spec", "", "TESTING ONLY: fault-injection spec, inline JSON or a file path; enables deterministic chaos drills")
+	)
+	flag.Parse()
+
+	if *shards == "" {
+		fmt.Fprintln(os.Stderr, "bisramgate: -shards is required")
+		os.Exit(1)
+	}
+	members := strings.Split(*shards, ",")
+	for i := range members {
+		members[i] = strings.TrimSuffix(strings.TrimSpace(members[i]), "/")
+	}
+	ring, err := cluster.NewRing(members, cluster.DefaultVNodes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bisramgate: -shards: %v\n", err)
+		os.Exit(1)
+	}
+
+	var inj *chaos.Injector
+	if *chaosSpec != "" {
+		if strings.HasPrefix(strings.TrimSpace(*chaosSpec), "{") {
+			inj, err = chaos.Parse([]byte(*chaosSpec))
+		} else {
+			inj, err = chaos.Load(*chaosSpec)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bisramgate: chaos spec: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "bisramgate: CHAOS INJECTION ENABLED — not for production use")
+	}
+
+	reg := obs.NewRegistry()
+	tab := cluster.NewTable(ring)
+	q := jobs.New(jobs.Config{
+		Workers:  *routeWorkers,
+		Capacity: *queueDepth,
+		Deadline: *deadline,
+		Registry: reg,
+	})
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{
+		Table:          tab,
+		Queue:          q,
+		Registry:       reg,
+		Chaos:          inj,
+		SweepMaxPoints: *sweepMax,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bisramgate: %v\n", err)
+		os.Exit(1)
+	}
+	stopProbing := tab.StartProbing(*probeEvery)
+	defer stopProbing()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "bisramgate: listening on %s in front of %d shard(s) (%d up)\n",
+			*addr, tab.PeersTotal(), tab.PeersUp())
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "bisramgate: serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintf(os.Stderr, "bisramgate: signal received; draining (budget %v)\n", *drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	drainErr := q.Shutdown(drainCtx)
+	<-errCh
+
+	switch {
+	case drainErr != nil:
+		fmt.Fprintf(os.Stderr, "bisramgate: drain incomplete: %v\n", drainErr)
+		os.Exit(1)
+	case shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed):
+		fmt.Fprintf(os.Stderr, "bisramgate: http shutdown: %v\n", shutdownErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "bisramgate: drained cleanly")
+}

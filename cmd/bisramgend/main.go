@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -59,6 +60,10 @@ func main() {
 		journalDir   = flag.String("sweep-journal-dir", "", "sweep write-ahead journal directory; restarts resume in-flight sweeps (default <store-dir>/sweeps, empty store-dir disables)")
 		chaosSpec    = flag.String("chaos-spec", "", "TESTING ONLY: fault-injection spec, inline JSON or a file path; enables deterministic chaos drills")
 		debugStacks  = flag.Bool("debug-stacks", false, "mount GET /debug/stacks (full goroutine dump; also mounted by -pprof)")
+		peersList    = flag.String("peers", "", "comma-separated base URLs of every fleet member (including this one); enables federation: ring-peer artifact fetch on store miss and shard identity in /healthz and /metrics")
+		selfURL      = flag.String("self", "", "this daemon's own base URL as it appears in -peers (required with -peers)")
+		gatewayURL   = flag.String("gateway", "", "advertised gateway base URL, reported in /healthz (informational)")
+		probeEvery   = flag.Duration("probe-interval", 2*time.Second, "peer health probe interval when -peers is set")
 	)
 	flag.Parse()
 
@@ -113,6 +118,40 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// Federation: build the fleet view and let the store pull missing
+	// objects off ring peers before recompiling.
+	var clusterView server.ClusterInfo
+	if *peersList != "" {
+		members := strings.Split(*peersList, ",")
+		for i := range members {
+			members[i] = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(members[i]), "/"))
+		}
+		self := strings.TrimSuffix(strings.TrimSpace(*selfURL), "/")
+		ring, err := cluster.NewRing(members, cluster.DefaultVNodes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bisramgend: -peers: %v\n", err)
+			os.Exit(1)
+		}
+		found := false
+		for _, m := range ring.Members() {
+			if m == self {
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "bisramgend: -self %q is not one of -peers %v\n", self, ring.Members())
+			os.Exit(1)
+		}
+		tab := cluster.NewTable(ring)
+		pc := cluster.NewPeers(tab, self)
+		if st != nil {
+			st.SetPeerFetch(pc.FetchObject)
+		}
+		stopProbing := tab.StartProbing(*probeEvery)
+		defer stopProbing()
+		clusterView = cluster.View{SelfURL: self, GatewayURL: *gatewayURL, Table: tab}
+		fmt.Fprintf(os.Stderr, "bisramgend: federated as %s in a %d-member ring\n", self, tab.PeersTotal())
+	}
 	var logW = os.Stderr
 	srv := server.New(server.Config{
 		Queue:         q,
@@ -127,6 +166,7 @@ func main() {
 		SlowLogWriter: os.Stderr,
 		SweepJournal:  journal,
 		Chaos:         inj,
+		Cluster:       clusterView,
 
 		CompileParallelism: *compilePar,
 	})

@@ -61,6 +61,15 @@ const (
 	// PointQueueStall fires when a worker picks a job up: a "delay"
 	// rule stalls the pickup, simulating a wedged worker.
 	PointQueueStall = "queue.stall"
+	// PointPeerFetch fires when a store miss consults ring peers: an
+	// "error" rule fails the fetch (the shard recompiles), a "corrupt"
+	// rule flips a bit in the fetched object image so verification
+	// quarantines it exactly like disk rot.
+	PointPeerFetch = "store.peerfetch"
+	// PointProxyRoute fires in the gateway before each routed peer
+	// exchange: an "error" rule fails the attempt (exercising
+	// ring-successor failover), a "delay" rule injects routing latency.
+	PointProxyRoute = "proxy.route"
 	// PointStagePrefix + stage name fires at each compile stage
 	// checkpoint: "delay" injects a latency spike, "panic" exercises
 	// the recover guards, "error" fails the stage with a typed error.

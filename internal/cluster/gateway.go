@@ -1,0 +1,736 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/canon"
+	"repro/internal/cerr"
+	"repro/internal/chaos"
+	"repro/internal/cjson"
+	"repro/internal/compiler"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/sweep"
+)
+
+// RouteRetry is the gateway's per-peer exchange policy: two quick
+// attempts, then move to the ring successor. Failover is the retry
+// mechanism at this layer, so per-peer persistence must be short.
+var RouteRetry = sweep.RetryPolicy{
+	MaxAttempts:      2,
+	BaseDelay:        50 * time.Millisecond,
+	MaxDelay:         500 * time.Millisecond,
+	BreakerThreshold: 3,
+	BreakerCooldown:  3 * time.Second,
+}
+
+// GatewayConfig wires a Gateway.
+type GatewayConfig struct {
+	// Table is the fleet view (ring + health); required.
+	Table *Table
+	// Queue drives the sweep fan-out: each unique point becomes one
+	// router job whose Run proxies the compile to the owning shard.
+	// Required.
+	Queue *jobs.Queue
+	// Client performs peer exchanges; nil installs one with RouteRetry.
+	Client *sweep.Client
+	// Registry receives the gateway metrics; nil allocates a private
+	// one.
+	Registry *obs.Registry
+	// Chaos, when non-nil, injects scripted faults at the proxy.route
+	// point.
+	Chaos *chaos.Injector
+	// SweepMaxPoints caps one sweep's cross product; <= 0 takes the
+	// sweep default.
+	SweepMaxPoints int
+	// JobRouteMemory bounds the job-id -> shard map (FIFO); <= 0 means
+	// 4096.
+	JobRouteMemory int
+}
+
+// Gateway is the federation front door: one HTTP surface that speaks
+// the daemon's /v1 contract while fanning the work across a shard
+// fleet. Compile submissions and key-addressed reads route to the
+// key's ring owner (failing over to successors while a shard is
+// down); job reads follow the shard that accepted the job; sweeps run
+// on a local manager whose per-point compiles are proxied — so the
+// sweep envelope a cluster serves is byte-identical to a single
+// daemon's, because rows are computed by the same code from the same
+// reports.
+type Gateway struct {
+	cfg    GatewayConfig
+	client *sweep.Client
+	sweeps *sweep.Manager
+	mux    *http.ServeMux
+	start  time.Time
+
+	requests *obs.CounterVec // proxy_requests_total{peer}
+	failures *obs.CounterVec // proxy_failures_total{peer}
+	fallback *obs.Counter    // proxy_failovers_total
+
+	jobMu    sync.Mutex
+	jobPeer  map[string]string
+	jobOrder []string
+
+	codeByName map[string]cerr.Code
+}
+
+// NewGateway builds the gateway and its HTTP surface.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if cfg.Table == nil {
+		return nil, cerr.New(cerr.CodeInvalidParams, "cluster: gateway needs a member table")
+	}
+	if cfg.Queue == nil {
+		return nil, cerr.New(cerr.CodeInvalidParams, "cluster: gateway needs a router queue")
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.JobRouteMemory <= 0 {
+		cfg.JobRouteMemory = 4096
+	}
+	g := &Gateway{
+		cfg:        cfg,
+		client:     cfg.Client,
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		jobPeer:    map[string]string{},
+		codeByName: map[string]cerr.Code{},
+	}
+	if g.client == nil {
+		g.client = sweep.NewClient("")
+		g.client.Retry = RouteRetry
+	}
+	for _, c := range cerr.Codes() {
+		g.codeByName[c.String()] = c
+	}
+	g.sweeps = sweep.NewManager(sweep.Config{
+		Queue: cfg.Queue,
+		// The gateway holds no artifacts; its cache is the fleet's. A
+		// Lookup asks the key's owning shard for an already-cached
+		// report, so cluster sweep rows carry the same cached flags a
+		// warm single daemon would, and repeats cost zero recompiles.
+		Lookup:    g.lookupFleet,
+		Run:       g.runProxiedCompile,
+		Registry:  cfg.Registry,
+		MaxPoints: cfg.SweepMaxPoints,
+	})
+	g.registerMetrics()
+	g.routes()
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP surface.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+func (g *Gateway) registerMetrics() {
+	r := g.cfg.Registry
+	t := g.cfg.Table
+	r.GaugeFunc("cluster_ring_version", "Monotonic ring-state version; bumps on every member up/down transition.",
+		func() float64 { return float64(t.Version()) })
+	r.GaugeFunc("cluster_peers_up", "Ring members currently passing health probes.",
+		func() float64 { return float64(t.PeersUp()) })
+	r.GaugeFunc("cluster_peers_total", "Ring member count.",
+		func() float64 { return float64(t.PeersTotal()) })
+	g.requests = r.CounterVec("proxy_requests_total", "Exchanges routed to each peer.", "peer")
+	g.failures = r.CounterVec("proxy_failures_total", "Failed exchanges per peer (transport errors, open breakers, injected faults).", "peer")
+	g.fallback = r.Counter("proxy_failovers_total", "Requests that fell over to a ring successor after the preferred shard failed.")
+	// Pre-seed the per-peer children so the exposition is complete and
+	// deterministic from the first scrape.
+	for _, m := range t.Ring().Members() {
+		g.requests.With(m)
+		g.failures.With(m)
+	}
+}
+
+// routes mounts the /v1 surface. Every /v1 pattern gets an enveloped
+// 405 fallback carrying the Allow list.
+func (g *Gateway) routes() {
+	g.route("POST", "/v1/compile", g.handleCompile)
+	g.route("GET", "/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { g.proxyJob(w, r, "") })
+	g.route("GET", "/v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) { g.proxyJob(w, r, "/result") })
+	// GET patterns also serve HEAD (Go 1.22 mux), hence the wider
+	// Allow lists.
+	g.route("GET, HEAD", "/v1/jobs/{id}/artifact/{name}", func(w http.ResponseWriter, r *http.Request) {
+		g.proxyJob(w, r, "/artifact/"+r.PathValue("name"))
+	})
+	g.route("GET, HEAD", "/v1/objects/{key}", g.handleObject)
+	g.route("GET", "/v1/objects/{key}/report", g.handleObjectReport)
+	g.route("POST", "/v1/sweeps", g.handleSweepCreate)
+	g.route("GET", "/v1/sweeps/{id}", g.handleSweepStatus)
+	g.route("GET", "/v1/sweeps/{id}/results", g.handleSweepResults)
+	g.route("GET", "/v1/processes", func(w http.ResponseWriter, r *http.Request) { g.proxyAny(w, r, "/v1/processes") })
+	g.route("GET", "/v1/tests", func(w http.ResponseWriter, r *http.Request) { g.proxyAny(w, r, "/v1/tests") })
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+}
+
+// route registers handler for the allowed methods plus a bare-pattern
+// fallback answering every other method with an enveloped 405 and the
+// Allow list. allow is comma-separated ("GET, HEAD"); the first token
+// is the pattern's mux method.
+func (g *Gateway) route(allow, pattern string, h http.HandlerFunc) {
+	first, _, _ := strings.Cut(allow, ",")
+	g.mux.HandleFunc(first+" "+pattern, h)
+	g.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		g.writeError(w, cerr.New(cerr.CodeBadRequest,
+			"cluster: method %s not allowed on %s", r.Method, pattern),
+			http.StatusMethodNotAllowed)
+	})
+}
+
+// envelope mirrors the daemon's uniform /v1 response document, so
+// gateway-authored responses are shape-identical to shard-authored
+// ones.
+type gwEnvelope struct {
+	Job   any          `json:"job,omitempty"`
+	Sweep any          `json:"sweep,omitempty"`
+	Data  any          `json:"data,omitempty"`
+	Error *gwWireError `json:"error"`
+}
+
+type gwWireError struct {
+	Code    string `json:"code"`
+	Stage   string `json:"stage,omitempty"`
+	Message string `json:"message"`
+}
+
+func (g *Gateway) writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := cjson.MarshalIndent(v)
+	if err != nil {
+		http.Error(w, `{"error":{"code":"ERR_INTERNAL","message":"response encoding failed"}}`,
+			http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	w.Write(b)
+}
+
+func (g *Gateway) writeError(w http.ResponseWriter, err error, statusOverride int) {
+	status := statusOverride
+	if status == 0 {
+		status = server.HTTPStatus(err)
+	}
+	g.writeJSON(w, status, gwEnvelope{Error: &gwWireError{
+		Code:    cerr.CodeOf(err).String(),
+		Stage:   cerr.StageOf(err),
+		Message: err.Error(),
+	}})
+}
+
+// relay writes a shard's verbatim response to the client, preserving
+// the contract-bearing headers.
+func relay(w http.ResponseWriter, resp *sweep.RawResponse) {
+	for _, h := range []string{"Content-Type", "Retry-After", "Content-Disposition"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	// HEAD responses carry their length in the header, not the body.
+	if cl := resp.Header.Get("Content-Length"); cl != "" && len(resp.Body) == 0 {
+		w.Header().Set("Content-Length", cl)
+	} else {
+		w.Header().Set("Content-Length", strconv.Itoa(len(resp.Body)))
+	}
+	w.WriteHeader(resp.Status)
+	w.Write(resp.Body)
+}
+
+// exchange routes method+path(+body) to the key's owning shard,
+// failing over through ring successors: a transport-level failure (or
+// injected route fault) marks the peer down and moves on; any HTTP
+// response is a terminal answer. accept, when non-nil, can veto a
+// response (e.g. a 404 during key-addressed reads) to keep searching.
+func (g *Gateway) exchange(ctx context.Context, key, method, path string, body []byte,
+	accept func(status int) bool) (*sweep.RawResponse, string, error) {
+	candidates := g.cfg.Table.Route(key)
+	if len(candidates) == 0 {
+		// Whole fleet marked down: the table may be stale (mass restart),
+		// so try everyone in ring order rather than failing outright.
+		candidates = g.cfg.Table.Ring().Successors(key, 0)
+	}
+	var lastErr error
+	var lastResp *sweep.RawResponse
+	failed := false
+	for _, peer := range candidates {
+		if failed {
+			// Only count re-routes forced by a failed peer — a healthy
+			// shard answering "not resident" (accept veto) is a miss,
+			// not a failover.
+			g.fallback.Inc()
+			failed = false
+		}
+		_, end := obs.Start(ctx, "proxy.route")
+		g.cfg.Chaos.Delay(chaos.PointProxyRoute)
+		if err := g.cfg.Chaos.Fail(chaos.PointProxyRoute); err != nil {
+			g.failures.With(peer).Inc()
+			end(obs.String("peer", peer), obs.String("outcome", "chaos"))
+			lastErr = err
+			failed = true
+			continue
+		}
+		g.requests.With(peer).Inc()
+		resp, err := g.client.DoRaw(ctx, method, peer+path, body)
+		if err != nil {
+			g.failures.With(peer).Inc()
+			g.cfg.Table.MarkDown(peer)
+			end(obs.String("peer", peer), obs.String("outcome", "error"))
+			lastErr = err
+			failed = true
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		end(obs.String("peer", peer), obs.String("outcome", fmt.Sprintf("%d", resp.Status)))
+		if accept != nil && !accept(resp.Status) {
+			lastResp = resp
+			continue
+		}
+		return resp, peer, nil
+	}
+	if lastResp != nil {
+		// Every shard answered but none acceptably (e.g. nobody has the
+		// object): the last real answer beats a synthetic error.
+		return lastResp, "", nil
+	}
+	if lastErr == nil {
+		lastErr = cerr.New(cerr.CodeOverloaded, "cluster: no shard reachable for key %s", key)
+	}
+	return nil, "", lastErr
+}
+
+// rememberJob binds a shard-issued job id to its shard (bounded FIFO)
+// so job status/result/artifact reads route straight there.
+func (g *Gateway) rememberJob(id, peer string) {
+	if id == "" || peer == "" {
+		return
+	}
+	g.jobMu.Lock()
+	defer g.jobMu.Unlock()
+	if _, seen := g.jobPeer[id]; !seen {
+		g.jobOrder = append(g.jobOrder, id)
+		for len(g.jobOrder) > g.cfg.JobRouteMemory {
+			delete(g.jobPeer, g.jobOrder[0])
+			g.jobOrder = g.jobOrder[1:]
+		}
+	}
+	g.jobPeer[id] = peer
+}
+
+func (g *Gateway) peerForJob(id string) (string, bool) {
+	g.jobMu.Lock()
+	defer g.jobMu.Unlock()
+	p, ok := g.jobPeer[id]
+	return p, ok
+}
+
+// upMembers lists the routable fleet: up members in ring-member order,
+// or everyone when the table says nobody is (stale-table fallback).
+func (g *Gateway) upMembers() []string {
+	all := g.cfg.Table.Ring().Members()
+	up := make([]string, 0, len(all))
+	for _, m := range all {
+		if g.cfg.Table.Up(m) {
+			up = append(up, m)
+		}
+	}
+	if len(up) == 0 {
+		return all
+	}
+	return up
+}
+
+// handleCompile is POST /v1/compile: canonicalize exactly as a shard
+// would (same strict parse, same key), then forward the body verbatim
+// to the key's owner.
+func (g *Gateway) handleCompile(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, server.MaxRequestBody))
+	if err != nil {
+		g.writeError(w, cerr.Wrap(cerr.CodeInvalidParams, err, "cluster: request body"), http.StatusRequestEntityTooLarge)
+		return
+	}
+	req, err := canon.ParseRequest(body)
+	if err != nil {
+		g.writeError(w, err, 0)
+		return
+	}
+	params, err := req.Params()
+	if err != nil {
+		g.writeError(w, err, 0)
+		return
+	}
+	key, err := canon.KeyOfParams(params)
+	if err != nil {
+		g.writeError(w, err, 0)
+		return
+	}
+	path := "/v1/compile"
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	resp, peer, err := g.exchange(r.Context(), key, http.MethodPost, path, body, nil)
+	if err != nil {
+		g.writeError(w, err, 0)
+		return
+	}
+	if id := jobIDOf(resp.Body); id != "" {
+		g.rememberJob(id, peer)
+	}
+	relay(w, resp)
+}
+
+// jobIDOf extracts job.job_id from a compile response envelope, "" if
+// absent.
+func jobIDOf(body []byte) string {
+	var env struct {
+		Job struct {
+			JobID string `json:"job_id"`
+		} `json:"job"`
+	}
+	if json.Unmarshal(body, &env) != nil {
+		return ""
+	}
+	return env.Job.JobID
+}
+
+// proxyJob is GET /v1/jobs/{id}[suffix]: follow the shard that issued
+// the job when known, otherwise sweep the up fleet — the first answer
+// that isn't "unknown job" wins.
+func (g *Gateway) proxyJob(w http.ResponseWriter, r *http.Request, suffix string) {
+	id := r.PathValue("id")
+	path := "/v1/jobs/" + id + suffix
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	if peer, ok := g.peerForJob(id); ok {
+		g.requests.With(peer).Inc()
+		if resp, err := g.client.DoRaw(r.Context(), r.Method, peer+path, nil); err == nil {
+			relay(w, resp)
+			return
+		}
+		g.failures.With(peer).Inc()
+		g.cfg.Table.MarkDown(peer)
+	}
+	var notFound *sweep.RawResponse
+	for _, peer := range g.upMembers() {
+		g.requests.With(peer).Inc()
+		resp, err := g.client.DoRaw(r.Context(), r.Method, peer+path, nil)
+		if err != nil {
+			g.failures.With(peer).Inc()
+			g.cfg.Table.MarkDown(peer)
+			continue
+		}
+		if resp.Status != http.StatusNotFound {
+			g.rememberJob(id, peer)
+			relay(w, resp)
+			return
+		}
+		notFound = resp
+	}
+	if notFound != nil {
+		relay(w, notFound)
+		return
+	}
+	g.writeError(w, cerr.New(cerr.CodeInvalidParams, "cluster: unknown job %q", id), http.StatusNotFound)
+}
+
+// handleObject is GET/HEAD /v1/objects/{key}: a key-addressed read
+// routed by the ring. A shard that doesn't hold the object (404) is
+// not final — after failover a key's artifact may live on a
+// successor, so the search continues through the candidates.
+func (g *Gateway) handleObject(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	resp, _, err := g.exchange(r.Context(), key, r.Method, "/v1/objects/"+key, nil,
+		func(status int) bool { return status != http.StatusNotFound })
+	if err != nil {
+		g.writeError(w, err, 0)
+		return
+	}
+	relay(w, resp)
+}
+
+// handleObjectReport is GET /v1/objects/{key}/report: the cached
+// compile report for a content key, never triggering a compile. Like
+// handleObject, a 404 keeps searching ring successors — after
+// failover the report may be resident on a non-owner.
+func (g *Gateway) handleObjectReport(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	resp, _, err := g.exchange(r.Context(), key, http.MethodGet, "/v1/objects/"+key+"/report", nil,
+		func(status int) bool { return status != http.StatusNotFound })
+	if err != nil {
+		g.writeError(w, err, 0)
+		return
+	}
+	relay(w, resp)
+}
+
+// proxyAny serves fleet-invariant catalogs (/v1/processes, /v1/tests)
+// from the first up shard that answers.
+func (g *Gateway) proxyAny(w http.ResponseWriter, r *http.Request, path string) {
+	var lastErr error
+	for _, peer := range g.upMembers() {
+		g.requests.With(peer).Inc()
+		resp, err := g.client.DoRaw(r.Context(), http.MethodGet, peer+path, nil)
+		if err != nil {
+			g.failures.With(peer).Inc()
+			g.cfg.Table.MarkDown(peer)
+			lastErr = err
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	if lastErr == nil {
+		lastErr = cerr.New(cerr.CodeOverloaded, "cluster: no shard reachable")
+	}
+	g.writeError(w, lastErr, 0)
+}
+
+// handleSweepCreate is POST /v1/sweeps: the sweep runs on the
+// gateway's own manager; each unique point's compile is proxied to
+// its owning shard by runProxiedCompile. Row computation is
+// deterministic from the report metrics, so the merged results
+// envelope is byte-identical to a single daemon's.
+func (g *Gateway) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, server.MaxRequestBody))
+	if err != nil {
+		g.writeError(w, cerr.Wrap(cerr.CodeBadRequest, err, "cluster: sweep body"), http.StatusRequestEntityTooLarge)
+		return
+	}
+	spec, err := sweep.ParseSpec(body)
+	if err != nil {
+		g.writeError(w, err, 0)
+		return
+	}
+	sw, err := g.sweeps.Create(spec)
+	if err != nil {
+		g.writeError(w, err, 0)
+		return
+	}
+	g.writeJSON(w, http.StatusAccepted, gwEnvelope{Sweep: sw.Status()})
+}
+
+func (g *Gateway) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	sw, ok := g.sweeps.Get(r.PathValue("id"))
+	if !ok {
+		g.writeError(w, cerr.New(cerr.CodeInvalidParams, "cluster: unknown sweep %q", r.PathValue("id")), http.StatusNotFound)
+		return
+	}
+	g.writeJSON(w, http.StatusOK, gwEnvelope{Sweep: sw.Status()})
+}
+
+func (g *Gateway) handleSweepResults(w http.ResponseWriter, r *http.Request) {
+	sw, ok := g.sweeps.Get(r.PathValue("id"))
+	if !ok {
+		g.writeError(w, cerr.New(cerr.CodeInvalidParams, "cluster: unknown sweep %q", r.PathValue("id")), http.StatusNotFound)
+		return
+	}
+	g.writeJSON(w, http.StatusOK, gwEnvelope{Data: sw.Results()})
+}
+
+// lookupFleet is the gateway sweep manager's Lookup seam: ask the
+// key's owning shard (then ring successors) for an already-cached
+// report. A hit makes the point a cached row, exactly as a warm
+// single daemon's Lookup would; any miss or failure just means the
+// point routes a compile.
+func (g *Gateway) lookupFleet(key string) (*cache.Entry, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, _, err := g.exchange(ctx, key, http.MethodGet, "/v1/objects/"+key+"/report", nil,
+		func(status int) bool { return status == http.StatusOK })
+	if err != nil || resp.Status != http.StatusOK {
+		return nil, false
+	}
+	var env struct {
+		Data struct {
+			Key      string          `json:"key"`
+			Degraded bool            `json:"degraded"`
+			Report   json.RawMessage `json:"report"`
+		} `json:"data"`
+	}
+	if json.Unmarshal(resp.Body, &env) != nil || env.Data.Key != key || len(env.Data.Report) == 0 {
+		return nil, false
+	}
+	return &cache.Entry{Key: key, Report: env.Data.Report, Degraded: env.Data.Degraded}, true
+}
+
+// errPeerLost marks a proxied compile that was accepted by a shard
+// which then became unreachable — the one error class worth a full
+// re-route (the work is idempotent; a successor recompiles or serves
+// its cache).
+var errPeerLost = cerr.New(cerr.CodeInternal, "cluster: shard lost after accepting the job")
+
+// runProxiedCompile is the gateway sweep manager's Run seam: POST the
+// point's normalized wire request to the owning shard and build the
+// entry from the response. One full re-route is allowed when a shard
+// dies between accepting and finishing a compile.
+func (g *Gateway) runProxiedCompile(ctx context.Context, key string, req canon.Request, _ compiler.Params) (*cache.Entry, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, cerr.Wrap(cerr.CodeInternal, err, "cluster: encoding request for %s", key)
+	}
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		resp, peer, xerr := g.exchange(ctx, key, http.MethodPost, "/v1/compile", body, nil)
+		if xerr != nil {
+			return nil, xerr
+		}
+		entry, eerr := g.entryFromCompileResponse(ctx, peer, key, resp)
+		if eerr == errPeerLost && ctx.Err() == nil {
+			lastErr = eerr
+			continue // the dead peer is marked down; re-route to a successor
+		}
+		return entry, eerr
+	}
+	return nil, lastErr
+}
+
+// shardJob is the slice of a shard's compile/job envelope the gateway
+// consumes.
+type shardJob struct {
+	Key      string          `json:"key"`
+	JobID    string          `json:"job_id"`
+	State    string          `json:"state"`
+	Degraded bool            `json:"degraded"`
+	Report   json.RawMessage `json:"report"`
+}
+
+// entryFromCompileResponse turns a shard's compile response into a
+// cache entry: a synchronous 200 carries the report inline; a 202 job
+// handle (the shard's sync-wait expired) is polled to completion.
+func (g *Gateway) entryFromCompileResponse(ctx context.Context, peer, key string, resp *sweep.RawResponse) (*cache.Entry, error) {
+	var env struct {
+		Job   shardJob     `json:"job"`
+		Error *gwWireError `json:"error"`
+	}
+	if err := json.Unmarshal(resp.Body, &env); err != nil {
+		return nil, cerr.Wrap(cerr.CodeInternal, err, "cluster: shard %s returned non-envelope JSON (status %d)", peer, resp.Status)
+	}
+	if env.Error != nil {
+		return nil, g.wireToErr(env.Error)
+	}
+	if resp.Status == http.StatusAccepted || len(env.Job.Report) == 0 {
+		return g.pollJobResult(ctx, peer, env.Job.JobID, key)
+	}
+	if env.Job.Key != key {
+		return nil, cerr.New(cerr.CodeInternal, "cluster: shard %s answered key %s for %s", peer, env.Job.Key, key)
+	}
+	return &cache.Entry{Key: key, Report: env.Job.Report, Degraded: env.Job.Degraded}, nil
+}
+
+// wireToErr rebuilds a shard's typed error locally, preserving the
+// code (so sweep point error codes match a single daemon's) and the
+// stage.
+func (g *Gateway) wireToErr(we *gwWireError) error {
+	code, ok := g.codeByName[we.Code]
+	if !ok {
+		code = cerr.CodeInternal
+	}
+	err := error(cerr.New(code, "%s", we.Message))
+	if we.Stage != "" {
+		err = cerr.WithStage(we.Stage, err)
+	}
+	return err
+}
+
+// pollJobResult follows a 202 job handle on the issuing shard until
+// the job finishes. A transport failure here reports errPeerLost so
+// the caller can re-route the whole compile.
+func (g *Gateway) pollJobResult(ctx context.Context, peer, jobID, key string) (*cache.Entry, error) {
+	if jobID == "" {
+		return nil, cerr.New(cerr.CodeInternal, "cluster: shard %s answered without report or job id", peer)
+	}
+	path := peer + "/v1/jobs/" + jobID + "/result"
+	for {
+		resp, err := g.client.DoRaw(ctx, http.MethodGet, path, nil)
+		if err != nil {
+			g.cfg.Table.MarkDown(peer)
+			if ctx.Err() != nil {
+				return nil, cerr.Wrap(cerr.CodeBudgetExceeded, ctx.Err(), "cluster: waiting on %s", jobID)
+			}
+			return nil, errPeerLost
+		}
+		if resp.Status == http.StatusAccepted {
+			select {
+			case <-ctx.Done():
+				return nil, cerr.Wrap(cerr.CodeBudgetExceeded, ctx.Err(), "cluster: waiting on %s", jobID)
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		var env struct {
+			Data  json.RawMessage `json:"data"`
+			Error *gwWireError    `json:"error"`
+		}
+		if err := json.Unmarshal(resp.Body, &env); err != nil {
+			return nil, cerr.Wrap(cerr.CodeInternal, err, "cluster: job result from %s", peer)
+		}
+		if env.Error != nil {
+			return nil, g.wireToErr(env.Error)
+		}
+		if len(env.Data) == 0 {
+			return nil, cerr.New(cerr.CodeInternal, "cluster: empty job result from %s", peer)
+		}
+		return &cache.Entry{Key: key, Report: env.Data}, nil
+	}
+}
+
+// handleHealthz reports the gateway's own state plus the fleet view:
+// per-peer up/down, the ring version, and role identification for
+// operators telling gateways from shards.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	t := g.cfg.Table
+	peers := map[string]string{}
+	for _, m := range t.Ring().Members() {
+		state := "up"
+		if !t.Up(m) {
+			state = "down"
+		}
+		peers[m] = state
+	}
+	status := http.StatusOK
+	state := "ok"
+	if t.PeersUp() == 0 {
+		// A gateway with no reachable shard cannot serve compiles.
+		status = http.StatusServiceUnavailable
+		state = "degraded"
+	}
+	g.writeJSON(w, status, map[string]any{
+		"status":       state,
+		"role":         "gateway",
+		"uptime_s":     time.Since(g.start).Seconds(),
+		"ring_version": t.Version(),
+		"peers_up":     t.PeersUp(),
+		"peers_total":  t.PeersTotal(),
+		"peers":        peers,
+	})
+}
+
+// handleMetrics mirrors the daemon's dual exposition: JSON snapshot by
+// default, Prometheus text 0.0.4 with ?format=prometheus.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		g.cfg.Registry.WritePrometheus(w)
+		return
+	}
+	g.writeJSON(w, http.StatusOK, map[string]any{
+		"obs":      g.cfg.Registry.Snapshot(),
+		"queue":    g.cfg.Queue.Stats(),
+		"uptime_s": time.Since(g.start).Seconds(),
+	})
+}

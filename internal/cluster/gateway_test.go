@@ -1,0 +1,432 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/chaos"
+	"repro/internal/jobs"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+const (
+	gwReq   = `{"words":256,"bpw":8,"bpc":4,"spares":4}`
+	gwSweep = `{"base":{"words":256,"bpw":8,"bpc":4,"spares":4},"axes":{"spares":[0,4],"defects":[0,5]}}`
+)
+
+// testShard is one real daemon (server + queue + cache + store) on a
+// test listener.
+type testShard struct {
+	ts *httptest.Server
+	st *store.Store
+	q  *jobs.Queue
+}
+
+func startShard(t *testing.T) *testShard {
+	t.Helper()
+	st, err := store.Open(store.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jobs.New(jobs.Config{Workers: 2, Deadline: time.Minute})
+	s := server.New(server.Config{Queue: q, Cache: cache.New(64 << 20), Store: st})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		q.Shutdown(ctx)
+	})
+	return &testShard{ts: ts, st: st, q: q}
+}
+
+// startFleet brings up n shards plus a gateway over them.
+func startFleet(t *testing.T, n int) ([]*testShard, *Gateway, *Table, *httptest.Server) {
+	t.Helper()
+	shards := make([]*testShard, n)
+	urls := make([]string, n)
+	for i := range shards {
+		shards[i] = startShard(t)
+		urls[i] = shards[i].ts.URL
+	}
+	r, err := NewRing(urls, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable(r)
+	q := jobs.New(jobs.Config{Workers: 4, Deadline: time.Minute})
+	g, err := NewGateway(GatewayConfig{Table: tab, Queue: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		q.Shutdown(ctx)
+	})
+	return shards, g, tab, ts
+}
+
+// httpDo is a bare exchange returning status, header and body.
+func httpDo(t *testing.T, method, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, raw
+}
+
+// compileVia POSTs gwReq to base and returns the decoded job member.
+func compileVia(t *testing.T, base string) map[string]any {
+	t.Helper()
+	status, _, raw := httpDo(t, http.MethodPost, base+"/v1/compile", gwReq)
+	if status != http.StatusOK {
+		t.Fatalf("compile %d: %s", status, raw)
+	}
+	var env struct {
+		Job map[string]any `json:"job"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil || env.Job == nil {
+		t.Fatalf("compile envelope: %v\n%s", err, raw)
+	}
+	return env.Job
+}
+
+// runSweepVia creates a sweep at base, waits for the terminal state
+// and returns the verbatim results document bytes.
+func runSweepVia(t *testing.T, base string) (string, []byte) {
+	t.Helper()
+	status, _, raw := httpDo(t, http.MethodPost, base+"/v1/sweeps", gwSweep)
+	if status != http.StatusAccepted {
+		t.Fatalf("sweep create %d: %s", status, raw)
+	}
+	var env struct {
+		Sweep struct {
+			ID string `json:"id"`
+		} `json:"sweep"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil || env.Sweep.ID == "" {
+		t.Fatalf("sweep envelope: %v\n%s", err, raw)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, _, body := httpDo(t, http.MethodGet, base+"/v1/sweeps/"+env.Sweep.ID, "")
+		if st != http.StatusOK {
+			t.Fatalf("sweep status %d: %s", st, body)
+		}
+		var sEnv struct {
+			Sweep struct {
+				State string `json:"state"`
+			} `json:"sweep"`
+		}
+		if err := json.Unmarshal(body, &sEnv); err != nil {
+			t.Fatal(err)
+		}
+		if sEnv.Sweep.State == "done" {
+			break
+		}
+		if sEnv.Sweep.State == "failed" {
+			t.Fatalf("sweep failed: %s", body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s never finished: %s", env.Sweep.ID, body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	st, _, results := httpDo(t, http.MethodGet, base+"/v1/sweeps/"+env.Sweep.ID+"/results", "")
+	if st != http.StatusOK {
+		t.Fatalf("sweep results %d: %s", st, results)
+	}
+	return env.Sweep.ID, results
+}
+
+// TestGatewayCompileAndReadsMatchSingleDaemon: a compile routed
+// through the gateway lands on the key's owner, produces the same key
+// and byte-identical artifact as a standalone daemon, and the
+// job/artifact/object read paths all resolve through the gateway
+// (HEAD included).
+func TestGatewayCompileAndReadsMatchSingleDaemon(t *testing.T) {
+	single := startShard(t)
+	refJob := compileVia(t, single.ts.URL)
+	refKey, _ := refJob["key"].(string)
+	refID, _ := refJob["job_id"].(string)
+	st, _, refArtifact := httpDo(t, http.MethodGet, single.ts.URL+"/v1/jobs/"+refID+"/artifact/datasheet.txt", "")
+	if st != http.StatusOK || refKey == "" {
+		t.Fatalf("reference artifact %d (key %q)", st, refKey)
+	}
+
+	shards, _, tab, gw := startFleet(t, 3)
+	job := compileVia(t, gw.URL)
+	if job["key"] != refKey {
+		t.Fatalf("cluster key %v, single-daemon key %s", job["key"], refKey)
+	}
+	// The compile must have landed on the ring owner, nowhere else.
+	owner := tab.Ring().Owner(refKey)
+	for _, sh := range shards {
+		holds := sh.st.Contains(refKey)
+		if (sh.ts.URL == owner) != holds {
+			t.Fatalf("object placement: shard %s holds=%v, owner=%s", sh.ts.URL, holds, owner)
+		}
+	}
+
+	jobID, _ := job["job_id"].(string)
+	st, _, art := httpDo(t, http.MethodGet, gw.URL+"/v1/jobs/"+jobID+"/artifact/datasheet.txt", "")
+	if st != http.StatusOK || !bytes.Equal(art, refArtifact) {
+		t.Fatalf("gateway artifact %d, %d bytes (ref %d)", st, len(art), len(refArtifact))
+	}
+
+	// Key-addressed object read, GET and HEAD, through the gateway.
+	st, hdr, obj := httpDo(t, http.MethodGet, gw.URL+"/v1/objects/"+refKey, "")
+	if st != http.StatusOK || len(obj) == 0 {
+		t.Fatalf("gateway object GET %d (%d bytes)", st, len(obj))
+	}
+	stH, hdrH, objH := httpDo(t, http.MethodHead, gw.URL+"/v1/objects/"+refKey, "")
+	if stH != http.StatusOK || len(objH) != 0 {
+		t.Fatalf("gateway object HEAD %d (%d bytes)", stH, len(objH))
+	}
+	if hdrH.Get("Content-Length") != hdr.Get("Content-Length") {
+		t.Fatalf("HEAD length %q, GET length %q", hdrH.Get("Content-Length"), hdr.Get("Content-Length"))
+	}
+
+	// The cached-report probe proxies to whichever shard holds the key.
+	st, _, rep := httpDo(t, http.MethodGet, gw.URL+"/v1/objects/"+refKey+"/report", "")
+	if st != http.StatusOK {
+		t.Fatalf("gateway object report %d: %s", st, rep)
+	}
+	var repEnv struct {
+		Data struct {
+			Key    string          `json:"key"`
+			Report json.RawMessage `json:"report"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal(rep, &repEnv); err != nil || repEnv.Data.Key != refKey || len(repEnv.Data.Report) == 0 {
+		t.Fatalf("gateway object report malformed: %s", rep)
+	}
+
+	// Job status reads follow the issuing shard.
+	st, _, raw := httpDo(t, http.MethodGet, gw.URL+"/v1/jobs/"+jobID, "")
+	if st != http.StatusOK {
+		t.Fatalf("gateway job read %d: %s", st, raw)
+	}
+}
+
+// TestGatewaySweepByteIdenticalAndZeroRecompiles: the acceptance
+// criterion — a fresh sweep served by a 3-shard cluster returns a
+// results document byte-identical to a standalone daemon's, and
+// repeating the sweep against the warm cluster runs zero compiles on
+// any shard.
+func TestGatewaySweepByteIdenticalAndZeroRecompiles(t *testing.T) {
+	single := startShard(t)
+	_, refResults := runSweepVia(t, single.ts.URL)
+
+	shards, _, _, gw := startFleet(t, 3)
+	_, gwResults := runSweepVia(t, gw.URL)
+	if !bytes.Equal(gwResults, refResults) {
+		t.Fatalf("cluster sweep diverged from single daemon:\n--- single ---\n%s\n--- cluster ---\n%s", refResults, gwResults)
+	}
+
+	completed := func() (n uint64) {
+		for _, sh := range shards {
+			n += sh.q.Stats().Completed
+		}
+		return n
+	}
+	before := completed()
+	if before == 0 {
+		t.Fatal("fresh sweep ran no shard compiles")
+	}
+	// The repeat is served entirely from the fleet's caches — zero
+	// recompiles, and the rows now carry cached=true exactly as a warm
+	// single daemon's repeat does.
+	_, refRepeat := runSweepVia(t, single.ts.URL)
+	_, gwRepeat := runSweepVia(t, gw.URL)
+	if !bytes.Equal(gwRepeat, refRepeat) {
+		t.Fatalf("repeat sweep diverged from warm single daemon:\n--- single ---\n%s\n--- cluster ---\n%s", refRepeat, gwRepeat)
+	}
+	if !bytes.Contains(gwRepeat, []byte(`"cached": true`)) {
+		t.Fatalf("repeat cluster sweep rows not marked cached:\n%s", gwRepeat)
+	}
+	if after := completed(); after != before {
+		t.Fatalf("repeat sweep recompiled: shard completions %d -> %d", before, after)
+	}
+}
+
+// TestGatewayFailoverToSuccessor: killing the key's owning shard
+// reroutes the next compile to the ring successor, which produces the
+// same key; the dead peer is marked down and the failover counter
+// moves.
+func TestGatewayFailoverToSuccessor(t *testing.T) {
+	shards, g, tab, gw := startFleet(t, 3)
+	job := compileVia(t, gw.URL)
+	key, _ := job["key"].(string)
+	owner := tab.Ring().Owner(key)
+	for _, sh := range shards {
+		if sh.ts.URL == owner {
+			sh.ts.Close() // hard kill: connections refused from here on
+		}
+	}
+	job2 := compileVia(t, gw.URL)
+	if job2["key"] != key {
+		t.Fatalf("failover compile key %v, want %s", job2["key"], key)
+	}
+	if tab.Up(owner) {
+		t.Fatal("dead owner still marked up")
+	}
+	snap := g.cfg.Registry.Snapshot()
+	if v, _ := snap["proxy_failovers_total"].(uint64); v < 1 {
+		t.Fatalf("proxy_failovers_total = %v, want >= 1", snap["proxy_failovers_total"])
+	}
+	// The successor now holds the object; a key-addressed read still
+	// resolves.
+	st, _, _ := httpDo(t, http.MethodGet, gw.URL+"/v1/objects/"+key, "")
+	if st != http.StatusOK {
+		t.Fatalf("object read after failover: %d", st)
+	}
+}
+
+// TestGatewayChaosRouteInjection: a scripted proxy.route fault on the
+// first exchange forces a failover; the request still succeeds on the
+// successor and the injection is visible in the metrics.
+func TestGatewayChaosRouteInjection(t *testing.T) {
+	shards, _, tab, _ := startFleet(t, 2)
+	_ = shards
+	inj, err := chaos.Parse([]byte(`{"rules":[{"point":"proxy.route","mode":"error","max":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jobs.New(jobs.Config{Workers: 2, Deadline: time.Minute})
+	defer q.Shutdown(context.Background())
+	g, err := NewGateway(GatewayConfig{Table: tab, Queue: q, Chaos: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	job := compileVia(t, ts.URL)
+	if job["key"] == "" {
+		t.Fatalf("chaos-path compile: %v", job)
+	}
+	if inj.Fired() != 1 {
+		t.Fatalf("chaos fired %d, want 1", inj.Fired())
+	}
+	snap := g.cfg.Registry.Snapshot()
+	if v, _ := snap["proxy_failovers_total"].(uint64); v < 1 {
+		t.Fatalf("proxy_failovers_total = %v, want >= 1", snap["proxy_failovers_total"])
+	}
+}
+
+// TestPeerFetchThroughRealShards: the full peer-fetch loop — a key
+// compiled on shard A is served by shard B as a cache hit (no
+// compile) after B's store pulls the object image off A through the
+// /v1/objects endpoint and promotes it through the verified-read
+// path.
+func TestPeerFetchThroughRealShards(t *testing.T) {
+	a := startShard(t)
+	job := compileVia(t, a.ts.URL)
+	key, _ := job["key"].(string)
+	if key == "" || !a.st.Contains(key) {
+		t.Fatalf("shard A did not persist %q", key)
+	}
+
+	b := startShard(t)
+	r, err := NewRing([]string{a.ts.URL, b.ts.URL}, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := NewPeers(NewTable(r), b.ts.URL)
+	b.st.SetPeerFetch(peers.FetchObject)
+
+	job2 := compileVia(t, b.ts.URL)
+	if job2["key"] != key {
+		t.Fatalf("shard B key %v, want %s", job2["key"], key)
+	}
+	if cached, _ := job2["cached"].(bool); !cached {
+		t.Fatalf("shard B recompiled instead of peer-fetching: %v", job2)
+	}
+	if got := b.q.Stats().Completed; got != 0 {
+		t.Fatalf("shard B ran %d compiles, want 0", got)
+	}
+	if st := b.st.Stats(); st.PeerHits != 1 {
+		t.Fatalf("shard B peer-fetch stats: %+v", st)
+	}
+}
+
+// TestGatewayMethodTable: wrong methods get the enveloped 405 with
+// the full Allow list, matching the daemon's contract.
+func TestGatewayMethodTable(t *testing.T) {
+	_, _, _, gw := startFleet(t, 1)
+	for _, tc := range []struct {
+		method, path, allow string
+	}{
+		{http.MethodPut, "/v1/compile", "POST"},
+		{http.MethodDelete, "/v1/objects/" + strings.Repeat("0", 64), "GET, HEAD"},
+		{http.MethodPost, "/v1/objects/" + strings.Repeat("0", 64) + "/report", "GET"},
+		{http.MethodDelete, "/v1/jobs/job-000001/artifact/datasheet.txt", "GET, HEAD"},
+		{http.MethodDelete, "/v1/sweeps", "POST"},
+	} {
+		st, hdr, raw := httpDo(t, tc.method, gw.URL+tc.path, "")
+		if st != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: %d", tc.method, tc.path, st)
+		}
+		if got := hdr.Get("Allow"); got != tc.allow {
+			t.Fatalf("%s %s Allow %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+		var env map[string]any
+		if err := json.Unmarshal(raw, &env); err != nil || env["error"] == nil {
+			t.Fatalf("405 not enveloped: %s", raw)
+		}
+	}
+}
+
+// TestGatewayHealthz: the health document identifies the gateway role
+// and fleet view, and degrades to 503 when no shard is reachable.
+func TestGatewayHealthz(t *testing.T) {
+	_, _, tab, gw := startFleet(t, 2)
+	st, _, raw := httpDo(t, http.MethodGet, gw.URL+"/healthz", "")
+	if st != http.StatusOK {
+		t.Fatalf("healthz %d", st)
+	}
+	var hz map[string]any
+	if err := json.Unmarshal(raw, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz["role"] != "gateway" || hz["peers_up"].(float64) != 2 {
+		t.Fatalf("healthz: %s", raw)
+	}
+	for _, m := range tab.Ring().Members() {
+		tab.MarkDown(m)
+	}
+	st, _, raw = httpDo(t, http.MethodGet, gw.URL+"/healthz", "")
+	if st != http.StatusServiceUnavailable || !strings.Contains(string(raw), "degraded") {
+		t.Fatalf("fleet-down healthz %d: %s", st, raw)
+	}
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// FetchRetry is the peer-fetch client policy: two quick attempts per
+// peer. A peer fetch is an optimization (the fallback is recompiling
+// locally), so it must fail fast rather than ride out a peer restart.
+var FetchRetry = sweep.RetryPolicy{
+	MaxAttempts:      2,
+	BaseDelay:        50 * time.Millisecond,
+	MaxDelay:         250 * time.Millisecond,
+	BreakerThreshold: 3,
+	BreakerCooldown:  5 * time.Second,
+}
+
+// Peers is the shard-to-shard client: it resolves local store misses
+// against the key's ring neighbours. One sweep.Client carries all peer
+// traffic, so breaker state is per peer host (a dead peer fails fast
+// without blocking fetches from the rest).
+type Peers struct {
+	Table *Table
+	// Self is this shard's own base URL; it is skipped during fetch so
+	// a shard never asks itself.
+	Self string
+	// Client performs the exchanges; NewPeers installs one with
+	// FetchRetry.
+	Client *sweep.Client
+	// Timeout bounds one whole FetchObject call; 0 means 10 s.
+	Timeout time.Duration
+}
+
+// NewPeers builds the peer client for a table.
+func NewPeers(table *Table, self string) *Peers {
+	c := sweep.NewClient("")
+	c.Retry = FetchRetry
+	return &Peers{Table: table, Self: self, Client: c}
+}
+
+// FetchObject asks the key's ring neighbours (owner first, up members
+// only, self excluded) for the raw object image via GET
+// /v1/objects/{key}. The first 200 wins; transport failures mark the
+// peer down and move on. The returned bytes are unverified — the
+// store's verified-read path decides whether to trust them. The
+// signature matches store.PeerFetchFunc.
+func (p *Peers) FetchObject(key string) ([]byte, bool) {
+	timeout := p.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	for _, peer := range p.Table.Route(key) {
+		if peer == p.Self {
+			continue
+		}
+		resp, err := p.Client.DoRaw(ctx, http.MethodGet, peer+"/v1/objects/"+key, nil)
+		if err != nil {
+			// Transport-level failure (or open breaker): route around the
+			// peer at request speed; the prober brings it back.
+			p.Table.MarkDown(peer)
+			if ctx.Err() != nil {
+				return nil, false
+			}
+			continue
+		}
+		if resp.Status == http.StatusOK {
+			return resp.Body, true
+		}
+		// 404 (peer doesn't have it) or anything else: try the next
+		// neighbour.
+	}
+	return nil, false
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// objectServer serves one raw object image under /v1/objects/{key},
+// 404 otherwise.
+func objectServer(t *testing.T, key, image string, calls *atomic.Int64) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		if r.URL.Path == "/v1/objects/"+key {
+			w.Write([]byte(image))
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
+	}))
+}
+
+// TestPeersFetchObject: the first up neighbour with the object wins;
+// self is never consulted; a dead neighbour is marked down and routed
+// around.
+func TestPeersFetchObject(t *testing.T) {
+	key := goldenKey("peer-object")
+	var haveCalls atomic.Int64
+	have := objectServer(t, key, "raw-image-bytes", &haveCalls)
+	defer have.Close()
+	miss := objectServer(t, "other", "", nil)
+	defer miss.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+
+	self := "http://self.invalid:1"
+	r, _ := NewRing([]string{have.URL, miss.URL, dead.URL, self}, 8)
+	tab := NewTable(r)
+	p := NewPeers(tab, self)
+
+	raw, ok := p.FetchObject(key)
+	if !ok || string(raw) != "raw-image-bytes" {
+		t.Fatalf("fetch = %q, %v", raw, ok)
+	}
+	if !tab.Up(have.URL) || !tab.Up(miss.URL) {
+		t.Fatal("healthy peers marked down")
+	}
+	// The dead peer is marked down if (and only if) routing reached it
+	// before the serving peer; either way a second fetch must not touch
+	// self and must still succeed.
+	if _, ok := p.FetchObject(key); !ok {
+		t.Fatal("second fetch failed")
+	}
+	if haveCalls.Load() < 1 {
+		t.Fatal("serving peer never consulted")
+	}
+}
+
+// TestPeersFetchObjectAllMiss: no peer has the object — fetch reports
+// a miss without error.
+func TestPeersFetchObjectAllMiss(t *testing.T) {
+	a := objectServer(t, "none", "", nil)
+	defer a.Close()
+	b := objectServer(t, "none", "", nil)
+	defer b.Close()
+	r, _ := NewRing([]string{a.URL, b.URL}, 8)
+	p := NewPeers(NewTable(r), "")
+	if _, ok := p.FetchObject(goldenKey("absent")); ok {
+		t.Fatal("fetch hit with no peer holding the object")
+	}
+}
+
+// TestPeersFetchObjectSkipsDownPeers: a peer already marked down is
+// not consulted at all.
+func TestPeersFetchObjectSkipsDownPeers(t *testing.T) {
+	key := goldenKey("skip-down")
+	var downCalls atomic.Int64
+	downSrv := objectServer(t, key, "from-down-peer", &downCalls)
+	defer downSrv.Close()
+	upSrv := objectServer(t, key, "from-up-peer", nil)
+	defer upSrv.Close()
+
+	r, _ := NewRing([]string{downSrv.URL, upSrv.URL}, 8)
+	tab := NewTable(r)
+	tab.MarkDown(downSrv.URL)
+	p := NewPeers(tab, "")
+	raw, ok := p.FetchObject(key)
+	if !ok || !strings.Contains(string(raw), "from-up-peer") {
+		t.Fatalf("fetch = %q, %v", raw, ok)
+	}
+	if downCalls.Load() != 0 {
+		t.Fatal("down peer was consulted")
+	}
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCounterVecExpositions: a one-label counter family renders per
+// child in the Prometheus text format (one HELP/TYPE header, sorted
+// labels) and nests by label in the JSON snapshot.
+func TestCounterVecExpositions(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("proxy_requests_total", "Proxied requests by peer.", "peer")
+	v.With("http://b:1").Add(2)
+	v.With("http://a:1").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	expo := b.String()
+	for _, want := range []string{
+		"# TYPE proxy_requests_total counter",
+		`proxy_requests_total{peer="http://a:1"} 1`,
+		`proxy_requests_total{peer="http://b:1"} 2`,
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %q:\n%s", want, expo)
+		}
+	}
+	if strings.Count(expo, "# HELP proxy_requests_total") != 1 {
+		t.Errorf("family header repeated:\n%s", expo)
+	}
+	// Sorted label order.
+	if strings.Index(expo, `peer="http://a:1"`) > strings.Index(expo, `peer="http://b:1"`) {
+		t.Errorf("labels not sorted:\n%s", expo)
+	}
+
+	snap := r.Snapshot()
+	fam, ok := snap["proxy_requests_total"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot missing family: %v", snap)
+	}
+	if fam["http://a:1"] != uint64(1) || fam["http://b:1"] != uint64(2) {
+		t.Fatalf("snapshot children %v", fam)
+	}
+
+	// Registration is idempotent; nil registry and vec are no-ops.
+	if r.CounterVec("proxy_requests_total", "", "peer") != v {
+		t.Fatal("re-registration minted a new vec")
+	}
+	var nilReg *Registry
+	nilReg.CounterVec("x", "", "l").With("a").Inc()
+	var nilVec *CounterVec
+	nilVec.With("a").Inc()
+}
+
+// TestCounterFuncLabeled: same-name registrations with distinct const
+// labels coexist under one family header.
+func TestCounterFuncLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFuncLabeled("store_peer_fetch_total", "Peer fetches.", map[string]string{"outcome": "hit"}, func() float64 { return 3 })
+	r.CounterFuncLabeled("store_peer_fetch_total", "Peer fetches.", map[string]string{"outcome": "miss"}, func() float64 { return 1 })
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	expo := b.String()
+	for _, want := range []string{
+		`store_peer_fetch_total{outcome="hit"} 3`,
+		`store_peer_fetch_total{outcome="miss"} 1`,
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("exposition missing %q:\n%s", want, expo)
+		}
+	}
+	if strings.Count(expo, "# TYPE store_peer_fetch_total counter") != 1 {
+		t.Errorf("family header repeated:\n%s", expo)
+	}
+	snap := r.Snapshot()
+	if snap[`store_peer_fetch_total{outcome="hit"}`] != float64(3) {
+		t.Fatalf("snapshot %v", snap)
+	}
+}

@@ -195,6 +195,48 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	return lo + (hi-lo)*(rank-float64(loCount))/float64(inBucket)
 }
 
+// CounterVec is a counter family split by one label (e.g.
+// proxy_requests_total by peer). Children are created on first use;
+// the read path is a shared-lock map hit.
+type CounterVec struct {
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// With returns the child counter for the label value. The nil
+// CounterVec hands out nil (no-op) counters.
+func (v *CounterVec) With(label string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c, ok := v.m[label]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.m[label]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.m[label] = c
+	return c
+}
+
+// labels returns the known label values, sorted.
+func (v *CounterVec) labels() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, 0, len(v.m))
+	for k := range v.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // HistogramVec is a histogram family split by one label (e.g.
 // compile_stage_duration_seconds by stage). Children are created on
 // first use; the read path is a shared-lock map hit.
@@ -270,6 +312,7 @@ type metric struct {
 	fn      func() float64
 	hist    *Histogram
 	vec     *HistogramVec
+	cvec    *CounterVec
 }
 
 // Registry holds named instruments and renders them as Prometheus
@@ -340,6 +383,33 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	r.register(&metric{name: name, help: help, kind: kindCounter, fn: fn})
 }
 
+// CounterFuncLabeled registers a constant-labelled counter callback.
+// Several registrations may share a name with distinct labels (e.g.
+// store_peer_fetch_total{outcome="hit"|"miss"|"corrupt"}); the
+// exposition emits one HELP/TYPE header for the family.
+func (r *Registry) CounterFuncLabeled(name, help string, labels map[string]string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{
+		name: name, help: help, kind: kindCounter,
+		constLabels: renderLabels(labels),
+		fn:          fn,
+	})
+}
+
+// CounterVec registers (or fetches) a one-label counter family.
+func (r *Registry) CounterVec(name, help, labelKey string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	m := r.register(&metric{
+		name: name, help: help, kind: kindCounter, labelKey: labelKey,
+		cvec: &CounterVec{m: map[string]*Counter{}},
+	})
+	return m.cvec
+}
+
 // Info registers a constant-1 gauge carrying its payload in labels —
 // the Prometheus build-info idiom.
 func (r *Registry) Info(name, help string, labels map[string]string) {
@@ -404,6 +474,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			lastHeader = m.name
 		}
 		switch {
+		case m.cvec != nil:
+			for _, label := range m.cvec.labels() {
+				fmt.Fprintf(&b, "%s{%s=\"%s\"} %d\n", m.name, m.labelKey, escapeLabel(label), m.cvec.With(label).Value())
+			}
 		case m.vec != nil:
 			for _, label := range m.vec.labels() {
 				writeHistogram(&b, m.name, m.labelKey, label, m.vec.With(label).Snapshot())
@@ -461,6 +535,12 @@ func (r *Registry) Snapshot() map[string]any {
 	for _, m := range ms {
 		name := m.name + m.constLabels
 		switch {
+		case m.cvec != nil:
+			family := map[string]any{}
+			for _, label := range m.cvec.labels() {
+				family[label] = m.cvec.With(label).Value()
+			}
+			out[name] = family
 		case m.vec != nil:
 			family := map[string]any{}
 			for _, label := range m.vec.labels() {

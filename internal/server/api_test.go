@@ -77,16 +77,17 @@ func TestEnvelopeAndMethodTable(t *testing.T) {
 		path   string
 		body   string
 		member string // expected payload member; "raw" = unenveloped stream
+		allow  string // expected 405 Allow list when wider than method
 	}{
-		{"POST", "/v1/compile", smallReq, "job"},
-		{"GET", "/v1/jobs/" + jobID, "", "job"},
-		{"GET", "/v1/jobs/" + jobID + "/result", "", "data"},
-		{"GET", "/v1/jobs/" + jobID + "/artifact/datasheet.txt", "", "raw"},
-		{"POST", "/v1/sweeps", smallSweep, "sweep"},
-		{"GET", "/v1/sweeps/" + sweepID, "", "sweep"},
-		{"GET", "/v1/sweeps/" + sweepID + "/results", "", "data"},
-		{"GET", "/v1/processes", "", "data"},
-		{"GET", "/v1/tests", "", "data"},
+		{"POST", "/v1/compile", smallReq, "job", ""},
+		{"GET", "/v1/jobs/" + jobID, "", "job", ""},
+		{"GET", "/v1/jobs/" + jobID + "/result", "", "data", ""},
+		{"GET", "/v1/jobs/" + jobID + "/artifact/datasheet.txt", "", "raw", "GET, HEAD"},
+		{"POST", "/v1/sweeps", smallSweep, "sweep", ""},
+		{"GET", "/v1/sweeps/" + sweepID, "", "sweep", ""},
+		{"GET", "/v1/sweeps/" + sweepID + "/results", "", "data", ""},
+		{"GET", "/v1/processes", "", "data", ""},
+		{"GET", "/v1/tests", "", "data", ""},
 	}
 	for _, rt := range routes {
 		t.Run(rt.method+" "+rt.path, func(t *testing.T) {
@@ -122,8 +123,12 @@ func TestEnvelopeAndMethodTable(t *testing.T) {
 			if resp2.StatusCode != http.StatusMethodNotAllowed {
 				t.Fatalf("wrong method status %d: %s", resp2.StatusCode, raw2)
 			}
-			if allow := resp2.Header.Get("Allow"); allow != rt.method {
-				t.Fatalf("Allow header %q, want %q", allow, rt.method)
+			wantAllow := rt.allow
+			if wantAllow == "" {
+				wantAllow = rt.method
+			}
+			if allow := resp2.Header.Get("Allow"); allow != wantAllow {
+				t.Fatalf("Allow header %q, want %q", allow, wantAllow)
 			}
 			if ct := resp2.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
 				t.Fatalf("405 content type %q", ct)
@@ -378,5 +383,90 @@ func TestStoreTierRestartWarm(t *testing.T) {
 	}
 	if !st3.Contains(key) {
 		t.Fatal("recompiled object not re-persisted")
+	}
+}
+
+// TestHeadAndObjectEndpoints: HEAD on the artifact route returns the
+// GET headers (content type, exact Content-Length) with an empty
+// body; /v1/objects/{key} serves the verbatim on-disk object image
+// under GET and HEAD, 404s (enveloped) for unknown keys, and lists
+// both methods in the 405 Allow header.
+func TestHeadAndObjectEndpoints(t *testing.T) {
+	st, err := store.Open(store.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jobs.New(jobs.Config{Workers: 2, Deadline: time.Minute})
+	s := New(Config{Queue: q, Cache: cache.New(64 << 20), Store: st})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		q.Shutdown(ctx)
+	}()
+
+	_, compiled := postCompile(t, ts, smallReq, "")
+	jobID, _ := compiled["job_id"].(string)
+	key, _ := compiled["key"].(string)
+	if jobID == "" || key == "" {
+		t.Fatalf("compile response missing ids: %v", compiled)
+	}
+
+	artifact := "/v1/jobs/" + jobID + "/artifact/datasheet.txt"
+	respGet, body := rawRequest(t, http.MethodGet, ts.URL+artifact, "")
+	if respGet.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("artifact GET %d (%d bytes)", respGet.StatusCode, len(body))
+	}
+	respHead, headBody := rawRequest(t, http.MethodHead, ts.URL+artifact, "")
+	if respHead.StatusCode != http.StatusOK {
+		t.Fatalf("artifact HEAD %d", respHead.StatusCode)
+	}
+	if len(headBody) != 0 {
+		t.Fatalf("artifact HEAD carried a %d-byte body", len(headBody))
+	}
+	if got, want := respHead.Header.Get("Content-Length"), strconv.Itoa(len(body)); got != want {
+		t.Fatalf("artifact HEAD Content-Length %q, want %q", got, want)
+	}
+	if got, want := respHead.Header.Get("Content-Type"), respGet.Header.Get("Content-Type"); got != want {
+		t.Fatalf("artifact HEAD Content-Type %q, want %q", got, want)
+	}
+
+	raw, ok := st.ReadRaw(key)
+	if !ok {
+		t.Fatal("compiled object not in the store")
+	}
+	respObj, objBody := rawRequest(t, http.MethodGet, ts.URL+"/v1/objects/"+key, "")
+	if respObj.StatusCode != http.StatusOK || string(objBody) != string(raw) {
+		t.Fatalf("objects GET %d (%d bytes, want %d)", respObj.StatusCode, len(objBody), len(raw))
+	}
+	if ct := respObj.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("objects Content-Type %q", ct)
+	}
+	respObjHead, objHeadBody := rawRequest(t, http.MethodHead, ts.URL+"/v1/objects/"+key, "")
+	if respObjHead.StatusCode != http.StatusOK || len(objHeadBody) != 0 {
+		t.Fatalf("objects HEAD %d (%d bytes)", respObjHead.StatusCode, len(objHeadBody))
+	}
+	if got, want := respObjHead.Header.Get("Content-Length"), strconv.Itoa(len(raw)); got != want {
+		t.Fatalf("objects HEAD Content-Length %q, want %q", got, want)
+	}
+
+	// Unknown key: enveloped 404.
+	resp404, raw404 := rawRequest(t, http.MethodGet, ts.URL+"/v1/objects/"+strings.Repeat("0", 64), "")
+	if resp404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown object %d", resp404.StatusCode)
+	}
+	var env404 map[string]any
+	if err := json.Unmarshal(raw404, &env404); err != nil || env404["error"] == nil {
+		t.Fatalf("unknown-object 404 not enveloped: %s", raw404)
+	}
+
+	// Wrong method advertises the full list.
+	resp405, _ := rawRequest(t, http.MethodDelete, ts.URL+"/v1/objects/"+key, "")
+	if resp405.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("objects DELETE %d", resp405.StatusCode)
+	}
+	if allow := resp405.Header.Get("Allow"); allow != "GET, HEAD" {
+		t.Fatalf("objects Allow %q, want \"GET, HEAD\"", allow)
 	}
 }

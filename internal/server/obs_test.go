@@ -16,6 +16,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // TestDebugTraceEndpoint: a compiled job's trace is retrievable as
@@ -131,6 +132,66 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 	}
 	if n, _ := strconv.Atoi(match[1]); n < 1 {
 		t.Fatalf("stage=compile bucket count %d, want >= 1", n)
+	}
+}
+
+// fakeCluster is a canned ClusterInfo for exposition tests.
+type fakeCluster struct{}
+
+func (fakeCluster) Self() string        { return "http://shard-a:8047" }
+func (fakeCluster) Gateway() string     { return "http://gate:8040" }
+func (fakeCluster) RingVersion() uint64 { return 7 }
+func (fakeCluster) PeersUp() int        { return 2 }
+func (fakeCluster) PeersTotal() int     { return 3 }
+
+// TestMetricsClusterAndPeerFetchExposition: a federated shard exports
+// the cluster gauges and the labeled peer-fetch counter family in the
+// Prometheus text exposition, and /healthz carries its shard identity.
+func TestMetricsClusterAndPeerFetchExposition(t *testing.T) {
+	st, err := store.Open(store.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jobs.New(jobs.Config{Workers: 1, Deadline: time.Minute})
+	defer q.Shutdown(nil2())
+	s := New(Config{Queue: q, Cache: cache.New(1 << 20), Store: st, Cluster: fakeCluster{}})
+	ts := newHTTPServer(t, s)
+
+	resp, err := http.Get(ts + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE cluster_ring_version gauge",
+		"cluster_ring_version 7",
+		"cluster_peers_up 2",
+		"cluster_peers_total 3",
+		"# TYPE store_peer_fetch_total counter",
+		`store_peer_fetch_total{outcome="hit"} 0`,
+		`store_peer_fetch_total{outcome="miss"} 0`,
+		`store_peer_fetch_total{outcome="corrupt"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// One family header even though three const-labeled series share it.
+	if n := strings.Count(body, "# TYPE store_peer_fetch_total counter"); n != 1 {
+		t.Errorf("store_peer_fetch_total TYPE header repeated %d times", n)
+	}
+
+	code, hz := getJSON(t, ts+"/healthz")
+	if code != 200 {
+		t.Fatalf("healthz %d", code)
+	}
+	if hz["role"] != "shard" || hz["self"] != "http://shard-a:8047" {
+		t.Fatalf("healthz identity: %v", hz)
+	}
+	if hz["ring_version"].(float64) != 7 || hz["peers_up"].(float64) != 2 || hz["peers_total"].(float64) != 3 {
+		t.Fatalf("healthz fleet view: %v", hz)
 	}
 }
 

@@ -132,6 +132,26 @@ type Config struct {
 	// (SIGQUIT-style, without killing the process) for diagnosing
 	// stuck drains.
 	EnableStacks bool
+	// Cluster, when non-nil, identifies this daemon's place in a
+	// federation: /healthz reports the shard identity and fleet view,
+	// and the cluster gauges join the /metrics expositions. The
+	// interface keeps this package independent of internal/cluster —
+	// the command wires the concrete view in.
+	Cluster ClusterInfo
+}
+
+// ClusterInfo is the server's read-only window onto the federation
+// layer.
+type ClusterInfo interface {
+	// Self is this shard's own base URL in the ring.
+	Self() string
+	// Gateway is the advertised gateway URL ("" when none).
+	Gateway() string
+	// RingVersion bumps on every member up/down transition.
+	RingVersion() uint64
+	// PeersUp / PeersTotal describe the fleet as this shard sees it.
+	PeersUp() int
+	PeersTotal() int
 }
 
 // Server is the HTTP layer. Construct with New; serve s.Handler().
@@ -205,7 +225,7 @@ func New(cfg Config) *Server {
 			e, _, ok := s.lookupEntry(key)
 			return e, ok
 		},
-		Run: func(ctx context.Context, key string, p compiler.Params) (*cache.Entry, error) {
+		Run: func(ctx context.Context, key string, _ canon.Request, p compiler.Params) (*cache.Entry, error) {
 			runStart := time.Now()
 			entry, err := s.runCompile(ctx, key, p)
 			s.observeCompile(obs.FromContext(ctx), time.Since(runStart), key, err)
@@ -221,7 +241,9 @@ func New(cfg Config) *Server {
 	s.route("POST", "/v1/compile", s.handleCompile)
 	s.route("GET", "/v1/jobs/{id}", s.handleJobStatus)
 	s.route("GET", "/v1/jobs/{id}/result", s.handleJobResult)
-	s.route("GET", "/v1/jobs/{id}/artifact/{name}", s.handleJobArtifact)
+	s.route("GET, HEAD", "/v1/jobs/{id}/artifact/{name}", s.handleJobArtifact)
+	s.route("GET, HEAD", "/v1/objects/{key}", s.handleObject)
+	s.route("GET", "/v1/objects/{key}/report", s.handleObjectReport)
 	s.route("POST", "/v1/sweeps", s.handleSweepCreate)
 	s.route("GET", "/v1/sweeps/{id}", s.handleSweepStatus)
 	s.route("GET", "/v1/sweeps/{id}/results", s.handleSweepResults)
@@ -279,10 +301,14 @@ func handleStacks(w http.ResponseWriter, r *http.Request) {
 // Allow header. (Go 1.22 mux method patterns are more specific than
 // the bare pattern, so the fallback only fires on method mismatch;
 // without it the mux's built-in 405 would bypass the envelope.)
-func (s *Server) route(method, pattern string, h http.HandlerFunc) {
+// allow is the full Allow list ("GET, HEAD"); its first token is the
+// mux method pattern — a GET pattern also matches HEAD, so "GET,
+// HEAD" routes both through h while advertising both in the 405.
+func (s *Server) route(allow, pattern string, h http.HandlerFunc) {
+	method, _, _ := strings.Cut(allow, ",")
 	s.mux.HandleFunc(method+" "+pattern, h)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Allow", method)
+		w.Header().Set("Allow", allow)
 		s.writeError(w, cerr.New(cerr.CodeBadRequest,
 			"server: method %s not allowed on %s", r.Method, pattern),
 			http.StatusMethodNotAllowed)
@@ -338,6 +364,24 @@ func (s *Server) registerMetrics() {
 			func() float64 { return float64(st.Stats().ScannedAtStartup) })
 		r.GaugeFunc("store_quarantine_objects", "Files currently held in the bounded quarantine directory.",
 			func() float64 { return float64(st.Stats().QuarantineObjects) })
+		const peerFetchHelp = "Ring-peer artifact fetches on local store miss, by outcome."
+		r.CounterFuncLabeled("store_peer_fetch_total", peerFetchHelp,
+			map[string]string{"outcome": "hit"},
+			func() float64 { return float64(st.Stats().PeerHits) })
+		r.CounterFuncLabeled("store_peer_fetch_total", peerFetchHelp,
+			map[string]string{"outcome": "miss"},
+			func() float64 { return float64(st.Stats().PeerMisses) })
+		r.CounterFuncLabeled("store_peer_fetch_total", peerFetchHelp,
+			map[string]string{"outcome": "corrupt"},
+			func() float64 { return float64(st.Stats().PeerCorrupt) })
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		r.GaugeFunc("cluster_ring_version", "Monotonic ring version; bumps on every member up/down transition.",
+			func() float64 { return float64(cl.RingVersion()) })
+		r.GaugeFunc("cluster_peers_up", "Fleet members currently considered healthy.",
+			func() float64 { return float64(cl.PeersUp()) })
+		r.GaugeFunc("cluster_peers_total", "Fleet members in the configured ring.",
+			func() float64 { return float64(cl.PeersTotal()) })
 	}
 	if in := s.cfg.Chaos; in != nil {
 		r.CounterFunc("chaos_injections_total", "Scripted faults the chaos injector has fired.",
@@ -963,7 +1007,7 @@ func (s *Server) handleJobArtifact(w http.ResponseWriter, r *http.Request) {
 		// consult the two-tier cache as a second chance.
 		if cached, _, hit := s.lookupEntry(key); hit {
 			if b, ok2 := cached.Artifacts[name]; ok2 {
-				writeArtifact(w, name, b)
+				writeArtifact(w, r, name, b)
 				return
 			}
 		}
@@ -971,17 +1015,68 @@ func (s *Server) handleJobArtifact(w http.ResponseWriter, r *http.Request) {
 			"server: no artifact %q (have %v)", name, entry.ArtifactNames()), http.StatusNotFound)
 		return
 	}
-	writeArtifact(w, name, body)
+	writeArtifact(w, r, name, body)
+}
+
+// handleObject is GET/HEAD /v1/objects/{key}: the verbatim on-disk
+// object image for a content key — the shard-to-shard artifact fetch
+// endpoint. The bytes are served UNVERIFIED by design: the fetching
+// peer runs them through its own verified-read path, so a corrupt
+// image quarantines on the fetcher exactly like local disk rot, and
+// this handler never pays a hash pass.
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Store
+	if st == nil {
+		s.writeError(w, cerr.New(cerr.CodeInvalidParams, "server: no object store configured"), http.StatusNotFound)
+		return
+	}
+	key := r.PathValue("key")
+	raw, ok := st.ReadRaw(key)
+	if !ok {
+		s.writeError(w, cerr.New(cerr.CodeInvalidParams, "server: no object %s", key), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(raw)))
+	w.WriteHeader(http.StatusOK)
+	if r.Method != http.MethodHead {
+		w.Write(raw)
+	}
+}
+
+// handleObjectReport is GET /v1/objects/{key}/report: the cached
+// compile report for a content key, served only when a cache tier
+// (memory, disk, or a ring peer via the store's fetch seam) already
+// holds it — it never triggers a compile. This is the gateway sweep
+// Lookup seam: how a federated sweep tells a warm point from one that
+// needs routing, so cluster sweep rows carry the same cached flags a
+// warm single daemon would report.
+func (s *Server) handleObjectReport(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	entry, _, ok := s.lookupEntry(key)
+	if !ok {
+		s.writeError(w, cerr.New(cerr.CodeInvalidParams, "server: key %s not cached", key), http.StatusNotFound)
+		return
+	}
+	s.writeData(w, http.StatusOK, map[string]any{
+		"key":      key,
+		"degraded": entry.Degraded,
+		"report":   json.RawMessage(entry.Report),
+	})
 }
 
 // writeArtifact streams an artifact with its per-kind content type
 // and an explicit Content-Length, so clients can size progress bars
-// and proxies never have to buffer for chunking.
-func writeArtifact(w http.ResponseWriter, name string, body []byte) {
+// and proxies never have to buffer for chunking. HEAD requests get
+// the identical headers with no body — how clients size a download
+// without paying for it.
+func writeArtifact(w http.ResponseWriter, r *http.Request, name string, body []byte) {
 	w.Header().Set("Content-Type", artifactContentType(name))
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
-	w.Write(body)
+	if r.Method != http.MethodHead {
+		w.Write(body)
+	}
 }
 
 // artifactContentType maps an artifact name to its media type.
@@ -1059,11 +1154,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		state = "draining"
 	}
-	s.writeJSON(w, status, map[string]any{
+	body := map[string]any{
 		"status":   state,
 		"uptime_s": time.Since(s.start).Seconds(),
 		"workers":  qs.Workers,
-	})
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		body["role"] = "shard"
+		body["self"] = cl.Self()
+		if gw := cl.Gateway(); gw != "" {
+			body["gateway"] = gw
+		}
+		body["ring_version"] = cl.RingVersion()
+		body["peers_up"] = cl.PeersUp()
+		body["peers_total"] = cl.PeersTotal()
+	}
+	s.writeJSON(w, status, body)
 }
 
 // metricsBody is the /metrics document.

@@ -20,6 +20,12 @@
 //   - Startup index scan: Open walks the directory once, recording
 //     sizes and access times without reading object payloads;
 //     verification is deferred to first read.
+//   - Peer fetch: with SetPeerFetch installed (cluster deployments), a
+//     local miss consults ring peers for the raw object image before
+//     giving up. Fetched bytes run through the same verified-read path
+//     as disk reads — a corrupt peer image quarantines exactly like
+//     disk rot — and good images are promoted to a local object file,
+//     so each artifact transfers between shards at most once.
 //
 // The key is internal/canon's content address of the fully-validated
 // compile inputs, so — exactly like the memory tier — a hit is always
@@ -100,7 +106,13 @@ type Stats struct {
 	Corrupt uint64 `json:"corrupt"`
 	// Rejected counts puts refused because a single object exceeded
 	// the whole budget.
-	Rejected    uint64 `json:"rejected"`
+	Rejected uint64 `json:"rejected"`
+	// PeerHits / PeerMisses / PeerCorrupt count ring-peer fetches on
+	// local miss: served and promoted, not found anywhere (or fetch
+	// failed), and failed verification (quarantined) respectively.
+	PeerHits    uint64 `json:"peer_hits"`
+	PeerMisses  uint64 `json:"peer_misses"`
+	PeerCorrupt uint64 `json:"peer_corrupt"`
 	Entries     int    `json:"entries"`
 	Bytes       int64  `json:"bytes"`
 	BudgetBytes int64  `json:"budget_bytes"`
@@ -135,11 +147,28 @@ type Store struct {
 	bytes   int64
 	scanned int
 
+	peerFetch PeerFetchFunc
+
 	qObjects   int
 	qBytes     int64
 	qEvictions uint64
 
 	hits, misses, puts, evictions, corrupt, rejected uint64
+	peerHits, peerMisses, peerCorrupt                uint64
+}
+
+// PeerFetchFunc resolves a local miss against cluster peers: it
+// returns the raw object-file image (header + payload, exactly as
+// ReadRaw serves it) and whether any peer had it. The store verifies
+// the image before trusting it, so implementations need not.
+type PeerFetchFunc func(key string) (raw []byte, ok bool)
+
+// SetPeerFetch installs (or, with nil, removes) the cluster peer
+// resolver consulted on local miss.
+func (s *Store) SetPeerFetch(fn PeerFetchFunc) {
+	s.mu.Lock()
+	s.peerFetch = fn
+	s.mu.Unlock()
 }
 
 // manifest is the first payload line of an object file: entry
@@ -339,6 +368,10 @@ func (s *Store) Get(key string) (*cache.Entry, bool) {
 	_, known := s.index[key]
 	s.mu.Unlock()
 	if !known {
+		// Last tier before recompiling: ask ring peers for the object.
+		if entry, ok := s.fetchFromPeers(key); ok {
+			return entry, true
+		}
 		s.mu.Lock()
 		s.misses++
 		s.mu.Unlock()
@@ -386,6 +419,116 @@ func (s *Store) Get(key string) (*cache.Entry, bool) {
 	s.hits++
 	s.mu.Unlock()
 	return entry, true
+}
+
+// fetchFromPeers runs the peer tier of a Get: resolve the raw image
+// via the installed PeerFetchFunc, verify it with the same decode path
+// a disk read uses (quarantining corrupt bytes for forensics), and
+// promote a good image to a local object file so the next read is a
+// plain disk hit. Reports (nil, false) when no resolver is installed,
+// no peer has the object, or verification fails.
+func (s *Store) fetchFromPeers(key string) (*cache.Entry, bool) {
+	s.mu.Lock()
+	fn := s.peerFetch
+	s.mu.Unlock()
+	if fn == nil {
+		return nil, false
+	}
+	if err := s.chaos.Fail(chaos.PointPeerFetch); err != nil {
+		// Injected fetch failure: the shard recompiles, exactly as if no
+		// peer had the object.
+		s.mu.Lock()
+		s.peerMisses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	raw, ok := fn(key)
+	if !ok {
+		s.mu.Lock()
+		s.peerMisses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	// An injected bit-flip lands on the fetched image, standing in for
+	// a peer with rotten disk or a mangling transport: verification
+	// below must catch it.
+	s.chaos.Corrupt(chaos.PointPeerFetch, raw)
+	entry, verr := decodeObject(key, raw)
+	if verr != nil {
+		// The Get fall-through accounts the overall miss.
+		s.quarantineBytes(key, raw)
+		s.mu.Lock()
+		s.peerCorrupt++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.promote(key, raw)
+	s.mu.Lock()
+	s.peerHits++
+	s.hits++
+	s.mu.Unlock()
+	return entry, true
+}
+
+// promote commits an already-verified raw object image under key via
+// the usual tmp+rename path, indexes it and runs GC. Promotion is
+// best-effort: a failure only costs a future re-fetch, so errors are
+// swallowed.
+func (s *Store) promote(key string, raw []byte) {
+	size := int64(len(raw))
+	s.mu.Lock()
+	if s.budget > 0 && size > s.budget {
+		s.rejected++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, tmpDir), "peer-*")
+	if err != nil {
+		return
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(raw)
+	if cerr2 := tmp.Close(); werr == nil {
+		werr = cerr2
+	}
+	if werr != nil || os.Rename(tmpName, s.objectPath(key)) != nil {
+		os.Remove(tmpName)
+		return
+	}
+	s.mu.Lock()
+	if old, ok := s.index[key]; ok {
+		s.bytes -= old.size
+	}
+	s.index[key] = &meta{size: size, atime: time.Now()}
+	s.bytes += size
+	s.gcLocked()
+	s.mu.Unlock()
+}
+
+// ReadRaw returns the verbatim object-file image for key, for serving
+// to cluster peers. The bytes are NOT verified here: the fetching side
+// runs them through decodeObject before promoting, so a corrupt image
+// quarantines on the fetcher exactly like local disk rot. Hit/miss
+// counters don't move — peer traffic must not distort this shard's
+// cache stats.
+func (s *Store) ReadRaw(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	s.mu.Lock()
+	_, known := s.index[key]
+	s.mu.Unlock()
+	if !known {
+		return nil, false
+	}
+	raw, err := os.ReadFile(s.objectPath(key))
+	if err != nil {
+		// Index said present but the file is gone: self-heal the index.
+		s.dropIndex(key)
+		return nil, false
+	}
+	return raw, true
 }
 
 // encodePayload renders the object payload: the JSON manifest line
@@ -515,6 +658,27 @@ func (s *Store) quarantine(key, path string) {
 	s.mu.Unlock()
 }
 
+// quarantineBytes preserves a corrupt byte image that never had a
+// committed file of its own (a peer-fetched object) as forensic
+// evidence, under the same caps as quarantine. The caller accounts the
+// miss.
+func (s *Store) quarantineBytes(key string, raw []byte) {
+	dest := filepath.Join(s.dir, quarantineDir,
+		fmt.Sprintf("%s.%d%s", key, time.Now().UnixNano(), objectExt))
+	var kept int64
+	if os.WriteFile(dest, raw, 0o644) == nil {
+		kept = int64(len(raw))
+	}
+	s.mu.Lock()
+	s.corrupt++
+	if kept > 0 {
+		s.qObjects++
+		s.qBytes += kept
+		s.gcQuarantineLocked()
+	}
+	s.mu.Unlock()
+}
+
 // gcQuarantineLocked removes the oldest quarantined files (by mtime)
 // until both the count and byte caps hold. Caller holds s.mu. A
 // negative cap disables that bound.
@@ -614,6 +778,7 @@ func (s *Store) Stats() Stats {
 	return Stats{
 		Hits: s.hits, Misses: s.misses, Puts: s.puts,
 		Evictions: s.evictions, Corrupt: s.corrupt, Rejected: s.rejected,
+		PeerHits: s.peerHits, PeerMisses: s.peerMisses, PeerCorrupt: s.peerCorrupt,
 		Entries: len(s.index), Bytes: s.bytes, BudgetBytes: s.budget,
 		ScannedAtStartup:  s.scanned,
 		QuarantineObjects: s.qObjects, QuarantineBytes: s.qBytes,

@@ -11,7 +11,10 @@
 // onto the in-flight job) the lost response already paid for. A
 // consecutive-failure circuit breaker stops hammering a down service:
 // after BreakerThreshold transport-level failures in a row the client
-// fails fast for BreakerCooldown, then probes again.
+// fails fast for BreakerCooldown, then probes again. Breaker state is
+// kept PER ENDPOINT (URL host), so a client shared across a fleet —
+// the cluster peer client routes one Client at many shards via DoRaw
+// — cannot let one dead shard open the breaker for healthy ones.
 package sweep
 
 import (
@@ -22,6 +25,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -90,7 +94,9 @@ var DefaultRetry = RetryPolicy{
 	BreakerCooldown:  10 * time.Second,
 }
 
-// Client talks to a bisramgend instance.
+// Client talks to a bisramgend instance (the enveloped /v1 methods
+// address Base) or, via DoRaw, to any endpoint of a fleet — breaker
+// state is tracked per endpoint host either way.
 type Client struct {
 	// Base is the service root, e.g. "http://127.0.0.1:8047".
 	Base string
@@ -100,10 +106,16 @@ type Client struct {
 	// single-shot. NewClient installs DefaultRetry.
 	Retry RetryPolicy
 
-	mu         sync.Mutex
-	consecFail int       // consecutive transient failures (breaker input)
-	openUntil  time.Time // breaker open until this instant
-	rng        *rand.Rand
+	mu       sync.Mutex
+	breakers map[string]*breakerState // per endpoint host
+	rng      *rand.Rand
+}
+
+// breakerState is one endpoint's circuit: consecutive transient
+// failures and the open-until instant.
+type breakerState struct {
+	consecFail int
+	openUntil  time.Time
 }
 
 // NewClient builds a client for the given base URL with DefaultRetry.
@@ -129,38 +141,65 @@ func transientStatus(status int) bool {
 	return false
 }
 
-// breakerAllows consults the circuit breaker: an open circuit fails
-// fast until the cooldown elapses, then lets one probe through.
-func (c *Client) breakerAllows() error {
+// endpointOf reduces a URL to its breaker key: the host (authority).
+// Unparseable URLs key by the raw string so they still isolate.
+func endpointOf(rawURL string) string {
+	if u, err := url.Parse(rawURL); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return rawURL
+}
+
+// breakerFor returns (creating on first use) the endpoint's circuit
+// state. Caller holds c.mu.
+func (c *Client) breakerFor(endpoint string) *breakerState {
+	if c.breakers == nil {
+		c.breakers = map[string]*breakerState{}
+	}
+	b, ok := c.breakers[endpoint]
+	if !ok {
+		b = &breakerState{}
+		c.breakers[endpoint] = b
+	}
+	return b
+}
+
+// breakerAllows consults the endpoint's circuit breaker: an open
+// circuit fails fast until the cooldown elapses, then lets one probe
+// through. Each endpoint opens and closes independently, so one dead
+// shard never blocks exchanges with the rest of a fleet.
+func (c *Client) breakerAllows(endpoint string) error {
 	if c.Retry.BreakerThreshold <= 0 {
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if until := c.openUntil; time.Now().Before(until) {
+	b := c.breakerFor(endpoint)
+	if until := b.openUntil; time.Now().Before(until) {
 		return cerr.New(cerr.CodeOverloaded,
-			"sweep client: circuit open after %d consecutive failures (retrying at %s)",
-			c.consecFail, until.Format(time.RFC3339))
+			"sweep client: circuit open for %s after %d consecutive failures (retrying at %s)",
+			endpoint, b.consecFail, until.Format(time.RFC3339))
 	}
 	return nil
 }
 
-// recordOutcome feeds the breaker: a transient failure increments the
-// consecutive count (opening the circuit at the threshold), anything
-// else resets it.
-func (c *Client) recordOutcome(transientFail bool) {
+// recordOutcome feeds the endpoint's breaker: a transient failure
+// increments the consecutive count (opening the circuit at the
+// threshold), anything else resets it.
+func (c *Client) recordOutcome(endpoint string, transientFail bool) {
 	if c.Retry.BreakerThreshold <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	b := c.breakerFor(endpoint)
 	if !transientFail {
-		c.consecFail = 0
+		b.consecFail = 0
 		return
 	}
-	c.consecFail++
-	if c.consecFail >= c.Retry.BreakerThreshold {
-		c.openUntil = time.Now().Add(c.Retry.BreakerCooldown)
+	b.consecFail++
+	if b.consecFail >= c.Retry.BreakerThreshold {
+		b.openUntil = time.Now().Add(c.Retry.BreakerCooldown)
 	}
 }
 
@@ -199,13 +238,14 @@ func (c *Client) do(method, path string, body []byte) (*envelope, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
+	endpoint := endpointOf(c.Base)
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		if err := c.breakerAllows(); err != nil {
+		if err := c.breakerAllows(endpoint); err != nil {
 			return nil, err
 		}
 		env, retryAfter, transient, err := c.doOnce(method, path, body)
-		c.recordOutcome(err != nil && transient)
+		c.recordOutcome(endpoint, err != nil && transient)
 		if err == nil {
 			return env, nil
 		}
@@ -264,6 +304,78 @@ func (c *Client) doOnce(method, path string, body []byte) (env *envelope, retryA
 			"sweep client: %s %s: status %d with null error", method, path, resp.StatusCode)
 	}
 	return &decoded, retryAfter, false, nil
+}
+
+// RawResponse is one verbatim HTTP exchange result from DoRaw: the
+// status, headers and body exactly as the endpoint sent them.
+type RawResponse struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// DoRaw performs one exchange against an ABSOLUTE url (any host — the
+// cluster peer client routes one shared Client across a whole fleet)
+// and returns the response verbatim, whatever its status. Only
+// transport-level failures (refused, reset, timeout) are retried; an
+// HTTP response of any status is a terminal answer here, because
+// callers proxying for someone else must pass 4xx/5xx envelopes
+// through untouched. The per-endpoint breaker still applies, fed by
+// transport failures alone.
+func (c *Client) DoRaw(ctx context.Context, method, absURL string, body []byte) (*RawResponse, error) {
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	endpoint := endpointOf(absURL)
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := c.breakerAllows(endpoint); err != nil {
+			return nil, err
+		}
+		resp, err := c.doRawOnce(ctx, method, absURL, body)
+		c.recordOutcome(endpoint, err != nil)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx != nil && ctx.Err() != nil {
+			return nil, lastErr
+		}
+		if attempt < attempts-1 {
+			time.Sleep(c.backoff(attempt, 0))
+		}
+	}
+	return nil, lastErr
+}
+
+// doRawOnce runs a single raw exchange; every returned error is
+// transport-level (and therefore retryable).
+func (c *Client) doRawOnce(ctx context.Context, method, absURL string, body []byte) (*RawResponse, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, absURL, rd)
+	if err != nil {
+		return nil, cerr.Wrap(cerr.CodeInvalidParams, err, "sweep client: bad raw request")
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, cerr.Wrap(cerr.CodeInternal, err, "sweep client: %s %s", method, absURL)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, cerr.Wrap(cerr.CodeInternal, err, "sweep client: reading %s", absURL)
+	}
+	return &RawResponse{Status: resp.StatusCode, Header: resp.Header, Body: raw}, nil
 }
 
 // Compile posts a raw compile request body and returns the envelope's

@@ -156,6 +156,86 @@ func TestClientZeroPolicyIsSingleShot(t *testing.T) {
 	}
 }
 
+// TestClientBreakerIsPerEndpoint: tripping the breaker for one host
+// must not open it for another — a multi-host fleet client keeps
+// routing to healthy shards while one is dead.
+func TestClientBreakerIsPerEndpoint(t *testing.T) {
+	var healthyCalls atomic.Int64
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		healthyCalls.Add(1)
+		fmt.Fprint(w, `{"job":{"key":"ok"}}`)
+	}))
+	defer healthy.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":{"code":"ERR_OVERLOADED","message":"down"}}`)
+	}))
+	defer dead.Close()
+
+	c := NewClient(dead.URL)
+	c.Retry = fastRetry
+	if _, err := c.Compile([]byte(`{}`)); err == nil {
+		t.Fatal("dead endpoint should fail")
+	}
+	// The dead endpoint's circuit is open...
+	if err := c.breakerAllows(endpointOf(dead.URL)); err == nil {
+		t.Fatal("dead endpoint breaker not open")
+	}
+	// ...but the same client still reaches the healthy endpoint raw.
+	resp, err := c.DoRaw(nil, http.MethodGet, healthy.URL+"/v1/jobs/x", nil)
+	if err != nil {
+		t.Fatalf("healthy endpoint blocked by dead endpoint's breaker: %v", err)
+	}
+	if resp.Status != 200 || healthyCalls.Load() != 1 {
+		t.Fatalf("healthy exchange status %d, calls %d", resp.Status, healthyCalls.Load())
+	}
+	// And enveloped exchanges against the healthy base stay open too.
+	c.Base = healthy.URL
+	if _, err := c.Compile([]byte(`{}`)); err != nil {
+		t.Fatalf("healthy base blocked: %v", err)
+	}
+}
+
+// TestClientDoRawPassesResponsesThrough: DoRaw returns HTTP error
+// statuses verbatim (no retry — a proxy must relay them), and retries
+// only transport-level failures.
+func TestClientDoRawPassesResponsesThrough(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n == 1 {
+			hj := w.(http.Hijacker)
+			conn, _, _ := hj.Hijack()
+			conn.Close() // transport failure: retried
+			return
+		}
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":{"code":"ERR_OVERLOADED","message":"busy"}}`)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Retry = fastRetry
+	resp, err := c.DoRaw(nil, http.MethodPost, srv.URL+"/v1/compile", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("DoRaw: %v", err)
+	}
+	if resp.Status != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 passed through", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") != "7" {
+		t.Fatalf("Retry-After header lost: %v", resp.Header)
+	}
+	if !strings.Contains(string(resp.Body), "ERR_OVERLOADED") {
+		t.Fatalf("body %s", resp.Body)
+	}
+	// Exactly one transport retry, no retry of the 429.
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("server saw %d calls, want 2", n)
+	}
+}
+
 func TestClientBackoffHonorsRetryAfterAndCaps(t *testing.T) {
 	c := NewClient("http://example.invalid")
 	c.Retry = RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}

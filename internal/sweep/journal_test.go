@@ -4,6 +4,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"repro/internal/canon"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -61,7 +62,7 @@ func (h *journalHarness) boot() {
 			e, ok := h.store[key]
 			return e, ok
 		},
-		Run: func(ctx context.Context, key string, p compiler.Params) (*cache.Entry, error) {
+		Run: func(ctx context.Context, key string, _ canon.Request, p compiler.Params) (*cache.Entry, error) {
 			if h.busted.Load() {
 				return nil, cerr.New(cerr.CodeOverloaded, "synthetic shed")
 			}

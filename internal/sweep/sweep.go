@@ -229,6 +229,10 @@ type point struct {
 type group struct {
 	key    string
 	params compiler.Params
+	// req is the normalized wire request producing key — what a
+	// federated Run forwards to the owning shard instead of compiling
+	// locally.
+	req    canon.Request
 	points []*point
 	job    *jobs.Job // nil when served from the store
 }
@@ -323,12 +327,14 @@ type Results struct {
 
 // Config wires a Manager. Lookup and Run are the seams to the serving
 // layer: Lookup probes the two-tier artifact cache without compiling;
-// Run executes one compile (the server's pipeline + render + cache
-// fill) under the jobs queue.
+// Run executes one compile under the jobs queue — the daemon's
+// pipeline + render + cache fill, or (on the gateway) a proxied
+// compile against the key's owning shard, which is why Run also
+// receives the normalized wire request alongside the derived params.
 type Config struct {
 	Queue  *jobs.Queue
 	Lookup func(key string) (*cache.Entry, bool)
-	Run    func(ctx context.Context, key string, p compiler.Params) (*cache.Entry, error)
+	Run    func(ctx context.Context, key string, req canon.Request, p compiler.Params) (*cache.Entry, error)
 	// OnJob, when non-nil, observes every job the manager submits
 	// (the server uses it to make sweep jobs visible on /v1/jobs).
 	OnJob func(j *jobs.Job, key string)
@@ -463,7 +469,7 @@ func (m *Manager) create(spec Spec, forcedID string) (*Sweep, error) {
 		sw.points = append(sw.points, pt)
 		g, ok := byKey[key]
 		if !ok {
-			g = &group{key: key, params: params}
+			g = &group{key: key, params: params, req: pt.req}
 			byKey[key] = g
 			sw.groups = append(sw.groups, g)
 		}
@@ -507,8 +513,9 @@ func (m *Manager) create(spec Spec, forcedID string) (*Sweep, error) {
 		g := g
 		params := g.params
 		key := g.key
+		req := g.req
 		job, _, serr := m.cfg.Queue.Submit(key, pri, func(ctx context.Context) (any, error) {
-			return m.cfg.Run(ctx, key, params)
+			return m.cfg.Run(ctx, key, req, params)
 		})
 		if serr != nil {
 			// Queue full or draining: the whole group fails (the sweep

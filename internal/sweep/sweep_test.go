@@ -130,7 +130,7 @@ func newHarness(t *testing.T) *harness {
 			e, ok := h.store[key]
 			return e, ok
 		},
-		Run: func(ctx context.Context, key string, p compiler.Params) (*cache.Entry, error) {
+		Run: func(ctx context.Context, key string, _ canon.Request, p compiler.Params) (*cache.Entry, error) {
 			h.runs.Add(1)
 			if h.fail.Load() {
 				return nil, cerr.New(cerr.CodeFloorplan, "synthetic failure")
@@ -287,7 +287,7 @@ func TestManagerRetention(t *testing.T) {
 	m := NewManager(Config{
 		Queue:  h.q,
 		Lookup: func(string) (*cache.Entry, bool) { return nil, false },
-		Run: func(ctx context.Context, key string, p compiler.Params) (*cache.Entry, error) {
+		Run: func(ctx context.Context, key string, _ canon.Request, p compiler.Params) (*cache.Entry, error) {
 			return fakeEntry(key, p.Rows(), p.BPW*p.BPC, 1.0), nil
 		},
 		Retain: 2,
