@@ -1,8 +1,9 @@
 # BISRAMGEN build/test entry points.
 #
-#   make check — the default pre-merge gate: vet, build, race-enabled
-#                tests, and the serve-smoke + sweep-smoke + chaos-smoke
-#                + cluster-smoke end-to-end daemon checks.
+#   make check — the default pre-merge gate: vet (gofmt included),
+#                build, race-enabled tests, and the serve-smoke +
+#                sweep-smoke + chaos-smoke + cluster-smoke +
+#                obs-fleet-smoke end-to-end daemon checks.
 #   make ci    — everything the tree must pass before merging: check
 #                plus a short fuzz smoke pass on each parser and the
 #                adversarial-input fault campaign.
@@ -14,17 +15,22 @@ FUZZTIME ?= 5s
 BENCH_OUT  ?= results/BENCH_5.json
 BENCHCOUNT ?= 3
 
-.PHONY: all check build vet test race serve-smoke obs-smoke sweep-smoke chaos-smoke cluster-smoke fuzz-smoke campaign serve ci bench bench-smoke
+.PHONY: all check build vet test race serve-smoke obs-smoke sweep-smoke chaos-smoke cluster-smoke obs-fleet-smoke fuzz-smoke campaign serve ci bench bench-smoke
 
 all: check
 
-check: vet build race serve-smoke sweep-smoke chaos-smoke cluster-smoke bench-smoke
+check: vet build race serve-smoke sweep-smoke chaos-smoke cluster-smoke obs-fleet-smoke bench-smoke
 
 build:
 	$(GO) build ./...
 
+# vet also gates on gofmt: any file needing reformatting fails the
+# target and is listed.
 vet:
 	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need reformatting:"; echo "$$out"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -81,6 +87,17 @@ chaos-smoke:
 # gateway marks the dead shard down.
 cluster-smoke:
 	$(GO) test -race -run TestClusterSmoke -count=1 ./cmd/bisramgate/
+
+# Fleet observability drill: a gateway over two federated shards must
+# (1) merge a routed compile's spans from both processes into one
+# Chrome trace with the shard's compile spans parented under the
+# gateway's proxy.route span; (2) deliver every sweep point exactly
+# once over the SSE progress stream with a terminal summary matching
+# the results document; (3) serve /metrics?scope=fleet with counters
+# equal to the sum of the shard scrapes, surviving a kill -9 of one
+# shard as a counted scrape error rather than a failure.
+obs-fleet-smoke:
+	$(GO) test -race -run TestObsFleetSmoke -count=1 ./cmd/bisramgate/
 
 # Full benchmark sweep: every Fig/Table experiment benchmark plus the
 # substrate micro-benchmarks, -count=$(BENCHCOUNT) with -benchmem, the

@@ -48,6 +48,8 @@ func main() {
 		sweepMax     = flag.Int("sweep-max-points", 0, "max points in one sweep's cross product (0 = sweep default)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 		chaosSpec    = flag.String("chaos-spec", "", "TESTING ONLY: fault-injection spec, inline JSON or a file path; enables deterministic chaos drills")
+		sseHeartbeat = flag.Duration("sse-heartbeat", 0, "keep-alive cadence of GET /v1/sweeps/{id}/events (0 = built-in default)")
+		scrapeWait   = flag.Duration("fleet-scrape-timeout", 0, "per-peer timeout of a GET /metrics?scope=fleet scrape (0 = built-in 2s)")
 	)
 	flag.Parse()
 
@@ -88,11 +90,13 @@ func main() {
 		Registry: reg,
 	})
 	gw, err := cluster.NewGateway(cluster.GatewayConfig{
-		Table:          tab,
-		Queue:          q,
-		Registry:       reg,
-		Chaos:          inj,
-		SweepMaxPoints: *sweepMax,
+		Table:              tab,
+		Queue:              q,
+		Registry:           reg,
+		Chaos:              inj,
+		SweepMaxPoints:     *sweepMax,
+		SSEHeartbeat:       *sseHeartbeat,
+		FleetScrapeTimeout: *scrapeWait,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bisramgate: %v\n", err)

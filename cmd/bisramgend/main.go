@@ -64,6 +64,7 @@ func main() {
 		selfURL      = flag.String("self", "", "this daemon's own base URL as it appears in -peers (required with -peers)")
 		gatewayURL   = flag.String("gateway", "", "advertised gateway base URL, reported in /healthz (informational)")
 		probeEvery   = flag.Duration("probe-interval", 2*time.Second, "peer health probe interval when -peers is set")
+		sseHeartbeat = flag.Duration("sse-heartbeat", 0, "keep-alive cadence of GET /v1/sweeps/{id}/events (0 = built-in default)")
 	)
 	flag.Parse()
 
@@ -167,6 +168,7 @@ func main() {
 		SweepJournal:  journal,
 		Chaos:         inj,
 		Cluster:       clusterView,
+		SSEHeartbeat:  *sseHeartbeat,
 
 		CompileParallelism: *compilePar,
 	})

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 type runner struct {
@@ -35,12 +36,13 @@ type runner struct {
 
 func main() {
 	var (
-		outDir  = flag.String("out", "results", "output directory")
-		only    = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		trials  = flag.Int("trials", 40, "Monte-Carlo trials for MC/BASE experiments")
-		server  = flag.String("server", "", "bisramgend base URL; growth-factor experiments run as sweep-API clients")
-		local   = flag.Bool("local", false, "force local compiles even when -server is set")
-		svcWait = flag.Duration("server-timeout", 2*time.Minute, "sweep completion budget when -server is set")
+		outDir   = flag.String("out", "results", "output directory")
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		trials   = flag.Int("trials", 40, "Monte-Carlo trials for MC/BASE experiments")
+		server   = flag.String("server", "", "bisramgend base URL; growth-factor experiments run as sweep-API clients")
+		local    = flag.Bool("local", false, "force local compiles even when -server is set")
+		svcWait  = flag.Duration("server-timeout", 2*time.Minute, "sweep completion budget when -server is set")
+		progress = flag.Bool("progress", false, "with -server: stream live per-point sweep progress (SSE) instead of silent polling")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -61,7 +63,11 @@ func main() {
 		)
 		if *server != "" && !*local {
 			fmt.Printf("fetching growth factors from %s...\n", *server)
-			gf, err = experiments.GrowthFactorsService(*server, *svcWait)
+			if *progress {
+				gf, err = experiments.GrowthFactorsServiceProgress(*server, *svcWait, printSweepEvent)
+			} else {
+				gf, err = experiments.GrowthFactorsService(*server, *svcWait)
+			}
 		} else {
 			gf, err = experiments.GrowthFactors()
 		}
@@ -159,6 +165,30 @@ func layout(dir, name string, f func() (*experiments.LayoutResult, error)) (*exp
 		return nil, err
 	}
 	return res.Table, nil
+}
+
+// printSweepEvent renders one SSE frame from the watched sweep as a
+// progress line: per-point terminal transitions and summary frames.
+func printSweepEvent(ev sweep.Event) {
+	switch {
+	case ev.Point != nil:
+		line := fmt.Sprintf("  point %d [%s] %s", ev.Point.Index, shortKey(ev.Point.Key), ev.Point.Status)
+		if ev.Point.Error != "" {
+			line += ": " + ev.Point.Error
+		}
+		fmt.Println(line)
+	case ev.Summary != nil:
+		fmt.Printf("  sweep %s: %d/%d done (%d cached, %d failed)\n",
+			ev.Summary.State, ev.Summary.Done+ev.Summary.Failed, ev.Summary.Total,
+			ev.Summary.Cached, ev.Summary.Failed)
+	}
+}
+
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 func fatal(err error) {

@@ -70,6 +70,14 @@ const (
 	// exchange: an "error" rule fails the attempt (exercising
 	// ring-successor failover), a "delay" rule injects routing latency.
 	PointProxyRoute = "proxy.route"
+	// PointTraceFetch fires in the gateway before each remote span-set
+	// fetch for a merged /debug/trace view: an "error" rule degrades
+	// the merge to gateway-local spans, a "delay" rule slows it.
+	PointTraceFetch = "trace.fetch"
+	// PointFleetScrape fires per peer in the gateway's fleet metrics
+	// scrape: an "error" rule makes that peer count as stale (skipped,
+	// error counted), a "delay" rule exercises the per-peer timeout.
+	PointFleetScrape = "fleet.scrape"
 	// PointStagePrefix + stage name fires at each compile stage
 	// checkpoint: "delay" injects a latency spike, "panic" exercises
 	// the recover guards, "error" fails the stage with a typed error.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -56,7 +58,20 @@ type GatewayConfig struct {
 	// JobRouteMemory bounds the job-id -> shard map (FIFO); <= 0 means
 	// 4096.
 	JobRouteMemory int
+	// TraceBudget bounds retained per-job gateway traces for the merged
+	// GET /debug/trace/{id} view (FIFO); <= 0 means 512.
+	TraceBudget int
+	// FleetScrapeTimeout bounds each per-peer exchange of a
+	// GET /metrics?scope=fleet scrape; <= 0 means 2s.
+	FleetScrapeTimeout time.Duration
+	// SSEHeartbeat is the keep-alive cadence of the sweep event stream;
+	// <= 0 means sweep.DefaultEventHeartbeat.
+	SSEHeartbeat time.Duration
 }
+
+// fleetScrapeFanout bounds how many peers one fleet scrape queries
+// concurrently.
+const fleetScrapeFanout = 8
 
 // Gateway is the federation front door: one HTTP surface that speaks
 // the daemon's /v1 contract while fanning the work across a shard
@@ -74,13 +89,20 @@ type Gateway struct {
 	mux    *http.ServeMux
 	start  time.Time
 
-	requests *obs.CounterVec // proxy_requests_total{peer}
-	failures *obs.CounterVec // proxy_failures_total{peer}
-	fallback *obs.Counter    // proxy_failovers_total
+	requests     *obs.CounterVec // proxy_requests_total{peer}
+	failures     *obs.CounterVec // proxy_failures_total{peer}
+	fallback     *obs.Counter    // proxy_failovers_total
+	scrapeErrors *obs.Counter    // fleet_scrape_errors_total
+	scrapeDur    *obs.Histogram  // fleet_scrape_duration_seconds
 
 	jobMu    sync.Mutex
 	jobPeer  map[string]string
 	jobOrder []string
+	// jobTrace retains the gateway-side trace of each routed compile
+	// (FIFO, TraceBudget) — the base span set of the merged
+	// /debug/trace/{id} view.
+	jobTrace   map[string]*obs.Trace
+	traceOrder []string
 
 	codeByName map[string]cerr.Code
 }
@@ -99,12 +121,19 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if cfg.JobRouteMemory <= 0 {
 		cfg.JobRouteMemory = 4096
 	}
+	if cfg.TraceBudget <= 0 {
+		cfg.TraceBudget = 512
+	}
+	if cfg.FleetScrapeTimeout <= 0 {
+		cfg.FleetScrapeTimeout = 2 * time.Second
+	}
 	g := &Gateway{
 		cfg:        cfg,
 		client:     cfg.Client,
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
 		jobPeer:    map[string]string{},
+		jobTrace:   map[string]*obs.Trace{},
 		codeByName: map[string]cerr.Code{},
 	}
 	if g.client == nil {
@@ -145,6 +174,10 @@ func (g *Gateway) registerMetrics() {
 	g.requests = r.CounterVec("proxy_requests_total", "Exchanges routed to each peer.", "peer")
 	g.failures = r.CounterVec("proxy_failures_total", "Failed exchanges per peer (transport errors, open breakers, injected faults).", "peer")
 	g.fallback = r.Counter("proxy_failovers_total", "Requests that fell over to a ring successor after the preferred shard failed.")
+	g.scrapeErrors = r.Counter("fleet_scrape_errors_total",
+		"Per-peer failures (transport, bad status, unparseable exposition, injected faults) during fleet metric scrapes.")
+	g.scrapeDur = r.Histogram("fleet_scrape_duration_seconds",
+		"Wall-clock time of one whole GET /metrics?scope=fleet scrape across the fleet.", nil)
 	// Pre-seed the per-peer children so the exposition is complete and
 	// deterministic from the first scrape.
 	for _, m := range t.Ring().Members() {
@@ -169,10 +202,12 @@ func (g *Gateway) routes() {
 	g.route("POST", "/v1/sweeps", g.handleSweepCreate)
 	g.route("GET", "/v1/sweeps/{id}", g.handleSweepStatus)
 	g.route("GET", "/v1/sweeps/{id}/results", g.handleSweepResults)
+	g.route("GET", "/v1/sweeps/{id}/events", g.handleSweepEvents)
 	g.route("GET", "/v1/processes", func(w http.ResponseWriter, r *http.Request) { g.proxyAny(w, r, "/v1/processes") })
 	g.route("GET", "/v1/tests", func(w http.ResponseWriter, r *http.Request) { g.proxyAny(w, r, "/v1/tests") })
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+	g.mux.HandleFunc("GET /debug/trace/{id}", g.handleTrace)
 }
 
 // route registers handler for the allowed methods plus a bare-pattern
@@ -231,11 +266,21 @@ func (g *Gateway) writeError(w http.ResponseWriter, err error, statusOverride in
 }
 
 // relay writes a shard's verbatim response to the client, preserving
-// the contract-bearing headers.
+// the contract-bearing headers — including Retry-After on shed load
+// and every X-* diagnostic header, so a 429/5xx proxied through the
+// gateway keeps the shard's backoff hint and forensics intact.
 func relay(w http.ResponseWriter, resp *sweep.RawResponse) {
 	for _, h := range []string{"Content-Type", "Retry-After", "Content-Disposition"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
+		}
+	}
+	for k, vs := range resp.Header {
+		if !strings.HasPrefix(http.CanonicalHeaderKey(k), "X-") {
+			continue
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
 		}
 	}
 	// HEAD responses carry their length in the header, not the body.
@@ -272,7 +317,10 @@ func (g *Gateway) exchange(ctx context.Context, key, method, path string, body [
 			g.fallback.Inc()
 			failed = false
 		}
-		_, end := obs.Start(ctx, "proxy.route")
+		// The span-derived context flows into DoRaw so the injected
+		// traceparent names proxy.route as the remote parent — the span
+		// shard-side compile stages nest under after the trace merge.
+		rctx, end := obs.Start(ctx, "proxy.route")
 		g.cfg.Chaos.Delay(chaos.PointProxyRoute)
 		if err := g.cfg.Chaos.Fail(chaos.PointProxyRoute); err != nil {
 			g.failures.With(peer).Inc()
@@ -282,7 +330,7 @@ func (g *Gateway) exchange(ctx context.Context, key, method, path string, body [
 			continue
 		}
 		g.requests.With(peer).Inc()
-		resp, err := g.client.DoRaw(ctx, method, peer+path, body)
+		resp, err := g.client.DoRaw(rctx, method, peer+path, body)
 		if err != nil {
 			g.failures.With(peer).Inc()
 			g.cfg.Table.MarkDown(peer)
@@ -337,6 +385,32 @@ func (g *Gateway) peerForJob(id string) (string, bool) {
 	return p, ok
 }
 
+// rememberTrace retains the gateway-side trace of a routed compile
+// (bounded FIFO, like the daemon's trace budget).
+func (g *Gateway) rememberTrace(id string, tr *obs.Trace) {
+	if id == "" || tr == nil {
+		return
+	}
+	g.jobMu.Lock()
+	defer g.jobMu.Unlock()
+	if _, seen := g.jobTrace[id]; !seen {
+		g.traceOrder = append(g.traceOrder, id)
+		for len(g.traceOrder) > g.cfg.TraceBudget {
+			delete(g.jobTrace, g.traceOrder[0])
+			g.traceOrder = g.traceOrder[1:]
+		}
+	}
+	g.jobTrace[id] = tr
+}
+
+// traceForJob resolves a retained gateway trace by job id.
+func (g *Gateway) traceForJob(id string) (*obs.Trace, bool) {
+	g.jobMu.Lock()
+	defer g.jobMu.Unlock()
+	tr, ok := g.jobTrace[id]
+	return tr, ok
+}
+
 // upMembers lists the routable fleet: up members in ring-member order,
 // or everyone when the table says nobody is (stale-table fallback).
 func (g *Gateway) upMembers() []string {
@@ -381,13 +455,19 @@ func (g *Gateway) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if r.URL.RawQuery != "" {
 		path += "?" + r.URL.RawQuery
 	}
-	resp, peer, err := g.exchange(r.Context(), key, http.MethodPost, path, body, nil)
+	// Every routed compile records a gateway trace: the proxy.route
+	// spans land here, the wire identity travels to the shard, and
+	// GET /debug/trace/{job_id} merges both sides back together.
+	tr := obs.NewTrace("")
+	ctx := obs.WithTrace(r.Context(), tr)
+	resp, peer, err := g.exchange(ctx, key, http.MethodPost, path, body, nil)
 	if err != nil {
 		g.writeError(w, err, 0)
 		return
 	}
 	if id := jobIDOf(resp.Body); id != "" {
 		g.rememberJob(id, peer)
+		g.rememberTrace(id, tr)
 	}
 	relay(w, resp)
 }
@@ -539,6 +619,18 @@ func (g *Gateway) handleSweepResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.writeJSON(w, http.StatusOK, gwEnvelope{Data: sw.Results()})
+}
+
+// handleSweepEvents is GET /v1/sweeps/{id}/events: the cluster
+// sweep's live SSE progress stream — same wire format as a shard's,
+// because both serve the shared sweep feed.
+func (g *Gateway) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	sw, ok := g.sweeps.Get(r.PathValue("id"))
+	if !ok {
+		g.writeError(w, cerr.New(cerr.CodeInvalidParams, "cluster: unknown sweep %q", r.PathValue("id")), http.StatusNotFound)
+		return
+	}
+	sweep.ServeEvents(w, r, sw, g.cfg.SSEHeartbeat)
 }
 
 // lookupFleet is the gateway sweep manager's Lookup seam: ask the
@@ -716,12 +808,21 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"peers_up":     t.PeersUp(),
 		"peers_total":  t.PeersTotal(),
 		"peers":        peers,
+		// Resume debt of the gateway's own sweep manager (cluster sweeps
+		// run here, not on the shards).
+		"sweeps": g.sweeps.Backlog(),
 	})
 }
 
 // handleMetrics mirrors the daemon's dual exposition: JSON snapshot by
-// default, Prometheus text 0.0.4 with ?format=prometheus.
+// default, Prometheus text 0.0.4 with ?format=prometheus. With
+// ?scope=fleet the gateway scrapes every ring member concurrently and
+// re-emits one merged document instead (see handleFleetMetrics).
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("scope") == "fleet" {
+		g.handleFleetMetrics(w, r)
+		return
+	}
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
@@ -733,4 +834,149 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"queue":    g.cfg.Queue.Stats(),
 		"uptime_s": time.Since(g.start).Seconds(),
 	})
+}
+
+// scrapeFleet fetches every ring member's Prometheus exposition with
+// bounded fan-out and a per-peer timeout. A peer that fails —
+// transport error, bad status, unparseable text, injected fault — is
+// skipped (stale-peer tolerance) and counted in
+// fleet_scrape_errors_total; the merge proceeds with the rest.
+func (g *Gateway) scrapeFleet(ctx context.Context) (scrapes []obs.FleetScrape, errs int) {
+	members := g.cfg.Table.Ring().Members()
+	results := make([]*obs.FleetScrape, len(members))
+	sem := make(chan struct{}, fleetScrapeFanout)
+	var wg sync.WaitGroup
+	var errCount atomic.Int64
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			g.cfg.Chaos.Delay(chaos.PointFleetScrape)
+			if err := g.cfg.Chaos.Fail(chaos.PointFleetScrape); err != nil {
+				errCount.Add(1)
+				return
+			}
+			pctx, cancel := context.WithTimeout(ctx, g.cfg.FleetScrapeTimeout)
+			defer cancel()
+			resp, err := g.client.DoRaw(pctx, http.MethodGet, m+"/metrics?format=prometheus", nil)
+			if err != nil || resp.Status != http.StatusOK {
+				errCount.Add(1)
+				return
+			}
+			fams, perr := obs.ParsePrometheus(bytes.NewReader(resp.Body))
+			if perr != nil {
+				errCount.Add(1)
+				return
+			}
+			results[i] = &obs.FleetScrape{Node: m, Families: fams}
+		}(i, m)
+	}
+	wg.Wait()
+	for _, res := range results {
+		if res != nil {
+			scrapes = append(scrapes, *res)
+		}
+	}
+	n := int(errCount.Load())
+	g.scrapeErrors.Add(uint64(n))
+	return scrapes, n
+}
+
+// handleFleetMetrics is GET /metrics?scope=fleet: one merged metric
+// document for the whole fleet — counters summed, histogram buckets
+// summed, gauges labelled per node — as expvar-style JSON by default
+// or Prometheus text with ?format=prometheus.
+func (g *Gateway) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	scrapes, errs := g.scrapeFleet(r.Context())
+	merged := obs.MergeFleet(scrapes)
+	g.scrapeDur.ObserveDuration(time.Since(t0))
+	nodes := make([]string, 0, len(scrapes))
+	for _, sc := range scrapes {
+		nodes = append(nodes, sc.Node)
+	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		merged.WritePrometheus(w)
+		return
+	}
+	g.writeJSON(w, http.StatusOK, map[string]any{
+		"scope":         "fleet",
+		"nodes":         nodes,
+		"scrape_errors": errs,
+		"obs":           merged.Snapshot(),
+		"uptime_s":      time.Since(g.start).Seconds(),
+	})
+}
+
+// handleTrace is GET /debug/trace/{id}: the end-to-end view of a
+// routed compile. The gateway's own span set is the base; the issuing
+// shard's set (GET /debug/trace/{id}?format=spans) is fetched and
+// spliced under the proxy.route span that injected the wire identity.
+// A failed remote fetch (or an injected trace.fetch fault) degrades
+// to the gateway-local spans rather than erroring: a partial trace
+// still answers "where did the time go" questions.
+func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := g.traceForJob(id)
+	if !ok {
+		g.writeError(w, cerr.New(cerr.CodeInvalidParams, "cluster: no trace for job %q", id), http.StatusNotFound)
+		return
+	}
+	sets := []obs.SpanSet{tr.SpanSet("gateway")}
+	if remote, ok := g.fetchRemoteSpans(r.Context(), id); ok {
+		sets = append(sets, remote)
+	}
+	merged := obs.MergeSpanSets(sets)
+	if r.URL.Query().Get("format") == "tree" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, merged.Tree())
+		return
+	}
+	b, err := merged.ChromeJSON()
+	if err != nil {
+		g.writeError(w, cerr.Wrap(cerr.CodeInternal, err, "cluster: trace rendering"), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+// fetchRemoteSpans retrieves the shard-side span set of a routed job:
+// the issuing shard when remembered, otherwise the first up member
+// that recognises the job id.
+func (g *Gateway) fetchRemoteSpans(ctx context.Context, id string) (obs.SpanSet, bool) {
+	g.cfg.Chaos.Delay(chaos.PointTraceFetch)
+	if err := g.cfg.Chaos.Fail(chaos.PointTraceFetch); err != nil {
+		return obs.SpanSet{}, false
+	}
+	peers := g.upMembers()
+	if peer, ok := g.peerForJob(id); ok {
+		peers = append([]string{peer}, peers...)
+	}
+	seen := map[string]bool{}
+	for _, peer := range peers {
+		if seen[peer] {
+			continue
+		}
+		seen[peer] = true
+		resp, err := g.client.DoRaw(ctx, http.MethodGet, peer+"/debug/trace/"+id+"?format=spans", nil)
+		if err != nil || resp.Status != http.StatusOK {
+			continue
+		}
+		ss, perr := obs.ParseSpanSet(resp.Body)
+		if perr != nil {
+			continue
+		}
+		if ss.Node == "" {
+			ss.Node = peer
+		}
+		return ss, true
+	}
+	return obs.SpanSet{}, false
 }

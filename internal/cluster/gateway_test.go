@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -404,6 +405,70 @@ func TestGatewayMethodTable(t *testing.T) {
 		if err := json.Unmarshal(raw, &env); err != nil || env["error"] == nil {
 			t.Fatalf("405 not enveloped: %s", raw)
 		}
+	}
+}
+
+// TestGatewayRelayPreservesDiagnosticHeaders: a 429 (and a 5xx)
+// proxied through the gateway keeps the shard's Retry-After backoff
+// hint and every X-* diagnostic header — failover must not strip the
+// upstream forensics.
+func TestGatewayRelayPreservesDiagnosticHeaders(t *testing.T) {
+	shard := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h := w.Header()
+		switch r.URL.Path {
+		case "/v1/compile":
+			h.Set("Retry-After", "7")
+			h.Set("X-Queue-Depth", "256")
+			h.Add("X-Shed-Reason", "queue full")
+			h.Add("X-Shed-Reason", "admission")
+			h.Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"ERR_OVERLOADED","message":"queue full"}}`)
+		default:
+			h.Set("X-Failure-Stage", "floorplan")
+			h.Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"error":{"code":"ERR_INTERNAL","message":"synthetic"}}`)
+		}
+	}))
+	defer shard.Close()
+
+	r, err := NewRing([]string{shard.URL}, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := jobs.New(jobs.Config{Workers: 1, Deadline: time.Minute})
+	defer q.Shutdown(context.Background())
+	g, err := NewGateway(GatewayConfig{Table: NewTable(r), Queue: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	st, hdr, raw := httpDo(t, http.MethodPost, ts.URL+"/v1/compile", gwReq)
+	if st != http.StatusTooManyRequests {
+		t.Fatalf("proxied 429 became %d: %s", st, raw)
+	}
+	if got := hdr.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After %q, want 7", got)
+	}
+	if got := hdr.Get("X-Queue-Depth"); got != "256" {
+		t.Fatalf("X-Queue-Depth %q, want 256", got)
+	}
+	if got := hdr.Values("X-Shed-Reason"); len(got) != 2 || got[0] != "queue full" || got[1] != "admission" {
+		t.Fatalf("X-Shed-Reason %v, want both values", got)
+	}
+	if !strings.Contains(string(raw), "ERR_OVERLOADED") {
+		t.Fatalf("429 body not relayed verbatim: %s", raw)
+	}
+
+	st, hdr, raw = httpDo(t, http.MethodGet, ts.URL+"/v1/jobs/job-000001", "")
+	if st != http.StatusInternalServerError {
+		t.Fatalf("proxied 5xx became %d: %s", st, raw)
+	}
+	if got := hdr.Get("X-Failure-Stage"); got != "floorplan" {
+		t.Fatalf("X-Failure-Stage %q, want floorplan", got)
 	}
 }
 

@@ -38,6 +38,23 @@ func Fig45Base() canon.Request {
 // Table2With / Table3With / WaferStudyWith produce byte-identical
 // tables from either source.
 func GrowthFactorsService(baseURL string, timeout time.Duration) (map[int]float64, error) {
+	return growthFactorsService(baseURL, timeout, nil)
+}
+
+// GrowthFactorsServiceProgress is GrowthFactorsService with live
+// progress: instead of polling, it watches the sweep's SSE event
+// stream (GET /v1/sweeps/{id}/events) and forwards every frame to
+// onEvent — what `experiments -server -progress` prints per point.
+func GrowthFactorsServiceProgress(baseURL string, timeout time.Duration, onEvent func(sweep.Event)) (map[int]float64, error) {
+	if onEvent == nil {
+		onEvent = func(sweep.Event) {}
+	}
+	return growthFactorsService(baseURL, timeout, onEvent)
+}
+
+// growthFactorsService runs the spares-axis sweep; a non-nil onEvent
+// selects the streaming wait path.
+func growthFactorsService(baseURL string, timeout time.Duration, onEvent func(sweep.Event)) (map[int]float64, error) {
 	if timeout <= 0 {
 		timeout = 2 * time.Minute
 	}
@@ -52,13 +69,24 @@ func GrowthFactorsService(baseURL string, timeout time.Duration) (map[int]float6
 	id := st.ID
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	st, err = c.WaitSweep(ctx, id, 50*time.Millisecond)
-	if err != nil {
-		return nil, cerr.Wrap(cerr.CodeInternal, err, "experiments: waiting for sweep %s", id)
+	var state string
+	var failed int
+	if onEvent != nil {
+		term, werr := c.Watch(ctx, id, onEvent)
+		if werr != nil {
+			return nil, cerr.Wrap(cerr.CodeInternal, werr, "experiments: watching sweep %s", id)
+		}
+		state, failed = term.Summary.State, term.Summary.Failed
+	} else {
+		st, err = c.WaitSweep(ctx, id, 50*time.Millisecond)
+		if err != nil {
+			return nil, cerr.Wrap(cerr.CodeInternal, err, "experiments: waiting for sweep %s", id)
+		}
+		state, failed = st.State, st.Failed
 	}
-	if st.State != "done" {
+	if state != "done" {
 		return nil, cerr.New(cerr.CodeInternal,
-			"experiments: sweep %s finished in state %q (%d failed)", id, st.State, st.Failed)
+			"experiments: sweep %s finished in state %q (%d failed)", id, state, failed)
 	}
 	res, err := c.SweepResults(id)
 	if err != nil {

@@ -40,3 +40,26 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 		t.Fatalf("q=0 quantile %v", got)
 	}
 }
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	// One finite bound: every in-range observation interpolates inside
+	// (0, 1]; every quantile of an all-overflow histogram floors at the
+	// single finite bound.
+	h := NewRegistry().Histogram("q_single_seconds", "", []float64{1})
+	for i := 0; i < 4; i++ {
+		h.Observe(0.5)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 <= 0 || p50 > 1 {
+		t.Fatalf("single-bucket p50 = %v, want within (0, 1]", p50)
+	}
+	if p100 := s.Quantile(1); p100 != 1 {
+		t.Fatalf("single-bucket p100 = %v, want bound 1", p100)
+	}
+	// A snapshot with no finite bounds at all (only the +Inf slot
+	// occupied) has nothing to interpolate toward and reports 0.
+	noBounds := HistogramSnapshot{Cumulative: []uint64{3}, Count: 3, Sum: 30}
+	if got := noBounds.Quantile(0.9); got != 0 {
+		t.Fatalf("boundless snapshot quantile %v, want 0", got)
+	}
+}

@@ -67,6 +67,13 @@ type Trace struct {
 	start  time.Time
 	nextID atomic.Uint64
 
+	// remoteParent is the span ID (in the originating process's trace)
+	// this trace's root spans logically parent under — non-zero only
+	// for traces extracted from an incoming traceparent header. Local
+	// spans keep Parent 0; the link is applied when span sets from
+	// several processes merge.
+	remoteParent uint64
+
 	mu    sync.Mutex
 	spans []Span
 }
@@ -77,6 +84,25 @@ func NewTrace(id string) *Trace {
 		id = NewID()
 	}
 	return &Trace{ID: id, start: time.Now()}
+}
+
+// NewTraceRemote builds a trace that continues a wire identity from
+// another process: it shares the originator's trace ID and remembers
+// the remote parent span its root spans belong under (see
+// ParseTraceparent / SpanSet).
+func NewTraceRemote(id string, remoteParent uint64) *Trace {
+	tr := NewTrace(id)
+	tr.remoteParent = remoteParent
+	return tr
+}
+
+// RemoteParent returns the originating process's parent span ID, 0
+// for locally-rooted traces.
+func (t *Trace) RemoteParent() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.remoteParent
 }
 
 // NewID mints a 64-bit random hex trace ID.
@@ -200,6 +226,13 @@ func Start(ctx context.Context, name string) (context.Context, func(attrs ...Att
 }
 
 func noopEnd(...Attr) {}
+
+// SpanIDFromContext returns the ID of the span currently open on ctx
+// (the parent the next Start would record), 0 when none.
+func SpanIDFromContext(ctx context.Context) uint64 {
+	id, _ := ctx.Value(spanKey).(uint64)
+	return id
+}
 
 // Tree renders the span hierarchy as indented text with durations —
 // the slow-compile forensics format. Roots (and spans whose parent

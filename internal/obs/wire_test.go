@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceparentRoundTrip: Format → Parse recovers the trace ID and
+// span ID exactly.
+func TestTraceparentRoundTrip(t *testing.T) {
+	hv := FormatTraceparent("cafe0123deadbeef", 0x2a)
+	if want := "00-cafe0123deadbeef-000000000000002a-01"; hv != want {
+		t.Fatalf("header = %q, want %q", hv, want)
+	}
+	id, span, ok := ParseTraceparent(hv)
+	if !ok || id != "cafe0123deadbeef" || span != 0x2a {
+		t.Fatalf("parse = (%q, %d, %v)", id, span, ok)
+	}
+}
+
+// TestTraceparentReject: malformed values are refused rather than
+// guessed at.
+func TestTraceparentReject(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc",                            // too few parts
+		"01-cafe-0000000000000001-01",       // unknown version
+		"00--0000000000000001-01",           // empty trace ID
+		"00-cafe-001-01",                    // span not 16 hex chars
+		"00-cafe-00000000000000zz-01",       // span not hex
+		"00-cafe-0000000000000001-01-extra", // too many parts
+	}
+	for _, v := range bad {
+		if _, _, ok := ParseTraceparent(v); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", v)
+		}
+	}
+}
+
+// TestInject: a traced context injects the open span as the wire
+// parent; an untraced context injects nothing.
+func TestInject(t *testing.T) {
+	if _, ok := Inject(context.Background()); ok {
+		t.Fatal("untraced context produced a header")
+	}
+	tr := NewTrace("feed")
+	ctx := WithTrace(context.Background(), tr)
+	sctx, end := Start(ctx, "proxy.route")
+	defer end()
+	hv, ok := Inject(sctx)
+	if !ok {
+		t.Fatal("traced context produced no header")
+	}
+	id, span, ok := ParseTraceparent(hv)
+	if !ok || id != "feed" {
+		t.Fatalf("injected header %q parsed to (%q, %v)", hv, id, ok)
+	}
+	if span != SpanIDFromContext(sctx) || span == 0 {
+		t.Fatalf("injected span %d, open span %d", span, SpanIDFromContext(sctx))
+	}
+}
+
+// TestSpanSetRoundTrip: SpanSet → JSON → ParseSpanSet preserves spans,
+// attributes, node identity and the remote-parent link.
+func TestSpanSetRoundTrip(t *testing.T) {
+	tr := NewTraceRemote("abcd", 7)
+	base := time.Now()
+	tr.Record("compile", base, base.Add(2*time.Millisecond), String("cache", "miss"))
+	tr.Record("floorplan", base.Add(time.Millisecond), base.Add(2*time.Millisecond))
+
+	ss := tr.SpanSet("http://shard-1")
+	if ss.TraceID != "abcd" || ss.Node != "http://shard-1" || ss.RemoteParent != 7 {
+		t.Fatalf("span set header: %+v", ss)
+	}
+	b, err := ss.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSpanSet(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != ss.TraceID || got.Node != ss.Node || got.RemoteParent != ss.RemoteParent {
+		t.Fatalf("parsed header mismatch: %+v", got)
+	}
+	if len(got.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(got.Spans))
+	}
+	if got.Spans[0].Name != "compile" || got.Spans[0].Attrs["cache"] != "miss" {
+		t.Fatalf("span 0: %+v", got.Spans[0])
+	}
+	if got.Spans[0].StartUnixNs != base.UnixNano() || got.Spans[0].DurNs != int64(2*time.Millisecond) {
+		t.Fatalf("span 0 timing: %+v", got.Spans[0])
+	}
+
+	// A nil trace exports an inert set; garbage bytes are an error.
+	var nilTr *Trace
+	if ss := nilTr.SpanSet("x"); ss.TraceID != "" || len(ss.Spans) != 0 {
+		t.Fatalf("nil trace span set: %+v", ss)
+	}
+	if _, err := ParseSpanSet([]byte("{")); err == nil {
+		t.Fatal("malformed span set accepted")
+	}
+}
+
+// mergeFixture builds a two-process trace: a gateway whose proxy.route
+// span injected the wire identity, and a shard whose compile span tree
+// must splice under it after the merge.
+func mergeFixture(t *testing.T) (gw, shard SpanSet, routeID uint64) {
+	t.Helper()
+	epoch := time.Unix(0, 1_000_000_000)
+
+	gwTr := NewTrace("trace-1")
+	gwTr.Record("http.POST /v1/compile", epoch, epoch.Add(10*time.Millisecond))
+	gwTr.Record("proxy.route", epoch.Add(time.Millisecond), epoch.Add(9*time.Millisecond), String("peer", "http://shard-1"))
+	gwSet := gwTr.SpanSet("gateway")
+	for _, ws := range gwSet.Spans {
+		if ws.Name == "proxy.route" {
+			routeID = ws.ID
+		}
+	}
+	if routeID == 0 {
+		t.Fatal("fixture: proxy.route span missing")
+	}
+
+	shardTr := NewTraceRemote("trace-1", routeID)
+	ctx := WithTrace(context.Background(), shardTr)
+	c1, end1 := Start(ctx, "compile")
+	_, end2 := Start(c1, "floorplan")
+	end2()
+	end1()
+	return gwSet, shardTr.SpanSet("http://shard-1"), routeID
+}
+
+// TestMergeSpanSets: merging re-parents the shard's root span under
+// the gateway's proxy.route span, keeps intra-shard parent links, and
+// remaps IDs so the two processes' ranges cannot collide.
+func TestMergeSpanSets(t *testing.T) {
+	gwSet, shardSet, _ := mergeFixture(t)
+	m := MergeSpanSets([]SpanSet{gwSet, shardSet})
+	if m.TraceID != "trace-1" {
+		t.Fatalf("trace ID %q", m.TraceID)
+	}
+	if len(m.Nodes) != 2 || m.Nodes[0] != "gateway" || m.Nodes[1] != "http://shard-1" {
+		t.Fatalf("nodes = %v", m.Nodes)
+	}
+	spans := m.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d merged spans, want 4", len(spans))
+	}
+	byName := map[string]Span{}
+	seen := map[uint64]bool{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		if seen[s.ID] {
+			t.Fatalf("duplicate remapped ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	route, compile, fp := byName["proxy.route"], byName["compile"], byName["floorplan"]
+	if compile.Parent != route.ID {
+		t.Errorf("compile.Parent = %d, want proxy.route %d", compile.Parent, route.ID)
+	}
+	if fp.Parent != compile.ID {
+		t.Errorf("floorplan.Parent = %d, want compile %d", fp.Parent, compile.ID)
+	}
+	if m.NodeOf(route.ID) != "gateway" || m.NodeOf(compile.ID) != "http://shard-1" {
+		t.Errorf("node attribution: route=%q compile=%q", m.NodeOf(route.ID), m.NodeOf(compile.ID))
+	}
+}
+
+// TestMergeSkipsForeignTrace: a span set whose trace ID disagrees with
+// the base must not splice into the merged trace.
+func TestMergeSkipsForeignTrace(t *testing.T) {
+	gwSet, shardSet, _ := mergeFixture(t)
+	foreign := shardSet
+	foreign.TraceID = "other-trace"
+	m := MergeSpanSets([]SpanSet{gwSet, foreign})
+	if len(m.Nodes) != 1 || len(m.Spans()) != 2 {
+		t.Fatalf("foreign set merged: nodes=%v spans=%d", m.Nodes, len(m.Spans()))
+	}
+}
+
+// TestMergeUnknownRemoteParent: when the remote parent span is absent
+// from the base set the shard roots stay roots (orphan promotion)
+// instead of pointing at a dangling ID.
+func TestMergeUnknownRemoteParent(t *testing.T) {
+	gwSet, shardSet, _ := mergeFixture(t)
+	shardSet.RemoteParent = 999
+	m := MergeSpanSets([]SpanSet{gwSet, shardSet})
+	for _, s := range m.Spans() {
+		if s.Name == "compile" && s.Parent != 0 {
+			t.Fatalf("compile parented under dangling ID %d", s.Parent)
+		}
+	}
+}
+
+// TestMergedChromeJSON: the Chrome export carries one pid per node
+// with process_name metadata, and each slice's args expose the
+// remapped span/parent IDs so the cross-process link is inspectable.
+func TestMergedChromeJSON(t *testing.T) {
+	gwSet, shardSet, _ := mergeFixture(t)
+	m := MergeSpanSets([]SpanSet{gwSet, shardSet})
+	b, err := m.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b)
+	}
+	procs := map[int]string{}
+	pids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procs[ev.Pid] = ev.Args["name"]
+		} else if ev.Ph == "X" {
+			pids[ev.Name] = ev.Pid
+		}
+	}
+	if procs[1] != "gateway" || procs[2] != "http://shard-1" {
+		t.Fatalf("process names: %v", procs)
+	}
+	if pids["proxy.route"] != 1 || pids["compile"] != 2 || pids["floorplan"] != 2 {
+		t.Fatalf("slice pids: %v", pids)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "compile" {
+			if ev.Args["parent_id"] == "0" || ev.Args["span_id"] == "" {
+				t.Fatalf("compile args missing parent link: %v", ev.Args)
+			}
+		}
+	}
+}
+
+// TestMergedTree: the text rendering nests the shard's compile under
+// the gateway's proxy.route and annotates the process transition.
+func TestMergedTree(t *testing.T) {
+	gwSet, shardSet, _ := mergeFixture(t)
+	m := MergeSpanSets([]SpanSet{gwSet, shardSet})
+	out := m.Tree()
+	if !strings.Contains(out, "node=http://shard-1") {
+		t.Fatalf("tree missing process-transition annotation:\n%s", out)
+	}
+	indent := func(name string) int {
+		for _, line := range strings.Split(out, "\n") {
+			trimmed := strings.TrimLeft(line, " ")
+			if strings.HasPrefix(trimmed, name+" ") {
+				return len(line) - len(trimmed)
+			}
+		}
+		t.Fatalf("span %q missing from tree:\n%s", name, out)
+		return 0
+	}
+	if !(indent("proxy.route") < indent("compile") && indent("compile") < indent("floorplan")) {
+		t.Fatalf("cross-process nesting broken:\n%s", out)
+	}
+}

@@ -28,11 +28,13 @@
 //	POST /v1/sweeps                     submit a batch sweep (base request + axes)
 //	GET  /v1/sweeps/{id}                sweep progress (aggregate + per-point)
 //	GET  /v1/sweeps/{id}/results        sweep evaluation rows (Fig. 4/5, Tables II/III)
+//	GET  /v1/sweeps/{id}/events         live sweep progress (Server-Sent Events)
 //	GET  /v1/processes                  built-in process decks
 //	GET  /v1/tests                      built-in march algorithms
 //	GET  /healthz                       liveness
 //	GET  /metrics                       counters (expvar JSON; ?format=prometheus for text exposition)
-//	GET  /debug/trace/{id}              per-job Chrome trace-event JSON (?format=tree for text)
+//	GET  /debug/trace/{id}              per-job Chrome trace-event JSON (?format=tree for text,
+//	                                    ?format=spans for the wire span set the gateway merges)
 //	GET  /debug/pprof/*                 runtime profiles (only with Config.EnablePprof)
 package server
 
@@ -138,6 +140,10 @@ type Config struct {
 	// interface keeps this package independent of internal/cluster —
 	// the command wires the concrete view in.
 	Cluster ClusterInfo
+	// SSEHeartbeat is the keep-alive cadence of the sweep event stream
+	// (GET /v1/sweeps/{id}/events); <= 0 means
+	// sweep.DefaultEventHeartbeat.
+	SSEHeartbeat time.Duration
 }
 
 // ClusterInfo is the server's read-only window onto the federation
@@ -247,6 +253,7 @@ func New(cfg Config) *Server {
 	s.route("POST", "/v1/sweeps", s.handleSweepCreate)
 	s.route("GET", "/v1/sweeps/{id}", s.handleSweepStatus)
 	s.route("GET", "/v1/sweeps/{id}/results", s.handleSweepResults)
+	s.route("GET", "/v1/sweeps/{id}/events", s.handleSweepEvents)
 	s.route("GET", "/v1/processes", s.handleProcesses)
 	s.route("GET", "/v1/tests", s.handleTests)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -452,6 +459,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(b)
 	w.bytes += int64(n)
 	return n, err
+}
+
+// Flush forwards to the underlying writer so SSE handlers can stream
+// through the logging wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // logRequest emits one structured JSON line per request.
@@ -702,8 +717,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	// Every submission carries a trace: the queue records the wait span,
 	// the pipeline records its stage spans, and the completed tree is
 	// retrievable via GET /debug/trace/{job_id}. Deduped submissions
-	// share the first submitter's trace.
+	// share the first submitter's trace. A traceparent header continues
+	// the sender's distributed trace — same trace ID, with the remote
+	// span remembered so the gateway's merge parents this shard's spans
+	// under its proxy.route span.
 	tr := obs.NewTrace("")
+	if tid, parent, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceHeader)); ok {
+		tr = obs.NewTraceRemote(tid, parent)
+	}
 	job, deduped, err := s.cfg.Queue.SubmitTraced(key, pri, tr, func(ctx context.Context) (any, error) {
 		runStart := time.Now()
 		entry, cmpErr := s.runCompile(ctx, key, params)
@@ -1134,6 +1155,18 @@ func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
 	s.writeData(w, http.StatusOK, sw.Results())
 }
 
+// handleSweepEvents is GET /v1/sweeps/{id}/events: the live progress
+// stream (SSE) — every point transition exactly once by cursor, plus
+// heartbeats and a terminal summary.
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweeps.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, cerr.New(cerr.CodeInvalidParams, "server: unknown sweep %q", r.PathValue("id")), http.StatusNotFound)
+		return
+	}
+	sweep.ServeEvents(w, r, sw, s.cfg.SSEHeartbeat)
+}
+
 // handleProcesses is GET /v1/processes.
 func (s *Server) handleProcesses(w http.ResponseWriter, r *http.Request) {
 	s.writeData(w, http.StatusOK, map[string]any{"processes": tech.Names()})
@@ -1158,6 +1191,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":   state,
 		"uptime_s": time.Since(s.start).Seconds(),
 		"workers":  qs.Workers,
+		// Resume debt: what a restart right now would owe (in-flight
+		// sweeps and points, and how many of those points would be lost
+		// outright without a journal).
+		"sweeps": s.sweeps.Backlog(),
 	}
 	if cl := s.cfg.Cluster; cl != nil {
 		body["role"] = "shard"
@@ -1218,10 +1255,27 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, cerr.New(cerr.CodeInvalidParams, "server: no trace for job %q", id), http.StatusNotFound)
 		return
 	}
-	if r.URL.Query().Get("format") == "tree" {
+	switch r.URL.Query().Get("format") {
+	case "tree":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, tr.Tree())
+		return
+	case "spans":
+		// The wire span set a gateway fetches to merge this shard's
+		// slice of a distributed trace into the end-to-end view.
+		node := ""
+		if cl := s.cfg.Cluster; cl != nil {
+			node = cl.Self()
+		}
+		b, err := tr.SpanSet(node).JSON()
+		if err != nil {
+			s.writeError(w, cerr.Wrap(cerr.CodeInternal, err, "server: span set rendering"), 0)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(b)
 		return
 	}
 	b, err := tr.ChromeJSON()

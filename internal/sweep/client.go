@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/cerr"
+	"repro/internal/obs"
 )
 
 // WireError is the service error envelope member.
@@ -365,6 +366,12 @@ func (c *Client) doRawOnce(ctx context.Context, method, absURL string, body []by
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the caller's trace across the process boundary: the
+	// receiving daemon continues the same trace ID with this exchange's
+	// open span as remote parent (see obs wire format).
+	if hv, ok := obs.Inject(ctx); ok {
+		req.Header.Set(obs.TraceHeader, hv)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {

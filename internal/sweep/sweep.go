@@ -244,6 +244,10 @@ type Sweep struct {
 	created time.Time
 	spec    Spec
 
+	// feed is the bounded live-progress event log (see events.go),
+	// sized at creation to hold every point transition.
+	feed *feed
+
 	mu      sync.Mutex
 	points  []*point
 	groups  []*group
@@ -490,6 +494,11 @@ func (m *Manager) create(spec Spec, forcedID string) (*Sweep, error) {
 		m.nextID++
 		sw.ID = fmt.Sprintf("sweep-%06d", m.nextID)
 	}
+	// Two numbered events per point (started + terminal) plus the
+	// terminal summary: the bound that makes the feed drop-free for
+	// the sweep's whole lifetime. Assigned before the sweep becomes
+	// visible so a racing events subscriber never sees a nil feed.
+	sw.feed = newFeed(sw.ID, 2*len(sw.points)+16)
 	m.sweeps[sw.ID] = sw
 	m.order = append(m.order, sw.ID)
 	m.retainLocked()
@@ -526,6 +535,11 @@ func (m *Manager) create(spec Spec, forcedID string) (*Sweep, error) {
 		sw.mu.Lock()
 		g.job = job
 		sw.mu.Unlock()
+		for _, pt := range g.points {
+			sw.feed.emit(Event{Type: "point", Point: &PointEvent{
+				Index: pt.index, Key: pt.key, Status: "started",
+			}})
+		}
 		if m.cfg.OnJob != nil {
 			m.cfg.OnJob(job, key)
 		}
@@ -571,6 +585,7 @@ func (m *Manager) finishGroup(sw *Sweep, g *group, entry *cache.Entry, err error
 		if pt.state != pointPending {
 			continue
 		}
+		pe := PointEvent{Index: pt.index, Key: pt.key}
 		if err != nil {
 			pt.state = pointFailed
 			pt.err = err
@@ -578,6 +593,9 @@ func (m *Manager) finishGroup(sw *Sweep, g *group, entry *cache.Entry, err error
 			if transientFailure(err) {
 				sw.transient = true
 			}
+			pe.Status = "failed"
+			pe.Error = err.Error()
+			pe.ErrorCode = cerr.CodeOf(err).String()
 		} else {
 			pt.state = pointDone
 			pt.cached = cached
@@ -585,11 +603,23 @@ func (m *Manager) finishGroup(sw *Sweep, g *group, entry *cache.Entry, err error
 			if cached {
 				m.pointsCached.Inc()
 			}
+			pe.Status = "completed"
+			if cached {
+				pe.Status = "cached"
+				pe.Cached = true
+			}
 		}
 		sw.pending--
+		sw.feed.emit(Event{Type: "point", Point: &pe})
 	}
 	finished := sw.pending == 0
 	transient := sw.transient
+	if finished {
+		// Emitted under sw.mu so the terminal summary is always the
+		// feed's last numbered event, after every point's terminal frame.
+		sum := sw.summaryLocked()
+		sw.feed.emit(Event{Type: "summary", Summary: &sum})
+	}
 	sw.mu.Unlock()
 	if finished {
 		close(sw.done)
@@ -647,6 +677,46 @@ func (m *Manager) Count() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.sweeps)
+}
+
+// Backlog is the /healthz view of sweep resume debt: what a restart
+// right now would owe.
+type Backlog struct {
+	// InFlightSweeps counts sweeps with at least one pending point.
+	InFlightSweeps int `json:"in_flight_sweeps"`
+	// PendingPoints counts points not yet terminal across all sweeps.
+	PendingPoints int `json:"pending_points"`
+	// UnjournaledPoints is the pending work a restart would lose
+	// outright: equal to PendingPoints when no journal is configured
+	// (nothing is durable), 0 otherwise — every journaled sweep has a
+	// write-ahead record, so its pending points resume instead of
+	// vanishing.
+	UnjournaledPoints int `json:"unjournaled_points"`
+}
+
+// Backlog snapshots the manager's in-flight sweep debt for health
+// reporting.
+func (m *Manager) Backlog() Backlog {
+	m.mu.Lock()
+	sweeps := make([]*Sweep, 0, len(m.sweeps))
+	for _, sw := range m.sweeps {
+		sweeps = append(sweeps, sw)
+	}
+	m.mu.Unlock()
+	var b Backlog
+	for _, sw := range sweeps {
+		sw.mu.Lock()
+		pending := sw.pending
+		sw.mu.Unlock()
+		if pending > 0 {
+			b.InFlightSweeps++
+			b.PendingPoints += pending
+		}
+	}
+	if m.cfg.Journal == nil {
+		b.UnjournaledPoints = b.PendingPoints
+	}
+	return b
 }
 
 // Status snapshots the sweep.
