@@ -1,9 +1,10 @@
 # BISRAMGEN build/test entry points.
 #
 #   make check — the default pre-merge gate: vet (gofmt included),
-#                build, race-enabled tests, and the serve-smoke +
+#                build, race-enabled tests, the serve-smoke +
 #                sweep-smoke + chaos-smoke + cluster-smoke +
-#                obs-fleet-smoke end-to-end daemon checks.
+#                obs-fleet-smoke end-to-end daemon checks, and the
+#                bench-delta soft benchmark-regression gate.
 #   make ci    — everything the tree must pass before merging: check
 #                plus a short fuzz smoke pass on each parser and the
 #                adversarial-input fault campaign.
@@ -12,14 +13,19 @@ GO       ?= go
 FUZZTIME ?= 5s
 # BENCH_OUT names the checked-in benchmark evidence file; bump the
 # numeral with the PR that re-measures (schema in EXPERIMENTS.md).
-BENCH_OUT  ?= results/BENCH_5.json
+BENCH_OUT  ?= results/BENCH_9.json
 BENCHCOUNT ?= 3
+# BENCH_BASELINE is the newest checked-in evidence file other than
+# BENCH_OUT itself — what `make bench` and the bench-delta gate diff
+# fresh numbers against. Empty on a tree with no prior evidence, in
+# which case the -baseline flag is simply omitted.
+BENCH_BASELINE ?= $(shell ls results/BENCH_*.json 2>/dev/null | grep -vx '$(BENCH_OUT)' | sort -V | tail -1)
 
-.PHONY: all check build vet test race serve-smoke obs-smoke sweep-smoke chaos-smoke cluster-smoke obs-fleet-smoke fuzz-smoke campaign serve ci bench bench-smoke
+.PHONY: all check build vet test race serve-smoke obs-smoke sweep-smoke chaos-smoke cluster-smoke obs-fleet-smoke fuzz-smoke campaign serve ci bench bench-smoke bench-delta
 
 all: check
 
-check: vet build race serve-smoke sweep-smoke chaos-smoke cluster-smoke obs-fleet-smoke bench-smoke
+check: vet build race serve-smoke sweep-smoke chaos-smoke cluster-smoke obs-fleet-smoke bench-smoke bench-delta
 
 build:
 	$(GO) build ./...
@@ -72,9 +78,13 @@ sweep-smoke:
 # bit-flip via -chaos-spec and require quarantine + recompile, never a
 # corrupt response; (3) stall a one-worker daemon and require the
 # overload burst to shed with 429 + Retry-After while the retrying
-# client completes.
+# client completes. Also runs the sim.batch chaos point in-process:
+# a fault injected into the bit-parallel evaluator's lane packing
+# must be caught by the scalar differential, proving the batch
+# coverage path is actually cross-checked.
 chaos-smoke:
 	$(GO) test -race -run TestChaosSmoke -count=1 ./cmd/bisramgend/
+	$(GO) test -race -run TestBatchChaos -count=1 ./internal/experiments/
 
 # End-to-end federation drill: a bisramgate gateway in front of three
 # federated bisramgend shards next to one standalone reference daemon.
@@ -102,19 +112,29 @@ obs-fleet-smoke:
 # Full benchmark sweep: every Fig/Table experiment benchmark plus the
 # substrate micro-benchmarks, -count=$(BENCHCOUNT) with -benchmem, the
 # averaged results rendered to $(BENCH_OUT) by cmd/benchjson (schema
-# documented in EXPERIMENTS.md). Compare BenchmarkCompile64kbyte vs
-# BenchmarkCompileParallel for the parallel-compile speedup, and
-# either against an older results/BENCH_*.json for the memoization +
-# extraction wins.
+# documented in EXPERIMENTS.md). When $(BENCH_BASELINE) exists the run
+# also prints the per-benchmark ns/op and allocs/op ratio table
+# against it and fails on any >2x regression — the authoritative form
+# of the bench-delta gate below.
 bench:
 	@mkdir -p results
-	$(GO) test -run '^$$' -bench . -benchmem -count=$(BENCHCOUNT) . | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench . -benchmem -count=$(BENCHCOUNT) . | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCH_OUT) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
 
 # One-iteration pass over the compile benchmarks: a fast gate that the
 # benchmark harness itself still compiles and runs (wired into
 # `make check`; it measures nothing).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkCompile(64kbyte|Parallel|Untraced|Traced)' -benchtime=1x -count=1 .
+
+# Soft regression gate wired into `make check`: one iteration of every
+# benchmark, diffed by cmd/benchjson -baseline against the newest
+# checked-in results/BENCH_*.json. Single-iteration numbers are far
+# too noisy to block a merge, so -tolerate prints any >2x ns/op or
+# allocs/op regression as a warning and always exits 0; `make bench`
+# runs the same comparison at full -count and does fail.
+bench-delta:
+	@if [ -z "$(BENCH_BASELINE)" ]; then echo "bench-delta: no checked-in results/BENCH_*.json baseline; skipping"; exit 0; fi
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem -count=1 . | $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -tolerate -o /dev/null
 
 # Run the compile daemon locally with the documented defaults.
 serve:
@@ -129,6 +149,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzPLAPlanes -fuzztime=$(FUZZTIME) ./internal/bist/
 	$(GO) test -run='^$$' -fuzz=FuzzParseRequest -fuzztime=$(FUZZTIME) ./internal/canon/
 	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/sweep/
+	$(GO) test -run='^$$' -fuzz=FuzzBatchEvaluator -fuzztime=$(FUZZTIME) ./internal/sram/
 
 # Adversarial-input campaign against the full compile pipeline: exits
 # non-zero on any panic, hang or untyped error.

@@ -26,6 +26,14 @@
 //
 // Benchmark names are stripped of the -N GOMAXPROCS suffix Go appends
 // under parallelism, so keys stay stable across machines.
+//
+// With -baseline <results/BENCH_*.json> the fresh run is additionally
+// diffed against the checked-in document: a per-benchmark table of
+// ns/op and allocs/op ratios (fresh/baseline) goes to stderr, and any
+// benchmark more than 2x slower or 2x more allocation-heavy on either
+// axis fails the run with exit 1. -tolerate downgrades that failure
+// to a warning — the soft-gate form `make check` uses, where
+// single-iteration numbers are too noisy to block a merge.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"runtime"
@@ -65,8 +74,16 @@ type Doc struct {
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
+// regressFactor is the ratio beyond which a benchmark counts as
+// regressed versus the baseline, on ns/op or allocs/op.
+const regressFactor = 2.0
+
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
+	baseline := flag.String("baseline", "",
+		"checked-in results/BENCH_*.json to diff against; prints per-benchmark ns/op and allocs/op ratios and fails on >2x regressions")
+	tolerate := flag.Bool("tolerate", false,
+		"with -baseline: report regressions but exit 0 anyway (soft gate)")
 	flag.Parse()
 
 	type acc struct {
@@ -142,19 +159,109 @@ func main() {
 	b = append(b, '\n')
 	if *out == "" {
 		os.Stdout.Write(b)
-		return
+	} else {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		names := make([]string, 0, len(sums))
+		for n := range sums {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s (%s)\n",
+			len(names), *out, strings.Join(names[:min(len(names), 5)], ", "))
 	}
-	if err := os.WriteFile(*out, b, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+
+	if *baseline != "" {
+		base, err := loadDoc(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		regressed := printDelta(os.Stderr, *baseline, base, doc)
+		if len(regressed) > 0 {
+			verb := "failing"
+			if *tolerate {
+				verb = "tolerated (-tolerate)"
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed >%gx vs %s: %s — %s\n",
+				len(regressed), regressFactor, *baseline, strings.Join(regressed, ", "), verb)
+			if !*tolerate {
+				os.Exit(1)
+			}
+		}
 	}
-	names := make([]string, 0, len(sums))
-	for n := range sums {
+}
+
+// loadDoc reads a previously written benchmark document.
+func loadDoc(path string) (Doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Doc{}, fmt.Errorf("baseline: %w", err)
+	}
+	var d Doc
+	if err := json.Unmarshal(b, &d); err != nil {
+		return Doc{}, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(d.Benchmarks) == 0 {
+		return Doc{}, fmt.Errorf("baseline %s: no benchmarks", path)
+	}
+	return d, nil
+}
+
+// printDelta writes the per-benchmark fresh/baseline ratio table for
+// every benchmark present in both documents and returns the names
+// that regressed more than regressFactor on ns/op or allocs/op.
+// Benchmarks new since the baseline are listed without ratios;
+// benchmarks that vanished are called out so a silently dropped
+// measurement cannot masquerade as a clean diff.
+func printDelta(w io.Writer, basePath string, base, fresh Doc) (regressed []string) {
+	names := make([]string, 0, len(fresh.Benchmarks))
+	for n := range fresh.Benchmarks {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s (%s)\n",
-		len(names), *out, strings.Join(names[:min(len(names), 5)], ", "))
+
+	fmt.Fprintf(w, "benchjson: delta vs %s (fresh/baseline; >%gx on ns/op or allocs/op regresses)\n",
+		basePath, regressFactor)
+	fmt.Fprintf(w, "  %-36s %14s %12s %9s %9s\n", "benchmark", "ns/op", "allocs/op", "ns", "allocs")
+	for _, n := range names {
+		f := fresh.Benchmarks[n]
+		b, ok := base.Benchmarks[n]
+		if !ok {
+			fmt.Fprintf(w, "  %-36s %14.1f %12.1f %9s %9s  new\n", n, f.NsOp, f.AllocsOp, "-", "-")
+			continue
+		}
+		nsR, alR := ratio(f.NsOp, b.NsOp), ratio(f.AllocsOp, b.AllocsOp)
+		mark := ""
+		if nsR > regressFactor || alR > regressFactor {
+			mark = "  REGRESSED"
+			regressed = append(regressed, n)
+		}
+		fmt.Fprintf(w, "  %-36s %14.1f %12.1f %8.2fx %8.2fx%s\n", n, f.NsOp, f.AllocsOp, nsR, alR, mark)
+	}
+	var gone []string
+	for n := range base.Benchmarks {
+		if _, ok := fresh.Benchmarks[n]; !ok {
+			gone = append(gone, n)
+		}
+	}
+	if len(gone) > 0 {
+		sort.Strings(gone)
+		fmt.Fprintf(w, "  (absent from fresh run: %s)\n", strings.Join(gone, ", "))
+	}
+	return regressed
+}
+
+// ratio guards the division: a zero baseline axis (allocs/op is not
+// reported for allocation-free benchmarks) compares as 1.0 rather
+// than poisoning the gate with +Inf.
+func ratio(fresh, base float64) float64 {
+	if base <= 0 {
+		return 1
+	}
+	return fresh / base
 }
 
 func round1(v float64) float64 {

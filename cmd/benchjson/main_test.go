@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func stat(ns, allocs float64) Stat {
+	return Stat{NsOp: ns, AllocsOp: allocs, Runs: 1}
+}
+
+// TestPrintDelta: only benchmarks beyond regressFactor on ns/op or
+// allocs/op are reported as regressed; additions and removals are
+// called out but never fail the gate; a zero baseline axis (no
+// allocs/op line) must not divide into +Inf.
+func TestPrintDelta(t *testing.T) {
+	base := Doc{Benchmarks: map[string]Stat{
+		"BenchmarkSteady":   stat(1000, 10),
+		"BenchmarkFaster":   stat(1000, 10),
+		"BenchmarkSlower":   stat(1000, 10),
+		"BenchmarkAllocier": stat(1000, 10),
+		"BenchmarkNoAllocs": stat(1000, 0),
+		"BenchmarkDropped":  stat(1000, 10),
+	}}
+	fresh := Doc{Benchmarks: map[string]Stat{
+		"BenchmarkSteady":   stat(1900, 19), // under 2x on both axes
+		"BenchmarkFaster":   stat(100, 1),
+		"BenchmarkSlower":   stat(2100, 10), // ns/op regression
+		"BenchmarkAllocier": stat(1000, 21), // allocs/op regression
+		"BenchmarkNoAllocs": stat(1000, 5),  // baseline allocs 0: never regressed
+		"BenchmarkAdded":    stat(5, 5),
+	}}
+
+	var sb strings.Builder
+	regressed := printDelta(&sb, "results/BENCH_X.json", base, fresh)
+	if len(regressed) != 2 || regressed[0] != "BenchmarkAllocier" || regressed[1] != "BenchmarkSlower" {
+		t.Fatalf("regressed = %v, want [BenchmarkAllocier BenchmarkSlower]", regressed)
+	}
+	out := sb.String()
+	for _, want := range []string{"BenchmarkAdded", "new", "absent from fresh run: BenchmarkDropped", "REGRESSED"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("delta table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "REGRESSED") != 2 {
+		t.Fatalf("want exactly 2 REGRESSED rows:\n%s", out)
+	}
+}
+
+// TestLoadDoc: the baseline loader rejects missing files, broken
+// JSON, and documents with no benchmarks, and round-trips a document
+// written by this tool's own schema.
+func TestLoadDoc(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := loadDoc(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing baseline must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := loadDoc(bad); err == nil {
+		t.Fatal("malformed baseline must error")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"benchmarks":{}}`), 0o644)
+	if _, err := loadDoc(empty); err == nil {
+		t.Fatal("baseline without benchmarks must error")
+	}
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"go_version":"go1.24","benchmarks":{"BenchmarkX":{"ns_op":12.5,"allocs_op":3,"runs":3}}}`), 0o644)
+	d, err := loadDoc(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Benchmarks["BenchmarkX"]; s.NsOp != 12.5 || s.AllocsOp != 3 || s.Runs != 3 {
+		t.Fatalf("round-trip: %+v", s)
+	}
+}
+
+// TestBenchLine: the parser strips the -N GOMAXPROCS suffix and
+// tolerates rows without -benchmem columns.
+func TestBenchLine(t *testing.T) {
+	m := benchLine.FindStringSubmatch("BenchmarkCoverage-8   100   26500000 ns/op   1048576 B/op   14 allocs/op")
+	if m == nil || m[1] != "BenchmarkCoverage" || m[3] != "26500000" || m[5] != "14" {
+		t.Fatalf("full row: %v", m)
+	}
+	m = benchLine.FindStringSubmatch("BenchmarkTLBLookup   500000   2103 ns/op")
+	if m == nil || m[1] != "BenchmarkTLBLookup" || m[4] != "" {
+		t.Fatalf("bare row: %v", m)
+	}
+}

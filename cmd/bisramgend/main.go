@@ -59,7 +59,7 @@ func main() {
 		compilePar   = flag.Int("compile-par", runtime.GOMAXPROCS(0), "per-compile goroutine fan-out for requests that don't name one (output is byte-identical at any value; 1 = serial)")
 		journalDir   = flag.String("sweep-journal-dir", "", "sweep write-ahead journal directory; restarts resume in-flight sweeps (default <store-dir>/sweeps, empty store-dir disables)")
 		chaosSpec    = flag.String("chaos-spec", "", "TESTING ONLY: fault-injection spec, inline JSON or a file path; enables deterministic chaos drills")
-		debugStacks  = flag.Bool("debug-stacks", false, "mount GET /debug/stacks (full goroutine dump; also mounted by -pprof)")
+		debugStacks  = flag.Bool("debug-stacks", false, "mount GET /v1/debug/stacks (full goroutine dump; also mounted by -pprof)")
 		peersList    = flag.String("peers", "", "comma-separated base URLs of every fleet member (including this one); enables federation: ring-peer artifact fetch on store miss and shard identity in /healthz and /metrics")
 		selfURL      = flag.String("self", "", "this daemon's own base URL as it appears in -peers (required with -peers)")
 		gatewayURL   = flag.String("gateway", "", "advertised gateway base URL, reported in /healthz (informational)")

@@ -214,6 +214,21 @@ func (g *GateLevel) Run(maxCycles int64) error {
 	return fmt.Errorf("bisr: gate-level run did not finish in %d cycles", maxCycles)
 }
 
+// Rerun points the elaborated netlist at a fresh behavioural array of
+// the same geometry, resets simulator state and result counters, and
+// runs again. Monte-Carlo harnesses call this per trial instead of
+// re-elaborating an identical netlist each time.
+func (g *GateLevel) Rerun(arr *sram.Array, maxCycles int64) error {
+	if arr.Config() != g.Arr.Config() {
+		return fmt.Errorf("bisr: Rerun array geometry %+v does not match netlist %+v",
+			arr.Config(), g.Arr.Config())
+	}
+	g.Arr = arr
+	g.Sim.Reset()
+	g.Captures, g.Pass2Errors, g.Unsucc, g.Cycles = 0, 0, false, 0
+	return g.Run(maxCycles)
+}
+
 // Repaired reports whether the final pass was clean.
 func (g *GateLevel) Repaired() bool { return !g.Unsucc }
 

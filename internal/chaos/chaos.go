@@ -78,6 +78,11 @@ const (
 	// scrape: an "error" rule makes that peer count as stale (skipped,
 	// error counted), a "delay" rule exercises the per-peer timeout.
 	PointFleetScrape = "fleet.scrape"
+	// PointSimBatch fires when a bit-parallel fault-simulation batch
+	// (sram.BatchArray) is constructed: "error" fails the batch with a
+	// typed error (the coverage experiments must surface it, never
+	// panic or return a partial table), "delay" stalls kernel startup.
+	PointSimBatch = "sim.batch"
 	// PointStagePrefix + stage name fires at each compile stage
 	// checkpoint: "delay" injects a latency spike, "panic" exercises
 	// the recover guards, "error" fails the stage with a typed error.

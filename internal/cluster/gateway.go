@@ -205,8 +205,10 @@ func (g *Gateway) routes() {
 	g.route("GET", "/v1/sweeps/{id}/events", g.handleSweepEvents)
 	g.route("GET", "/v1/processes", func(w http.ResponseWriter, r *http.Request) { g.proxyAny(w, r, "/v1/processes") })
 	g.route("GET", "/v1/tests", func(w http.ResponseWriter, r *http.Request) { g.proxyAny(w, r, "/v1/tests") })
+	g.route("GET", "/v1/debug/traces/{id}", g.handleTraceV1)
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+	// Deprecated alias of /v1/debug/traces/{id}.
 	g.mux.HandleFunc("GET /debug/trace/{id}", g.handleTrace)
 }
 
@@ -232,6 +234,7 @@ type gwEnvelope struct {
 	Job   any          `json:"job,omitempty"`
 	Sweep any          `json:"sweep,omitempty"`
 	Data  any          `json:"data,omitempty"`
+	Page  *sweep.Page  `json:"page,omitempty"`
 	Error *gwWireError `json:"error"`
 }
 
@@ -612,13 +615,27 @@ func (g *Gateway) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 	g.writeJSON(w, http.StatusOK, gwEnvelope{Sweep: sw.Status()})
 }
 
+// handleSweepResults is GET /v1/sweeps/{id}/results, with the same
+// ?offset=&limit= window semantics as a shard: no parameters means
+// the full document, a window adds the page metadata to the envelope.
 func (g *Gateway) handleSweepResults(w http.ResponseWriter, r *http.Request) {
 	sw, ok := g.sweeps.Get(r.PathValue("id"))
 	if !ok {
 		g.writeError(w, cerr.New(cerr.CodeInvalidParams, "cluster: unknown sweep %q", r.PathValue("id")), http.StatusNotFound)
 		return
 	}
-	g.writeJSON(w, http.StatusOK, gwEnvelope{Data: sw.Results()})
+	res := sw.Results()
+	offset, limit, paged, err := server.PageParams(r)
+	if err != nil {
+		g.writeError(w, err, 0)
+		return
+	}
+	if !paged {
+		g.writeJSON(w, http.StatusOK, gwEnvelope{Data: res})
+		return
+	}
+	win, pg := res.Paginate(offset, limit)
+	g.writeJSON(w, http.StatusOK, gwEnvelope{Data: win, Page: &pg})
 }
 
 // handleSweepEvents is GET /v1/sweeps/{id}/events: the cluster
@@ -912,14 +929,29 @@ func (g *Gateway) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleTrace is GET /debug/trace/{id}: the end-to-end view of a
-// routed compile. The gateway's own span set is the base; the issuing
-// shard's set (GET /debug/trace/{id}?format=spans) is fetched and
-// spliced under the proxy.route span that injected the wire identity.
-// A failed remote fetch (or an injected trace.fetch fault) degrades
-// to the gateway-local spans rather than erroring: a partial trace
-// still answers "where did the time go" questions.
+// handleTrace is GET /debug/trace/{id}, the deprecated pre-/v1 alias
+// of /v1/debug/traces/{id}: the end-to-end view of a routed compile.
+// The gateway's own span set is the base; the issuing shard's set is
+// fetched and spliced under the proxy.route span that injected the
+// wire identity. A failed remote fetch (or an injected trace.fetch
+// fault) degrades to the gateway-local spans rather than erroring: a
+// partial trace still answers "where did the time go" questions.
 func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	g.renderTrace(w, r, r.URL.Query().Get("format"))
+}
+
+// handleTraceV1 is GET /v1/debug/traces/{id}, negotiated like the
+// shard route: ?format=tree|spans|chrome wins, otherwise Accept:
+// text/plain selects the tree and anything else the Chrome JSON.
+func (g *Gateway) handleTraceV1(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.HasPrefix(r.Header.Get("Accept"), "text/plain") {
+		format = "tree"
+	}
+	g.renderTrace(w, r, format)
+}
+
+func (g *Gateway) renderTrace(w http.ResponseWriter, r *http.Request, format string) {
 	id := r.PathValue("id")
 	tr, ok := g.traceForJob(id)
 	if !ok {
@@ -931,10 +963,21 @@ func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
 		sets = append(sets, remote)
 	}
 	merged := obs.MergeSpanSets(sets)
-	if r.URL.Query().Get("format") == "tree" {
+	switch format {
+	case "tree":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, merged.Tree())
+		return
+	case "spans":
+		b, err := merged.SpanSet().JSON()
+		if err != nil {
+			g.writeError(w, cerr.Wrap(cerr.CodeInternal, err, "cluster: span set rendering"), 0)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(b)
 		return
 	}
 	b, err := merged.ChromeJSON()
@@ -965,7 +1008,12 @@ func (g *Gateway) fetchRemoteSpans(ctx context.Context, id string) (obs.SpanSet,
 			continue
 		}
 		seen[peer] = true
-		resp, err := g.client.DoRaw(ctx, http.MethodGet, peer+"/debug/trace/"+id+"?format=spans", nil)
+		// Prefer the /v1 route; shards predating it answer 404 there,
+		// so fall back to the deprecated alias for mixed-version fleets.
+		resp, err := g.client.DoRaw(ctx, http.MethodGet, peer+"/v1/debug/traces/"+id+"?format=spans", nil)
+		if err == nil && resp.Status == http.StatusNotFound {
+			resp, err = g.client.DoRaw(ctx, http.MethodGet, peer+"/debug/trace/"+id+"?format=spans", nil)
+		}
 		if err != nil || resp.Status != http.StatusOK {
 			continue
 		}

@@ -15,8 +15,10 @@ import (
 	"repro/internal/cache"
 	"repro/internal/chaos"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/sweep"
 )
 
 const (
@@ -493,5 +495,89 @@ func TestGatewayHealthz(t *testing.T) {
 	st, _, raw = httpDo(t, http.MethodGet, gw.URL+"/healthz", "")
 	if st != http.StatusServiceUnavailable || !strings.Contains(string(raw), "degraded") {
 		t.Fatalf("fleet-down healthz %d: %s", st, raw)
+	}
+}
+
+// TestGatewayV1DebugTraceAndPagedResults: the gateway mirrors the
+// shard's redesigned /v1 surface — /v1/debug/traces/{id} serves the
+// merged trace in every negotiated representation with enveloped 405
+// parity, the deprecated /debug/trace/{id} alias keeps working, and
+// /v1/sweeps/{id}/results windows rows with page metadata in the
+// envelope while the parameterless fetch stays the full document.
+func TestGatewayV1DebugTraceAndPagedResults(t *testing.T) {
+	_, _, _, gw := startFleet(t, 2)
+	job := compileVia(t, gw.URL)
+	jobID, _ := job["job_id"].(string)
+	if jobID == "" {
+		t.Fatalf("no job_id: %v", job)
+	}
+
+	// Merged trace via the /v1 route, chrome default.
+	st, hdr, chrome := httpDo(t, http.MethodGet, gw.URL+"/v1/debug/traces/"+jobID, "")
+	if st != http.StatusOK || !strings.HasPrefix(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("v1 trace: %d %q: %.300s", st, hdr.Get("Content-Type"), chrome)
+	}
+	// Both processes of the distributed trace are present.
+	if !bytes.Contains(chrome, []byte("gateway")) || !bytes.Contains(chrome, []byte("proxy.route")) {
+		t.Fatalf("merged trace missing gateway spans: %.500s", chrome)
+	}
+	st, _, legacy := httpDo(t, http.MethodGet, gw.URL+"/debug/trace/"+jobID, "")
+	if st != http.StatusOK || !bytes.Equal(chrome, legacy) {
+		t.Fatalf("deprecated alias diverged (status %d)", st)
+	}
+	// Tree and spans representations.
+	st, _, tree := httpDo(t, http.MethodGet, gw.URL+"/v1/debug/traces/"+jobID+"?format=tree", "")
+	if st != http.StatusOK || !bytes.Contains(tree, []byte("proxy.route")) {
+		t.Fatalf("tree: %d: %s", st, tree)
+	}
+	st, _, spans := httpDo(t, http.MethodGet, gw.URL+"/v1/debug/traces/"+jobID+"?format=spans", "")
+	if st != http.StatusOK {
+		t.Fatalf("spans: %d: %s", st, spans)
+	}
+	ss, err := obs.ParseSpanSet(spans)
+	if err != nil || len(ss.Spans) == 0 {
+		t.Fatalf("span set did not parse (%v): %.300s", err, spans)
+	}
+	// Enveloped 405 with Allow on the /v1 route.
+	st, hdr, body := httpDo(t, http.MethodPost, gw.URL+"/v1/debug/traces/"+jobID, "{}")
+	var errEnv struct {
+		Error *struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if st != http.StatusMethodNotAllowed || hdr.Get("Allow") != "GET" ||
+		json.Unmarshal(body, &errEnv) != nil || errEnv.Error == nil {
+		t.Fatalf("POST trace: %d Allow=%q: %s", st, hdr.Get("Allow"), body)
+	}
+
+	// Paged sweep results through the gateway.
+	sweepID, full := runSweepVia(t, gw.URL)
+	if bytes.Contains(full, []byte(`"page"`)) {
+		t.Fatalf("full document grew a page member: %s", full)
+	}
+	st, _, body = httpDo(t, http.MethodGet, gw.URL+"/v1/sweeps/"+sweepID+"/results?offset=1&limit=2", "")
+	var pe struct {
+		Data *sweep.Results `json:"data"`
+		Page *sweep.Page    `json:"page"`
+	}
+	if st != http.StatusOK || json.Unmarshal(body, &pe) != nil || pe.Page == nil {
+		t.Fatalf("paged results: %d: %s", st, body)
+	}
+	if len(pe.Data.Rows) != 2 || pe.Page.Total != 4 || pe.Page.NextOffset == nil || *pe.Page.NextOffset != 3 {
+		t.Fatalf("window shape: %+v %+v", pe.Data, pe.Page)
+	}
+	st, _, body = httpDo(t, http.MethodGet, gw.URL+"/v1/sweeps/"+sweepID+"/results?limit=-2", "")
+	if st != http.StatusBadRequest {
+		t.Fatalf("bad limit: %d: %s", st, body)
+	}
+	// A paging client reassembles the same rows via the gateway.
+	cl := sweep.NewClient(gw.URL)
+	cl.PageSize = 1
+	res, err := cl.SweepResults(sweepID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("paged client rows: %+v", res)
 	}
 }

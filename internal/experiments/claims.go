@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/bisr"
+	"repro/internal/bist"
 	"repro/internal/compiler"
 	"repro/internal/march"
 	"repro/internal/sram"
@@ -169,6 +171,20 @@ func GateLevel(trials int, seed int64) (*Table, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	cfg := sram.Config{Words: 32, BPW: 4, BPC: 4, SpareRows: 4}
+	// Every trial uses the same geometry and march program, so the
+	// gate-level netlist is elaborated once and Rerun per trial.
+	prog, err := bist.Assemble(march.IFA9())
+	if err != nil {
+		return nil, err
+	}
+	seedArr, err := sram.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g, err := bisr.NewGateLevel(seedArr, prog)
+	if err != nil {
+		return nil, err
+	}
 	for _, nf := range []int{0, 1, 2, 4, 6} {
 		agree, repaired := 0, 0
 		var gates, dffs int
@@ -193,8 +209,7 @@ func GateLevel(trials int, seed int64) (*Table, error) {
 				}
 				return a
 			}
-			g, err := bisr.RunGateLevelRepair(build(), march.IFA9(), 4_000_000)
-			if err != nil {
+			if err := g.Rerun(build(), 4_000_000); err != nil {
 				return nil, err
 			}
 			out, err := bisr.NewController(bisr.NewRAM(build())).Run()
@@ -218,21 +233,65 @@ func GateLevel(trials int, seed int64) (*Table, error) {
 	return t, nil
 }
 
-// coverageCase injects every single fault of one kind across a sample
-// of cells and reports the detection rate of a test/background
-// combination.
-func coverageCase(kind sram.FaultKind, test march.Test, backgrounds []uint64) (detected, injected int, err error) {
-	cfg := sram.Config{Words: 64, BPW: 8, BPC: 4, SpareRows: 0}
+// covCfg is the shared geometry of the coverage experiments: a 64-word,
+// bpw=8 column-muxed array, small enough that the sampled fault sites
+// below cover it densely.
+var covCfg = sram.Config{Words: 64, BPW: 8, BPC: 4, SpareRows: 0}
+
+// faultSite is one (victim, fault) position of a coverage campaign.
+type faultSite struct {
+	victim sram.CellAddr
+	fault  sram.Fault
+}
+
+// batchCoverage evaluates a detection campaign bit-parallel: the
+// ordered site list is packed 64 lanes at a time into BatchArrays and
+// each chunk runs the test once, so 64 single-fault machines share one
+// march pass. Detection verdicts are identical to injecting each site
+// into its own scalar Array (the differential test in
+// claims_batch_test.go pins this), so the COV table is byte-identical
+// to the scalar implementation it replaced.
+func batchCoverage(cfg sram.Config, sites []faultSite, test march.Test, backgrounds []uint64) (detected, injected int, err error) {
 	if err := cfg.Validate(); err != nil {
 		return 0, 0, err
 	}
-	// Sample positions: every 3rd cell (full space for the small
-	// array would be 512 cells x kinds x tests; the stride keeps the
-	// suite fast without losing position diversity).
+	for start := 0; start < len(sites); start += sram.BatchLanes {
+		end := start + sram.BatchLanes
+		if end > len(sites) {
+			end = len(sites)
+		}
+		b, err := sram.NewBatch(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		var active uint64
+		for lane, s := range sites[start:end] {
+			// An uninjectable site is skipped and uncounted, exactly as
+			// the scalar loop skipped it.
+			if err := b.Inject(lane, s.victim, s.fault); err != nil {
+				continue
+			}
+			active |= 1 << uint(lane)
+			injected++
+		}
+		if active == 0 {
+			continue
+		}
+		det := march.RunBatch(b, test, backgrounds, cfg.BPW)
+		detected += bits.OnesCount64(det & active)
+	}
+	return detected, injected, nil
+}
+
+// coverageSites samples the single-fault positions of one kind across
+// the array: every 2nd row, every 3rd column (full space for the small
+// array would be 512 cells x kinds x tests; the stride keeps position
+// diversity at a fraction of the cost).
+func coverageSites(kind sram.FaultKind) []faultSite {
+	cfg := covCfg
+	sites := make([]faultSite, 0, cfg.Rows()*cfg.Cols()/6)
 	for row := 0; row < cfg.Rows(); row += 2 {
 		for col := 0; col < cfg.Cols(); col += 3 {
-			a, _ := sram.New(cfg) // cfg validated above
-
 			f := sram.Fault{Kind: kind}
 			switch kind {
 			case sram.CFID, sram.CFIN, sram.CFST:
@@ -244,45 +303,45 @@ func coverageCase(kind sram.FaultKind, test march.Test, backgrounds []uint64) (d
 				f.AggrRise = (row+col)%2 == 0
 				f.Forced = col%2 == 0
 			}
-			if err := a.Inject(sram.CellAddr{Row: row, Col: col}, f); err != nil {
-				continue
-			}
-			injected++
-			if !march.Run(a, test, backgrounds, cfg.BPW).Pass() {
-				detected++
-			}
+			sites = append(sites, faultSite{victim: sram.CellAddr{Row: row, Col: col}, fault: f})
 		}
 	}
-	return detected, injected, nil
+	return sites
 }
 
-// intraWordCoverage measures detection of couplings between bits of
-// the same word — the case the paper's Johnson backgrounds exist for.
-func intraWordCoverage(test march.Test, backgrounds []uint64) (detected, injected int, err error) {
-	cfg := sram.Config{Words: 64, BPW: 8, BPC: 4, SpareRows: 0}
-	if err := cfg.Validate(); err != nil {
-		return 0, 0, err
-	}
+// coverageCase injects every single fault of one kind across a sample
+// of cells and reports the detection rate of a test/background
+// combination, evaluating 64 fault machines per march pass.
+func coverageCase(kind sram.FaultKind, test march.Test, backgrounds []uint64) (detected, injected int, err error) {
+	return batchCoverage(covCfg, coverageSites(kind), test, backgrounds)
+}
+
+// intraWordSites samples couplings between bits of the same word — the
+// case the paper's Johnson backgrounds exist for.
+func intraWordSites() []faultSite {
+	cfg := covCfg
+	var sites []faultSite
 	for row := 0; row < cfg.Rows(); row += 3 {
 		for vb := 0; vb < cfg.BPW; vb++ {
 			ab := (vb + 3) % cfg.BPW
-			a, _ := sram.New(cfg) // cfg validated above
-			f := sram.Fault{
-				Kind:      sram.CFID,
-				Aggressor: sram.CellAddr{Row: row, Col: ab*cfg.BPC + 1},
-				AggrRise:  vb%2 == 0,
-				Forced:    vb%3 == 0,
-			}
-			if err := a.Inject(sram.CellAddr{Row: row, Col: vb*cfg.BPC + 1}, f); err != nil {
-				continue
-			}
-			injected++
-			if !march.Run(a, test, backgrounds, cfg.BPW).Pass() {
-				detected++
-			}
+			sites = append(sites, faultSite{
+				victim: sram.CellAddr{Row: row, Col: vb*cfg.BPC + 1},
+				fault: sram.Fault{
+					Kind:      sram.CFID,
+					Aggressor: sram.CellAddr{Row: row, Col: ab*cfg.BPC + 1},
+					AggrRise:  vb%2 == 0,
+					Forced:    vb%3 == 0,
+				},
+			})
 		}
 	}
-	return detected, injected, nil
+	return sites
+}
+
+// intraWordCoverage measures detection of intra-word couplings with
+// the same bit-parallel engine as coverageCase.
+func intraWordCoverage(test march.Test, backgrounds []uint64) (detected, injected int, err error) {
+	return batchCoverage(covCfg, intraWordSites(), test, backgrounds)
 }
 
 // Coverage reproduces the Section V fault-coverage claims: IFA-9

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cerr"
+	"repro/internal/chaos"
+	"repro/internal/march"
+	"repro/internal/sram"
+)
+
+// scalarCoverage is the retired scalar implementation of a coverage
+// campaign, kept verbatim as the reference the bit-parallel rewrite is
+// pinned against: one fresh Array and one full march run per site.
+func scalarCoverage(cfg sram.Config, sites []faultSite, test march.Test, backgrounds []uint64) (detected, injected int) {
+	for _, s := range sites {
+		a := sram.MustNew(cfg)
+		if err := a.Inject(s.victim, s.fault); err != nil {
+			continue
+		}
+		injected++
+		if !march.Run(a, test, backgrounds, cfg.BPW).Pass() {
+			detected++
+		}
+	}
+	return detected, injected
+}
+
+// TestCoverageCaseDifferential requires the batch-evaluated coverage
+// campaigns to report exactly the scalar counts for every FaultKind x
+// test x background combination the COV table uses — the guarantee
+// that makes the table byte-identical across the rewrite.
+func TestCoverageCaseDifferential(t *testing.T) {
+	tests := []march.Test{march.MATSPlus(), march.MarchCMinus(), march.IFA9(), march.IFA13()}
+	bgSets := [][]uint64{march.JohnsonBackgrounds(covCfg.BPW), march.SingleBackground()}
+	for _, kind := range []sram.FaultKind{sram.SA0, sram.SA1, sram.TFU, sram.TFD,
+		sram.SOF, sram.DRF0, sram.DRF1, sram.CFID, sram.CFIN, sram.CFST} {
+		sites := coverageSites(kind)
+		for _, test := range tests {
+			for bi, bgs := range bgSets {
+				wantDet, wantInj := scalarCoverage(covCfg, sites, test, bgs)
+				gotDet, gotInj, err := coverageCase(kind, test, bgs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotDet != wantDet || gotInj != wantInj {
+					t.Errorf("%s/%s/bg%d: batch %d/%d, scalar %d/%d",
+						kind, test.Name, bi, gotDet, gotInj, wantDet, wantInj)
+				}
+			}
+		}
+	}
+	// The intra-word ablation row.
+	sites := intraWordSites()
+	for _, test := range []march.Test{march.IFA9(), march.MATSPlus()} {
+		for bi, bgs := range bgSets {
+			wantDet, wantInj := scalarCoverage(covCfg, sites, test, bgs)
+			gotDet, gotInj, err := intraWordCoverage(test, bgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotDet != wantDet || gotInj != wantInj {
+				t.Errorf("intra-word/%s/bg%d: batch %d/%d, scalar %d/%d",
+					test.Name, bi, gotDet, gotInj, wantDet, wantInj)
+			}
+		}
+	}
+}
+
+// TestBatchChaos drills the sim.batch injection point: an error rule
+// must surface from Coverage() as the injected typed error — no panic,
+// no partial table — and a drained rule must leave the kernel healthy.
+func TestBatchChaos(t *testing.T) {
+	in, err := chaos.Parse([]byte(`{"rules":[{"point":"sim.batch","mode":"error","max":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sram.SetBatchChaos(in)
+	defer sram.SetBatchChaos(nil)
+	if _, err := Coverage(); err == nil {
+		t.Fatal("injected sim.batch error must fail the coverage table")
+	} else {
+		if cerr.CodeOf(err) != cerr.CodeInternal {
+			t.Fatalf("injected error lost its typed code: %v", err)
+		}
+		if !strings.Contains(err.Error(), "sim.batch") {
+			t.Fatalf("injected error does not name the point: %v", err)
+		}
+	}
+	if in.Fired() != 1 {
+		t.Fatalf("rule fired %d times, want 1", in.Fired())
+	}
+	// The rule is drained (max:1): the next table must succeed.
+	tb, err := Coverage()
+	if err != nil {
+		t.Fatalf("coverage after drained rule: %v", err)
+	}
+	if tb.ID != "COV" {
+		t.Fatalf("unexpected table %q", tb.ID)
+	}
+}

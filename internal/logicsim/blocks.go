@@ -160,7 +160,7 @@ func (s *Sim) UpDownCounter(name string, n int, rstN int) *UpDownCounterNets {
 	}
 	// Default the load input low so counters built before the load
 	// feature keep working; callers wire or Set it to use it.
-	s.Set(c.Load, L0)
+	s.SetDefault(c.Load, L0)
 	q := s.Bus(name+".q", n)
 	c.Q = q
 	// For up counting, bit i toggles when all lower bits are 1; for
@@ -224,7 +224,7 @@ type JohnsonCounterNets struct {
 // background sequence the paper proves sufficient.
 func (s *Sim) JohnsonCounter(name string, n int, rstN int) *JohnsonCounterNets {
 	j := &JohnsonCounterNets{En: s.Net(name + ".en"), Load: s.Net(name + ".load"), RstN: rstN}
-	s.Set(j.Load, L0)
+	s.SetDefault(j.Load, L0)
 	q := s.Bus(name+".q", n)
 	j.Q = q
 	nlast := s.Net(name + ".nlast")

@@ -6,7 +6,6 @@
 package logicsim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/cerr"
@@ -202,23 +201,56 @@ type event struct {
 	val Value
 }
 
+// eventQueue is a binary min-heap ordered by (t, seq). It is
+// hand-rolled rather than built on container/heap: the interface{}
+// boxing in heap.Push/Pop costs one allocation per scheduled event,
+// and a gate-level BIST run schedules millions. The backing array is
+// retained across Settle calls, so a warmed-up simulator posts events
+// allocation-free.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].t != q[j].t {
 		return q[i].t < q[j].t
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	n := len(h) - 1
+	e := h[0]
+	h[0] = h[n]
+	h = h[:n]
+	*q = h
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h.less(r, c) {
+			c = r
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return e
 }
 
 // Sim is a gate-level simulator instance.
@@ -233,6 +265,17 @@ type Sim struct {
 	now   uint64
 	seq   uint64
 	queue eventQueue
+
+	// inSlab is the arena the per-gate input slices are carved from,
+	// and dffNext the ClockEdge sampling scratch: both keep steady-state
+	// simulation off the allocator.
+	inSlab  []int
+	dffNext []Value
+
+	// defaults are construction-time levels recorded by SetDefault.
+	// They belong to the netlist, not to a particular run, so Reset
+	// re-arms them.
+	defaults []event
 
 	// Watch callbacks fire on committed value changes.
 	watch map[int][]func(Value)
@@ -313,10 +356,27 @@ func (s *Sim) GateD(k Kind, delay uint64, out int, in ...int) {
 		delay = 1
 	}
 	gi := len(s.gates)
-	s.gates = append(s.gates, gate{kind: k, out: out, in: append([]int(nil), in...), delay: delay})
+	s.gates = append(s.gates, gate{kind: k, out: out, in: s.internIn(in), delay: delay})
 	for _, i := range in {
 		s.fanout[i] = append(s.fanout[i], gi)
 	}
+}
+
+// internIn copies a gate's input list into the shared slab so netlist
+// construction costs one amortised allocation per ~thousand gates
+// instead of one per gate. Slices carved from a retired slab block stay
+// valid — the block is simply no longer appended to.
+func (s *Sim) internIn(in []int) []int {
+	if cap(s.inSlab)-len(s.inSlab) < len(in) {
+		n := 1024
+		if len(in) > n {
+			n = 2 * len(in)
+		}
+		s.inSlab = make([]int, 0, n)
+	}
+	start := len(s.inSlab)
+	s.inSlab = append(s.inSlab, in...)
+	return s.inSlab[start:len(s.inSlab):len(s.inSlab)]
 }
 
 // DFF adds an edge-triggered flip-flop from net d to net q with an
@@ -349,6 +409,23 @@ func (s *Sim) Set(net int, v Value) {
 	s.post(s.now, net, v)
 }
 
+// SetDefault drives a net like Set and additionally records the level
+// as part of the netlist: block builders use it for default/constant
+// drives (an unconnected load input held low, say) so that Reset
+// restores them. A later SetDefault on the same net supersedes the
+// earlier one.
+func (s *Sim) SetDefault(net int, v Value) {
+	for i := range s.defaults {
+		if s.defaults[i].net == net {
+			s.defaults[i].val = v
+			s.Set(net, v)
+			return
+		}
+	}
+	s.defaults = append(s.defaults, event{net: net, val: v})
+	s.Set(net, v)
+}
+
 // SetBus drives a bus (bit 0 = LSB) from an unsigned integer.
 func (s *Sim) SetBus(nets []int, val uint64) {
 	for i, n := range nets {
@@ -375,7 +452,29 @@ func (s *Sim) ReadBus(nets []int) (uint64, bool) {
 
 func (s *Sim) post(t uint64, net int, v Value) {
 	s.seq++
-	heap.Push(&s.queue, event{t: t, seq: s.seq, net: net, val: v})
+	s.queue.push(event{t: t, seq: s.seq, net: net, val: v})
+}
+
+// Reset returns a built netlist to its power-on state — every net X,
+// every flip-flop X, the event queue empty, time zero — without
+// discarding the elaborated gates, nets, slabs, or watch callbacks.
+// Monte-Carlo harnesses reset and re-run one netlist instead of
+// re-elaborating an identical one per trial; cumulative Stats survive.
+func (s *Sim) Reset() {
+	for i := range s.values {
+		s.values[i] = X
+	}
+	for i := range s.dffs {
+		s.dffs[i].state = X
+	}
+	s.queue = s.queue[:0]
+	s.now, s.seq = 0, 0
+	// Re-arm the construction-time default drives; without them a
+	// reset netlist would leave default-held nets (e.g. an unused
+	// counter load input) at X forever.
+	for _, d := range s.defaults {
+		s.post(0, d.net, d.val)
+	}
 }
 
 // Settle runs the event queue until quiescent or until the budget of
@@ -388,8 +487,8 @@ func (s *Sim) Settle() error {
 	}
 	const budget = 4_000_000
 	n := 0
-	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(event)
+	for len(s.queue) > 0 {
+		ev := s.queue.pop()
 		if ev.t > s.now {
 			s.now = ev.t
 		}
@@ -419,7 +518,10 @@ func (s *Sim) Settle() error {
 // updates all Q outputs simultaneously and settles the combinational
 // fan-out. This gives race-free synchronous semantics.
 func (s *Sim) ClockEdge() error {
-	next := make([]Value, len(s.dffs))
+	if cap(s.dffNext) < len(s.dffs) {
+		s.dffNext = make([]Value, len(s.dffs))
+	}
+	next := s.dffNext[:len(s.dffs)]
 	for i, f := range s.dffs {
 		if f.rstN >= 0 && s.values[f.rstN] == L0 {
 			next[i] = L0

@@ -215,6 +215,32 @@ func MergeSpanSets(sets []SpanSet) *Merged {
 // Spans returns the merged, remapped spans sorted by start time.
 func (m *Merged) Spans() []Span { return m.spans }
 
+// SpanSet flattens the merged trace back into one wire span set —
+// the document GET /v1/debug/traces/{id}?format=spans serves from a
+// gateway. Per-node attribution survives as a "node" attribute on
+// each span, since the single-node Node field cannot carry it.
+func (m *Merged) SpanSet() SpanSet {
+	ss := SpanSet{TraceID: m.TraceID, Node: "merged", Spans: make([]WireSpan, 0, len(m.spans))}
+	for _, s := range m.spans {
+		ws := WireSpan{
+			ID:          s.ID,
+			Parent:      s.Parent,
+			Name:        s.Name,
+			StartUnixNs: s.Start.UnixNano(),
+			DurNs:       int64(s.Dur),
+		}
+		ws.Attrs = make(map[string]string, len(s.Attrs)+1)
+		for _, a := range s.Attrs {
+			ws.Attrs[a.Key] = a.Value
+		}
+		if n := m.NodeOf(s.ID); n != "" {
+			ws.Attrs["node"] = n
+		}
+		ss.Spans = append(ss.Spans, ws)
+	}
+	return ss
+}
+
 // NodeOf returns the process name a remapped span belongs to.
 func (m *Merged) NodeOf(spanID uint64) string {
 	if i, ok := m.node[spanID]; ok && i < len(m.Nodes) {

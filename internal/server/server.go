@@ -256,8 +256,11 @@ func New(cfg Config) *Server {
 	s.route("GET", "/v1/sweeps/{id}/events", s.handleSweepEvents)
 	s.route("GET", "/v1/processes", s.handleProcesses)
 	s.route("GET", "/v1/tests", s.handleTests)
+	s.route("GET", "/v1/debug/traces/{id}", s.handleTraceV1)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Deprecated alias of /v1/debug/traces/{id}; gateways in the field
+	// still fetch span sets from it, so it stays.
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -267,6 +270,8 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	if cfg.EnableStacks {
+		s.route("GET", "/v1/debug/stacks", handleStacks)
+		// Deprecated alias of /v1/debug/stacks.
 		s.mux.HandleFunc("GET /debug/stacks", handleStacks)
 	}
 	return s
@@ -562,12 +567,14 @@ type wireError struct {
 
 // envelope is the uniform /v1 response document: exactly one payload
 // member (job, sweep or data) plus an explicit error slot that is
-// null on success.
+// null on success. Paged collection responses additionally carry the
+// page metadata beside the payload.
 type envelope struct {
-	Job   any        `json:"job,omitempty"`
-	Sweep any        `json:"sweep,omitempty"`
-	Data  any        `json:"data,omitempty"`
-	Error *wireError `json:"error"`
+	Job   any         `json:"job,omitempty"`
+	Sweep any         `json:"sweep,omitempty"`
+	Data  any         `json:"data,omitempty"`
+	Page  *sweep.Page `json:"page,omitempty"`
+	Error *wireError  `json:"error"`
 }
 
 // writeError renders err in the envelope with its mapped (or
@@ -1145,14 +1152,56 @@ func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 	s.writeSweep(w, http.StatusOK, sw.Status())
 }
 
-// handleSweepResults is GET /v1/sweeps/{id}/results.
+// handleSweepResults is GET /v1/sweeps/{id}/results. Without query
+// parameters it returns the full document exactly as it always has;
+// with ?offset= and/or ?limit= it returns one window of rows and puts
+// the page metadata (total, next_offset) beside the payload in the
+// envelope.
 func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
 	sw, ok := s.sweeps.Get(r.PathValue("id"))
 	if !ok {
 		s.writeError(w, cerr.New(cerr.CodeInvalidParams, "server: unknown sweep %q", r.PathValue("id")), http.StatusNotFound)
 		return
 	}
-	s.writeData(w, http.StatusOK, sw.Results())
+	res := sw.Results()
+	offset, limit, paged, err := PageParams(r)
+	if err != nil {
+		s.writeError(w, err, 0)
+		return
+	}
+	if !paged {
+		s.writeData(w, http.StatusOK, res)
+		return
+	}
+	win, pg := res.Paginate(offset, limit)
+	s.writeJSON(w, http.StatusOK, envelope{Data: win, Page: &pg})
+}
+
+// PageParams parses ?offset=&limit= from a collection request. paged
+// is false when neither is present (the full-document default). The
+// gateway shares it so both serving layers reject malformed windows
+// with the same enveloped error.
+func PageParams(r *http.Request) (offset, limit int, paged bool, err error) {
+	q := r.URL.Query()
+	offStr, limStr := q.Get("offset"), q.Get("limit")
+	if offStr == "" && limStr == "" {
+		return 0, 0, false, nil
+	}
+	if offStr != "" {
+		offset, err = strconv.Atoi(offStr)
+		if err != nil || offset < 0 {
+			return 0, 0, false, cerr.New(cerr.CodeInvalidParams,
+				"server: offset must be a non-negative integer, got %q", offStr)
+		}
+	}
+	if limStr != "" {
+		limit, err = strconv.Atoi(limStr)
+		if err != nil || limit < 0 {
+			return 0, 0, false, cerr.New(cerr.CodeInvalidParams,
+				"server: limit must be a non-negative integer, got %q", limStr)
+		}
+	}
+	return offset, limit, true, nil
 }
 
 // handleSweepEvents is GET /v1/sweeps/{id}/events: the live progress
@@ -1244,18 +1293,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, body)
 }
 
-// handleTrace is GET /debug/trace/{id}: the retained span set of a
-// completed (or in-flight) job, as Chrome trace-event JSON by default
-// — load it in chrome://tracing or Perfetto — or as an indented text
-// tree with ?format=tree.
+// handleTrace is GET /debug/trace/{id}, the deprecated pre-/v1 alias
+// of /v1/debug/traces/{id}: the retained span set of a completed (or
+// in-flight) job, as Chrome trace-event JSON by default — load it in
+// chrome://tracing or Perfetto — or as an indented text tree with
+// ?format=tree or a raw span set with ?format=spans.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.renderTrace(w, r, r.URL.Query().Get("format"))
+}
+
+// handleTraceV1 is GET /v1/debug/traces/{id}. The representation is
+// negotiated: ?format=tree|spans|chrome wins when present, otherwise
+// an Accept header of text/plain selects the tree and anything else
+// the Chrome trace-event JSON.
+func (s *Server) handleTraceV1(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.HasPrefix(r.Header.Get("Accept"), "text/plain") {
+		format = "tree"
+	}
+	s.renderTrace(w, r, format)
+}
+
+// renderTrace renders the trace of job {id} in the given format
+// ("tree", "spans", or anything else for Chrome trace-event JSON).
+func (s *Server) renderTrace(w http.ResponseWriter, r *http.Request, format string) {
 	id := r.PathValue("id")
 	tr, ok := s.lookupTrace(id)
 	if !ok {
 		s.writeError(w, cerr.New(cerr.CodeInvalidParams, "server: no trace for job %q", id), http.StatusNotFound)
 		return
 	}
-	switch r.URL.Query().Get("format") {
+	switch format {
 	case "tree":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusOK)

@@ -57,6 +57,12 @@ type system struct {
 	dim int
 	jac [][]float64
 	rhs []float64
+	// jacBuf/rhsBuf are the scratch copies solveLinear destroys,
+	// allocated once and re-filled per Newton iteration: the transient
+	// inner loop runs thousands of solves per timing analysis, so
+	// per-iteration copies dominated the whole compiler's allocations.
+	jacBuf [][]float64
+	rhsBuf []float64
 }
 
 func newSystem(c *Circuit) *system {
@@ -64,10 +70,14 @@ func newSystem(c *Circuit) *system {
 	dim := n + m
 	s := &system{c: c, n: n, m: m, dim: dim}
 	s.jac = make([][]float64, dim)
+	s.jacBuf = make([][]float64, dim)
+	flat := make([]float64, 2*dim*dim)
 	for i := range s.jac {
-		s.jac[i] = make([]float64, dim)
+		s.jac[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+		s.jacBuf[i] = flat[(dim+i)*dim : (dim+i+1)*dim : (dim+i+1)*dim]
 	}
 	s.rhs = make([]float64, dim)
+	s.rhsBuf = make([]float64, dim)
 	return s
 }
 
@@ -241,12 +251,16 @@ func prevAt(v []float64, i int) float64 {
 func (s *system) newton(v, vPrev []float64, t, h float64) error {
 	for it := 0; it < maxNewton; it++ {
 		s.assemble(v, vPrev, t, h)
-		// Copy jac since solveLinear destroys it.
-		jc := make([][]float64, s.dim)
+		// Refill the scratch copy since solveLinear destroys its input.
+		// (solveLinear pivots by swapping row headers, so jacBuf's rows
+		// shuffle between iterations; each row is still a full scratch
+		// row, so copying by index stays correct.)
+		jc := s.jacBuf
 		for i := range jc {
-			jc[i] = append([]float64(nil), s.jac[i]...)
+			copy(jc[i], s.jac[i])
 		}
-		rhs := append([]float64(nil), s.rhs...)
+		rhs := s.rhsBuf
+		copy(rhs, s.rhs)
 		if !solveLinear(jc, rhs) {
 			return cerr.New(cerr.CodeSimDiverged, "spice: singular matrix at t=%g", t)
 		}
@@ -339,8 +353,13 @@ func (c *Circuit) TransientCtx(ctx context.Context, tstop, h float64) (*Result, 
 	for _, n := range c.nodes {
 		res.wave[n] = make([]float64, 0, steps)
 	}
-	for _, src := range c.vsrc {
-		res.wave["I("+src.name+")"] = make([]float64, 0, steps)
+	// Branch-current wave keys, built once: concatenating them inside
+	// record() made the recorder the hottest allocation site of a whole
+	// timing analysis.
+	branchKey := make([]string, len(c.vsrc))
+	for k, src := range c.vsrc {
+		branchKey[k] = "I(" + src.name + ")"
+		res.wave[branchKey[k]] = make([]float64, 0, steps)
 	}
 	record := func(t float64) {
 		res.Times = append(res.Times, t)
@@ -349,8 +368,8 @@ func (c *Circuit) TransientCtx(ctx context.Context, tstop, h float64) (*Result, 
 		}
 		// Branch currents: positive = current flowing from the node
 		// into the source, so a supplying source reads negative.
-		for k, src := range c.vsrc {
-			res.wave["I("+src.name+")"] = append(res.wave["I("+src.name+")"], v[s.n+k])
+		for k := range c.vsrc {
+			res.wave[branchKey[k]] = append(res.wave[branchKey[k]], v[s.n+k])
 		}
 	}
 	record(0)

@@ -1,0 +1,286 @@
+package sram_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/march"
+	"repro/internal/sram"
+)
+
+// siteFor builds the fault record for one (kind, victim) position,
+// giving coupling kinds a same-column neighbour aggressor.
+func siteFor(cfg sram.Config, kind sram.FaultKind, row, col int) (sram.CellAddr, sram.Fault) {
+	f := sram.Fault{Kind: kind}
+	switch kind {
+	case sram.CFID, sram.CFIN, sram.CFST:
+		ar := row + 1
+		if ar >= cfg.TotalRows() {
+			ar = row - 1
+		}
+		f.Aggressor = sram.CellAddr{Row: ar, Col: col}
+		f.AggrRise = (row+col)%2 == 0
+		f.Forced = col%2 == 0
+	}
+	return sram.CellAddr{Row: row, Col: col}, f
+}
+
+var allKinds = []sram.FaultKind{
+	sram.SA0, sram.SA1, sram.TFU, sram.TFD, sram.SOF,
+	sram.DRF0, sram.DRF1, sram.CFID, sram.CFIN, sram.CFST,
+}
+
+// TestBatchDifferential pins the bit-parallel engine to the scalar
+// one: over every FaultKind x march test x background set, a fault
+// evaluated in a packed lane must reach exactly the verdict of the
+// same fault injected into its own scalar Array.
+func TestBatchDifferential(t *testing.T) {
+	cfg := sram.Config{Words: 64, BPW: 8, BPC: 4, SpareRows: 0}
+	bgSets := map[string][]uint64{
+		"johnson": march.JohnsonBackgrounds(cfg.BPW),
+		"single":  march.SingleBackground(),
+	}
+	for _, test := range march.AllTests() {
+		for bgName, bgs := range bgSets {
+			for _, kind := range allKinds {
+				// Every 2nd row / 3rd column: the coverage experiments'
+				// site sampling, dense enough to hit every victim bit
+				// position and column-select.
+				type site struct {
+					victim sram.CellAddr
+					fault  sram.Fault
+				}
+				var sites []site
+				for row := 0; row < cfg.Rows(); row += 2 {
+					for col := 0; col < cfg.Cols(); col += 3 {
+						v, f := siteFor(cfg, kind, row, col)
+						sites = append(sites, site{v, f})
+					}
+				}
+				for start := 0; start < len(sites); start += sram.BatchLanes {
+					end := start + sram.BatchLanes
+					if end > len(sites) {
+						end = len(sites)
+					}
+					b, err := sram.NewBatch(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for lane, s := range sites[start:end] {
+						if err := b.Inject(lane, s.victim, s.fault); err != nil {
+							t.Fatalf("batch inject %v: %v", s.victim, err)
+						}
+					}
+					det := march.RunBatch(b, test, bgs, cfg.BPW)
+					for lane, s := range sites[start:end] {
+						a := sram.MustNew(cfg)
+						if err := a.Inject(s.victim, s.fault); err != nil {
+							t.Fatalf("scalar inject %v: %v", s.victim, err)
+						}
+						scalar := !march.Run(a, test, bgs, cfg.BPW).Pass()
+						batch := det&(1<<uint(lane)) != 0
+						if scalar != batch {
+							t.Errorf("%s/%s/%s victim %v: scalar detected=%v batch detected=%v",
+								test.Name, bgName, kind, s.victim, scalar, batch)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchFaultFreeLanes verifies unused lanes behave as fault-free
+// machines: no miscompares, and the active-lane mask reports exactly
+// the injected lanes.
+func TestBatchFaultFreeLanes(t *testing.T) {
+	cfg := sram.Config{Words: 32, BPW: 4, BPC: 4, SpareRows: 1}
+	b, err := sram.NewBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Inject(3, sram.CellAddr{Row: 1, Col: 2}, sram.Fault{Kind: sram.SA1}); err != nil {
+		t.Fatal(err)
+	}
+	if b.UsedLanes() != 1<<3 {
+		t.Fatalf("UsedLanes = %x, want %x", b.UsedLanes(), 1<<3)
+	}
+	det := march.RunBatch(b, march.IFA9(), march.JohnsonBackgrounds(cfg.BPW), cfg.BPW)
+	if det != 1<<3 {
+		t.Fatalf("detected mask = %x, want only lane 3 (%x)", det, 1<<3)
+	}
+}
+
+// TestBatchInjectValidation pins the packed injector's edge cases:
+// duplicate lane, out-of-range lane, out-of-range victim (including a
+// row past the spare space), and a self-coupled aggressor.
+func TestBatchInjectValidation(t *testing.T) {
+	cfg := sram.Config{Words: 64, BPW: 4, BPC: 4, SpareRows: 2}
+	b, err := sram.NewBatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := sram.CellAddr{Row: 0, Col: 0}
+	if err := b.Inject(0, ok, sram.Fault{Kind: sram.SA0}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		lane   int
+		victim sram.CellAddr
+		fault  sram.Fault
+	}{
+		{"duplicate lane", 0, sram.CellAddr{Row: 1, Col: 1}, sram.Fault{Kind: sram.SA1}},
+		{"negative lane", -1, ok, sram.Fault{Kind: sram.SA0}},
+		{"lane too high", sram.BatchLanes, ok, sram.Fault{Kind: sram.SA0}},
+		{"victim row past spares", 1, sram.CellAddr{Row: cfg.TotalRows(), Col: 0}, sram.Fault{Kind: sram.SA0}},
+		{"victim col out of range", 1, sram.CellAddr{Row: 0, Col: cfg.Cols()}, sram.Fault{Kind: sram.SA0}},
+		{"aggressor == victim", 1, sram.CellAddr{Row: 2, Col: 2},
+			sram.Fault{Kind: sram.CFID, Aggressor: sram.CellAddr{Row: 2, Col: 2}}},
+		{"aggressor out of range", 1, sram.CellAddr{Row: 2, Col: 2},
+			sram.Fault{Kind: sram.CFIN, Aggressor: sram.CellAddr{Row: -1, Col: 2}}},
+	}
+	for _, tc := range cases {
+		if err := b.Inject(tc.lane, tc.victim, tc.fault); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	// The failed injections must not have claimed lanes.
+	if b.UsedLanes() != 1 {
+		t.Fatalf("UsedLanes = %x after rejected injections, want 1", b.UsedLanes())
+	}
+}
+
+// TestScalarInjectEdgeCases pins Array.Inject behaviours the batch
+// engine's validation mirrors: a duplicate victim stacks fault records
+// (both apply, insertion order), and spare-space rows are valid victims
+// while rows past the spare space are not.
+func TestScalarInjectEdgeCases(t *testing.T) {
+	cfg := sram.Config{Words: 64, BPW: 4, BPC: 4, SpareRows: 2}
+	a := sram.MustNew(cfg)
+	v := sram.CellAddr{Row: 0, Col: 0}
+	// Duplicate victim: SA1 injected after SA0 wins (insertion order).
+	if err := a.Inject(v, sram.Fault{Kind: sram.SA0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Inject(v, sram.Fault{Kind: sram.SA1}); err != nil {
+		t.Fatal(err)
+	}
+	if a.FaultCount() != 2 {
+		t.Fatalf("FaultCount = %d, want 2 (duplicate victim stacks)", a.FaultCount())
+	}
+	a.Write(0, 0)
+	if got := a.Read(0) & 1; got != 1 {
+		t.Fatalf("duplicate victim: last-injected SA1 must win, read bit = %d", got)
+	}
+	// Spare rows are valid victims; past the spare space is not.
+	spare := sram.CellAddr{Row: cfg.Rows() + cfg.SpareRows - 1, Col: 0}
+	if err := a.Inject(spare, sram.Fault{Kind: sram.SA0}); err != nil {
+		t.Fatalf("last spare row must be injectable: %v", err)
+	}
+	beyond := sram.CellAddr{Row: cfg.TotalRows(), Col: 0}
+	if err := a.Inject(beyond, sram.Fault{Kind: sram.SA0}); err == nil {
+		t.Fatal("row past the spare space must be rejected")
+	}
+}
+
+// TestBatchRandomPatterns drives scalar and batch machines through an
+// identical random access sequence (not a march test) and requires
+// identical observable reads, catching semantics drift march patterns
+// might not sensitise.
+func TestBatchRandomPatterns(t *testing.T) {
+	cfg := sram.Config{Words: 32, BPW: 8, BPC: 4, SpareRows: 0}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		kind := allKinds[rng.Intn(len(allKinds))]
+		v, f := siteFor(cfg, kind, rng.Intn(cfg.Rows()), rng.Intn(cfg.Cols()))
+		a := sram.MustNew(cfg)
+		if err := a.Inject(v, f); err != nil {
+			t.Fatal(err)
+		}
+		b, err := sram.NewBatch(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Inject(7, v, f); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]uint64, cfg.BPW)
+		for op := 0; op < 400; op++ {
+			addr := rng.Intn(cfg.Words)
+			switch rng.Intn(4) {
+			case 0: // write random data
+				data := rng.Uint64() & (1<<uint(cfg.BPW) - 1)
+				a.Write(addr, data)
+				b.Write(addr, data)
+			case 1, 2: // read and compare
+				want := a.Read(addr)
+				b.ReadBits(addr, out)
+				var got uint64
+				for bit := 0; bit < cfg.BPW; bit++ {
+					if out[bit]&(1<<7) != 0 {
+						got |= 1 << uint(bit)
+					}
+				}
+				if got != want {
+					t.Fatalf("trial %d (%s at %v) op %d addr %d: scalar %x batch %x",
+						trial, kind, v, op, addr, want, got)
+				}
+			case 3: // retention wait
+				a.Wait()
+				b.Wait()
+			}
+		}
+	}
+}
+
+// FuzzBatchEvaluator cross-checks the packed single-fault evaluator
+// against the scalar model on fuzzer-chosen fault records and march
+// tests: any verdict divergence is a bug in one of the engines.
+func FuzzBatchEvaluator(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint8(4), uint8(3), uint8(11), uint8(5), uint8(2), uint8(3), uint8(1))
+	f.Add(uint8(7), uint8(15), uint8(31), uint8(14), uint8(30), uint8(6), uint8(0))
+	f.Add(uint8(9), uint8(2), uint8(9), uint8(3), uint8(9), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, kindB, rowB, colB, aRowB, aColB, testB, flags uint8) {
+		cfg := sram.Config{Words: 64, BPW: 8, BPC: 4, SpareRows: 0}
+		kind := allKinds[int(kindB)%len(allKinds)]
+		fault := sram.Fault{
+			Kind:     kind,
+			AggrRise: flags&1 != 0,
+			Forced:   flags&2 != 0,
+		}
+		victim := sram.CellAddr{Row: int(rowB) % cfg.Rows(), Col: int(colB) % cfg.Cols()}
+		switch kind {
+		case sram.CFID, sram.CFIN, sram.CFST:
+			fault.Aggressor = sram.CellAddr{Row: int(aRowB) % cfg.Rows(), Col: int(aColB) % cfg.Cols()}
+		}
+		tests := march.AllTests()
+		test := tests[int(testB)%len(tests)]
+		bgs := march.JohnsonBackgrounds(cfg.BPW)
+		if flags&4 != 0 {
+			bgs = march.SingleBackground()
+		}
+
+		a := sram.MustNew(cfg)
+		errScalar := a.Inject(victim, fault)
+		b, err := sram.NewBatch(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lane := int(flags>>3) % sram.BatchLanes
+		errBatch := b.Inject(lane, victim, fault)
+		if (errScalar == nil) != (errBatch == nil) {
+			t.Fatalf("inject disagreement: scalar %v, batch %v", errScalar, errBatch)
+		}
+		if errScalar != nil {
+			return
+		}
+		scalar := !march.Run(a, test, bgs, cfg.BPW).Pass()
+		batch := march.RunBatch(b, test, bgs, cfg.BPW)&(1<<uint(lane)) != 0
+		if scalar != batch {
+			t.Fatalf("%s/%s victim %v fault %+v: scalar detected=%v batch detected=%v",
+				test.Name, kind, victim, fault, scalar, batch)
+		}
+	})
+}

@@ -125,6 +125,14 @@ type Array struct {
 	afMap map[int]int
 
 	reads, writes int64
+
+	// wcScratch / oldScratch / newScratch are per-word working buffers
+	// reused across accesses so the read/write hot path never
+	// allocates. Safe because word accesses never nest: coupling
+	// cascades walk cell indices directly, not words.
+	wcScratch  []int
+	oldScratch []bool
+	newScratch []bool
 }
 
 // New builds a fault-free array. All cells power up to 0 for model
@@ -134,12 +142,15 @@ func New(cfg Config) (*Array, error) {
 		return nil, err
 	}
 	return &Array{
-		cfg:       cfg,
-		cells:     make([]bool, cfg.TotalRows()*cfg.Cols()),
-		faults:    map[int][]Fault{},
-		aggr:      map[int][]int{},
-		colSense:  make([]bool, cfg.Cols()),
-		lastTouch: map[int]int64{},
+		cfg:        cfg,
+		cells:      make([]bool, cfg.TotalRows()*cfg.Cols()),
+		faults:     map[int][]Fault{},
+		aggr:       map[int][]int{},
+		colSense:   make([]bool, cfg.Cols()),
+		lastTouch:  map[int]int64{},
+		wcScratch:  make([]int, cfg.BPW),
+		oldScratch: make([]bool, cfg.BPW),
+		newScratch: make([]bool, cfg.BPW),
 	}, nil
 }
 
@@ -163,10 +174,12 @@ func (a *Array) Words() int { return a.cfg.Words }
 
 func (a *Array) cellIndex(c CellAddr) int { return c.Row*a.cfg.Cols() + c.Col }
 
-// WordCells returns the physical cells of a word address in a given
-// row space. Row = addr/bpc (regular) and col-select = addr%bpc.
+// wordCells returns the physical cells of a word address in a given
+// row space. Row = addr/bpc (regular) and col-select = addr%bpc. The
+// returned slice is the array's reusable scratch buffer, valid until
+// the next word access.
 func (a *Array) wordCells(row, colSel int) []int {
-	cells := make([]int, a.cfg.BPW)
+	cells := a.wcScratch
 	for b := 0; b < a.cfg.BPW; b++ {
 		col := b*a.cfg.BPC + colSel
 		cells[b] = a.cellIndex(CellAddr{row, col})
@@ -495,8 +508,8 @@ func (a *Array) writeRowWord(row, cs int, data uint64) {
 	a.writes++
 	cells := a.wordCells(row, cs)
 	// Phase 1: all bits switch together.
-	olds := make([]bool, len(cells))
-	news := make([]bool, len(cells))
+	olds := a.oldScratch
+	news := a.newScratch
 	for b, ci := range cells {
 		olds[b] = a.writeCell(ci, data>>uint(b)&1 == 1)
 		news[b] = a.cells[ci]

@@ -55,6 +55,7 @@ type envelope struct {
 	Job   json.RawMessage `json:"job"`
 	Sweep *Status         `json:"sweep"`
 	Data  json.RawMessage `json:"data"`
+	Page  *Page           `json:"page"`
 	Error *WireError      `json:"error"`
 }
 
@@ -106,6 +107,12 @@ type Client struct {
 	// Retry shapes transient-failure handling; the zero value is
 	// single-shot. NewClient installs DefaultRetry.
 	Retry RetryPolicy
+	// PageSize, when positive, makes SweepResults fetch rows in
+	// windows of this many via ?offset=&limit= instead of one
+	// full-document GET — bounding any single response body while the
+	// caller still sees a complete Results. NewClient installs
+	// DefaultPageSize; set 0 to force full-document fetches.
+	PageSize int
 
 	mu       sync.Mutex
 	breakers map[string]*breakerState // per endpoint host
@@ -120,8 +127,13 @@ type breakerState struct {
 }
 
 // NewClient builds a client for the given base URL with DefaultRetry.
+// DefaultPageSize is the results window NewClient installs: large
+// enough that small sweeps finish in one round trip, small enough to
+// bound the response body of a many-thousand-point sweep.
+const DefaultPageSize = 500
+
 func NewClient(base string) *Client {
-	return &Client{Base: strings.TrimRight(base, "/"), Retry: DefaultRetry}
+	return &Client{Base: strings.TrimRight(base, "/"), Retry: DefaultRetry, PageSize: DefaultPageSize}
 }
 
 func (c *Client) http() *http.Client {
@@ -428,17 +440,46 @@ func (c *Client) SweepStatus(id string) (*Status, error) {
 	return env.Sweep, nil
 }
 
-// SweepResults fetches the evaluation rows.
+// SweepResults fetches the evaluation rows. When PageSize is set the
+// fetch pages through ?offset=&limit= windows and reassembles the
+// full document transparently; otherwise it is one full-document GET.
 func (c *Client) SweepResults(id string) (*Results, error) {
-	env, err := c.do(http.MethodGet, "/v1/sweeps/"+id+"/results", nil)
-	if err != nil {
-		return nil, err
+	if c.PageSize <= 0 {
+		env, err := c.do(http.MethodGet, "/v1/sweeps/"+id+"/results", nil)
+		if err != nil {
+			return nil, err
+		}
+		var res Results
+		if err := json.Unmarshal(env.Data, &res); err != nil {
+			return nil, cerr.Wrap(cerr.CodeInternal, err, "sweep client: results decode")
+		}
+		return &res, nil
 	}
-	var res Results
-	if err := json.Unmarshal(env.Data, &res); err != nil {
-		return nil, cerr.Wrap(cerr.CodeInternal, err, "sweep client: results decode")
+	var out *Results
+	for offset := 0; ; {
+		path := fmt.Sprintf("/v1/sweeps/%s/results?offset=%d&limit=%d", id, offset, c.PageSize)
+		env, err := c.do(http.MethodGet, path, nil)
+		if err != nil {
+			return nil, err
+		}
+		var res Results
+		if err := json.Unmarshal(env.Data, &res); err != nil {
+			return nil, cerr.Wrap(cerr.CodeInternal, err, "sweep client: results decode")
+		}
+		if out == nil {
+			out = &res
+		} else {
+			// Later pages carry fresher document-level counters; keep
+			// them alongside the accumulated rows.
+			rows := append(out.Rows, res.Rows...)
+			*out = res
+			out.Rows = rows
+		}
+		if env.Page == nil || env.Page.NextOffset == nil {
+			return out, nil
+		}
+		offset = *env.Page.NextOffset
 	}
-	return &res, nil
 }
 
 // WaitSweep polls until the sweep leaves the running state or ctx

@@ -329,6 +329,43 @@ type Results struct {
 	Rows     []Row  `json:"rows"`
 }
 
+// Page is the pagination metadata a paged results response carries in
+// its envelope: the window served, the total row count, and the offset
+// of the next page (absent on the last page).
+type Page struct {
+	Offset     int  `json:"offset"`
+	Limit      int  `json:"limit"`
+	Total      int  `json:"total"`
+	NextOffset *int `json:"next_offset,omitempty"`
+}
+
+// Paginate returns a copy of r restricted to rows [offset,
+// offset+limit) plus the matching page metadata. limit <= 0 means "to
+// the end"; an offset at or past the row count yields an empty page.
+// The document-level counters (Total, Failed, Complete) always
+// describe the whole sweep, not the window.
+func (r Results) Paginate(offset, limit int) (Results, Page) {
+	n := len(r.Rows)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > n {
+		offset = n
+	}
+	end := n
+	if limit > 0 && offset+limit < n {
+		end = offset + limit
+	}
+	pg := Page{Offset: offset, Limit: end - offset, Total: n}
+	if end < n {
+		next := end
+		pg.NextOffset = &next
+	}
+	out := r
+	out.Rows = r.Rows[offset:end]
+	return out, pg
+}
+
 // Config wires a Manager. Lookup and Run are the seams to the serving
 // layer: Lookup probes the two-tier artifact cache without compiling;
 // Run executes one compile under the jobs queue — the daemon's
