@@ -3,8 +3,8 @@
 #   make check — the default pre-merge gate: vet (gofmt included),
 #                build, race-enabled tests, the serve-smoke +
 #                sweep-smoke + chaos-smoke + cluster-smoke +
-#                obs-fleet-smoke end-to-end daemon checks, and the
-#                bench-delta soft benchmark-regression gate.
+#                obs-fleet-smoke + mc-smoke end-to-end daemon checks,
+#                and the bench-delta soft benchmark-regression gate.
 #   make ci    — everything the tree must pass before merging: check
 #                plus a short fuzz smoke pass on each parser and the
 #                adversarial-input fault campaign.
@@ -13,19 +13,28 @@ GO       ?= go
 FUZZTIME ?= 5s
 # BENCH_OUT names the checked-in benchmark evidence file; bump the
 # numeral with the PR that re-measures (schema in EXPERIMENTS.md).
-BENCH_OUT  ?= results/BENCH_9.json
+BENCH_OUT  ?= results/BENCH_10.json
 BENCHCOUNT ?= 3
+# NPROC drives the -cpu pass over the parallelism-sensitive
+# benchmarks; on a single-core box the pass degenerates to the serial
+# measurement and merges with the main run.
+NPROC ?= $(shell nproc 2>/dev/null || echo 2)
+# BENCH_PKGS is every package whose benchmarks land in BENCH_OUT.
+BENCH_PKGS = . ./internal/mcyield/
+# BENCH_CPU_PATTERN selects the benchmarks whose scaling the -cpu pass
+# measures; their highest-proc rows are what benchjson keeps.
+BENCH_CPU_PATTERN = 'BenchmarkCompileParallel|BenchmarkMCYieldParallel'
 # BENCH_BASELINE is the newest checked-in evidence file other than
 # BENCH_OUT itself — what `make bench` and the bench-delta gate diff
 # fresh numbers against. Empty on a tree with no prior evidence, in
 # which case the -baseline flag is simply omitted.
 BENCH_BASELINE ?= $(shell ls results/BENCH_*.json 2>/dev/null | grep -vx '$(BENCH_OUT)' | sort -V | tail -1)
 
-.PHONY: all check build vet test race serve-smoke obs-smoke sweep-smoke chaos-smoke cluster-smoke obs-fleet-smoke fuzz-smoke campaign serve ci bench bench-smoke bench-delta
+.PHONY: all check build vet test race serve-smoke obs-smoke sweep-smoke chaos-smoke cluster-smoke obs-fleet-smoke mc-smoke fuzz-smoke campaign serve ci bench bench-smoke bench-delta
 
 all: check
 
-check: vet build race serve-smoke sweep-smoke chaos-smoke cluster-smoke obs-fleet-smoke bench-smoke bench-delta
+check: vet build race serve-smoke sweep-smoke chaos-smoke cluster-smoke obs-fleet-smoke mc-smoke bench-smoke bench-delta
 
 build:
 	$(GO) build ./...
@@ -109,22 +118,38 @@ cluster-smoke:
 obs-fleet-smoke:
 	$(GO) test -race -run TestObsFleetSmoke -count=1 ./cmd/bisramgate/
 
+# Statistical-yield drill against the real binaries: (1) a seeded
+# Monte-Carlo sweep through a daemon returns byte-identical results
+# documents when submitted twice; (2) the same sweep through a
+# bisramgate gateway over federated shards matches the daemon's
+# document byte for byte; (3) kill -9 of the daemon mid-MC-sweep
+# resumes from the journal and completes under the original sweep ID.
+mc-smoke:
+	$(GO) test -race -run TestMCSmoke -count=1 ./cmd/bisramgate/
+
 # Full benchmark sweep: every Fig/Table experiment benchmark plus the
-# substrate micro-benchmarks, -count=$(BENCHCOUNT) with -benchmem, the
-# averaged results rendered to $(BENCH_OUT) by cmd/benchjson (schema
-# documented in EXPERIMENTS.md). When $(BENCH_BASELINE) exists the run
-# also prints the per-benchmark ns/op and allocs/op ratio table
-# against it and fails on any >2x regression — the authoritative form
-# of the bench-delta gate below.
+# substrate micro-benchmarks and the mcyield engine,
+# -count=$(BENCHCOUNT) with -benchmem, then a second -cpu $(NPROC)
+# pass over the parallelism-sensitive benchmarks so their scaling is
+# measured at real core counts (benchjson records the proc count per
+# benchmark and keeps the highest). The averaged results render to
+# $(BENCH_OUT) via cmd/benchjson (schema documented in
+# EXPERIMENTS.md). When $(BENCH_BASELINE) exists the run also prints
+# the per-benchmark ns/op and allocs/op ratio table against it —
+# skipping pairs whose proc counts differ — and fails on any >2x
+# regression, the authoritative form of the bench-delta gate below.
 bench:
 	@mkdir -p results
-	$(GO) test -run '^$$' -bench . -benchmem -count=$(BENCHCOUNT) . | tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCH_OUT) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
+	( $(GO) test -run '^$$' -bench . -benchmem -count=$(BENCHCOUNT) $(BENCH_PKGS) ; \
+	  $(GO) test -run '^$$' -bench $(BENCH_CPU_PATTERN) -benchmem -count=$(BENCHCOUNT) -cpu $(NPROC) $(BENCH_PKGS) ) \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -o $(BENCH_OUT) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
 
 # One-iteration pass over the compile benchmarks: a fast gate that the
 # benchmark harness itself still compiles and runs (wired into
 # `make check`; it measures nothing).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkCompile(64kbyte|Parallel|Untraced|Traced)' -benchtime=1x -count=1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkMCYield$$' -benchtime=1x -count=1 ./internal/mcyield/
 
 # Soft regression gate wired into `make check`: one iteration of every
 # benchmark, diffed by cmd/benchjson -baseline against the newest
@@ -134,7 +159,7 @@ bench-smoke:
 # runs the same comparison at full -count and does fail.
 bench-delta:
 	@if [ -z "$(BENCH_BASELINE)" ]; then echo "bench-delta: no checked-in results/BENCH_*.json baseline; skipping"; exit 0; fi
-	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem -count=1 . | $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -tolerate -o /dev/null
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem -count=1 $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -tolerate -o /dev/null
 
 # Run the compile daemon locally with the documented defaults.
 serve:
@@ -148,6 +173,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzMarchNotation -fuzztime=$(FUZZTIME) ./internal/march/
 	$(GO) test -run='^$$' -fuzz=FuzzPLAPlanes -fuzztime=$(FUZZTIME) ./internal/bist/
 	$(GO) test -run='^$$' -fuzz=FuzzParseRequest -fuzztime=$(FUZZTIME) ./internal/canon/
+	$(GO) test -run='^$$' -fuzz=FuzzMCParams -fuzztime=$(FUZZTIME) ./internal/canon/
 	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) ./internal/sweep/
 	$(GO) test -run='^$$' -fuzz=FuzzBatchEvaluator -fuzztime=$(FUZZTIME) ./internal/sram/
 

@@ -19,13 +19,18 @@
 //	  "benchmarks": {
 //	    "BenchmarkCompile64kbyte": {
 //	      "ns_op": 9720000.0, "bytes_op": 6250787.0,
-//	      "allocs_op": 83757.0, "runs": 3
+//	      "allocs_op": 83757.0, "runs": 3, "gomaxprocs": 4
 //	    }, ...
 //	  }
 //	}
 //
 // Benchmark names are stripped of the -N GOMAXPROCS suffix Go appends
-// under parallelism, so keys stay stable across machines.
+// under parallelism, so keys stay stable across machines; the suffix
+// value itself is recorded per benchmark as "gomaxprocs" (omitted for
+// serial rows). When one benchmark appears at several proc counts —
+// a -cpu pass — the highest-proc measurement is kept. The -baseline
+// delta only gates pairs whose gomaxprocs match, so a newly
+// parallelised benchmark cannot false-flag against a serial baseline.
 //
 // With -baseline <results/BENCH_*.json> the fresh run is additionally
 // diffed against the checked-in document: a per-benchmark table of
@@ -56,6 +61,12 @@ type Stat struct {
 	BytesOp  float64 `json:"bytes_op"`
 	AllocsOp float64 `json:"allocs_op"`
 	Runs     int     `json:"runs"`
+	// GOMAXPROCS is the per-benchmark -N suffix Go appends when the
+	// benchmark ran with GOMAXPROCS > 1 (e.g. a -cpu pass); 0 means
+	// the row carried no suffix (a serial run). Baseline deltas only
+	// compare entries whose proc counts match — a parallel fresh run
+	// against a serial baseline measures the machine, not the code.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 }
 
 // Doc is the output schema.
@@ -71,8 +82,11 @@ type Doc struct {
 // benchLine matches one result row, e.g.
 //
 //	BenchmarkExtract6TArray-8   100   11300000 ns/op   524288 B/op   1024 allocs/op
+//
+// The -N suffix (Go's GOMAXPROCS marker) is captured separately so the
+// proc count lands in the per-benchmark schema instead of the key.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S*?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 // regressFactor is the ratio beyond which a benchmark counts as
 // regressed versus the baseline, on ns/op or allocs/op.
@@ -87,9 +101,13 @@ func main() {
 	flag.Parse()
 
 	type acc struct {
+		name       string
 		ns, by, al float64
 		runs       int
+		procs      int
 	}
+	// One accumulator per (name, procs): a -cpu pass emits the same
+	// benchmark at several proc counts, which must not average together.
 	sums := map[string]*acc{}
 	var cpu string
 
@@ -105,19 +123,24 @@ func main() {
 		if m == nil {
 			continue
 		}
-		a := sums[m[1]]
-		if a == nil {
-			a = &acc{}
-			sums[m[1]] = a
+		procs := 0
+		if m[2] != "" {
+			procs, _ = strconv.Atoi(m[2])
 		}
-		ns, _ := strconv.ParseFloat(m[3], 64)
+		key := m[1] + "\x00" + m[2]
+		a := sums[key]
+		if a == nil {
+			a = &acc{name: m[1], procs: procs}
+			sums[key] = a
+		}
+		ns, _ := strconv.ParseFloat(m[4], 64)
 		a.ns += ns
-		if m[4] != "" {
-			by, _ := strconv.ParseFloat(m[4], 64)
+		if m[5] != "" {
+			by, _ := strconv.ParseFloat(m[5], 64)
 			a.by += by
 		}
-		if m[5] != "" {
-			al, _ := strconv.ParseFloat(m[5], 64)
+		if m[6] != "" {
+			al, _ := strconv.ParseFloat(m[6], 64)
 			a.al += al
 		}
 		a.runs++
@@ -139,13 +162,20 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Benchmarks: make(map[string]Stat, len(sums)),
 	}
-	for name, a := range sums {
+	// Keys stay stable across machines (no -N suffix); when a benchmark
+	// ran at several proc counts, the highest wins — that is the run
+	// that exercises the parallelism the -cpu pass was added for.
+	for _, a := range sums {
+		if prev, ok := doc.Benchmarks[a.name]; ok && prev.GOMAXPROCS >= a.procs {
+			continue
+		}
 		n := float64(a.runs)
-		doc.Benchmarks[name] = Stat{
-			NsOp:     round1(a.ns / n),
-			BytesOp:  round1(a.by / n),
-			AllocsOp: round1(a.al / n),
-			Runs:     a.runs,
+		doc.Benchmarks[a.name] = Stat{
+			NsOp:       round1(a.ns / n),
+			BytesOp:    round1(a.by / n),
+			AllocsOp:   round1(a.al / n),
+			Runs:       a.runs,
+			GOMAXPROCS: a.procs,
 		}
 	}
 
@@ -231,6 +261,14 @@ func printDelta(w io.Writer, basePath string, base, fresh Doc) (regressed []stri
 		b, ok := base.Benchmarks[n]
 		if !ok {
 			fmt.Fprintf(w, "  %-36s %14.1f %12.1f %9s %9s  new\n", n, f.NsOp, f.AllocsOp, "-", "-")
+			continue
+		}
+		if f.GOMAXPROCS != b.GOMAXPROCS {
+			// A parallel fresh run against a serial baseline (or the
+			// reverse) compares machine parallelism, not code: report,
+			// never gate.
+			fmt.Fprintf(w, "  %-36s %14.1f %12.1f %9s %9s  cpu-mismatch (%d vs %d), skipped\n",
+				n, f.NsOp, f.AllocsOp, "-", "-", f.GOMAXPROCS, b.GOMAXPROCS)
 			continue
 		}
 		nsR, alR := ratio(f.NsOp, b.NsOp), ratio(f.AllocsOp, b.AllocsOp)

@@ -78,15 +78,37 @@ func TestLoadDoc(t *testing.T) {
 	}
 }
 
-// TestBenchLine: the parser strips the -N GOMAXPROCS suffix and
-// tolerates rows without -benchmem columns.
+// TestBenchLine: the parser splits the -N GOMAXPROCS suffix into its
+// own capture and tolerates rows without -benchmem columns.
 func TestBenchLine(t *testing.T) {
 	m := benchLine.FindStringSubmatch("BenchmarkCoverage-8   100   26500000 ns/op   1048576 B/op   14 allocs/op")
-	if m == nil || m[1] != "BenchmarkCoverage" || m[3] != "26500000" || m[5] != "14" {
+	if m == nil || m[1] != "BenchmarkCoverage" || m[2] != "8" || m[4] != "26500000" || m[6] != "14" {
 		t.Fatalf("full row: %v", m)
 	}
 	m = benchLine.FindStringSubmatch("BenchmarkTLBLookup   500000   2103 ns/op")
-	if m == nil || m[1] != "BenchmarkTLBLookup" || m[4] != "" {
+	if m == nil || m[1] != "BenchmarkTLBLookup" || m[2] != "" || m[5] != "" {
 		t.Fatalf("bare row: %v", m)
+	}
+}
+
+// TestPrintDeltaSkipsCPUMismatch: a fresh parallel measurement against
+// a serial baseline (different per-benchmark gomaxprocs) is reported
+// but never gates, no matter how large the ratio looks.
+func TestPrintDeltaSkipsCPUMismatch(t *testing.T) {
+	base := Doc{Benchmarks: map[string]Stat{
+		"BenchmarkParallel": stat(1000, 10), // serial baseline: gomaxprocs 0
+		"BenchmarkMatched":  {NsOp: 1000, AllocsOp: 10, Runs: 1, GOMAXPROCS: 4},
+	}}
+	fresh := Doc{Benchmarks: map[string]Stat{
+		"BenchmarkParallel": {NsOp: 9000, AllocsOp: 90, Runs: 1, GOMAXPROCS: 4},
+		"BenchmarkMatched":  {NsOp: 2500, AllocsOp: 10, Runs: 1, GOMAXPROCS: 4},
+	}}
+	var sb strings.Builder
+	regressed := printDelta(&sb, "results/BENCH_X.json", base, fresh)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkMatched" {
+		t.Fatalf("regressed = %v, want [BenchmarkMatched] only", regressed)
+	}
+	if !strings.Contains(sb.String(), "cpu-mismatch (4 vs 0), skipped") {
+		t.Fatalf("mismatch row not called out:\n%s", sb.String())
 	}
 }

@@ -36,13 +36,14 @@ type runner struct {
 
 func main() {
 	var (
-		outDir   = flag.String("out", "results", "output directory")
-		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		trials   = flag.Int("trials", 40, "Monte-Carlo trials for MC/BASE experiments")
-		server   = flag.String("server", "", "bisramgend base URL; growth-factor experiments run as sweep-API clients")
-		local    = flag.Bool("local", false, "force local compiles even when -server is set")
-		svcWait  = flag.Duration("server-timeout", 2*time.Minute, "sweep completion budget when -server is set")
-		progress = flag.Bool("progress", false, "with -server: stream live per-point sweep progress (SSE) instead of silent polling")
+		outDir    = flag.String("out", "results", "output directory")
+		only      = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		trials    = flag.Int("trials", 40, "Monte-Carlo trials for MC/BASE experiments")
+		mcSamples = flag.Int("mc-samples", 2000, "cell samples per sigma for the STATY statistical-yield experiment")
+		server    = flag.String("server", "", "bisramgend base URL; growth-factor experiments run as sweep-API clients")
+		local     = flag.Bool("local", false, "force local compiles even when -server is set")
+		svcWait   = flag.Duration("server-timeout", 2*time.Minute, "sweep completion budget when -server is set")
+		progress  = flag.Bool("progress", false, "with -server: stream live per-point sweep progress (SSE) instead of silent polling")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -105,6 +106,7 @@ func main() {
 		{"CAA", func(string) (*experiments.Table, error) { return experiments.CriticalAreaStudy() }},
 		{"ABL-TEST", func(string) (*experiments.Table, error) { return experiments.TestLengthTradeoff() }},
 		{"MC", func(string) (*experiments.Table, error) { return experiments.MonteCarloYield(*trials, 7) }},
+		{"STATY", func(string) (*experiments.Table, error) { return experiments.StatisticalYield(*mcSamples, 7) }},
 		{"GATE", func(string) (*experiments.Table, error) { return experiments.GateLevel(6, 3) }},
 		{"CLUSTER", func(string) (*experiments.Table, error) { return experiments.Clustering(*trials, 5) }},
 		{"WAFER", func(dir string) (*experiments.Table, error) {

@@ -19,6 +19,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"math"
 	"strings"
 
 	"repro/internal/bist"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/cjson"
 	"repro/internal/compiler"
 	"repro/internal/march"
+	"repro/internal/mcyield"
 	"repro/internal/tech"
 )
 
@@ -96,6 +98,40 @@ type Request struct {
 	// — a parallel compile must hit the cache entry a serial compile
 	// wrote, and vice versa (see keyForm and the golden-key test).
 	Parallelism int `json:"parallelism,omitempty"`
+
+	// Monte-Carlo yield analysis knobs (internal/mcyield). MCSamples
+	// cell samples are classified at relative parameter spread MCSigma
+	// with deterministic seed MCSeed; both MCSamples and MCSigma must
+	// be set together (zero means no statistical yield analysis).
+	// Like Parallelism these are analysis-only: they select extra
+	// post-compile analysis and are deliberately EXCLUDED from the
+	// canonical key form, so every MC variant of a design shares the
+	// one compiled artifact exactly as defect-rate sweep points do.
+	MCSamples int     `json:"mc_samples,omitempty"`
+	MCSigma   float64 `json:"mc_sigma,omitempty"`
+	MCSeed    int64   `json:"mc_seed,omitempty"`
+}
+
+// MCEnabled reports whether the request asks for Monte-Carlo yield
+// analysis.
+func (r Request) MCEnabled() bool { return r.MCSamples > 0 }
+
+// ValidateMC checks the Monte-Carlo analysis knobs against the
+// engine's envelope. The zero value (no MC analysis) is valid.
+func (r Request) ValidateMC() error {
+	switch {
+	case r.MCSamples < 0 || r.MCSamples > mcyield.MaxSamples:
+		return cerr.New(cerr.CodeInvalidParams,
+			"canon: mc_samples %d out of range [0, %d]", r.MCSamples, mcyield.MaxSamples)
+	case math.IsNaN(r.MCSigma) || r.MCSigma < 0 || r.MCSigma > mcyield.MaxSigma:
+		return cerr.New(cerr.CodeInvalidParams,
+			"canon: mc_sigma %g out of range [0, %g]", r.MCSigma, mcyield.MaxSigma)
+	case (r.MCSamples > 0) != (r.MCSigma > 0):
+		return cerr.New(cerr.CodeInvalidParams,
+			"canon: mc_samples and mc_sigma must be set together (got %d, %g)",
+			r.MCSamples, r.MCSigma)
+	}
+	return nil
 }
 
 // Defaults, shared with the CLI flag definitions.
@@ -150,6 +186,9 @@ func (r Request) CheckVersion() error {
 func (r Request) Params() (compiler.Params, error) {
 	var zero compiler.Params
 	if err := r.CheckVersion(); err != nil {
+		return zero, err
+	}
+	if err := r.ValidateMC(); err != nil {
 		return zero, err
 	}
 	r = r.Normalized()

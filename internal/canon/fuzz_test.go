@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cerr"
+	"repro/internal/mcyield"
 )
 
 // FuzzParseRequest drives the strict request decoder plus the full
@@ -41,6 +42,48 @@ func FuzzParseRequest(f *testing.F) {
 		again, err := req.Key()
 		if err != nil || again != key {
 			t.Fatalf("unstable key: %q vs %q (err %v)", key, again, err)
+		}
+	})
+}
+
+// FuzzMCParams drives the Monte-Carlo analysis knobs: arbitrary
+// (samples, sigma, seed) triples must either be rejected with a typed
+// error or be accepted WITHOUT changing the content address — the MC
+// fields are analysis-only and every variant must share the compiled
+// artifact, exactly like parallelism.
+func FuzzMCParams(f *testing.F) {
+	f.Add(0, 0.0, int64(0))
+	f.Add(1000, 0.1, int64(42))
+	f.Add(1, 0.5, int64(-1))
+	f.Add(mcyield.MaxSamples, 0.0001, int64(1))
+	f.Add(mcyield.MaxSamples+1, 0.1, int64(0))
+	f.Add(-5, 0.1, int64(7))
+	f.Add(100, -0.2, int64(7))
+	f.Add(100, 1.5, int64(7))
+	f.Add(100, 0.0, int64(7))
+	f.Fuzz(func(t *testing.T, samples int, sigma float64, seed int64) {
+		base := Request{Words: 256, BPW: 8, BPC: 4, Spares: 4}
+		baseKey, err := base.Key()
+		if err != nil {
+			t.Fatalf("base request must key: %v", err)
+		}
+		req := base
+		req.MCSamples, req.MCSigma, req.MCSeed = samples, sigma, seed
+		key, err := req.Key()
+		if err != nil {
+			if !cerr.IsTyped(err) {
+				t.Fatalf("untyped MC rejection: %v", err)
+			}
+			if req.ValidateMC() == nil {
+				t.Fatalf("Key rejected MC knobs ValidateMC accepts: %v", err)
+			}
+			return
+		}
+		if err := req.ValidateMC(); err != nil {
+			t.Fatalf("Key accepted MC knobs ValidateMC rejects: %v", err)
+		}
+		if key != baseKey {
+			t.Fatalf("MC knobs leaked into the content key: %q vs %q", key, baseKey)
 		}
 	})
 }

@@ -96,6 +96,14 @@ const (
 	// a problem with the request. Maps to 429 + Retry-After at the HTTP
 	// boundary; well-behaved clients back off and retry.
 	CodeOverloaded
+	// CodeSimSingular: the MNA linear solve hit a singular (or
+	// numerically rank-deficient) system — structurally no unique
+	// solution, e.g. a floating node. Distinct from CodeSimDiverged
+	// (Newton ran out of iterations on a solvable system) so Monte
+	// Carlo failure classification can tell "this sample's circuit is
+	// broken" apart from "this sample did not converge": the former
+	// aborts the whole estimate, the latter counts as a failing sample.
+	CodeSimSingular
 )
 
 var codeNames = [...]string{
@@ -114,6 +122,7 @@ var codeNames = [...]string{
 	CodeInternal:       "ERR_INTERNAL",
 	CodeBadRequest:     "ERR_BAD_REQUEST",
 	CodeOverloaded:     "ERR_OVERLOADED",
+	CodeSimSingular:    "ERR_SIM_SINGULAR",
 }
 
 // String returns the stable machine-readable name (ERR_*).
@@ -206,6 +215,7 @@ var (
 	ErrNonFinite      = &Error{Code: CodeNonFinite}
 	ErrInternal       = &Error{Code: CodeInternal}
 	ErrOverloaded     = &Error{Code: CodeOverloaded}
+	ErrSimSingular    = &Error{Code: CodeSimSingular}
 )
 
 // New builds a typed error with a formatted message.

@@ -76,6 +76,7 @@ func TestCodeNamesStable(t *testing.T) {
 		CodeInternal:       "ERR_INTERNAL",
 		CodeBadRequest:     "ERR_BAD_REQUEST",
 		CodeOverloaded:     "ERR_OVERLOADED",
+		CodeSimSingular:    "ERR_SIM_SINGULAR",
 	}
 	for c, name := range want {
 		if c.String() != name {

@@ -83,6 +83,11 @@ const (
 	// typed error (the coverage experiments must surface it, never
 	// panic or return a partial table), "delay" stalls kernel startup.
 	PointSimBatch = "sim.batch"
+	// PointMCSample fires once per Monte-Carlo yield sample chunk in
+	// mcyield.Estimate: an "error" rule aborts the estimate (testing
+	// the sweep's failed-point path), a "delay" rule slows sampling so
+	// SSE progress and admission control can be observed mid-flight.
+	PointMCSample = "mc.sample"
 	// PointStagePrefix + stage name fires at each compile stage
 	// checkpoint: "delay" injects a latency spike, "panic" exercises
 	// the recover guards, "error" fails the stage with a typed error.

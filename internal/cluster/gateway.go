@@ -50,7 +50,8 @@ type GatewayConfig struct {
 	// one.
 	Registry *obs.Registry
 	// Chaos, when non-nil, injects scripted faults at the proxy.route
-	// point.
+	// point and into the sweep manager's mc.sample statistical-yield
+	// estimates.
 	Chaos *chaos.Injector
 	// SweepMaxPoints caps one sweep's cross product; <= 0 takes the
 	// sweep default.
@@ -152,6 +153,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		Lookup:    g.lookupFleet,
 		Run:       g.runProxiedCompile,
 		Registry:  cfg.Registry,
+		Chaos:     cfg.Chaos,
 		MaxPoints: cfg.SweepMaxPoints,
 	})
 	g.registerMetrics()

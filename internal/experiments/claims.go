@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/bist"
 	"repro/internal/compiler"
 	"repro/internal/march"
+	"repro/internal/mcyield"
 	"repro/internal/sram"
 	"repro/internal/tech"
 	"repro/internal/yield"
@@ -573,5 +575,52 @@ func MonteCarloYield(trials int, seed int64) (*Table, error) {
 			fmt.Sprintf("%.0f%%", 100*model.YieldBISR(nEff)))
 	}
 	t.Note("simulated = full microprogrammed BIST + TLB repair; analytic = Section VII binomial model")
+	return t, nil
+}
+
+// StatisticalYield puts the two yield views side by side: the seeded
+// Monte-Carlo parametric estimate (per-cell Vth/β variation classified
+// through the SPICE solver, importance-sampled into the tail) against
+// the closed-form Poisson defect model fed the SAME expected fault
+// count. Where the views agree, the binomial machinery of Section VII
+// is a faithful stand-in for device-level variation; where sigma grows,
+// the table shows the parametric tail the defect model cannot see.
+func StatisticalYield(samples int, seed int64) (*Table, error) {
+	if samples <= 0 {
+		samples = 2000
+	}
+	const cells = 128 * 128 // a 16 Kb array, the paper's working size class
+	t := &Table{
+		ID:    "STATY",
+		Title: fmt.Sprintf("Statistical (Monte-Carlo) vs closed-form yield, %d-cell array", cells),
+		Header: []string{"sigma", "fail_prob", "std_err", "sigma_level",
+			"mc_array_yield", "closed_form_yield", "delta_pct"},
+	}
+	closed := yield.Model{Rows: 128, Cols: 128, GrowthFactor: 1}
+	for _, sigma := range []float64{0.08, 0.10, 0.12, 0.15, 0.20} {
+		res, err := mcyield.Estimate(context.Background(), mcyield.Config{
+			Process: tech.CDA07,
+			Samples: samples,
+			Sigma:   sigma,
+			Shift:   mcyield.DefaultShift,
+			Seed:    seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mcY := mcyield.ArrayYield(res.FailProb, cells)
+		// The closed-form model speaks "expected defects in the array";
+		// the MC failure probability implies exactly that count.
+		cfY := closed.YieldNoRepair(res.FailProb * cells)
+		delta := 0.0
+		if cfY > 0 {
+			delta = 100 * (mcY - cfY) / cfY
+		}
+		t.Add(sigma, fmt.Sprintf("%.3g", res.FailProb), fmt.Sprintf("%.2g", res.StdErr),
+			fmt.Sprintf("%.2f", res.SigmaLevel),
+			fmt.Sprintf("%.4f", mcY), fmt.Sprintf("%.4f", cfY),
+			fmt.Sprintf("%+.2f", delta))
+	}
+	t.Note("mc = importance-sampled 6T-cell Monte-Carlo (internal/mcyield, seeded); closed form = Poisson at the MC-implied defect count")
 	return t, nil
 }

@@ -355,6 +355,46 @@ func TestMonteCarloMatchesAnalytic(t *testing.T) {
 	}
 }
 
+func TestStatisticalYieldTable(t *testing.T) {
+	tb, err := StatisticalYield(400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ID != "STATY" || len(tb.Rows) != 5 {
+		t.Fatalf("table %s with %d rows", tb.ID, len(tb.Rows))
+	}
+	prevFail := -1.0
+	for _, r := range tb.Rows {
+		fail := parse(t, r[1])
+		if fail < 0 || fail > 1 {
+			t.Fatalf("fail prob out of range: %v", r)
+		}
+		// Failure probability must grow with sigma (monotone rows).
+		if fail < prevFail {
+			t.Errorf("fail prob not monotone in sigma: %v", tb.Rows)
+		}
+		prevFail = fail
+		mcY := parse(t, r[4])
+		cfY := parse(t, r[5])
+		if mcY < 0 || mcY > 1 || cfY < 0 || cfY > 1 {
+			t.Fatalf("yields out of range: %v", r)
+		}
+		// The two yield formulas see the same expected fault count;
+		// (1-p)^n vs e^{-pn} agree to a few percent everywhere.
+		if diff := mcY - cfY; diff < -0.05 || diff > 0.05 {
+			t.Errorf("sigma %s: MC yield %.4f vs closed form %.4f diverge", r[0], mcY, cfY)
+		}
+	}
+	// Seeded: regeneration is byte-identical.
+	tb2, err := StatisticalYield(400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.String() != tb2.String() {
+		t.Fatal("STATY table not reproducible for the same seed")
+	}
+}
+
 func TestCostSensitivity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("compiles growth-factor layouts")

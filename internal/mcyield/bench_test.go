@@ -1,0 +1,98 @@
+package mcyield
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/tech"
+)
+
+var benchParams = Params{Sigma: 0.08, Shift: DefaultShift, Seed: 1}
+
+// BenchmarkMCYield is the batched path: one CellSim elaboration
+// amortized over all samples; each iteration is one classified draw
+// (three warm-started DC solves, zero steady-state allocations).
+func BenchmarkMCYield(b *testing.B) {
+	cs, err := NewCellSim(tech.CDA07)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.Sample(uint64(i), benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMCYieldNaive is the fresh-circuit-per-sample baseline the
+// ≥10× throughput claim is measured against: every draw re-elaborates
+// both circuits, re-runs the trip-point bisection and the nominal
+// warm-start solves, then classifies. Verdicts are bit-identical to
+// BenchmarkMCYield's.
+func BenchmarkMCYieldNaive(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NaiveSample(tech.CDA07, uint64(i), benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMCYieldParallel measures end-to-end Estimate throughput
+// with the worker pool; run with -cpu to see scaling.
+func BenchmarkMCYieldParallel(b *testing.B) {
+	cfg := Config{Process: tech.CDA07, Samples: 512, Sigma: 0.08, Shift: DefaultShift, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBatchedSpeedupOverNaive enforces the acceptance floor in a
+// plain test so `go test` catches a regression without running
+// benchmarks: the reused path must classify samples ≥10× faster than
+// fresh-elaboration-per-sample, and a steady-state sample must not
+// allocate more than 8 objects.
+func TestBatchedSpeedupOverNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	cs, err := NewCellSim(tech.CDA07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	fast := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cs.Sample(uint64(i%n), benchParams); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	naive := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := NaiveSample(tech.CDA07, uint64(i%n), benchParams); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fastNs := float64(fast.NsPerOp())
+	naiveNs := float64(naive.NsPerOp())
+	t.Logf("batched %.0f ns/sample, naive %.0f ns/sample, speedup %.1fx",
+		fastNs, naiveNs, naiveNs/fastNs)
+	if naiveNs < 10*fastNs {
+		t.Fatalf("batched path only %.1fx faster than naive, want >= 10x", naiveNs/fastNs)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := cs.Sample(3, benchParams); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Fatalf("steady-state sample allocates %.1f objects, want <= 8", allocs)
+	}
+}

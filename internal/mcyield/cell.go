@@ -1,0 +1,408 @@
+package mcyield
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/cerr"
+	"repro/internal/spice"
+	"repro/internal/tech"
+)
+
+// Mode classifies what a sampled cell instance failed first, in the
+// fixed test order hold → read → write (a sample stops at its first
+// failing test, which keeps the tail cheap and the verdict
+// deterministic).
+type Mode uint8
+
+const (
+	// ModeNone: the sampled cell passed all three tests.
+	ModeNone Mode = iota
+	// ModeHold: with the word line off, the perturbed latch no longer
+	// holds both storage nodes on the correct sides of the inverter
+	// trip point (static-noise-margin collapse).
+	ModeHold
+	// ModeRead: the read disturbance through the access transistor
+	// lifts the low storage node past the trip point — the cell would
+	// flip during a read.
+	ModeRead
+	// ModeWrite: with the word line on and the bit line driven low,
+	// the access transistor cannot pull the high storage node below
+	// the opposing inverter's trip point — a write would not latch.
+	ModeWrite
+	// ModeDiverged: the DC solve failed to converge for this
+	// perturbation; counted as a failing sample (a cell we cannot
+	// prove works is not yield).
+	ModeDiverged
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeHold:
+		return "hold"
+	case ModeRead:
+		return "read"
+	case ModeWrite:
+		return "write"
+	case ModeDiverged:
+		return "diverged"
+	default:
+		return "unknown"
+	}
+}
+
+// cellDevices is how many MOSFETs carry per-sample variation: the six
+// transistors of the 6T cell. The half-cell's three clones mirror the
+// right-hand devices' draws rather than drawing independently.
+const cellDevices = 6
+
+// Device indices, in Circuit.M call order, for the full cell.
+const (
+	devPDL = iota // mn1: left pulldown
+	devPUL        // mp1: left pullup
+	devPDR        // mn2: right pulldown
+	devPUR        // mp2: right pullup
+	devACL        // ma1: left access
+	devACR        // ma2: right access
+)
+
+// halfClone maps a full-cell device index to its clone's index in the
+// half-cell session, or -1 when the half cell has no copy of it.
+var halfClone = [cellDevices]int{devPDR: 0, devPUR: 1, devACR: 2, devPDL: -1, devPUL: -1, devACL: -1}
+
+// defensiveAlpha is the probability mass the importance-sampling
+// proposal keeps on the nominal (unshifted) distribution. Mixing at
+// the sample level bounds every likelihood-ratio weight by
+// 1/defensiveAlpha globally — without it the per-device ratios
+// multiply across the six transistors and a center-region failure
+// hit could carry an astronomically large weight, wrecking the
+// estimator's variance.
+const defensiveAlpha = 0.25
+
+// Params are the per-sample variation knobs. Sigma is the relative
+// threshold/transconductance spread: each device draws
+// VT0 = nominal·(1 + Sigma·x) and KP = nominal·max(1 + Sigma·z, 0.05)
+// with x, z standard normal. Shift is the importance-sampling mean
+// shift applied to the threshold draws only, as a defensive two-sided
+// mixture: with probability defensiveAlpha the whole sample draws
+// plain, otherwise each device's x is drawn from
+// ½N(−Shift,1) + ½N(+Shift,1), so every sign combination of device
+// deviations gets boosted mass — SRAM failure regions are mixed-sign
+// (a read disturb wants a strong access device AND a weak pulldown),
+// which a one-sided shift would miss entirely. Sample reports the
+// exact mixture likelihood ratio, bounded by 1/defensiveAlpha, that
+// makes the estimator unbiased. Shift 0 is plain Monte-Carlo with
+// weight 1.
+type Params struct {
+	Sigma float64
+	Shift float64
+	Seed  int64
+}
+
+// Sample is one classified Monte-Carlo draw.
+type Sample struct {
+	Mode   Mode    // ModeNone for a passing cell
+	Weight float64 // likelihood ratio; exactly 1 when Shift == 0
+}
+
+// Fail reports whether the draw counts toward the failure
+// probability.
+func (s Sample) Fail() bool { return s.Mode != ModeNone }
+
+// CellSim is the reusable per-worker simulation state for one 6T SRAM
+// cell in one process: two circuits (the full cell for hold/read, a
+// loop-broken half cell for the write and trip-point analyses)
+// elaborated exactly once into spice Sessions, the nominal inverter
+// trip voltage from a construction-time bisection, and nominal warm-
+// start solutions for each test configuration. Sample then costs
+// three warm-started DC re-solves and zero allocations. A CellSim is
+// not safe for concurrent use: Estimate gives each worker its own.
+type CellSim struct {
+	vdd  float64
+	trip float64 // nominal cross-inverter trip voltage (bisection)
+
+	full        *spice.Session
+	wl, bl, blb *spice.VarDC
+	iq, iqb     int
+	initHold    []float64
+	initRead    []float64
+
+	half           *spice.Session
+	hvin, hwl, hbl *spice.VarDC
+	iout           int
+	initWrite      []float64
+
+	// Cold rail-biased guesses: a strongly perturbed sample can make
+	// Newton cycle from the nominal warm start even though the cell
+	// has a perfectly good equilibrium; each test retries once from
+	// its cold guess before the sample classifies as diverged.
+	coldHold  []float64
+	coldRead  []float64
+	coldWrite []float64
+
+	nomVT [cellDevices]float64
+}
+
+// Cell geometry in multiples of the drawn channel length: a classic
+// read-stable, writable ratioing (pulldown 2× the access device,
+// weak pullup).
+const (
+	wPD  = 4.0
+	wPU  = 2.0
+	wACC = 2.0
+)
+
+// tripTol is the bisection convergence window on the trip voltage.
+const tripTol = 1e-6
+
+// NewCellSim elaborates the cell for process p and precomputes the
+// nominal trip point and warm-start states. This is the expensive,
+// once-per-worker half of the split; Sample is the cheap half.
+func NewCellSim(p *tech.Process) (*CellSim, error) {
+	l := float64(p.Feature) * 1e-9
+	vdd := p.VDD
+	cs := &CellSim{vdd: vdd}
+
+	// Full 6T cell. Device order must match the dev* constants.
+	fc := spice.New()
+	fc.V("vdd", "vdd", spice.DC(vdd))
+	cs.wl = &spice.VarDC{}
+	fc.V("wl", "wl", cs.wl)
+	cs.bl = &spice.VarDC{Val: vdd}
+	fc.V("bl", "bl", cs.bl)
+	cs.blb = &spice.VarDC{Val: vdd}
+	fc.V("blb", "blb", cs.blb)
+	fc.M("mn1", "q", "qb", "0", tech.NMOS, wPD*l, l, p)
+	fc.M("mp1", "q", "qb", "vdd", tech.PMOS, wPU*l, l, p)
+	fc.M("mn2", "qb", "q", "0", tech.NMOS, wPD*l, l, p)
+	fc.M("mp2", "qb", "q", "vdd", tech.PMOS, wPU*l, l, p)
+	fc.M("ma1", "bl", "wl", "q", tech.NMOS, wACC*l, l, p)
+	fc.M("ma2", "blb", "wl", "qb", tech.NMOS, wACC*l, l, p)
+	full, err := spice.NewSession(fc)
+	if err != nil {
+		return nil, err
+	}
+	cs.full = full
+	cs.iq, cs.iqb = full.NodeIndex("q"), full.NodeIndex("qb")
+	for i := 0; i < cellDevices; i++ {
+		cs.nomVT[i], _ = full.Nominal(i)
+	}
+
+	// Half cell: the right-hand inverter with its feedback input
+	// exposed as a source, plus the right access transistor. Serves
+	// the trip-point bisection (access off) and the write test
+	// (input pinned at the would-be-written q=0).
+	hc := spice.New()
+	hc.V("vdd", "vdd", spice.DC(vdd))
+	cs.hvin = &spice.VarDC{}
+	hc.V("vin", "in", cs.hvin)
+	cs.hwl = &spice.VarDC{}
+	hc.V("wl", "wl", cs.hwl)
+	cs.hbl = &spice.VarDC{Val: vdd}
+	hc.V("bl", "bl", cs.hbl)
+	hc.M("mn2", "out", "in", "0", tech.NMOS, wPD*l, l, p)
+	hc.M("mp2", "out", "in", "vdd", tech.PMOS, wPU*l, l, p)
+	hc.M("ma2", "bl", "wl", "out", tech.NMOS, wACC*l, l, p)
+	half, err := spice.NewSession(hc)
+	if err != nil {
+		return nil, err
+	}
+	cs.half = half
+	cs.iout = half.NodeIndex("out")
+
+	if err := cs.calibrate(); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// railInit seeds a session's initial guess with named node voltages.
+func railInit(s *spice.Session, nodes map[string]float64) []float64 {
+	init := make([]float64, s.Dim())
+	for name, v := range nodes {
+		if i := s.NodeIndex(name); i >= 0 {
+			init[i] = v
+		}
+	}
+	return init
+}
+
+// calibrate computes the nominal trip voltage by bisection on the
+// half cell and the nominal warm-start solutions for each test.
+func (cs *CellSim) calibrate() error {
+	vdd := cs.vdd
+
+	// Trip point: access off, sweep the inverter input until the
+	// output crosses VDD/2. The warm start rides the previous
+	// bisection solution, so each step is a short Newton run.
+	cs.hwl.Val, cs.hbl.Val = 0, vdd
+	guess := railInit(cs.half, map[string]float64{"vdd": vdd, "bl": vdd, "out": vdd})
+	lo, hi := 0.0, vdd
+	for hi-lo > tripTol {
+		mid := 0.5 * (lo + hi)
+		cs.hvin.Val = mid
+		if err := cs.half.SolveFrom(guess); err != nil {
+			return cerr.Wrap(cerr.CodeSimDiverged, err, "mcyield: trip bisection at vin=%g", mid)
+		}
+		copy(guess, cs.half.Solution())
+		if cs.half.Solution()[cs.iout] > vdd/2 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	cs.trip = 0.5 * (lo + hi)
+
+	// Nominal write state: input pinned low, word line on, bit line
+	// low; the solution warm-starts every sample's write test.
+	cs.coldWrite = railInit(cs.half, map[string]float64{"vdd": vdd, "out": vdd})
+	cs.hvin.Val, cs.hwl.Val, cs.hbl.Val = 0, vdd, 0
+	if err := cs.half.SolveFrom(cs.coldWrite); err != nil {
+		return cerr.Wrap(cerr.CodeSimDiverged, err, "mcyield: nominal write solve")
+	}
+	cs.initWrite = append([]float64(nil), cs.half.Solution()...)
+
+	// Nominal hold state: storing q=0 with the word line off. The
+	// explicit qb=VDD bias in the guess picks the equilibrium.
+	cs.coldHold = railInit(cs.full, map[string]float64{"vdd": vdd, "bl": vdd, "blb": vdd, "qb": vdd})
+	cs.wl.Val, cs.bl.Val, cs.blb.Val = 0, vdd, vdd
+	if err := cs.full.SolveFrom(cs.coldHold); err != nil {
+		return cerr.Wrap(cerr.CodeSimDiverged, err, "mcyield: nominal hold solve")
+	}
+	cs.initHold = append([]float64(nil), cs.full.Solution()...)
+
+	// Nominal read state: word line on, both bit lines precharged.
+	cs.coldRead = railInit(cs.full, map[string]float64{"vdd": vdd, "bl": vdd, "blb": vdd, "qb": vdd, "wl": vdd})
+	cs.wl.Val = vdd
+	if err := cs.full.SolveFrom(cs.initHold); err != nil {
+		return cerr.Wrap(cerr.CodeSimDiverged, err, "mcyield: nominal read solve")
+	}
+	cs.initRead = append([]float64(nil), cs.full.Solution()...)
+
+	// Sanity: the nominal cell must pass its own tests, or every
+	// sample verdict is noise.
+	smp, err := cs.Sample(0, Params{Sigma: 0})
+	if err != nil {
+		return err
+	}
+	if smp.Fail() {
+		return cerr.New(cerr.CodeInternal, "mcyield: nominal cell fails %s test (trip=%.3f)", smp.Mode, cs.trip)
+	}
+	return nil
+}
+
+// Trip returns the nominal inverter trip voltage the classifications
+// compare against.
+func (cs *CellSim) Trip() float64 { return cs.trip }
+
+// Sample classifies one Monte-Carlo draw. The draw sequence is a pure
+// function of (p.Seed, idx); the verdict is bit-identical to running
+// the same index on a freshly constructed CellSim (see NaiveSample,
+// which the differential tests and the benchmark baseline use).
+// Divergent solves classify as ModeDiverged; a singular system aborts
+// with cerr.CodeSimSingular — that is a solver failure, not a yield
+// verdict.
+func (cs *CellSim) Sample(idx uint64, p Params) (Sample, error) {
+	r := newRNG(p.Seed, idx)
+	w := 1.0
+	shifted := p.Shift != 0 && r.uniform() >= defensiveAlpha
+	mixRatio := 1.0 // Π q_d(x_d)/φ(x_d) over the threshold draws
+	for d := 0; d < cellDevices; d++ {
+		x := r.norm()
+		z := r.norm()
+		if shifted {
+			// Two-sided mixture draw: x ~ ½N(−s,1) + ½N(+s,1).
+			if r.next()&1 == 0 {
+				x -= p.Shift
+			} else {
+				x += p.Shift
+			}
+		}
+		if p.Shift != 0 {
+			// q_d(x)/φ(x) = cosh(s·x)·exp(−s²/2) at the realized x —
+			// the same density whichever branch generated the sample.
+			mixRatio *= math.Cosh(p.Shift*x) * math.Exp(-0.5*p.Shift*p.Shift)
+		}
+		dVT0 := cs.nomVT[d] * p.Sigma * x // sign-aware: |VT| grows for x > 0
+		kps := 1 + p.Sigma*z
+		if kps < 0.05 {
+			kps = 0.05
+		}
+		cs.full.Perturb(d, dVT0, kps)
+		if h := halfClone[d]; h >= 0 {
+			cs.half.Perturb(h, dVT0, kps)
+		}
+	}
+	if p.Shift != 0 {
+		// Likelihood ratio of the sample-level defensive mixture:
+		// w = φ⃗/q⃗ = 1/(α + (1−α)·Π q_d/φ_d) ≤ 1/α.
+		w = 1 / (defensiveAlpha + (1-defensiveAlpha)*mixRatio)
+	}
+
+	// Hold: word line off, bit lines precharged.
+	cs.wl.Val, cs.bl.Val, cs.blb.Val = 0, cs.vdd, cs.vdd
+	if err := solveRetry(cs.full, cs.initHold, cs.coldHold); err != nil {
+		return cs.diverged(w, err)
+	}
+	sol := cs.full.Solution()
+	if sol[cs.iq] > cs.trip || sol[cs.iqb] < cs.trip {
+		return Sample{Mode: ModeHold, Weight: w}, nil
+	}
+
+	// Read: word line on; the low node must stay below trip.
+	cs.wl.Val = cs.vdd
+	if err := solveRetry(cs.full, cs.initRead, cs.coldRead); err != nil {
+		return cs.diverged(w, err)
+	}
+	sol = cs.full.Solution()
+	if sol[cs.iq] > cs.trip || sol[cs.iqb] < cs.trip {
+		return Sample{Mode: ModeRead, Weight: w}, nil
+	}
+
+	// Write: loop broken at q=0, word line on, bit line low; the
+	// access device must drag the high node below the opposing trip.
+	cs.hvin.Val, cs.hwl.Val, cs.hbl.Val = 0, cs.vdd, 0
+	if err := solveRetry(cs.half, cs.initWrite, cs.coldWrite); err != nil {
+		return cs.diverged(w, err)
+	}
+	if cs.half.Solution()[cs.iout] > cs.trip {
+		return Sample{Mode: ModeWrite, Weight: w}, nil
+	}
+	return Sample{Mode: ModeNone, Weight: w}, nil
+}
+
+// solveRetry runs a warm-started solve and, on divergence, retries
+// once from the cold rail-biased guess: far-from-nominal samples can
+// defeat the nominal warm start's basin without being broken cells.
+// Singular systems are never retried — they indicate a solver
+// failure, not a hard sample.
+func solveRetry(s *spice.Session, warm, cold []float64) error {
+	err := s.SolveFrom(warm)
+	if err == nil || errors.Is(err, cerr.ErrSimSingular) {
+		return err
+	}
+	return s.SolveFrom(cold)
+}
+
+func (cs *CellSim) diverged(w float64, err error) (Sample, error) {
+	if errors.Is(err, cerr.ErrSimSingular) {
+		return Sample{}, err
+	}
+	return Sample{Mode: ModeDiverged, Weight: w}, nil
+}
+
+// NaiveSample is the fresh-circuit-per-sample baseline: it elaborates
+// a brand-new CellSim (circuits, sessions, trip bisection, nominal
+// solves) and classifies one draw with it — exactly what a client
+// would write against the one-shot OP API, and exactly what the
+// batched path's ≥10× throughput claim in BenchmarkMCYield is
+// measured against. Verdicts are bit-identical to the reused path.
+func NaiveSample(p *tech.Process, idx uint64, sp Params) (Sample, error) {
+	cs, err := NewCellSim(p)
+	if err != nil {
+		return Sample{}, err
+	}
+	return cs.Sample(idx, sp)
+}

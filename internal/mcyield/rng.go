@@ -1,0 +1,56 @@
+package mcyield
+
+import "math"
+
+// rng is a counter-seeded splitmix64 stream with Box–Muller normals.
+// Every Monte-Carlo sample owns its own stream, derived purely from
+// (seed, sample index), so the draw sequence for sample i is
+// independent of which worker runs it, how many workers exist, and in
+// what order samples complete — the foundation of the "identical
+// yield estimates for identical seeds at any worker count" contract.
+type rng struct {
+	s     uint64
+	spare float64
+	have  bool
+}
+
+func newRNG(seed int64, idx uint64) rng {
+	s := mix64(uint64(seed) ^ 0x9E3779B97F4A7C15)
+	return rng{s: mix64(s ^ (idx + 0x94D049BB133111EB))}
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche so nearby
+// (seed, idx) pairs land in unrelated stream states.
+func mix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// uniform returns a double in the open interval (0, 1); the +0.5
+// offset keeps it away from 0 so Log in Box–Muller never sees it.
+func (r *rng) uniform() float64 {
+	return (float64(r.next()>>11) + 0.5) * (1.0 / (1 << 53))
+}
+
+// norm returns a standard normal draw (Box–Muller, pair-cached).
+func (r *rng) norm() float64 {
+	if r.have {
+		r.have = false
+		return r.spare
+	}
+	rad := math.Sqrt(-2 * math.Log(r.uniform()))
+	theta := 2 * math.Pi * r.uniform()
+	r.spare = rad * math.Sin(theta)
+	r.have = true
+	return rad * math.Cos(theta)
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/jobs"
+	"repro/internal/sweep"
+)
+
+// TestSweepMCOverHTTP drives the statistical-yield axis end to end
+// through the public API: an MC sweep compiles once, every results
+// row carries a seeded MC block, and resubmitting the identical spec
+// reproduces those blocks bit-for-bit from the artifact cache.
+func TestSweepMCOverHTTP(t *testing.T) {
+	ts, _, _, _ := testServer(t, jobs.Config{}, 64<<20)
+	cl := sweep.NewClient(ts.URL)
+	spec := sweep.Spec{
+		Base: canon.Request{Words: 256, BPW: 8, BPC: 4, Spares: 4, MCSeed: 9},
+		Axes: sweep.Axes{MCSamples: []int{48}, MCSigma: []float64{0.2, 0.25}},
+	}
+	run := func() *sweep.Results {
+		st, err := cl.CreateSweep(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		if _, err := cl.WaitSweep(ctx, st.ID, 20*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.SweepResults(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run()
+	if len(first.Rows) != 2 || first.Failed != 0 {
+		t.Fatalf("results %+v", first)
+	}
+	for i, row := range first.Rows {
+		if row.MC == nil {
+			t.Fatalf("row %d missing mc block", i)
+		}
+		if row.MC.Samples != 48 || row.MC.Seed != 9 {
+			t.Fatalf("row %d mc block %+v", i, row.MC)
+		}
+		if row.MC.YieldCell <= 0 || row.MC.YieldCell > 1 {
+			t.Fatalf("row %d cell yield %v", i, row.MC.YieldCell)
+		}
+	}
+	second := run()
+	for i := range first.Rows {
+		if !second.Rows[i].Cached {
+			t.Fatalf("repeat row %d not served from cache", i)
+		}
+		if *second.Rows[i].MC != *first.Rows[i].MC {
+			t.Fatalf("row %d mc block not reproducible:\n%+v\n%+v",
+				i, first.Rows[i].MC, second.Rows[i].MC)
+		}
+	}
+}

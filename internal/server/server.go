@@ -242,6 +242,7 @@ func New(cfg Config) *Server {
 		MaxPoints: cfg.SweepMaxPoints,
 		Retain:    cfg.SweepRetain,
 		Journal:   cfg.SweepJournal,
+		Chaos:     cfg.Chaos,
 	})
 
 	s.route("POST", "/v1/compile", s.handleCompile)
@@ -513,8 +514,8 @@ func (s *Server) logRequest(r *http.Request, rw *statusWriter, dur time.Duration
 //	ERR_DECK_PARSE, ERR_MARCH_PARSE,
 //	ERR_PLANE_PARSE                        -> 400 Bad Request
 //	ERR_GEOMETRY, ERR_NETLIST, ERR_FLOORPLAN,
-//	ERR_SIM_DIVERGED, ERR_NON_FINITE,
-//	ERR_REPAIR_FAILED                      -> 422 Unprocessable Entity
+//	ERR_SIM_DIVERGED, ERR_SIM_SINGULAR,
+//	ERR_NON_FINITE, ERR_REPAIR_FAILED      -> 422 Unprocessable Entity
 //	ERR_BUDGET_EXCEEDED                    -> 504 Gateway Timeout
 //	ERR_OVERLOADED                         -> 429 Too Many Requests (+ Retry-After)
 //	ERR_INTERNAL, ERR_UNKNOWN              -> 500 Internal Server Error
@@ -523,7 +524,7 @@ func HTTPStatus(err error) int {
 	case cerr.CodeBadRequest, cerr.CodeInvalidParams, cerr.CodeDeckParse, cerr.CodeMarchParse, cerr.CodePlaneParse:
 		return http.StatusBadRequest
 	case cerr.CodeGeometry, cerr.CodeNetlist, cerr.CodeFloorplan,
-		cerr.CodeSimDiverged, cerr.CodeNonFinite, cerr.CodeRepairFailed:
+		cerr.CodeSimDiverged, cerr.CodeSimSingular, cerr.CodeNonFinite, cerr.CodeRepairFailed:
 		return http.StatusUnprocessableEntity
 	case cerr.CodeBudgetExceeded:
 		return http.StatusGatewayTimeout

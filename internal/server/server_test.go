@@ -428,6 +428,7 @@ func TestHTTPStatusTableTotal(t *testing.T) {
 		"ERR_GEOMETRY":        422,
 		"ERR_NETLIST":         422,
 		"ERR_SIM_DIVERGED":    422,
+		"ERR_SIM_SINGULAR":    422,
 		"ERR_FLOORPLAN":       422,
 		"ERR_REPAIR_FAILED":   422,
 		"ERR_NON_FINITE":      422,

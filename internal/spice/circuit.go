@@ -75,6 +75,16 @@ type DC float64
 // V implements Waveform.
 func (d DC) V(float64) float64 { return float64(d) }
 
+// VarDC is a settable constant waveform: a batch driver (the
+// Monte-Carlo cell tester) keeps the pointer and rewrites Val between
+// solves of one elaborated circuit, instead of rebuilding the netlist
+// per stimulus — rebinding a plain DC through the Waveform interface
+// would allocate on every change.
+type VarDC struct{ Val float64 }
+
+// V implements Waveform.
+func (d *VarDC) V(float64) float64 { return d.Val }
+
 // PWL is a piecewise-linear waveform given as (time, value) pairs in
 // ascending time order. Before the first point it holds the first
 // value; after the last it holds the last value.
@@ -128,6 +138,16 @@ func (c *Circuit) Node(name string) int {
 
 // NumNodes returns the number of non-ground nodes.
 func (c *Circuit) NumNodes() int { return len(c.nodes) }
+
+// NodeIndex returns the solution-vector index of a node interned by a
+// builder call, or -1 for ground and names never used. Unlike Node it
+// never interns, so probing is side-effect free.
+func (c *Circuit) NodeIndex(name string) int {
+	if i, ok := c.nodeIdx[name]; ok {
+		return i
+	}
+	return -1
+}
 
 // Failf records a netlist construction error (first one wins) as a
 // typed cerr.ErrNetlist.

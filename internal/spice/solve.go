@@ -2,6 +2,7 @@ package spice
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"repro/internal/cerr"
@@ -49,7 +50,13 @@ func (r *Result) At(node string, t float64) float64 {
 	return w[i]*(1-frac) + w[i+1]*frac
 }
 
-// system is the assembled MNA problem at one time point.
+// system is the assembled MNA problem at one time point. The matrix
+// structure (dimension, row slices) is fixed at elaboration; assemble
+// rebuilds the numeric content from scratch every Newton iteration, so
+// jac/rhs double as the scratch that solveLinear destroys in place —
+// the transient inner loop and the Monte-Carlo sample loop both run
+// thousands of solves per analysis, and a per-iteration pristine copy
+// would dominate memory traffic for no numeric benefit.
 type system struct {
 	c   *Circuit
 	n   int // node count
@@ -57,12 +64,6 @@ type system struct {
 	dim int
 	jac [][]float64
 	rhs []float64
-	// jacBuf/rhsBuf are the scratch copies solveLinear destroys,
-	// allocated once and re-filled per Newton iteration: the transient
-	// inner loop runs thousands of solves per timing analysis, so
-	// per-iteration copies dominated the whole compiler's allocations.
-	jacBuf [][]float64
-	rhsBuf []float64
 }
 
 func newSystem(c *Circuit) *system {
@@ -70,14 +71,11 @@ func newSystem(c *Circuit) *system {
 	dim := n + m
 	s := &system{c: c, n: n, m: m, dim: dim}
 	s.jac = make([][]float64, dim)
-	s.jacBuf = make([][]float64, dim)
-	flat := make([]float64, 2*dim*dim)
+	flat := make([]float64, dim*dim)
 	for i := range s.jac {
 		s.jac[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
-		s.jacBuf[i] = flat[(dim+i)*dim : (dim+i+1)*dim : (dim+i+1)*dim]
 	}
 	s.rhs = make([]float64, dim)
-	s.rhsBuf = make([]float64, dim)
 	return s
 }
 
@@ -197,8 +195,11 @@ func (s *system) assemble(v, vPrev []float64, t, h float64) {
 }
 
 // solveLinear solves jac*x = rhs in place by Gaussian elimination with
-// partial pivoting. Returns false on a singular matrix.
-func solveLinear(a [][]float64, b []float64) bool {
+// partial pivoting. Returns -1 on success; on a singular matrix it
+// returns the column index whose pivot vanished, which the caller maps
+// back to the offending circuit unknown (node voltage or source branch
+// current) for the typed ERR_SIM_SINGULAR report.
+func solveLinear(a [][]float64, b []float64) int {
 	n := len(b)
 	for col := 0; col < n; col++ {
 		// pivot
@@ -210,7 +211,7 @@ func solveLinear(a [][]float64, b []float64) bool {
 			}
 		}
 		if best < 1e-18 {
-			return false
+			return col
 		}
 		if p != col {
 			a[p], a[col] = a[col], a[p]
@@ -236,7 +237,20 @@ func solveLinear(a [][]float64, b []float64) bool {
 		}
 		b[r] = sum / a[r][r]
 	}
-	return true
+	return -1
+}
+
+// unknownName maps an MNA column index onto the circuit unknown it
+// represents: a node voltage for col < n, a source branch current
+// otherwise.
+func (s *system) unknownName(col int) string {
+	if col >= 0 && col < s.n {
+		return s.c.nodes[col]
+	}
+	if k := col - s.n; k >= 0 && k < s.m {
+		return "I(" + s.c.vsrc[k].name + ")"
+	}
+	return fmt.Sprintf("unknown-%d", col)
 }
 
 func prevAt(v []float64, i int) float64 {
@@ -250,19 +264,15 @@ func prevAt(v []float64, i int) float64 {
 // place; vPrev supplies transient history (nil/h==0 for DC).
 func (s *system) newton(v, vPrev []float64, t, h float64) error {
 	for it := 0; it < maxNewton; it++ {
+		// assemble fully rewrites jac/rhs, so solveLinear may destroy
+		// them in place. (Pivoting swaps jac's row headers between
+		// iterations; each row is still a full matrix row, so the next
+		// assemble pass stays correct.)
 		s.assemble(v, vPrev, t, h)
-		// Refill the scratch copy since solveLinear destroys its input.
-		// (solveLinear pivots by swapping row headers, so jacBuf's rows
-		// shuffle between iterations; each row is still a full scratch
-		// row, so copying by index stays correct.)
-		jc := s.jacBuf
-		for i := range jc {
-			copy(jc[i], s.jac[i])
-		}
-		rhs := s.rhsBuf
-		copy(rhs, s.rhs)
-		if !solveLinear(jc, rhs) {
-			return cerr.New(cerr.CodeSimDiverged, "spice: singular matrix at t=%g", t)
+		rhs := s.rhs
+		if col := solveLinear(s.jac, rhs); col >= 0 {
+			return cerr.New(cerr.CodeSimSingular,
+				"spice: singular system at t=%g: no pivot for %s", t, s.unknownName(col))
 		}
 		maxDv := 0.0
 		for i := 0; i < s.n; i++ {
@@ -285,24 +295,6 @@ func (s *system) newton(v, vPrev []float64, t, h float64) error {
 		}
 	}
 	return cerr.New(cerr.CodeSimDiverged, "spice: Newton did not converge at t=%g", t)
-}
-
-// OP computes the DC operating point and returns node voltages by
-// name.
-func (c *Circuit) OP() (map[string]float64, error) {
-	if c.err != nil {
-		return nil, c.err
-	}
-	s := newSystem(c)
-	v := make([]float64, s.dim)
-	if err := s.newton(v, nil, 0, 0); err != nil {
-		return nil, err
-	}
-	out := make(map[string]float64, s.n)
-	for i, name := range c.nodes {
-		out[name] = v[i]
-	}
-	return out, nil
 }
 
 // maxTransientSteps caps the fixed-step transient loop: a hostile

@@ -254,7 +254,7 @@ func TestSourceChargeCVCheck(t *testing.T) {
 func TestSolveLinearSingular(t *testing.T) {
 	a := [][]float64{{1, 1}, {1, 1}}
 	b := []float64{1, 2}
-	if solveLinear(a, b) {
+	if col := solveLinear(a, b); col < 0 {
 		t.Fatal("singular matrix should fail")
 	}
 }

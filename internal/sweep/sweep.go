@@ -26,9 +26,12 @@ import (
 	"repro/internal/cache"
 	"repro/internal/canon"
 	"repro/internal/cerr"
+	"repro/internal/chaos"
 	"repro/internal/compiler"
 	"repro/internal/jobs"
+	"repro/internal/mcyield"
 	"repro/internal/obs"
+	"repro/internal/tech"
 	"repro/internal/yield"
 )
 
@@ -43,13 +46,19 @@ const DefaultRetain = 256
 // request's value". Defects is an analysis axis: it selects the
 // defect counts the yield model is evaluated at and never affects the
 // compile (points differing only in defects share one compile).
+// MCSamples and MCSigma are analysis axes in the same sense: they
+// select seeded Monte-Carlo statistical-yield runs (internal/mcyield)
+// over the compiled design, so every MC variant of a point shares the
+// one compile too.
 type Axes struct {
-	Process []string  `json:"process,omitempty"`
-	Words   []int     `json:"words,omitempty"`
-	Bits    []int     `json:"bits,omitempty"` // bits per word (bpw)
-	Spares  []int     `json:"spares,omitempty"`
-	Defects []float64 `json:"defects,omitempty"`
-	Tests   []string  `json:"test,omitempty"`
+	Process   []string  `json:"process,omitempty"`
+	Words     []int     `json:"words,omitempty"`
+	Bits      []int     `json:"bits,omitempty"` // bits per word (bpw)
+	Spares    []int     `json:"spares,omitempty"`
+	Defects   []float64 `json:"defects,omitempty"`
+	Tests     []string  `json:"test,omitempty"`
+	MCSamples []int     `json:"mc_samples,omitempty"`
+	MCSigma   []float64 `json:"mc_sigma,omitempty"`
 }
 
 // Spec is the POST /v1/sweeps wire form.
@@ -96,8 +105,10 @@ type Point struct {
 
 // Expand returns the cross product of the spec's axes over its base
 // request, bounded by maxPoints. Axis order (process, words, bits,
-// spares, test, defects) fixes the point indexing, so identical specs
-// always enumerate identically.
+// spares, test, defects, mc_samples, mc_sigma) fixes the point
+// indexing, so identical specs always enumerate identically; the MC
+// axes are innermost so adding them never reorders a pre-existing
+// sweep's points.
 func (s Spec) Expand(maxPoints int) ([]Point, error) {
 	if maxPoints <= 0 {
 		maxPoints = DefaultMaxPoints
@@ -126,12 +137,20 @@ func (s Spec) Expand(maxPoints int) ([]Point, error) {
 	if len(defects) == 0 {
 		defects = []float64{0}
 	}
+	mcSamples := s.Axes.MCSamples
+	if len(mcSamples) == 0 {
+		mcSamples = []int{s.Base.MCSamples}
+	}
+	mcSigma := s.Axes.MCSigma
+	if len(mcSigma) == 0 {
+		mcSigma = []float64{s.Base.MCSigma}
+	}
 
 	// Multiply the axis lengths with the cap checked at every step: a
 	// single unchecked product could overflow int on adversarial specs
 	// and turn the cap test into a negative-capacity panic.
 	n := 1
-	for _, l := range []int{len(procs), len(words), len(bits), len(spares), len(tests), len(defects)} {
+	for _, l := range []int{len(procs), len(words), len(bits), len(spares), len(tests), len(defects), len(mcSamples), len(mcSigma)} {
 		n *= l
 		if n > maxPoints {
 			return nil, cerr.New(cerr.CodeBadRequest,
@@ -148,21 +167,27 @@ func (s Spec) Expand(maxPoints int) ([]Point, error) {
 				for _, sp := range spares {
 					for _, ts := range tests {
 						for _, df := range defects {
-							req := s.Base
-							if pr != "" {
-								req.Process, req.Deck = pr, ""
+							for _, ms := range mcSamples {
+								for _, mg := range mcSigma {
+									req := s.Base
+									if pr != "" {
+										req.Process, req.Deck = pr, ""
+									}
+									if w != 0 {
+										req.Words = w
+									}
+									if b != 0 {
+										req.BPW = b
+									}
+									req.Spares = sp
+									if ts != "" {
+										req.Test, req.March = ts, ""
+									}
+									req.MCSamples = ms
+									req.MCSigma = mg
+									out = append(out, Point{Req: req, Defects: df})
+								}
 							}
-							if w != 0 {
-								req.Words = w
-							}
-							if b != 0 {
-								req.BPW = b
-							}
-							req.Spares = sp
-							if ts != "" {
-								req.Test, req.March = ts, ""
-							}
-							out = append(out, Point{Req: req, Defects: df})
 						}
 					}
 				}
@@ -223,6 +248,7 @@ type point struct {
 	cached  bool
 	err     error
 	metrics Metrics
+	mc      *MCRow // statistical-yield verdict, when the point asked for one
 }
 
 // group is one unique compile shared by 1..n points.
@@ -316,6 +342,30 @@ type Row struct {
 	Improvement   float64 `json:"improvement"`
 	Cached        bool    `json:"cached"`
 	Degraded      bool    `json:"degraded,omitempty"`
+	// MC carries the seeded Monte-Carlo statistical-yield estimate for
+	// points that set mc_samples/mc_sigma; absent otherwise.
+	MC *MCRow `json:"mc,omitempty"`
+}
+
+// MCRow is the statistical-yield block of a results row: the
+// parametric (variation-driven) failure view that complements the
+// defect-driven closed-form yield columns. YieldArray is the
+// probability every cell of this point's array works, so comparing it
+// against YieldNoRepair on the same row puts the Monte-Carlo and
+// closed-form models side by side.
+type MCRow struct {
+	Samples    int     `json:"samples"`
+	Sigma      float64 `json:"sigma"`
+	Seed       int64   `json:"seed"`
+	FailProb   float64 `json:"fail_prob"`
+	StdErr     float64 `json:"std_err"`
+	SigmaLevel float64 `json:"sigma_level"`
+	HoldFails  int     `json:"hold_fails"`
+	ReadFails  int     `json:"read_fails"`
+	WriteFails int     `json:"write_fails"`
+	Diverged   int     `json:"diverged"`
+	YieldCell  float64 `json:"yield_cell"`
+	YieldArray float64 `json:"yield_array"`
 }
 
 // Results is the GET /v1/sweeps/{id}/results document. Rows cover
@@ -393,6 +443,9 @@ type Config struct {
 	// compiles) keeps its record so Resume can finish it after a
 	// restart.
 	Journal *Journal
+	// Chaos, when non-nil, is threaded into the Monte-Carlo yield
+	// engine so fault-injection configs can abort mc.sample chunks.
+	Chaos *chaos.Injector
 }
 
 // Manager owns the sweep registry and drives point execution.
@@ -408,7 +461,21 @@ type Manager struct {
 	pointsTotal  *obs.Counter
 	pointsCached *obs.Counter
 	pointsFailed *obs.Counter
+
+	// mcStats instruments the Monte-Carlo yield engine; mcMu/mcMemo
+	// memoize estimates across points and sweeps — the estimate is a
+	// pure function of (process, samples, sigma, seed), so every array
+	// geometry sharing a process reuses one cell-level run. Holding
+	// mcMu across the estimate also collapses concurrent identical
+	// requests from racing group-finish goroutines into one run.
+	mcStats *mcyield.Stats
+	mcMu    sync.Mutex
+	mcMemo  map[string]mcyield.Result
 }
+
+// mcMemoCap bounds the memo map; at the cap the map resets rather
+// than evicting (estimates are cheap enough to recompute).
+const mcMemoCap = 512
 
 // NewManager builds a manager.
 func NewManager(cfg Config) *Manager {
@@ -418,8 +485,9 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Retain <= 0 {
 		cfg.Retain = DefaultRetain
 	}
-	m := &Manager{cfg: cfg, sweeps: map[string]*Sweep{}}
+	m := &Manager{cfg: cfg, sweeps: map[string]*Sweep{}, mcMemo: map[string]mcyield.Result{}}
 	r := cfg.Registry
+	m.mcStats = mcyield.NewStats(r)
 	m.created = r.Counter("sweeps_created_total", "Sweeps accepted by POST /v1/sweeps.")
 	m.pointsTotal = r.Counter("sweep_points_total", "Sweep points expanded across all sweeps.")
 	m.pointsCached = r.Counter("sweep_points_cached_total",
@@ -617,26 +685,41 @@ func (m *Manager) finishGroup(sw *Sweep, g *group, entry *cache.Entry, err error
 		// resume) holds.
 		m.cfg.Journal.MarkDone(sw.ID, g.key)
 	}
+	// Statistical yield runs after the compile succeeds but before the
+	// sweep lock: estimates cost real CPU time, and other groups must
+	// stay free to finish concurrently. A per-point MC failure fails
+	// just that point; the group's compile result still serves the
+	// rest.
+	var mcRows map[*point]*MCRow
+	var mcErrs map[*point]error
+	if err == nil {
+		mcRows, mcErrs = m.mcForGroup(g, met)
+	}
 	sw.mu.Lock()
 	for _, pt := range g.points {
 		if pt.state != pointPending {
 			continue
 		}
+		perr := err
+		if perr == nil {
+			perr = mcErrs[pt]
+		}
 		pe := PointEvent{Index: pt.index, Key: pt.key}
-		if err != nil {
+		if perr != nil {
 			pt.state = pointFailed
-			pt.err = err
+			pt.err = perr
 			m.pointsFailed.Inc()
-			if transientFailure(err) {
+			if transientFailure(perr) {
 				sw.transient = true
 			}
 			pe.Status = "failed"
-			pe.Error = err.Error()
-			pe.ErrorCode = cerr.CodeOf(err).String()
+			pe.Error = perr.Error()
+			pe.ErrorCode = cerr.CodeOf(perr).String()
 		} else {
 			pt.state = pointDone
 			pt.cached = cached
 			pt.metrics = met
+			pt.mc = mcRows[pt]
 			if cached {
 				m.pointsCached.Inc()
 			}
@@ -664,6 +747,71 @@ func (m *Manager) finishGroup(sw *Sweep, g *group, entry *cache.Entry, err error
 			m.cfg.Journal.Complete(sw.ID)
 		}
 	}
+}
+
+// mcForGroup runs the Monte-Carlo yield engine for every point of g
+// that asked for it, returning per-point rows and errors. Runs
+// unlocked — estimates take real CPU time — and is idempotent, so
+// racing callers at worst recompute a memo hit.
+func (m *Manager) mcForGroup(g *group, met Metrics) (map[*point]*MCRow, map[*point]error) {
+	var rows map[*point]*MCRow
+	var errs map[*point]error
+	for _, pt := range g.points {
+		if !pt.req.MCEnabled() {
+			continue
+		}
+		res, err := m.mcEstimate(g.params.Process, pt.req)
+		if err != nil {
+			if errs == nil {
+				errs = map[*point]error{}
+			}
+			errs[pt] = cerr.Wrap(cerr.CodeOf(err), err, "sweep: point %d statistical yield", pt.index)
+			continue
+		}
+		if rows == nil {
+			rows = map[*point]*MCRow{}
+		}
+		rows[pt] = &MCRow{
+			Samples: res.Samples, Sigma: res.Sigma, Seed: res.Seed,
+			FailProb: res.FailProb, StdErr: res.StdErr, SigmaLevel: res.SigmaLevel,
+			HoldFails: res.HoldFails, ReadFails: res.ReadFails,
+			WriteFails: res.WriteFails, Diverged: res.Diverged,
+			YieldCell:  res.CellYield(),
+			YieldArray: mcyield.ArrayYield(res.FailProb, met.Rows*met.Cols),
+		}
+	}
+	return rows, errs
+}
+
+// mcEstimate memoizes mcyield.Estimate on (process identity, samples,
+// sigma, seed) — the full determinism contract — so every geometry
+// sharing a process reuses one cell-level run. Only successes
+// memoize: a chaos-injected abort must not poison later estimates.
+func (m *Manager) mcEstimate(proc *tech.Process, req canon.Request) (mcyield.Result, error) {
+	key := fmt.Sprintf("%s\x00%s\x00%s\x00%d\x00%g\x00%d",
+		req.Deck, req.Process, req.Corner, req.MCSamples, req.MCSigma, req.MCSeed)
+	m.mcMu.Lock()
+	defer m.mcMu.Unlock()
+	if res, ok := m.mcMemo[key]; ok {
+		return res, nil
+	}
+	res, err := mcyield.Estimate(context.Background(), mcyield.Config{
+		Process: proc,
+		Samples: req.MCSamples,
+		Sigma:   req.MCSigma,
+		Shift:   mcyield.DefaultShift,
+		Seed:    req.MCSeed,
+		Chaos:   m.cfg.Chaos,
+		Stats:   m.mcStats,
+	})
+	if err != nil {
+		return mcyield.Result{}, err
+	}
+	if len(m.mcMemo) >= mcMemoCap {
+		m.mcMemo = map[string]mcyield.Result{}
+	}
+	m.mcMemo[key] = res
+	return res, nil
 }
 
 // transientFailure classifies errors that a restart (or a retry)
@@ -876,6 +1024,7 @@ func (sw *Sweep) Results() Results {
 			row.YieldBISR = row.YieldNoRepair
 			row.Improvement = 1
 		}
+		row.MC = pt.mc
 		res.Rows = append(res.Rows, row)
 	}
 	return res

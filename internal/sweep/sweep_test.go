@@ -12,6 +12,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/canon"
 	"repro/internal/cerr"
+	"repro/internal/chaos"
 	"repro/internal/compiler"
 	"repro/internal/jobs"
 )
@@ -279,6 +280,148 @@ func TestResultsYieldColumns(t *testing.T) {
 		if row.GrowthFactor != 1.05 {
 			t.Fatalf("growth factor column %v", row.GrowthFactor)
 		}
+	}
+}
+
+func TestExpandMCAxes(t *testing.T) {
+	spec := Spec{
+		Base: baseReq(),
+		Axes: Axes{
+			Defects:   []float64{0, 5},
+			MCSamples: []int{64},
+			MCSigma:   []float64{0.1, 0.2},
+		},
+	}
+	pts, err := spec.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("expanded %d points, want 4", len(pts))
+	}
+	// MC axes are innermost: sigma varies fastest, then samples, then
+	// defects.
+	want := []struct {
+		defects float64
+		sigma   float64
+	}{{0, 0.1}, {0, 0.2}, {5, 0.1}, {5, 0.2}}
+	for i, w := range want {
+		if pts[i].Defects != w.defects || pts[i].Req.MCSigma != w.sigma || pts[i].Req.MCSamples != 64 {
+			t.Fatalf("point %d = %+v (defects %v), want %+v", i, pts[i].Req, pts[i].Defects, w)
+		}
+	}
+}
+
+func TestManagerMCSharesCompileAndFillsRows(t *testing.T) {
+	h := newHarness(t)
+	// 2 sigmas × 1 sample count = 2 points, but the MC axes are
+	// analysis-only: exactly one compile may run.
+	spec := Spec{
+		Base: baseReq(),
+		Axes: Axes{MCSamples: []int{48}, MCSigma: []float64{0.2, 0.25}},
+	}
+	sw, err := h.m.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, sw)
+	if got := h.runs.Load(); got != 1 {
+		t.Fatalf("%d compiles ran, want 1 (MC axes must not trigger compiles)", got)
+	}
+	res := sw.Results()
+	if len(res.Rows) != 2 || res.Failed != 0 {
+		t.Fatalf("results %+v", res)
+	}
+	for i, row := range res.Rows {
+		if row.MC == nil {
+			t.Fatalf("row %d missing MC block", i)
+		}
+		if row.MC.Samples != 48 || row.MC.Sigma == 0 {
+			t.Fatalf("row %d MC = %+v", i, row.MC)
+		}
+		if row.MC.YieldCell <= 0 || row.MC.YieldCell > 1 {
+			t.Fatalf("row %d cell yield %v", i, row.MC.YieldCell)
+		}
+		if row.MC.YieldArray > row.MC.YieldCell {
+			t.Fatalf("row %d array yield %v exceeds cell yield %v",
+				i, row.MC.YieldArray, row.MC.YieldCell)
+		}
+	}
+	if res.Rows[0].MC.Sigma >= res.Rows[1].MC.Sigma {
+		t.Fatalf("sigma axis order lost: %v then %v", res.Rows[0].MC.Sigma, res.Rows[1].MC.Sigma)
+	}
+
+	// The estimate is seeded: an identical sweep must reproduce the MC
+	// blocks bit-identically (and recompile nothing).
+	sw2, err := h.m.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, sw2)
+	if h.runs.Load() != 1 {
+		t.Fatalf("repeat MC sweep recompiled (%d runs)", h.runs.Load())
+	}
+	res2 := sw2.Results()
+	for i := range res.Rows {
+		if *res.Rows[i].MC != *res2.Rows[i].MC {
+			t.Fatalf("row %d MC not deterministic:\n%+v\n%+v", i, res.Rows[i].MC, res2.Rows[i].MC)
+		}
+	}
+}
+
+func TestManagerRowsWithoutMCOmitBlock(t *testing.T) {
+	h := newHarness(t)
+	sw, err := h.m.Create(Spec{Base: baseReq(), Axes: Axes{Defects: []float64{0, 5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, sw)
+	b, err := json.Marshal(sw.Results())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"mc"`) {
+		t.Fatalf("MC block leaked into non-MC results: %s", b)
+	}
+}
+
+func TestManagerMCInvalidKnobsFailCreation(t *testing.T) {
+	h := newHarness(t)
+	// samples without sigma is rejected by canon.ValidateMC at
+	// expansion time, like any other invalid point.
+	_, err := h.m.Create(Spec{Base: baseReq(), Axes: Axes{MCSamples: []int{64}}})
+	if cerr.CodeOf(err) != cerr.CodeInvalidParams {
+		t.Fatalf("err = %v, want CodeInvalidParams", err)
+	}
+}
+
+func TestManagerMCChaosFailsPoint(t *testing.T) {
+	h := newHarness(t)
+	inj, err := chaos.Parse([]byte(`{"seed":1,"rules":[{"point":"mc.sample","mode":"error"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Config{
+		Queue:  h.q,
+		Lookup: func(string) (*cache.Entry, bool) { return nil, false },
+		Run: func(ctx context.Context, key string, _ canon.Request, p compiler.Params) (*cache.Entry, error) {
+			return fakeEntry(key, p.Rows(), p.BPW*p.BPC, 1.0), nil
+		},
+		Chaos: inj,
+	})
+	base := baseReq()
+	base.MCSamples, base.MCSigma = 32, 0.2
+	sw, err := m.Create(Spec{Base: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, sw)
+	st := sw.Status()
+	if st.Failed != 1 || st.State != "failed" {
+		t.Fatalf("chaos-injected MC abort not surfaced: %+v", st)
+	}
+	if st.Points[0].ErrorCode != cerr.CodeInternal.String() {
+		t.Fatalf("point error code %q", st.Points[0].ErrorCode)
 	}
 }
 
